@@ -1,0 +1,62 @@
+// Experiment E-opt2 — §5.6 Optimization 2 ablation: increment the global
+// counter only when a search occurred since the last update. Measures how
+// many chain elements a mixed update/search workload consumes with the
+// policy on vs off — the factor that delays chain exhaustion and
+// re-initialization.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sse/core/scheme2_client.h"
+
+namespace sse::bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "E-opt2: Scheme 2 counter policy (Optimization 2).\n"
+      "Workload: bursts of x updates followed by one search, until 512\n"
+      "operations ran. 'chain spent' counts consumed elements; with the\n"
+      "policy on, a burst of x updates costs one element, so the spend\n"
+      "drops by ~x — exactly the l/x factor in the exhaustion analysis.\n\n");
+  TablePrinter table({"opt2", "x_burst", "updates_run", "chain_spent",
+                      "updates_per_element"});
+  table.PrintHeader();
+  for (bool opt2 : {true, false}) {
+    for (size_t x : {1u, 4u, 16u}) {
+      DeterministicRandom rng(43);
+      core::SystemConfig config = BenchConfig(/*max_documents=*/1 << 12,
+                                              /*chain_length=*/4096);
+      config.scheme.counter_after_search_only = opt2;
+      core::SseSystem sys =
+          MustCreate(core::SystemKind::kScheme2, config, &rng);
+      auto* client = static_cast<core::Scheme2Client*>(sys.client.get());
+
+      uint64_t doc_id = 0;
+      uint64_t updates = 0;
+      while (updates < 512) {
+        for (size_t i = 0; i < x && updates < 512; ++i) {
+          MustOk(sys.client->Store({core::Document::Make(
+                     doc_id++, "d", {"kw" + std::to_string(doc_id % 8)})}),
+                 "store");
+          ++updates;
+        }
+        MustValue(sys.client->Search("kw0"), "search");
+      }
+      table.PrintRow(
+          {opt2 ? "on" : "off", FmtU(x), FmtU(updates),
+           FmtU(client->counter()),
+           Fmt("%.1f", static_cast<double>(updates) / client->counter())});
+    }
+  }
+  table.PrintRule();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sse::bench
+
+int main() {
+  sse::bench::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+#ifndef SSE_BENCH_BENCH_COMMON_H_
+#define SSE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sse/core/registry.h"
+#include "sse/crypto/keys.h"
+#include "sse/phr/workload.h"
+#include "sse/util/random.h"
+#include "sse/util/timer.h"
+
+namespace sse::bench {
+
+/// Master key shared by all bench systems (deterministic, so repeated runs
+/// build identical databases).
+inline crypto::MasterKey BenchKey() {
+  DeterministicRandom rng(0xbe9c4);
+  return crypto::MasterKey::Generate(rng).value();
+}
+
+/// Default bench configuration. The ElGamal group defaults to the *toy*
+/// 512-bit group so index-construction sweeps finish in seconds; absolute
+/// public-key costs at production sizes are reported by bench_crypto, and
+/// any bench that depends on them says so in its output header.
+inline core::SystemConfig BenchConfig(size_t max_documents = 1 << 14,
+                                      uint32_t chain_length = 1 << 12) {
+  core::SystemConfig config;
+  config.scheme.max_documents = max_documents;
+  config.scheme.chain_length = chain_length;
+  config.scheme.elgamal_group = crypto::ElGamalGroupId::kToy512;
+  return config;
+}
+
+inline core::SseSystem MustCreate(core::SystemKind kind,
+                                  const core::SystemConfig& config,
+                                  RandomSource* rng) {
+  auto result = core::CreateSystem(kind, BenchKey(), config, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "CreateSystem failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void MustOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+inline T MustValue(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Paper-style table printer: fixed-width columns to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size() + 2);
+  }
+
+  void PrintHeader() const {
+    PrintRule();
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("| %-*s", static_cast<int>(widths_[i]), headers_[i].c_str());
+    }
+    std::printf("|\n");
+    PrintRule();
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      std::printf("| %-*s", static_cast<int>(widths_[i]), cells[i].c_str());
+    }
+    std::printf("|\n");
+  }
+
+  void PrintRule() const {
+    for (size_t w : widths_) {
+      std::printf("+%s", std::string(w + 1, '-').c_str());
+    }
+    std::printf("+\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+};
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string FmtU(uint64_t value) { return std::to_string(value); }
+
+}  // namespace sse::bench
+
+#endif  // SSE_BENCH_BENCH_COMMON_H_

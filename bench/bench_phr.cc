@@ -1,0 +1,82 @@
+// Experiment E-phr — the paper's §6 application profiles, end to end.
+//
+// Simulates a clinic day for each system: per patient visit, the GP first
+// retrieves the patient's history (one search) and afterwards stores a new
+// record (one update). Reports application-level throughput, traffic and —
+// for Scheme 2 — chain consumption, connecting Table 1's asymptotics to
+// the scenario the paper motivates.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sse/core/scheme2_client.h"
+#include "sse/phr/phr_store.h"
+
+namespace sse::bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "E-phr: clinic-day simulation (Section 6 GP profile): per visit, one\n"
+      "patient-history search then one record update. 64 patients x 4\n"
+      "visits. Scheme 2's one-round flows and delta updates should win the\n"
+      "traffic columns; the O(n) baselines pay in search time as the\n"
+      "archive grows. Scheme 2's ms/visit is dominated by the client's\n"
+      "Lamport-chain walk (~l-ctr hash steps per touched keyword, l=1024\n"
+      "here) — the computation/communication trade Table 1 prices in.\n\n");
+  TablePrinter table({"system", "visits", "total_ms", "ms/visit",
+                      "rounds/visit", "KB/visit", "chain_spent"});
+  table.PrintHeader();
+  for (core::SystemKind kind : core::AllSystemKinds()) {
+    DeterministicRandom rng(61);
+    core::SystemConfig config = BenchConfig(/*max_documents=*/1 << 12,
+                                            /*chain_length=*/1 << 10);
+    core::SseSystem sys = MustCreate(kind, config, &rng);
+    phr::PhrStore store(sys.client.get());
+
+    phr::PhrWorkload::Params params;
+    params.num_patients = 64;
+    params.visits_per_patient = 4;
+    phr::PhrWorkload workload(params);
+    const auto& records = workload.records();
+
+    sys.channel->ResetStats();
+    Timer timer;
+    size_t visits = 0;
+    // Visit order: round-robin over patients, as a day would interleave.
+    for (size_t v = 0; v < params.visits_per_patient; ++v) {
+      for (size_t p = 0; p < params.num_patients; ++p) {
+        const phr::PatientRecord& record =
+            records[p * params.visits_per_patient + v];
+        // Pre-visit retrieval (empty on the first visit).
+        MustValue(store.FindByPatient(record.patient_id), "history");
+        // Post-visit update.
+        MustOk(store.AddRecord(record), "store visit");
+        ++visits;
+      }
+    }
+    const double total_ms = timer.ElapsedMillis();
+    const auto& stats = sys.channel->stats();
+    std::string chain = "-";
+    if (kind == core::SystemKind::kScheme2) {
+      chain = FmtU(
+          static_cast<core::Scheme2Client*>(sys.client.get())->counter());
+    }
+    table.PrintRow(
+        {std::string(core::SystemKindName(kind)), FmtU(visits),
+         Fmt("%.0f", total_ms), Fmt("%.2f", total_ms / visits),
+         Fmt("%.1f", static_cast<double>(stats.rounds) / visits),
+         Fmt("%.1f", static_cast<double>(stats.TotalBytes()) / visits / 1024.0),
+         chain});
+  }
+  table.PrintRule();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sse::bench
+
+int main() {
+  sse::bench::Run();
+  return 0;
+}

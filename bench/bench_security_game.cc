@@ -1,0 +1,74 @@
+// Experiment E-game — Definition 4 as a measurement: the distinguishing
+// advantage of a battery of concrete adversaries against the real Scheme 1,
+// with a deliberately unmasked strawman as the positive control.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sse/security/game.h"
+
+namespace sse::bench {
+namespace {
+
+security::History MakeHistory(bool skewed) {
+  security::History history;
+  constexpr size_t kDocs = 16;
+  for (size_t i = 0; i < kDocs; ++i) {
+    const std::string content = "record-" + std::string(8, 'x');
+    if (!skewed) {
+      history.documents.push_back(core::Document::Make(
+          i, content,
+          {"p" + std::to_string(i / 2),
+           "f" + std::to_string(((i + 3) % 16) / 2)}));
+    } else {
+      std::vector<std::string> kws = {"all"};
+      if (i < 15) kws.push_back("s" + std::to_string(i));
+      history.documents.push_back(core::Document::Make(i, content, kws));
+    }
+  }
+  return history;
+}
+
+void Run() {
+  std::printf(
+      "E-game: distinguishing experiment (Definition 4). Two equal-trace\n"
+      "histories — uniform vs one-hot keyword popularity — and a battery\n"
+      "of adversaries. 'real' = Scheme 1; 'strawman' = same shape but the\n"
+      "posting bitmaps stored unmasked. A secure scheme keeps every row's\n"
+      "'real' column inside noise (~|0.39| at 60 trials); the strawman\n"
+      "column shows the same adversaries are not toothless.\n\n");
+  const security::History h0 = MakeHistory(false);
+  const security::History h1 = MakeHistory(true);
+  core::SchemeOptions options;
+  options.max_documents = 16;
+  options.elgamal_group = crypto::ElGamalGroupId::kToy512;
+
+  TablePrinter table({"adversary", "adv_real", "adv_strawman"});
+  table.PrintHeader();
+  const int trials = 60;
+  for (const security::Distinguisher& adversary :
+       security::BuiltinDistinguishers()) {
+    DeterministicRandom coin(17);
+    DeterministicRandom scheme(18);
+    auto real = security::PlayScheme1Game(h0, h1, options, adversary, trials,
+                                          coin, scheme);
+    DeterministicRandom coin2(19);
+    DeterministicRandom scheme2(20);
+    auto straw = security::PlayStrawmanGame(h0, h1, options, adversary,
+                                            trials, coin2, scheme2);
+    MustOk(real.ok() ? Status::OK() : real.status(), "real game");
+    MustOk(straw.ok() ? Status::OK() : straw.status(), "strawman game");
+    table.PrintRow({adversary.name, Fmt("%+.3f", real->Advantage()),
+                    Fmt("%+.3f", straw->Advantage())});
+  }
+  table.PrintRule();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sse::bench
+
+int main() {
+  sse::bench::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Experiment T1-comm — Table 1, row "Communication overhead".
+//
+// Paper claim: Scheme 1 searches in TWO rounds, Scheme 2 in ONE; Scheme 1's
+// MetadataStorage needs large bandwidth (a full bitmap per keyword), while
+// Scheme 2 ships only the ids actually added. This bench measures rounds
+// and framed bytes for search and update across database sizes and prints
+// the Table 1 row empirically.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sse/core/types.h"
+
+namespace sse::bench {
+namespace {
+
+struct CommRow {
+  size_t num_docs;
+  uint64_t search_rounds;
+  uint64_t search_bytes;
+  uint64_t update_rounds;
+  uint64_t update_bytes;
+};
+
+CommRow Measure(core::SystemKind kind, size_t num_docs) {
+  DeterministicRandom rng(1);
+  // Bitmap capacity tracks the database size (public parameter).
+  core::SystemConfig config = BenchConfig(/*max_documents=*/num_docs * 2);
+  core::SseSystem sys = MustCreate(kind, config, &rng);
+
+  const size_t vocabulary = num_docs;  // u grows with n in this sweep
+  auto docs = phr::GenerateDocuments(num_docs, vocabulary,
+                                     /*keywords_per_doc=*/5, /*skew=*/0.8,
+                                     /*seed=*/7, /*content_bytes=*/128);
+  MustOk(sys.client->Store(docs), "store");
+
+  // One search over a mid-popularity keyword.
+  const std::string query = phr::SyntheticKeyword(3);
+  sys.channel->ResetStats();
+  MustValue(sys.client->Search(query), "search");
+  CommRow row{};
+  row.num_docs = num_docs;
+  row.search_rounds = sys.channel->stats().rounds;
+  row.search_bytes = sys.channel->stats().TotalBytes();
+
+  // One single-document update touching 5 keywords.
+  sys.channel->ResetStats();
+  auto update = phr::GenerateDocuments(1, vocabulary, 5, 0.8, 99, 128,
+                                       /*first_id=*/num_docs);
+  MustOk(sys.client->Store(update), "update");
+  row.update_rounds = sys.channel->stats().rounds;
+  row.update_bytes = sys.channel->stats().TotalBytes();
+  return row;
+}
+
+void Run() {
+  std::printf(
+      "T1-comm: communication overhead (Table 1)\n"
+      "Search: scheme1 = two rounds, scheme2 = one round (paper claim).\n"
+      "Update bytes: scheme1 ships a full masked bitmap per keyword;\n"
+      "scheme2 ships only the delta ids. ElGamal group: toy-512 (sizes of\n"
+      "F(r) scale with the group; see bench_crypto for production sizes).\n\n");
+  for (core::SystemKind kind :
+       {core::SystemKind::kScheme1, core::SystemKind::kScheme2}) {
+    std::printf("system: %s\n", std::string(core::SystemKindName(kind)).c_str());
+    TablePrinter table({"n_docs", "search_rounds", "search_bytes",
+                        "update_rounds", "update_bytes", "update_B/kw"});
+    table.PrintHeader();
+    for (size_t n : {256u, 1024u, 4096u, 16384u}) {
+      CommRow row = Measure(kind, n);
+      table.PrintRow({FmtU(row.num_docs), FmtU(row.search_rounds),
+                      FmtU(row.search_bytes), FmtU(row.update_rounds),
+                      FmtU(row.update_bytes),
+                      Fmt("%.0f", static_cast<double>(row.update_bytes) / 5)});
+    }
+    table.PrintRule();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace sse::bench
+
+int main() {
+  sse::bench::Run();
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Experiment T1-search — Table 1, row "Searching computation".
+//
+// Paper claims: Scheme 1 search costs O(log u) (u = unique keywords, tree
+// index); Scheme 2 costs O(log u + l/2x) where l is the chain length and x
+// the average number of updates between two searches. This bench measures
+// (a) B+-tree comparisons and wall-clock vs u for both schemes, and
+// (b) Scheme 2's chain-walk steps vs x and vs l.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sse/core/scheme1_server.h"
+#include "sse/core/scheme2_client.h"
+#include "sse/core/scheme2_server.h"
+
+namespace sse::bench {
+namespace {
+
+void SweepUniqueKeywords() {
+  std::printf(
+      "T1-search (a): cost vs u, both schemes. Expect comparisons to grow\n"
+      "logarithmically (x16 data -> +~4 comparisons), not linearly.\n\n");
+  TablePrinter table({"system", "u_keywords", "tree_cmp/search", "search_us"});
+  table.PrintHeader();
+  for (core::SystemKind kind :
+       {core::SystemKind::kScheme1, core::SystemKind::kScheme2}) {
+    for (size_t u : {1024u, 4096u, 16384u, 65536u}) {
+      DeterministicRandom rng(2);
+      // Short chain: the client walks l-ctr hash steps per keyword per
+      // update (inherent to the Lamport chain), so index construction at
+      // u=64k needs a modest l to stay fast. Chain-length effects are
+      // measured separately in sweep (c).
+      core::SystemConfig config =
+          BenchConfig(/*max_documents=*/1 << 12, /*chain_length=*/64);
+      core::SseSystem sys = MustCreate(kind, config, &rng);
+      // One document carrying many keywords per batch keeps doc count small
+      // while u grows.
+      const size_t docs_count = 512;
+      const size_t keywords_per_doc = u / docs_count;
+      std::vector<core::Document> docs;
+      size_t kw_rank = 0;
+      for (size_t i = 0; i < docs_count; ++i) {
+        std::vector<std::string> kws;
+        for (size_t k = 0; k < keywords_per_doc; ++k) {
+          kws.push_back(phr::SyntheticKeyword(kw_rank++));
+        }
+        docs.push_back(core::Document::Make(i, "content", kws));
+      }
+      MustOk(sys.client->Store(docs), "store");
+
+      // Measure steady-state searches over random keywords.
+      const int probes = 64;
+      auto comparisons_before = [&]() -> uint64_t {
+        if (kind == core::SystemKind::kScheme1) {
+          return static_cast<core::Scheme1Server*>(sys.server.get())
+              ->index_comparisons();
+        }
+        return static_cast<core::Scheme2Server*>(sys.server.get())
+            ->index_comparisons();
+      };
+      const uint64_t before = comparisons_before();
+      Timer timer;
+      DeterministicRandom probe_rng(3);
+      for (int i = 0; i < probes; ++i) {
+        MustValue(sys.client->Search(
+                      phr::SyntheticKeyword(probe_rng.Next() % u)),
+                  "search");
+      }
+      const double micros = timer.ElapsedMicros() / probes;
+      const uint64_t comparisons = comparisons_before() - before;
+      // Scheme 1 does 2 lookups per search (nonce + finish), scheme 2 one;
+      // report comparisons per lookup-normalized search as measured.
+      table.PrintRow({std::string(core::SystemKindName(kind)), FmtU(u),
+                      Fmt("%.1f", static_cast<double>(comparisons) / probes),
+                      Fmt("%.1f", micros)});
+    }
+  }
+  table.PrintRule();
+  std::printf("\n");
+}
+
+void SweepUpdateSearchRatio() {
+  std::printf(
+      "T1-search (b): Scheme 2 chain walk vs x (updates between searches).\n"
+      "With Optimization 2, consecutive updates reuse one chain element, so\n"
+      "walk steps per search stay ~1 regardless of x; with the optimization\n"
+      "off, steps grow with x — the l/2x term of Table 1.\n\n");
+  TablePrinter table({"opt2", "x_updates_between", "walk_steps/search",
+                      "segments/search", "chain_spent"});
+  table.PrintHeader();
+  for (bool opt2 : {true, false}) {
+    for (size_t x : {1u, 2u, 4u, 8u, 16u}) {
+      DeterministicRandom rng(4);
+      core::SystemConfig config = BenchConfig(/*max_documents=*/1 << 12,
+                                              /*chain_length=*/4096);
+      config.scheme.counter_after_search_only = opt2;
+      config.scheme.server_plaintext_cache = false;  // isolate walk cost
+      core::SseSystem sys = MustCreate(core::SystemKind::kScheme2, config, &rng);
+      auto* client = static_cast<core::Scheme2Client*>(sys.client.get());
+      auto* server = static_cast<core::Scheme2Server*>(sys.server.get());
+
+      uint64_t doc_id = 0;
+      const int cycles = 16;
+      uint64_t walk_steps = 0;
+      uint64_t segments = 0;
+      int searches = 0;
+      for (int c = 0; c < cycles; ++c) {
+        for (size_t i = 0; i < x; ++i) {
+          MustOk(sys.client->Store({core::Document::Make(
+                     doc_id++, "d", {"hot", "cold" + std::to_string(c)})}),
+                 "store");
+        }
+        const uint64_t steps_before = server->total_chain_steps();
+        const uint64_t segs_before = server->total_segments_decrypted();
+        MustValue(sys.client->Search("hot"), "search");
+        walk_steps += server->total_chain_steps() - steps_before;
+        segments += server->total_segments_decrypted() - segs_before;
+        ++searches;
+      }
+      table.PrintRow({opt2 ? "on" : "off", FmtU(x),
+                      Fmt("%.1f", static_cast<double>(walk_steps) / searches),
+                      Fmt("%.1f", static_cast<double>(segments) / searches),
+                      FmtU(client->counter())});
+    }
+  }
+  table.PrintRule();
+  std::printf("\n");
+}
+
+void SweepChainLength() {
+  std::printf(
+      "T1-search (c): Scheme 2 search cost vs chain length l. The first\n"
+      "search after a long idle gap walks from the current counter element\n"
+      "back to the segment keys; cost is bounded by l.\n\n");
+  TablePrinter table({"chain_l", "idle_updates", "walk_steps_first_search"});
+  table.PrintHeader();
+  for (uint32_t l : {256u, 1024u, 4096u}) {
+    DeterministicRandom rng(5);
+    core::SystemConfig config = BenchConfig(1 << 12, l);
+    config.scheme.counter_after_search_only = false;  // every update counts
+    core::SseSystem sys = MustCreate(core::SystemKind::kScheme2, config, &rng);
+    auto* server = static_cast<core::Scheme2Server*>(sys.server.get());
+
+    // Store the probe keyword once, then churn other keywords to advance
+    // the global counter far past it.
+    MustOk(sys.client->Store({core::Document::Make(0, "d", {"stale"})}),
+           "store");
+    const size_t idle = l / 2;
+    for (size_t i = 1; i <= idle; ++i) {
+      MustOk(sys.client->Store({core::Document::Make(
+                 i, "d", {"churn" + std::to_string(i)})}),
+             "store");
+    }
+    const uint64_t before = server->total_chain_steps();
+    MustValue(sys.client->Search("stale"), "search");
+    table.PrintRow({FmtU(l), FmtU(idle),
+                    FmtU(server->total_chain_steps() - before)});
+  }
+  table.PrintRule();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sse::bench
+
+int main() {
+  sse::bench::SweepUniqueKeywords();
+  sse::bench::SweepUpdateSearchRatio();
+  sse::bench::SweepChainLength();
+  return 0;
+}

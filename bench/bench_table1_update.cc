@@ -1,0 +1,91 @@
+// Experiment T1-update — Table 1, row "Condition on update".
+//
+// Paper claim: Scheme 1 updates are expensive in bandwidth (each touched
+// keyword re-ships a full |max_documents|-bit masked bitmap), so they
+// should "occur rarely"; Scheme 2 updates cost only the delta ids and are
+// meant to interleave with searches. This bench sweeps the database
+// capacity and the update batch size and reports per-update bytes and
+// latency for both schemes.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace sse::bench {
+namespace {
+
+void SweepCapacity() {
+  std::printf(
+      "T1-update (a): single-document update cost vs database capacity.\n"
+      "Scheme 1 bytes grow linearly with capacity (bitmap width); Scheme 2\n"
+      "bytes stay flat — the paper's 'update rarely' vs 'interleave' split.\n\n");
+  TablePrinter table(
+      {"system", "capacity", "update_bytes", "update_ms", "bytes/keyword"});
+  table.PrintHeader();
+  for (core::SystemKind kind :
+       {core::SystemKind::kScheme1, core::SystemKind::kScheme2}) {
+    for (size_t capacity : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+      DeterministicRandom rng(11);
+      core::SystemConfig config = BenchConfig(capacity, /*chain_length=*/256);
+      core::SseSystem sys = MustCreate(kind, config, &rng);
+      // Seed a small base so updates hit existing keywords.
+      auto base = phr::GenerateDocuments(128, /*vocabulary=*/64,
+                                         /*keywords_per_doc=*/4, 0.8, 3);
+      MustOk(sys.client->Store(base), "seed");
+      MustValue(sys.client->Search(phr::SyntheticKeyword(0)), "warm search");
+
+      const int updates = 8;
+      sys.channel->ResetStats();
+      Timer timer;
+      for (int i = 0; i < updates; ++i) {
+        auto doc = phr::GenerateDocuments(1, 64, 4, 0.8, 100 + i, 64,
+                                          /*first_id=*/1000 + i);
+        MustOk(sys.client->Store(doc), "update");
+      }
+      const double ms = timer.ElapsedMillis() / updates;
+      const uint64_t bytes = sys.channel->stats().TotalBytes() / updates;
+      table.PrintRow({std::string(core::SystemKindName(kind)), FmtU(capacity),
+                      FmtU(bytes), Fmt("%.2f", ms),
+                      Fmt("%.0f", static_cast<double>(bytes) / 4)});
+    }
+  }
+  table.PrintRule();
+  std::printf("\n");
+}
+
+void SweepBatchSize() {
+  std::printf(
+      "T1-update (b): batched updates (Section 5.7). Per-document cost\n"
+      "drops as the batch grows because keyword entries amortize.\n\n");
+  TablePrinter table({"system", "batch_docs", "bytes/doc", "ms/doc"});
+  table.PrintHeader();
+  for (core::SystemKind kind :
+       {core::SystemKind::kScheme1, core::SystemKind::kScheme2}) {
+    for (size_t batch : {1u, 8u, 64u, 256u}) {
+      DeterministicRandom rng(12);
+      core::SystemConfig config = BenchConfig(1 << 14, /*chain_length=*/256);
+      core::SseSystem sys = MustCreate(kind, config, &rng);
+      auto docs = phr::GenerateDocuments(batch, /*vocabulary=*/32,
+                                         /*keywords_per_doc=*/4, 0.8, 5);
+      sys.channel->ResetStats();
+      Timer timer;
+      MustOk(sys.client->Store(docs), "batch store");
+      const double ms = timer.ElapsedMillis() / static_cast<double>(batch);
+      const double bytes = static_cast<double>(sys.channel->stats().TotalBytes()) /
+                           static_cast<double>(batch);
+      table.PrintRow({std::string(core::SystemKindName(kind)), FmtU(batch),
+                      Fmt("%.0f", bytes), Fmt("%.3f", ms)});
+    }
+  }
+  table.PrintRule();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sse::bench
+
+int main() {
+  sse::bench::SweepCapacity();
+  sse::bench::SweepBatchSize();
+  return 0;
+}

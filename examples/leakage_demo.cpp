@@ -1,0 +1,112 @@
+// What does the server actually learn? — the paper's security framework,
+// live.
+//
+// Runs a small Scheme 1 history, then shows (a) the trace — the leakage the
+// security definition permits, (b) the leakage an honest-but-curious
+// observer really extracts from the transcript, and (c) the Theorem-1
+// simulator fabricating an indistinguishable view from the trace alone,
+// checked by the statistical distinguishers.
+//
+//   ./build/examples/leakage_demo
+
+#include <cstdio>
+
+#include "sse/core/registry.h"
+#include "sse/security/leakage.h"
+#include "sse/security/simulator.h"
+#include "sse/security/stats.h"
+#include "sse/security/trace.h"
+
+int main() {
+  using namespace sse;
+
+  SystemRandom& rng = SystemRandom::Instance();
+  auto key = crypto::MasterKey::Generate(rng).value();
+  core::SystemConfig config;
+  config.scheme.max_documents = 4096;
+  config.channel.record_transcript = true;
+
+  auto sys = core::CreateSystem(core::SystemKind::kScheme1, key, config, &rng);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
+    return 1;
+  }
+
+  // The client's secret input: a history of documents and queries.
+  security::History history;
+  history.documents = {
+      core::Document::Make(0, "radiology report, fracture healing well",
+                           {"fracture", "radiology"}),
+      core::Document::Make(1, "lab panel normal", {"lab", "routine"}),
+      core::Document::Make(2, "followup xray scheduled",
+                           {"fracture", "radiology", "followup"}),
+  };
+  history.queries = {"fracture", "lab", "fracture", "unknown-term"};
+
+  if (!sys->client->Store(history.documents).ok()) return 1;
+  for (const auto& query : history.queries) {
+    if (!sys->client->Search(query).ok()) return 1;
+  }
+
+  // (a) The allowed leakage: the trace.
+  const security::Trace trace = security::ComputeTrace(history);
+  std::printf("=== trace (what the definition allows to leak) ===\n");
+  std::printf("document ids:        ");
+  for (uint64_t id : trace.ids) std::printf("%llu ", (unsigned long long)id);
+  std::printf("\ndocument lengths:    ");
+  for (uint64_t len : trace.lengths) {
+    std::printf("%llu ", (unsigned long long)len);
+  }
+  std::printf("\nunique keywords:     %llu\n",
+              (unsigned long long)trace.unique_keywords);
+  for (size_t q = 0; q < trace.results.size(); ++q) {
+    std::printf("query %zu result set:  {", q);
+    for (uint64_t id : trace.results[q]) {
+      std::printf(" %llu", (unsigned long long)id);
+    }
+    std::printf(" }\n");
+  }
+  std::printf("search pattern: queries 0 and 2 repeat -> Pi[0][2]=%d\n",
+              trace.search_pattern[0][2] ? 1 : 0);
+
+  // (b) What an observer extracts from the actual wire traffic.
+  security::LeakageReport report =
+      security::AnalyzeTranscript(sys->channel->transcript());
+  std::printf("\n=== observer's take from the transcript ===\n");
+  std::printf("update observations: %zu (aggregate keyword counts:",
+              report.update_keyword_counts.size());
+  for (uint64_t c : report.update_keyword_counts) {
+    std::printf(" %llu", (unsigned long long)c);
+  }
+  std::printf(")\ndistinct search tokens seen: %zu, repeated searches: %llu\n",
+              report.token_occurrences.size(),
+              (unsigned long long)report.repeated_searches());
+  std::printf("result sizes per search:");
+  for (uint64_t s : report.result_sizes) {
+    std::printf(" %llu", (unsigned long long)s);
+  }
+  std::printf("\n(note: exactly the trace — tokens, counts, sizes — and "
+              "nothing about contents)\n");
+
+  // (c) The simulator fabricates a view from the trace alone.
+  security::Scheme1Simulator simulator(config.scheme, &rng);
+  auto view = simulator.SimulateView(trace, trace.results.size());
+  if (!view.ok()) return 1;
+  Bytes simulated_index;
+  for (const auto& entry : view->index) {
+    simulated_index.insert(simulated_index.end(), entry.masked_bitmap.begin(),
+                           entry.masked_bitmap.end());
+  }
+  std::printf("\n=== Theorem-1 simulator ===\n");
+  std::printf("simulated %zu index entries and %zu trapdoors from the trace\n",
+              view->index.size(), view->trapdoors.size());
+  std::printf("simulated index bytes: monobit=%.4f entropy=%.3f b/B\n",
+              security::MonobitFraction(simulated_index),
+              security::ShannonEntropyBytes(simulated_index));
+  std::printf("trapdoor reuse respects Pi: T0==T2? %s\n",
+              view->trapdoors[0] == view->trapdoors[2] ? "yes" : "no");
+  std::printf("\nA distinguisher that can tell this fabrication from the real "
+              "server state\nwould break the scheme; the test suite runs "
+              "statistical ones and finds none.\n");
+  return 0;
+}

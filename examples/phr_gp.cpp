@@ -1,0 +1,129 @@
+// PHR⁺ general-practitioner scenario (paper §6, second usage profile).
+//
+// A GP stores a patient record after every visit and retrieves it before
+// the next one — updates and searches interleave, which is exactly the
+// workload Scheme 2 is designed for: one-round searches, delta-sized
+// updates, and Optimization 2 keeping chain consumption low. The server is
+// durable (WAL + snapshot), so a "clinic server restart" mid-day loses
+// nothing.
+//
+//   ./build/examples/phr_gp
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sse/core/durable_server.h"
+#include "sse/core/scheme2_client.h"
+#include "sse/core/scheme2_server.h"
+#include "sse/phr/phr_store.h"
+#include "sse/phr/workload.h"
+
+namespace {
+
+template <typename T>
+T MustValue(sse::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void MustOk(const sse::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sse;
+
+  // Clinic setup: durable Scheme 2 server in a scratch directory.
+  char dir_template[] = "/tmp/phr_gp_XXXXXX";
+  const char* dir = mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "cannot create scratch dir\n");
+    return 1;
+  }
+  std::printf("clinic server directory: %s\n", dir);
+
+  core::SchemeOptions options;
+  options.max_documents = 1 << 14;
+  options.chain_length = 1 << 12;
+
+  core::Scheme2Server server(options);
+  auto durable = MustValue(core::DurableServer::Open(dir, &server),
+                           "open durable server");
+  net::InProcessChannel channel(durable.get());
+
+  // The GP's key — derived from a passphrase here for demonstration.
+  auto key = MustValue(crypto::MasterKey::FromPassphrase(
+                           "dr-visser practice key, rotate yearly"),
+                       "derive key");
+  SystemRandom& rng = SystemRandom::Instance();
+  auto client = MustValue(
+      core::Scheme2Client::Create(key, options, &channel, &rng), "client");
+  phr::PhrStore store(client.get());
+
+  // Morning: three patients visit; record stored after each consult.
+  phr::PatientRecord r1;
+  r1.patient_id = "p1001";
+  r1.name = "emma jansen";
+  r1.visit_date = "2026-07-06";
+  r1.practitioner = "dr visser";
+  r1.conditions = {"hypertension"};
+  r1.medications = {"lisinopril"};
+  r1.notes = "blood pressure trending down, continue current dosage";
+  MustOk(store.AddRecord(r1), "store visit 1");
+
+  phr::PatientRecord r2 = r1;
+  r2.patient_id = "p1002";
+  r2.name = "daan bakker";
+  r2.conditions = {"type 2 diabetes"};
+  r2.medications = {"metformin"};
+  r2.notes = "hba1c improved, discussed diet adjustments";
+  MustOk(store.AddRecord(r2), "store visit 2");
+
+  phr::PatientRecord r3 = r1;
+  r3.patient_id = "p1001";
+  r3.visit_date = "2026-07-20";
+  r3.notes = "follow up: mild headaches, monitoring";
+  MustOk(store.AddRecord(r3), "store visit 3");
+
+  // Before p1001's next visit: one-round retrieval of the full history.
+  channel.ResetStats();
+  auto history = MustValue(store.FindByPatient("p1001"), "lookup p1001");
+  std::printf("\np1001 history (%zu records), fetched in %llu round(s):\n",
+              history.size(),
+              static_cast<unsigned long long>(channel.stats().rounds));
+  for (const auto& record : history) {
+    std::printf("  %s — %s\n", record.visit_date.c_str(),
+                record.notes.c_str());
+  }
+
+  // Cross-patient clinical query: who is on metformin?
+  auto metformin = MustValue(store.FindByMedication("metformin"),
+                             "metformin query");
+  std::printf("\npatients on metformin: %zu\n", metformin.size());
+
+  // End of day: checkpoint, then simulate a server restart.
+  MustOk(durable->Checkpoint(), "checkpoint");
+  std::printf("\ncheckpoint written; simulating server restart...\n");
+  core::Scheme2Server recovered(options);
+  auto durable2 = MustValue(core::DurableServer::Open(dir, &recovered),
+                            "recover server");
+  net::InProcessChannel channel2(durable2.get());
+  client->set_channel(&channel2);
+
+  auto after = MustValue(store.FindByPatient("p1001"), "post-restart lookup");
+  std::printf("after restart, p1001 still has %zu records\n", after.size());
+
+  std::printf(
+      "\nchain budget: counter=%u of %u (%u counted updates left before "
+      "re-initialization)\n",
+      client->counter(), options.chain_length, client->remaining_updates());
+  return 0;
+}

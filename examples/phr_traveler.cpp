@@ -1,0 +1,117 @@
+// PHR⁺ traveler scenario (paper §6, first usage profile).
+//
+// A traveler keeps her medical record on an untrusted cloud server and
+// retrieves pieces of it from anywhere — e.g. proving a vaccination to a
+// border clinic. Searches dominate, updates are rare: Scheme 1's profile.
+// Its search takes two rounds, which is fine on a broadband link — the
+// example simulates a 40 ms intercontinental RTT and reports the virtual
+// network time so the trade-off is visible.
+//
+//   ./build/examples/phr_traveler
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sse/core/scheme1_client.h"
+#include "sse/core/scheme1_server.h"
+#include "sse/phr/phr_store.h"
+
+namespace {
+
+template <typename T>
+T MustValue(sse::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void MustOk(const sse::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sse;
+
+  core::SchemeOptions options;
+  options.max_documents = 1 << 12;
+  // Production-strength ElGamal group: the traveler's searches pay one
+  // 2048-bit decryption client-side — still instant on a laptop.
+  options.elgamal_group = crypto::ElGamalGroupId::kModp2048;
+
+  core::Scheme1Server server(options);
+  net::InProcessChannel::Options link;
+  link.rtt_ms = 40.0;                       // intercontinental round trip
+  link.bandwidth_bytes_per_sec = 2.5e6;     // ~20 Mbit/s hotel wifi
+  net::InProcessChannel channel(&server, link);
+
+  auto key = MustValue(
+      crypto::MasterKey::FromPassphrase("travelers-own-secret-passphrase"),
+      "derive key");
+  SystemRandom& rng = SystemRandom::Instance();
+  auto client = MustValue(
+      core::Scheme1Client::Create(key, options, &channel, &rng), "client");
+  phr::PhrStore store(client.get());
+
+  // Before the trip (at home): upload the medical history once.
+  phr::PatientRecord base;
+  base.patient_id = "t42";
+  base.name = "sofia de vries";
+  base.practitioner = "dr mulder";
+  base.visit_date = "2026-01-10";
+  base.conditions = {"asthma"};
+  base.medications = {"albuterol"};
+  base.allergies = {"penicillin"};
+  base.notes = "yellow fever vaccination administered booster valid ten years";
+  MustOk(store.AddRecord(base), "upload record");
+
+  phr::PatientRecord checkup = base;
+  checkup.visit_date = "2026-06-02";
+  checkup.notes = "pre travel checkup all clear typhoid vaccination done";
+  MustOk(store.AddRecord(checkup), "upload record");
+
+  std::printf("records uploaded. leaving for the trip...\n\n");
+
+  // Abroad: a clinic asks for vaccination proof. Free-text search over the
+  // encrypted notes.
+  channel.ResetStats();
+  auto proof = MustValue(store.FindByNoteTerm("vaccination"),
+                         "vaccination lookup");
+  std::printf("search \"vaccination\": %zu record(s)\n", proof.size());
+  for (const auto& record : proof) {
+    std::printf("  %s — %s\n", record.visit_date.c_str(),
+                record.notes.c_str());
+  }
+  std::printf(
+      "network: %llu rounds, %llu bytes, ~%.0f ms simulated link time\n",
+      static_cast<unsigned long long>(channel.stats().rounds),
+      static_cast<unsigned long long>(channel.stats().TotalBytes()),
+      channel.virtual_time_ms());
+
+  // The allergy question at a foreign pharmacy.
+  channel.ResetStats();
+  auto allergy = MustValue(store.FindByPatient("t42"), "full record");
+  bool penicillin = false;
+  for (const auto& record : allergy) {
+    for (const auto& a : record.allergies) {
+      if (a == "penicillin") penicillin = true;
+    }
+  }
+  std::printf("\npenicillin allergy on file: %s (fetched %zu records, ~%.0f ms)\n",
+              penicillin ? "YES" : "no", allergy.size(),
+              channel.virtual_time_ms());
+
+  // Privacy maintenance: a fake update re-randomizes the stored masks so
+  // the server cannot correlate long-lived entries across sessions.
+  MustOk(client->FakeUpdate({"condition:asthma", "med:albuterol"}),
+         "fake update");
+  std::printf("\nfake update sent: server-side entries re-randomized, "
+              "no real change.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// sse_cli — a small command-line encrypted document store.
+//
+// The "server" is a durable Scheme 2 instance living in a directory; the
+// "client" runs in the same process with a key derived from SSE_PASSPHRASE
+// (or a default demo passphrase). Everything written to disk is ciphertext
+// and searchable tokens.
+//
+// Usage:
+//   sse_cli <dir> put <id> <content...> --kw <k1,k2,...>
+//   sse_cli <dir> search <keyword>
+//   sse_cli <dir> stats
+//
+// Example:
+//   ./build/examples/sse_cli /tmp/vault put 1 "meeting notes" --kw work,notes
+//   ./build/examples/sse_cli /tmp/vault search notes
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "sse/core/durable_server.h"
+#include "sse/core/scheme2_client.h"
+#include "sse/core/scheme2_server.h"
+#include "sse/util/serde.h"
+
+namespace {
+
+using namespace sse;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sse_cli <dir> put <id> <content> --kw <k1,k2,...>\n"
+               "       sse_cli <dir> search <keyword>\n"
+               "       sse_cli <dir> stats\n");
+  return 2;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+// The client's private bookkeeping (counter, epoch, used ids) lives next
+// to the server files. It holds no secrets — losing it only costs chain
+// elements — but an attacker-controlled rollback could cause key reuse, so
+// real deployments keep it on the client device.
+std::string StatePath(const std::string& dir) { return dir + "/client.state"; }
+
+Bytes LoadStateBytes(const std::string& dir) {
+  Bytes raw;
+  std::FILE* f = std::fopen(StatePath(dir).c_str(), "rb");
+  if (f == nullptr) return raw;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) raw.push_back(static_cast<uint8_t>(c));
+  std::fclose(f);
+  return raw;
+}
+
+void SaveStateBytes(const std::string& dir, const Bytes& state) {
+  std::FILE* f = std::fopen(StatePath(dir).c_str(), "wb");
+  if (f == nullptr) return;
+  std::fwrite(state.data(), 1, state.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[1];
+  const std::string command = argv[2];
+  mkdir(dir.c_str(), 0755);  // idempotent
+
+  const char* pass_env = std::getenv("SSE_PASSPHRASE");
+  const std::string passphrase =
+      pass_env != nullptr ? pass_env : "sse-cli-demo-passphrase";
+
+  core::SchemeOptions options;
+  options.max_documents = 1 << 16;
+  options.chain_length = 1 << 14;
+
+  core::Scheme2Server server(options);
+  auto durable = core::DurableServer::Open(dir, &server);
+  if (!durable.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 durable.status().ToString().c_str());
+    return 1;
+  }
+  net::InProcessChannel channel(durable->get());
+
+  auto key = crypto::MasterKey::FromPassphrase(passphrase);
+  if (!key.ok()) return 1;
+  SystemRandom& rng = SystemRandom::Instance();
+  auto client =
+      core::Scheme2Client::Create(*key, options, &channel, &rng);
+  if (!client.ok()) {
+    std::fprintf(stderr, "client failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rehydrate the client's protocol state from the previous session.
+  Bytes saved = LoadStateBytes(dir);
+  if (!saved.empty()) {
+    Status restored = (*client)->RestoreState(saved);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "client state corrupt: %s\n",
+                   restored.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (command == "put") {
+    if (argc < 6 || std::strcmp(argv[argc - 2], "--kw") != 0) return Usage();
+    const uint64_t id = std::strtoull(argv[3], nullptr, 10);
+    std::string content;
+    for (int i = 4; i < argc - 2; ++i) {
+      if (!content.empty()) content += " ";
+      content += argv[i];
+    }
+    auto keywords = SplitCommas(argv[argc - 1]);
+    Status s = (*client)->Store({core::Document::Make(id, content, keywords)});
+    if (!s.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    SaveStateBytes(dir, (*client)->SerializeState());
+    std::printf("stored document %llu with %zu keyword(s)\n",
+                static_cast<unsigned long long>(id), keywords.size());
+  } else if (command == "search") {
+    if (argc != 4) return Usage();
+    auto outcome = (*client)->Search(argv[3]);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "search failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    SaveStateBytes(dir, (*client)->SerializeState());
+    std::printf("%zu match(es)\n", outcome->ids.size());
+    for (const auto& [id, content] : outcome->documents) {
+      std::printf("  #%llu: %s\n", static_cast<unsigned long long>(id),
+                  BytesToString(content).c_str());
+    }
+  } else if (command == "stats") {
+    std::printf("documents: %zu\nunique keywords: %zu\nindex bytes: %llu\n"
+                "client counter: %u / %u\n",
+                server.document_count(), server.unique_keywords(),
+                static_cast<unsigned long long>(server.stored_index_bytes()),
+                (*client)->counter(), options.chain_length);
+  } else {
+    return Usage();
+  }
+  return 0;
+}

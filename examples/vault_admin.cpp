@@ -1,0 +1,139 @@
+// vault_admin — inspect and maintain a durable SSE server directory
+// without any keys (everything here is the server's own view: ciphertext
+// and framing only).
+//
+// Usage:
+//   vault_admin <dir> status            # snapshot/WAL/doc-log overview
+//   vault_admin <dir> checkpoint s1|s2  # load, checkpoint, truncate WAL
+//   vault_admin <dir> compact           # compact the document log, if any
+//
+// Example (after using sse_cli):
+//   ./build/examples/vault_admin /tmp/vault status
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sse/core/durable_server.h"
+#include "sse/core/scheme1_server.h"
+#include "sse/core/scheme2_server.h"
+#include "sse/storage/log_store.h"
+#include "sse/storage/snapshot.h"
+#include "sse/storage/wal.h"
+
+namespace {
+
+using namespace sse;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vault_admin <dir> status\n"
+               "       vault_admin <dir> checkpoint s1|s2\n"
+               "       vault_admin <dir> compact\n");
+  return 2;
+}
+
+void PrintFileSize(const char* label, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::printf("%-14s absent\n", label);
+    return;
+  }
+  std::fseek(f, 0, SEEK_END);
+  std::printf("%-14s %ld bytes\n", label, std::ftell(f));
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[1];
+  const std::string command = argv[2];
+
+  if (command == "status") {
+    PrintFileSize("snapshot:", dir + "/state.snap");
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    uint64_t torn = 0;
+    Status replay = storage::WriteAheadLog::Replay(
+        dir + "/wal.log",
+        [&](BytesView record) {
+          ++records;
+          bytes += record.size();
+          return Status::OK();
+        },
+        &torn);
+    if (replay.ok()) {
+      std::printf("%-14s %llu record(s), %llu payload bytes%s\n", "wal:",
+                  (unsigned long long)records, (unsigned long long)bytes,
+                  torn > 0 ? " (torn tail dropped)" : "");
+    } else {
+      std::printf("%-14s CORRUPT: %s\n", "wal:", replay.ToString().c_str());
+    }
+    const std::string doc_log = dir + "/docs.log";
+    std::FILE* probe = std::fopen(doc_log.c_str(), "rb");
+    if (probe != nullptr) {
+      std::fclose(probe);
+      auto store = storage::LogStore::Open(doc_log);
+      if (store.ok()) {
+        std::printf("%-14s %zu live blob(s), %llu bytes (%llu reclaimable)\n",
+                    "doc log:", (*store)->live_keys(),
+                    (unsigned long long)(*store)->file_bytes(),
+                    (unsigned long long)(*store)->garbage_bytes());
+      } else {
+        std::printf("%-14s %s\n", "doc log:",
+                    store.status().ToString().c_str());
+      }
+    } else {
+      std::printf("%-14s absent (documents in snapshots)\n", "doc log:");
+    }
+    return 0;
+  }
+
+  if (command == "checkpoint") {
+    if (argc < 4) return Usage();
+    core::SchemeOptions options;  // public parameters; defaults match sse_cli
+    options.max_documents = 1 << 16;
+    options.chain_length = 1 << 14;
+    std::unique_ptr<core::PersistableHandler> inner;
+    if (std::strcmp(argv[3], "s1") == 0) {
+      inner = std::make_unique<core::Scheme1Server>(options);
+    } else if (std::strcmp(argv[3], "s2") == 0) {
+      inner = std::make_unique<core::Scheme2Server>(options);
+    } else {
+      return Usage();
+    }
+    auto durable = core::DurableServer::Open(dir, inner.get());
+    if (!durable.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   durable.status().ToString().c_str());
+      return 1;
+    }
+    Status s = (*durable)->Checkpoint();
+    if (!s.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint written; WAL truncated\n");
+    return 0;
+  }
+
+  if (command == "compact") {
+    auto store = storage::LogStore::Open(dir + "/docs.log");
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t before = (*store)->file_bytes();
+    Status s = (*store)->Compact();
+    if (!s.ok()) {
+      std::fprintf(stderr, "compact failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("compacted: %llu -> %llu bytes\n", (unsigned long long)before,
+                (unsigned long long)(*store)->file_bytes());
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,215 @@
+// workload_replay — drive any of the five systems with a scripted or
+// synthetic workload and report cost counters. Useful for trying your own
+// access patterns against each scheme before committing to one.
+//
+// Usage:
+//   workload_replay <system> [ops_file]
+//
+//   <system>  scheme1 | scheme2 | swp | goh-zidx | cgko-sse1
+//   ops_file  text file, one operation per line:
+//               store <id> <keyword>[,<keyword>...] [content words...]
+//               search <keyword>
+//               fake <keyword>[,<keyword>...]
+//             '#' starts a comment. Without a file, a synthetic Zipf
+//             workload of 200 stores and 100 searches runs instead.
+//
+// Example:
+//   ./build/examples/workload_replay scheme2 ops.txt
+//   ./build/examples/workload_replay swp            # synthetic workload
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sse/core/registry.h"
+#include "sse/phr/workload.h"
+#include "sse/util/timer.h"
+
+namespace {
+
+using namespace sse;
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+struct Op {
+  enum class Kind { kStore, kSearch, kFake } kind;
+  uint64_t id = 0;
+  std::vector<std::string> keywords;
+  std::string content;
+  std::string query;
+};
+
+Result<std::vector<Op>> ParseOps(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IoError("cannot open " + path);
+  std::vector<Op> ops;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string verb;
+    ls >> verb;
+    Op op{};
+    if (verb == "store") {
+      op.kind = Op::Kind::kStore;
+      std::string kws;
+      if (!(ls >> op.id >> kws)) {
+        return Status::InvalidArgument("bad store at line " +
+                                       std::to_string(line_no));
+      }
+      op.keywords = SplitCommas(kws);
+      std::getline(ls, op.content);
+      if (op.content.empty()) op.content = "document " + std::to_string(op.id);
+    } else if (verb == "search") {
+      op.kind = Op::Kind::kSearch;
+      if (!(ls >> op.query)) {
+        return Status::InvalidArgument("bad search at line " +
+                                       std::to_string(line_no));
+      }
+    } else if (verb == "fake") {
+      op.kind = Op::Kind::kFake;
+      std::string kws;
+      if (!(ls >> kws)) {
+        return Status::InvalidArgument("bad fake at line " +
+                                       std::to_string(line_no));
+      }
+      op.keywords = SplitCommas(kws);
+    } else {
+      return Status::InvalidArgument("unknown verb '" + verb + "' at line " +
+                                     std::to_string(line_no));
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<Op> SyntheticOps() {
+  std::vector<Op> ops;
+  auto docs = phr::GenerateDocuments(200, /*vocabulary=*/64,
+                                     /*keywords_per_doc=*/4, 1.0, 4242);
+  DeterministicRandom rng(99);
+  size_t doc_cursor = 0;
+  while (doc_cursor < docs.size()) {
+    // Burst of 1-4 stores, then 1-2 searches over popular keywords.
+    const size_t burst = 1 + rng.Next() % 4;
+    for (size_t b = 0; b < burst && doc_cursor < docs.size(); ++b) {
+      const auto& doc = docs[doc_cursor++];
+      Op op{};
+      op.kind = Op::Kind::kStore;
+      op.id = doc.id;
+      op.keywords = doc.keywords;
+      op.content = "synthetic";
+      ops.push_back(std::move(op));
+    }
+    const size_t searches = 1 + rng.Next() % 2;
+    for (size_t s = 0; s < searches; ++s) {
+      Op op{};
+      op.kind = Op::Kind::kSearch;
+      op.query = phr::SyntheticKeyword(rng.Next() % 16);
+      ops.push_back(std::move(op));
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: workload_replay <system> [ops_file]\n");
+    return 2;
+  }
+  auto kind = core::SystemKindFromName(argv[1]);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+
+  std::vector<Op> ops;
+  if (argc >= 3) {
+    auto parsed = ParseOps(argv[2]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    ops = std::move(parsed).value();
+  } else {
+    ops = SyntheticOps();
+    std::printf("no ops file given; running the synthetic workload "
+                "(%zu operations)\n", ops.size());
+  }
+
+  SystemRandom& rng = SystemRandom::Instance();
+  auto key = crypto::MasterKey::Generate(rng);
+  if (!key.ok()) return 1;
+  core::SystemConfig config;
+  config.scheme.max_documents = 1 << 16;
+  auto sys = core::CreateSystem(*kind, *key, config, &rng);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
+    return 1;
+  }
+
+  LatencyStats store_lat;
+  LatencyStats search_lat;
+  uint64_t results = 0;
+  uint64_t errors = 0;
+  for (const Op& op : ops) {
+    Timer timer;
+    switch (op.kind) {
+      case Op::Kind::kStore: {
+        Status s = sys->client->Store(
+            {core::Document::Make(op.id, op.content, op.keywords)});
+        if (!s.ok()) {
+          std::fprintf(stderr, "store %llu: %s\n",
+                       static_cast<unsigned long long>(op.id),
+                       s.ToString().c_str());
+          ++errors;
+        }
+        store_lat.Add(timer.ElapsedMicros());
+        break;
+      }
+      case Op::Kind::kSearch: {
+        auto outcome = sys->client->Search(op.query);
+        if (outcome.ok()) {
+          results += outcome->ids.size();
+        } else {
+          ++errors;
+        }
+        search_lat.Add(timer.ElapsedMicros());
+        break;
+      }
+      case Op::Kind::kFake: {
+        Status s = sys->client->FakeUpdate(op.keywords);
+        if (!s.ok() && s.code() != StatusCode::kUnimplemented) ++errors;
+        break;
+      }
+    }
+  }
+
+  std::printf("\nsystem: %s, %zu operations, %llu errors\n", argv[1],
+              ops.size(), static_cast<unsigned long long>(errors));
+  std::printf("stores:   %s\n", store_lat.Summary().c_str());
+  std::printf("searches: %s (total results: %llu)\n",
+              search_lat.Summary().c_str(),
+              static_cast<unsigned long long>(results));
+  std::printf("traffic:  %s\n", sys->channel->stats().ToString().c_str());
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Rebuilds the project, runs the full test suite, then every benchmark, and
+# records the transcripts the repository documents reference:
+#   test_output.txt   — ctest transcript
+#   bench_output.txt  — every experiment's output, in order
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "=== $(basename "$b") ===" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,71 @@
+#include "sse/core/durable_server.h"
+
+namespace sse::core {
+
+namespace {
+std::string SnapshotPath(const std::string& dir) { return dir + "/state.snap"; }
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+}  // namespace
+
+Result<std::unique_ptr<DurableServer>> DurableServer::Open(
+    const std::string& dir, PersistableHandler* inner) {
+  return Open(dir, inner, Options{});
+}
+
+Result<std::unique_ptr<DurableServer>> DurableServer::Open(
+    const std::string& dir, PersistableHandler* inner, Options options) {
+  if (inner == nullptr) {
+    return Status::InvalidArgument("inner handler must be non-null");
+  }
+  // 1. Restore the last checkpoint, if any.
+  if (storage::Snapshot::Exists(SnapshotPath(dir))) {
+    Bytes state;
+    SSE_ASSIGN_OR_RETURN(state, storage::Snapshot::Read(SnapshotPath(dir)));
+    SSE_RETURN_IF_ERROR(inner->RestoreState(state));
+  }
+  // 2. Replay journaled requests on top. Replies are discarded — they were
+  // already delivered before the crash.
+  Status replay = storage::WriteAheadLog::Replay(
+      WalPath(dir), [&](BytesView record) -> Status {
+        Result<net::Message> msg = net::Message::Decode(record);
+        if (!msg.ok()) return msg.status();
+        Result<net::Message> reply = inner->Handle(msg.value());
+        if (!reply.ok()) return reply.status();
+        return Status::OK();
+      });
+  SSE_RETURN_IF_ERROR(replay);
+
+  Result<storage::WriteAheadLog> wal =
+      storage::WriteAheadLog::Open(WalPath(dir));
+  if (!wal.ok()) return wal.status();
+  return std::unique_ptr<DurableServer>(
+      new DurableServer(dir, inner, std::move(wal).value(), options));
+}
+
+Result<net::Message> DurableServer::Handle(const net::Message& request) {
+  if (!inner_->IsMutating(request.type)) {
+    return inner_->Handle(request);
+  }
+  // Apply first, journal second, reply last. Journaling a request the
+  // handler would reject poisons the log (replay re-runs the rejection and
+  // recovery fails), so only *accepted* mutations are written; because the
+  // reply is not produced until the journal entry is durable, an
+  // acknowledged update can never be lost. A crash between apply and
+  // append loses only an unacknowledged update.
+  Result<net::Message> reply = inner_->Handle(request);
+  if (!reply.ok()) return reply;
+  SSE_RETURN_IF_ERROR(wal_->Append(request.Encode()));
+  if (options_.sync_every_append) {
+    SSE_RETURN_IF_ERROR(wal_->Sync());
+  }
+  return reply;
+}
+
+Status DurableServer::Checkpoint() {
+  Bytes state;
+  SSE_ASSIGN_OR_RETURN(state, inner_->SerializeState());
+  SSE_RETURN_IF_ERROR(storage::Snapshot::Write(SnapshotPath(dir_), state));
+  return wal_->Reset();
+}
+
+}  // namespace sse::core

@@ -1,0 +1,61 @@
+#ifndef SSE_CORE_DURABLE_SERVER_H_
+#define SSE_CORE_DURABLE_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "sse/core/persistable.h"
+#include "sse/storage/snapshot.h"
+#include "sse/storage/wal.h"
+
+namespace sse::core {
+
+/// Crash-safe shell around any PersistableHandler.
+///
+/// Layout in `dir`: `state.snap` (last checkpoint) and `wal.log` (mutating
+/// request messages journaled since). Recovery = restore snapshot (if any)
+/// + re-handle every journaled request; because server handling is
+/// deterministic given requests, replay reconstructs the exact state. Only
+/// *successfully applied* mutations are journaled, and the reply is
+/// withheld until the journal entry is durable — so acknowledged updates
+/// survive crashes and rejected requests can never poison recovery. Call
+/// Checkpoint() periodically to bound the log.
+class DurableServer : public net::MessageHandler {
+ public:
+  struct Options {
+    /// fsync the WAL after every mutating request (safest, slowest).
+    bool sync_every_append = true;
+  };
+
+  /// Opens (and recovers) a durable server over `inner` in directory `dir`,
+  /// which must exist. `inner` must outlive the DurableServer.
+  static Result<std::unique_ptr<DurableServer>> Open(
+      const std::string& dir, PersistableHandler* inner);
+  static Result<std::unique_ptr<DurableServer>> Open(
+      const std::string& dir, PersistableHandler* inner, Options options);
+
+  Result<net::Message> Handle(const net::Message& request) override;
+
+  /// Writes a snapshot of the inner state and truncates the WAL.
+  Status Checkpoint();
+
+  uint64_t wal_records() const { return wal_->appended_records(); }
+  const std::string& directory() const { return dir_; }
+
+ private:
+  DurableServer(std::string dir, PersistableHandler* inner,
+                storage::WriteAheadLog wal, Options options)
+      : dir_(std::move(dir)),
+        inner_(inner),
+        wal_(std::make_unique<storage::WriteAheadLog>(std::move(wal))),
+        options_(options) {}
+
+  std::string dir_;
+  PersistableHandler* inner_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  Options options_;
+};
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_DURABLE_SERVER_H_

@@ -1,0 +1,52 @@
+#ifndef SSE_CORE_OPTIONS_H_
+#define SSE_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sse/crypto/elgamal.h"
+
+namespace sse::core {
+
+/// Public parameters shared by client and server. Everything here is known
+/// to the adversary; secrets live only in the client's MasterKey.
+struct SchemeOptions {
+  /// Scheme 1: capacity of the posting bitmap I(w). Document identifiers
+  /// must be < max_documents; the bitmap occupies max_documents/8 bytes per
+  /// keyword on the server and per update message on the wire.
+  size_t max_documents = 1 << 16;
+
+  /// Scheme 2: length `l` of the per-keyword pseudo-random chain; at most
+  /// `l` counted updates can occur before the index must re-initialize.
+  uint32_t chain_length = 1 << 12;
+
+  /// Scheme 2, Optimization 1: the server keeps searched posting lists
+  /// decrypted, so repeat searches only decrypt newly added segments.
+  bool server_plaintext_cache = true;
+
+  /// Scheme 2, Optimization 2: bump the global counter only when a search
+  /// happened since the last update; consecutive updates then share a chain
+  /// element, slowing exhaustion by the factor x of Table 1.
+  bool counter_after_search_only = true;
+
+  /// Scheme 1: group for the ElGamal instantiation of F.
+  crypto::ElGamalGroupId elgamal_group = crypto::ElGamalGroupId::kModp2048;
+
+  /// Fan-out of the server's B+-tree over search tokens.
+  size_t btree_order = 64;
+
+  /// Ablation: replace the B+-tree with a hash table (O(1) lookups but no
+  /// ordered scans; the paper's complexity story assumes the tree).
+  bool use_hash_index = false;
+
+  /// When non-empty, the server keeps document ciphertexts in an on-disk
+  /// LogStore at this path instead of in memory, so the encrypted corpus
+  /// can exceed RAM (paper schemes only; the searchable index stays in
+  /// memory either way).
+  std::string document_log_path;
+};
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_OPTIONS_H_

@@ -1,0 +1,77 @@
+#include "sse/core/padding.h"
+
+#include <set>
+
+namespace sse::core {
+
+size_t PaddingPolicy::TargetFor(size_t real) const {
+  switch (mode) {
+    case Mode::kNone:
+      return real;
+    case Mode::kFixedBucket: {
+      if (bucket == 0) return real;
+      const size_t rounded = ((real + bucket - 1) / bucket) * bucket;
+      return rounded == 0 ? bucket : rounded;
+    }
+    case Mode::kPowerOfTwo: {
+      size_t target = 1;
+      while (target < real) target <<= 1;
+      return target;
+    }
+  }
+  return real;
+}
+
+PaddedClient::PaddedClient(SseClientInterface* inner, PaddingPolicy policy,
+                           RandomSource* rng)
+    : inner_(inner), policy_(policy), rng_(rng) {}
+
+Result<std::string> PaddedClient::MakeDecoy() {
+  Bytes suffix;
+  SSE_ASSIGN_OR_RETURN(suffix, rng_->Generate(16));
+  return std::string(kDecoyPrefix) + HexEncode(suffix);
+}
+
+Status PaddedClient::Store(const std::vector<Document>& docs) {
+  if (docs.empty() || policy_.mode == PaddingPolicy::Mode::kNone) {
+    return inner_->Store(docs);
+  }
+  // Count the batch's real unique keywords.
+  std::set<std::string> unique;
+  for (const Document& doc : docs) {
+    unique.insert(doc.keywords.begin(), doc.keywords.end());
+  }
+  const size_t target = policy_.TargetFor(unique.size());
+  if (target <= unique.size()) return inner_->Store(docs);
+
+  // Attach decoys to the last document so they travel in the same update.
+  std::vector<Document> padded = docs;
+  for (size_t i = unique.size(); i < target; ++i) {
+    std::string decoy;
+    SSE_ASSIGN_OR_RETURN(decoy, MakeDecoy());
+    padded.back().keywords.push_back(std::move(decoy));
+    ++decoys_added_;
+  }
+  return inner_->Store(padded);
+}
+
+Result<SearchOutcome> PaddedClient::Search(std::string_view keyword) {
+  return inner_->Search(keyword);
+}
+
+Status PaddedClient::FakeUpdate(const std::vector<std::string>& keywords) {
+  if (policy_.mode == PaddingPolicy::Mode::kNone) {
+    return inner_->FakeUpdate(keywords);
+  }
+  const size_t target = policy_.TargetFor(keywords.size());
+  std::vector<std::string> padded = keywords;
+  while (padded.size() < target) {
+    std::string decoy;
+    SSE_ASSIGN_OR_RETURN(decoy, MakeDecoy());
+    padded.push_back(std::move(decoy));
+    ++decoys_added_;
+  }
+  return inner_->FakeUpdate(padded);
+}
+
+}  // namespace sse::core

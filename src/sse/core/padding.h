@@ -1,0 +1,67 @@
+#ifndef SSE_CORE_PADDING_H_
+#define SSE_CORE_PADDING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sse/core/types.h"
+#include "sse/util/random.h"
+
+namespace sse::core {
+
+/// Update-size padding policy (automating §5.7's fake-update tricks).
+///
+/// Every update batch reveals its unique-keyword count to the server.
+/// Padding rounds that count up to a coarser value by injecting decoy
+/// keywords — names drawn from a reserved namespace no application
+/// keyword can collide with — so the observer sees only the padded size.
+struct PaddingPolicy {
+  enum class Mode {
+    kNone,         // pass through
+    kFixedBucket,  // pad every batch up to the next multiple of `bucket`
+    kPowerOfTwo,   // pad up to the next power of two
+  };
+  Mode mode = Mode::kNone;
+  size_t bucket = 8;
+
+  /// The padded keyword count for a batch that really touches `real`.
+  size_t TargetFor(size_t real) const;
+};
+
+/// Decorator over any SSE client that applies a PaddingPolicy to every
+/// Store batch. Decoy keywords ride inside the same protocol run (the same
+/// update message) as the real ones, so the wire shape is exactly a larger
+/// batch. Decoys are attached to a real document of the batch; since their
+/// names are never searched, the extra postings are unreachable.
+class PaddedClient : public SseClientInterface {
+ public:
+  /// `inner` and `rng` must outlive this wrapper.
+  PaddedClient(SseClientInterface* inner, PaddingPolicy policy,
+               RandomSource* rng);
+
+  Status Store(const std::vector<Document>& docs) override;
+  Result<SearchOutcome> Search(std::string_view keyword) override;
+  Status FakeUpdate(const std::vector<std::string>& keywords) override;
+  std::string name() const override { return inner_->name() + "+padded"; }
+
+  /// Total decoy keywords injected so far (bandwidth cost of the policy).
+  uint64_t decoys_added() const { return decoys_added_; }
+
+  /// The reserved decoy namespace prefix ('\x01' cannot appear in
+  /// tokenizer output or tags).
+  static constexpr char kDecoyPrefix[] = "\x01pad:";
+
+ private:
+  Result<std::string> MakeDecoy();
+
+  SseClientInterface* inner_;
+  PaddingPolicy policy_;
+  RandomSource* rng_;
+  uint64_t decoys_added_ = 0;
+};
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_PADDING_H_

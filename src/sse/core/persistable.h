@@ -1,0 +1,33 @@
+#ifndef SSE_CORE_PERSISTABLE_H_
+#define SSE_CORE_PERSISTABLE_H_
+
+#include <cstdint>
+
+#include "sse/net/channel.h"
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::core {
+
+/// A message handler whose full state can be checkpointed and which can
+/// classify messages as mutating. DurableServer builds crash-safe servers
+/// out of this: successfully applied mutating requests are journaled to a
+/// WAL before the reply is released, snapshots capture SerializeState(),
+/// and recovery is RestoreState(snapshot) + replay of the journaled
+/// requests.
+class PersistableHandler : public net::MessageHandler {
+ public:
+  /// Serializes the complete server state (index + document store).
+  virtual Result<Bytes> SerializeState() const = 0;
+
+  /// Replaces the server state with a previously serialized one.
+  virtual Status RestoreState(BytesView data) = 0;
+
+  /// True if handling a message of this type changes durable state.
+  /// (Optimization-1 plaintext caches are soft state and do not count.)
+  virtual bool IsMutating(uint16_t msg_type) const = 0;
+};
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_PERSISTABLE_H_

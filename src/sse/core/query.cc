@@ -1,0 +1,92 @@
+#include "sse/core/query.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sse::core {
+
+namespace {
+
+/// Rebuilds a SearchOutcome from an id set, pulling each document's
+/// plaintext from whichever constituent outcome supplied it.
+SearchOutcome Assemble(const std::set<uint64_t>& ids,
+                       const std::map<uint64_t, Bytes>& documents) {
+  SearchOutcome out;
+  out.ids.assign(ids.begin(), ids.end());
+  for (uint64_t id : out.ids) {
+    auto it = documents.find(id);
+    if (it != documents.end()) {
+      out.documents.emplace_back(id, it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SearchOutcome> SearchAll(SseClientInterface& client,
+                                const std::vector<std::string>& keywords) {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("conjunction over zero keywords");
+  }
+  std::set<uint64_t> intersection;
+  std::map<uint64_t, Bytes> documents;
+  bool first = true;
+  for (const std::string& kw : keywords) {
+    SearchOutcome outcome;
+    SSE_ASSIGN_OR_RETURN(outcome, client.Search(kw));
+    std::set<uint64_t> ids(outcome.ids.begin(), outcome.ids.end());
+    for (auto& [id, content] : outcome.documents) {
+      documents.emplace(id, std::move(content));
+    }
+    if (first) {
+      intersection = std::move(ids);
+      first = false;
+    } else {
+      std::set<uint64_t> kept;
+      std::set_intersection(intersection.begin(), intersection.end(),
+                            ids.begin(), ids.end(),
+                            std::inserter(kept, kept.begin()));
+      intersection = std::move(kept);
+    }
+    if (intersection.empty()) break;  // short-circuit
+  }
+  return Assemble(intersection, documents);
+}
+
+Result<SearchOutcome> SearchAny(SseClientInterface& client,
+                                const std::vector<std::string>& keywords) {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("disjunction over zero keywords");
+  }
+  std::set<uint64_t> all;
+  std::map<uint64_t, Bytes> documents;
+  for (const std::string& kw : keywords) {
+    SearchOutcome outcome;
+    SSE_ASSIGN_OR_RETURN(outcome, client.Search(kw));
+    all.insert(outcome.ids.begin(), outcome.ids.end());
+    for (auto& [id, content] : outcome.documents) {
+      documents.emplace(id, std::move(content));
+    }
+  }
+  return Assemble(all, documents);
+}
+
+Result<SearchOutcome> SearchExcept(SseClientInterface& client,
+                                   const std::string& include,
+                                   const std::string& exclude) {
+  SearchOutcome base;
+  SSE_ASSIGN_OR_RETURN(base, client.Search(include));
+  SearchOutcome removed;
+  SSE_ASSIGN_OR_RETURN(removed, client.Search(exclude));
+  std::set<uint64_t> keep(base.ids.begin(), base.ids.end());
+  for (uint64_t id : removed.ids) keep.erase(id);
+  std::map<uint64_t, Bytes> documents;
+  for (auto& [id, content] : base.documents) {
+    documents.emplace(id, std::move(content));
+  }
+  return Assemble(keep, documents);
+}
+
+}  // namespace sse::core

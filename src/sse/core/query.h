@@ -1,0 +1,35 @@
+#ifndef SSE_CORE_QUERY_H_
+#define SSE_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "sse/core/types.h"
+
+namespace sse::core {
+
+/// Client-side multi-keyword queries composed from single-keyword searches.
+///
+/// The paper's schemes (like most SSE of the era) natively support only
+/// single-keyword trapdoors; conjunctions and disjunctions are evaluated by
+/// the *client* over the per-keyword result sets. Leakage note: the server
+/// observes one trapdoor and one access pattern per constituent keyword —
+/// strictly more than a dedicated conjunctive scheme would reveal.
+
+/// AND: documents matching every keyword. Issues one search per keyword
+/// (short-circuits when an intersection empties out).
+Result<SearchOutcome> SearchAll(SseClientInterface& client,
+                                const std::vector<std::string>& keywords);
+
+/// OR: documents matching at least one keyword.
+Result<SearchOutcome> SearchAny(SseClientInterface& client,
+                                const std::vector<std::string>& keywords);
+
+/// Difference: matches of `include` with the ids of `exclude` removed.
+Result<SearchOutcome> SearchExcept(SseClientInterface& client,
+                                   const std::string& include,
+                                   const std::string& exclude);
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_QUERY_H_

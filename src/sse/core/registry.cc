@@ -1,0 +1,119 @@
+#include "sse/core/registry.h"
+
+#include "sse/baselines/cgko_sse1.h"
+#include "sse/baselines/swp.h"
+#include "sse/core/scheme1_client.h"
+#include "sse/core/scheme1_server.h"
+#include "sse/core/scheme2_client.h"
+#include "sse/core/scheme2_server.h"
+
+namespace sse::core {
+
+std::string_view SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kScheme1:
+      return "scheme1";
+    case SystemKind::kScheme2:
+      return "scheme2";
+    case SystemKind::kSwp:
+      return "swp";
+    case SystemKind::kGohZidx:
+      return "goh-zidx";
+    case SystemKind::kCgkoSse1:
+      return "cgko-sse1";
+  }
+  return "unknown";
+}
+
+Result<SystemKind> SystemKindFromName(std::string_view name) {
+  for (SystemKind kind : AllSystemKinds()) {
+    if (SystemKindName(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown system name: " + std::string(name));
+}
+
+std::vector<SystemKind> AllSystemKinds() {
+  return {SystemKind::kScheme1, SystemKind::kScheme2, SystemKind::kSwp,
+          SystemKind::kGohZidx, SystemKind::kCgkoSse1};
+}
+
+Result<SseSystem> CreateSystem(SystemKind kind, const crypto::MasterKey& key,
+                               const SystemConfig& config, RandomSource* rng) {
+  SseSystem sys;
+  switch (kind) {
+    case SystemKind::kScheme1: {
+      auto server = std::make_unique<Scheme1Server>(config.scheme);
+      if (!config.scheme.document_log_path.empty()) {
+        SSE_RETURN_IF_ERROR(
+            server->UseLogBackedDocuments(config.scheme.document_log_path));
+      }
+      sys.server = std::move(server);
+      break;
+    }
+    case SystemKind::kScheme2: {
+      auto server = std::make_unique<Scheme2Server>(config.scheme);
+      if (!config.scheme.document_log_path.empty()) {
+        SSE_RETURN_IF_ERROR(
+            server->UseLogBackedDocuments(config.scheme.document_log_path));
+      }
+      sys.server = std::move(server);
+      break;
+    }
+    case SystemKind::kSwp:
+      sys.server = std::make_unique<baselines::SwpServer>();
+      break;
+    case SystemKind::kGohZidx:
+      sys.server = std::make_unique<baselines::GohServer>(config.goh);
+      break;
+    case SystemKind::kCgkoSse1:
+      sys.server = std::make_unique<baselines::CgkoServer>(
+          config.scheme.use_hash_index, config.scheme.btree_order);
+      break;
+  }
+  if (sys.server == nullptr) {
+    return Status::InvalidArgument("unknown system kind");
+  }
+  sys.channel = std::make_unique<net::InProcessChannel>(sys.server.get(),
+                                                        config.channel);
+
+  switch (kind) {
+    case SystemKind::kScheme1: {
+      Result<std::unique_ptr<Scheme1Client>> client =
+          Scheme1Client::Create(key, config.scheme, sys.channel.get(), rng);
+      if (!client.ok()) return client.status();
+      sys.client = std::move(client).value();
+      break;
+    }
+    case SystemKind::kScheme2: {
+      Result<std::unique_ptr<Scheme2Client>> client =
+          Scheme2Client::Create(key, config.scheme, sys.channel.get(), rng);
+      if (!client.ok()) return client.status();
+      sys.client = std::move(client).value();
+      break;
+    }
+    case SystemKind::kSwp: {
+      Result<std::unique_ptr<baselines::SwpClient>> client =
+          baselines::SwpClient::Create(key, sys.channel.get(), rng);
+      if (!client.ok()) return client.status();
+      sys.client = std::move(client).value();
+      break;
+    }
+    case SystemKind::kGohZidx: {
+      Result<std::unique_ptr<baselines::GohClient>> client =
+          baselines::GohClient::Create(key, config.goh, sys.channel.get(), rng);
+      if (!client.ok()) return client.status();
+      sys.client = std::move(client).value();
+      break;
+    }
+    case SystemKind::kCgkoSse1: {
+      Result<std::unique_ptr<baselines::CgkoClient>> client =
+          baselines::CgkoClient::Create(key, sys.channel.get(), rng);
+      if (!client.ok()) return client.status();
+      sys.client = std::move(client).value();
+      break;
+    }
+  }
+  return sys;
+}
+
+}  // namespace sse::core

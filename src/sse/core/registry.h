@@ -1,0 +1,56 @@
+#ifndef SSE_CORE_REGISTRY_H_
+#define SSE_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sse/baselines/goh_zidx.h"
+#include "sse/core/options.h"
+#include "sse/core/persistable.h"
+#include "sse/core/types.h"
+#include "sse/crypto/keys.h"
+#include "sse/net/channel.h"
+#include "sse/util/random.h"
+
+namespace sse::core {
+
+/// Every searchable-encryption system this library implements.
+enum class SystemKind : int {
+  kScheme1 = 0,   // the paper's computationally efficient scheme (§5.2)
+  kScheme2 = 1,   // the paper's communication efficient scheme (§5.5)
+  kSwp = 2,       // Song-Wagner-Perrig linear scan baseline
+  kGohZidx = 3,   // Goh Z-IDX per-document Bloom filter baseline
+  kCgkoSse1 = 4,  // Curtmola et al. SSE-1 inverted index baseline
+};
+
+std::string_view SystemKindName(SystemKind kind);
+Result<SystemKind> SystemKindFromName(std::string_view name);
+std::vector<SystemKind> AllSystemKinds();
+
+/// A fully wired client/channel/server triple for one system. The channel
+/// is the instrumented in-process link; benches read its stats for the
+/// round/byte numbers.
+struct SseSystem {
+  std::unique_ptr<PersistableHandler> server;
+  std::unique_ptr<net::InProcessChannel> channel;
+  std::unique_ptr<SseClientInterface> client;
+
+  net::ChannelStats& stats() { return const_cast<net::ChannelStats&>(channel->stats()); }
+};
+
+struct SystemConfig {
+  SchemeOptions scheme;
+  baselines::GohOptions goh;
+  net::InProcessChannel::Options channel;
+};
+
+/// Builds a ready-to-use system of the given kind. `rng` must outlive the
+/// returned system.
+Result<SseSystem> CreateSystem(SystemKind kind, const crypto::MasterKey& key,
+                               const SystemConfig& config, RandomSource* rng);
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_REGISTRY_H_

@@ -1,0 +1,259 @@
+#include "sse/core/scheme1_client.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sse/core/scheme1_messages.h"
+#include "sse/crypto/hkdf.h"
+#include "sse/crypto/prg.h"
+#include "sse/index/posting.h"
+#include "sse/util/bitvec.h"
+#include "sse/util/serde.h"
+
+namespace sse::core {
+
+namespace {
+constexpr size_t kNonceSize = 32;
+constexpr const char* kTokenLabel = "s1.token";
+}  // namespace
+
+Scheme1Client::Scheme1Client(crypto::Prf prf, crypto::ElGamal elgamal,
+                             crypto::Aead aead, const SchemeOptions& options,
+                             net::Channel* channel, RandomSource* rng)
+    : prf_(std::move(prf)),
+      elgamal_(std::move(elgamal)),
+      aead_(std::move(aead)),
+      options_(options),
+      channel_(channel),
+      rng_(rng) {}
+
+Result<std::unique_ptr<Scheme1Client>> Scheme1Client::Create(
+    const crypto::MasterKey& key, const SchemeOptions& options,
+    net::Channel* channel, RandomSource* rng) {
+  if (channel == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("channel and rng must be non-null");
+  }
+  Result<crypto::Prf> prf = crypto::Prf::Create(key.keyword_key());
+  if (!prf.ok()) return prf.status();
+  Bytes elgamal_secret;
+  SSE_ASSIGN_OR_RETURN(
+      elgamal_secret,
+      crypto::HkdfSha256(key.keyword_key(), /*salt=*/{}, "sse.s1.elgamal", 32));
+  Result<crypto::ElGamal> elgamal =
+      crypto::ElGamal::FromSecret(options.elgamal_group, elgamal_secret);
+  if (!elgamal.ok()) return elgamal.status();
+  Bytes aead_key;
+  SSE_ASSIGN_OR_RETURN(aead_key, crypto::HkdfSha256(key.data_key(), /*salt=*/{},
+                                                    "sse.data.aead", 32));
+  Result<crypto::Aead> aead = crypto::Aead::Create(aead_key);
+  if (!aead.ok()) return aead.status();
+  return std::unique_ptr<Scheme1Client>(new Scheme1Client(
+      std::move(prf).value(), std::move(elgamal).value(),
+      std::move(aead).value(), options, channel, rng));
+}
+
+Result<Bytes> Scheme1Client::Trapdoor(std::string_view keyword) const {
+  return prf_.EvalLabeled(kTokenLabel, StringToBytes(keyword));
+}
+
+Status Scheme1Client::Store(const std::vector<Document>& docs) {
+  if (docs.empty()) return Status::OK();
+  // Validate identifiers before touching the network.
+  for (const Document& doc : docs) {
+    if (doc.id >= options_.max_documents) {
+      return Status::OutOfRange("document id " + std::to_string(doc.id) +
+                                " exceeds bitmap capacity " +
+                                std::to_string(options_.max_documents));
+    }
+    if (used_ids_.count(doc.id) > 0) {
+      return Status::AlreadyExists("document id " + std::to_string(doc.id) +
+                                   " was already stored");
+    }
+  }
+  // Gather the per-keyword update sets U(w) = {i | w ∈ W_i}.
+  std::map<std::string, std::vector<uint64_t>> by_keyword;
+  for (const Document& doc : docs) {
+    for (const std::string& kw : doc.keywords) {
+      by_keyword[kw].push_back(doc.id);
+    }
+  }
+  std::vector<PendingUpdate> updates;
+  updates.reserve(by_keyword.size());
+  for (auto& [kw, ids] : by_keyword) {
+    updates.push_back(PendingUpdate{kw, index::Canonicalize(std::move(ids))});
+  }
+  SSE_RETURN_IF_ERROR(RunUpdateProtocol(updates, docs));
+  for (const Document& doc : docs) used_ids_.insert(doc.id);
+  return Status::OK();
+}
+
+Status Scheme1Client::FakeUpdate(const std::vector<std::string>& keywords) {
+  // Deduplicate: two entries for one keyword in a single protocol run
+  // would both be built from the same stale nonce and corrupt the mask.
+  const std::set<std::string> unique(keywords.begin(), keywords.end());
+  std::vector<PendingUpdate> updates;
+  updates.reserve(unique.size());
+  for (const std::string& kw : unique) {
+    updates.push_back(PendingUpdate{kw, {}});  // U(w) = ∅: re-mask only
+  }
+  return RunUpdateProtocol(updates, /*documents=*/{});
+}
+
+Status Scheme1Client::RemoveDocument(uint64_t id,
+                                     const std::vector<std::string>& keywords) {
+  if (used_ids_.count(id) == 0) {
+    return Status::NotFound("document id " + std::to_string(id) +
+                            " is not stored");
+  }
+  // Deduplicate: toggling the same keyword twice would re-add the id.
+  const std::set<std::string> unique(keywords.begin(), keywords.end());
+  std::vector<PendingUpdate> updates;
+  updates.reserve(unique.size());
+  for (const std::string& kw : unique) {
+    updates.push_back(PendingUpdate{kw, {id}});  // XOR toggles the bit off
+  }
+  SSE_RETURN_IF_ERROR(RunUpdateProtocol(updates, /*documents=*/{}));
+  used_ids_.erase(id);
+  return Status::OK();
+}
+
+Status Scheme1Client::RunUpdateProtocol(
+    const std::vector<PendingUpdate>& updates,
+    const std::vector<Document>& documents) {
+  const size_t bitmap_bits = options_.max_documents;
+
+  // Round 1 (Fig. 1, first exchange): request F(r) for every keyword.
+  S1NonceRequest nonce_req;
+  nonce_req.tokens.reserve(updates.size());
+  for (const PendingUpdate& u : updates) {
+    Bytes token;
+    SSE_ASSIGN_OR_RETURN(token, Trapdoor(u.keyword));
+    nonce_req.tokens.push_back(std::move(token));
+  }
+  net::Message reply_msg;
+  SSE_ASSIGN_OR_RETURN(reply_msg, channel_->Call(nonce_req.ToMessage()));
+  S1NonceReply nonce_reply;
+  SSE_ASSIGN_OR_RETURN(nonce_reply, S1NonceReply::FromMessage(reply_msg));
+  if (nonce_reply.entries.size() != updates.size()) {
+    return Status::ProtocolError("nonce reply entry count mismatch");
+  }
+
+  // Round 2: build the masked deltas.
+  S1UpdateRequest update_req;
+  update_req.entries.reserve(updates.size());
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const PendingUpdate& u = updates[i];
+    const S1NonceEntry& nonce_entry = nonce_reply.entries[i];
+
+    BitVec delta;
+    SSE_ASSIGN_OR_RETURN(delta, BitVec::FromPositions(bitmap_bits, u.ids));
+    Bytes payload = delta.ToBytes();  // U(w), plaintext on the client only
+
+    // Fresh nonce r' and its mask G(r').
+    Bytes new_nonce;
+    SSE_ASSIGN_OR_RETURN(new_nonce, rng_->Generate(kNonceSize));
+    Bytes new_mask;
+    SSE_ASSIGN_OR_RETURN(new_mask,
+                         crypto::PrgExpand(new_nonce, payload.size()));
+    SSE_RETURN_IF_ERROR(XorInPlace(payload, new_mask));  // U ⊕ G(r')
+
+    S1UpdateEntry entry;
+    entry.token = nonce_req.tokens[i];
+    entry.is_new = !nonce_entry.present;
+    if (nonce_entry.present) {
+      // Recover r and add G(r): the delta becomes U ⊕ G(r) ⊕ G(r').
+      Bytes old_nonce;
+      SSE_ASSIGN_OR_RETURN(old_nonce, elgamal_.Decrypt(nonce_entry.enc_nonce));
+      Bytes old_mask;
+      SSE_ASSIGN_OR_RETURN(old_mask,
+                           crypto::PrgExpand(old_nonce, payload.size()));
+      SSE_RETURN_IF_ERROR(XorInPlace(payload, old_mask));
+    }
+    entry.masked_delta = std::move(payload);
+    SSE_ASSIGN_OR_RETURN(entry.new_enc_nonce,
+                         elgamal_.Encrypt(new_nonce, *rng_));
+    update_req.entries.push_back(std::move(entry));
+  }
+
+  // Encrypted data items ride along in the same round.
+  update_req.documents.reserve(documents.size());
+  for (const Document& doc : documents) {
+    WireDocument wire;
+    wire.id = doc.id;
+    SSE_ASSIGN_OR_RETURN(
+        wire.ciphertext,
+        aead_.Seal(doc.content, EncodeDocId(doc.id), *rng_));
+    update_req.documents.push_back(std::move(wire));
+  }
+
+  net::Message ack_msg;
+  SSE_ASSIGN_OR_RETURN(ack_msg, channel_->Call(update_req.ToMessage()));
+  S1UpdateAck ack;
+  SSE_ASSIGN_OR_RETURN(ack, S1UpdateAck::FromMessage(ack_msg));
+  if (ack.keywords_updated != update_req.entries.size()) {
+    return Status::ProtocolError("server acknowledged wrong keyword count");
+  }
+  return Status::OK();
+}
+
+Bytes Scheme1Client::SerializeState() const {
+  BufferWriter w;
+  w.PutVarint(used_ids_.size());
+  for (uint64_t id : used_ids_) w.PutVarint(id);
+  return w.TakeData();
+}
+
+Status Scheme1Client::RestoreState(BytesView data) {
+  BufferReader r(data);
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > data.size()) {
+    return Status::Corruption("used-id count exceeds payload");
+  }
+  std::set<uint64_t> used_ids;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    SSE_ASSIGN_OR_RETURN(id, r.GetVarint());
+    used_ids.insert(id);
+  }
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  used_ids_ = std::move(used_ids);
+  return Status::OK();
+}
+
+Result<SearchOutcome> Scheme1Client::Search(std::string_view keyword) {
+  // Round 1 (Fig. 2): send the trapdoor, receive F(r).
+  S1SearchRequest req;
+  SSE_ASSIGN_OR_RETURN(req.token, Trapdoor(keyword));
+  net::Message reply_msg;
+  SSE_ASSIGN_OR_RETURN(reply_msg, channel_->Call(req.ToMessage()));
+  S1SearchNonceReply nonce_reply;
+  SSE_ASSIGN_OR_RETURN(nonce_reply,
+                       S1SearchNonceReply::FromMessage(reply_msg));
+  if (!nonce_reply.found) {
+    return SearchOutcome{};  // keyword never stored
+  }
+
+  // Round 2: release r so the server can unmask I(w).
+  S1SearchFinish finish;
+  finish.token = req.token;
+  SSE_ASSIGN_OR_RETURN(finish.nonce, elgamal_.Decrypt(nonce_reply.enc_nonce));
+  net::Message result_msg;
+  SSE_ASSIGN_OR_RETURN(result_msg, channel_->Call(finish.ToMessage()));
+  S1SearchResult result;
+  SSE_ASSIGN_OR_RETURN(result, S1SearchResult::FromMessage(result_msg));
+
+  SearchOutcome outcome;
+  outcome.ids = result.ids;
+  std::sort(outcome.ids.begin(), outcome.ids.end());
+  outcome.documents.reserve(result.documents.size());
+  for (const WireDocument& wire : result.documents) {
+    Bytes plain;
+    SSE_ASSIGN_OR_RETURN(plain,
+                         aead_.Open(wire.ciphertext, EncodeDocId(wire.id)));
+    outcome.documents.emplace_back(wire.id, std::move(plain));
+  }
+  return outcome;
+}
+
+}  // namespace sse::core

@@ -1,0 +1,86 @@
+#ifndef SSE_CORE_SCHEME1_CLIENT_H_
+#define SSE_CORE_SCHEME1_CLIENT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sse/core/options.h"
+#include "sse/core/types.h"
+#include "sse/crypto/aead.h"
+#include "sse/crypto/elgamal.h"
+#include "sse/crypto/keys.h"
+#include "sse/crypto/prf.h"
+#include "sse/net/channel.h"
+
+namespace sse::core {
+
+/// The client of Scheme 1 (paper §5.2).
+///
+/// Holds the master key `K = (k_m, k_w)` and drives the two-round update
+/// (Fig. 1) and two-round search (Fig. 2) protocols over a channel. The
+/// client is nearly stateless: everything it needs per keyword (the nonce
+/// `r`) is fetched from the server as `F(r)` and decrypted with the ElGamal
+/// secret derived from `k_w`. Locally it only remembers which document ids
+/// were already used, because the XOR-delta update would silently *remove*
+/// an id that is added twice.
+class Scheme1Client : public SseClientInterface {
+ public:
+  /// `channel` must outlive the client. `rng` supplies nonces and AEAD IVs.
+  static Result<std::unique_ptr<Scheme1Client>> Create(
+      const crypto::MasterKey& key, const SchemeOptions& options,
+      net::Channel* channel, RandomSource* rng);
+
+  Status Store(const std::vector<Document>& docs) override;
+  Result<SearchOutcome> Search(std::string_view keyword) override;
+  Status FakeUpdate(const std::vector<std::string>& keywords) override;
+  std::string name() const override { return "scheme1"; }
+
+  /// Toggles membership of existing documents: removes each id that
+  /// currently matches `keyword`-style postings. Exposed as the library's
+  /// document-removal primitive (XOR makes add and remove the same
+  /// operation; the paper's U(w) "alters the content of the documents").
+  Status RemoveDocument(uint64_t id, const std::vector<std::string>& keywords);
+
+  /// Trapdoor(w): the search token f_{k_w}(w). Public for tests and the
+  /// security harness.
+  Result<Bytes> Trapdoor(std::string_view keyword) const;
+
+  /// Reconnects the client to a new channel (e.g. after a server restart).
+  void set_channel(net::Channel* channel) { channel_ = channel; }
+
+  /// Serializes the client's only local state: the set of used document
+  /// ids (guarding the XOR toggle against double-adds). Persist between
+  /// sessions.
+  Bytes SerializeState() const;
+  Status RestoreState(BytesView data);
+
+ private:
+  Scheme1Client(crypto::Prf prf, crypto::ElGamal elgamal, crypto::Aead aead,
+                const SchemeOptions& options, net::Channel* channel,
+                RandomSource* rng);
+
+  /// One keyword's pending posting delta.
+  struct PendingUpdate {
+    std::string keyword;
+    std::vector<uint64_t> ids;  // positions to toggle in I(w)
+  };
+
+  /// Runs the two-round Fig. 1 protocol for `updates` plus `documents`.
+  Status RunUpdateProtocol(const std::vector<PendingUpdate>& updates,
+                           const std::vector<Document>& documents);
+
+  crypto::Prf prf_;
+  crypto::ElGamal elgamal_;
+  crypto::Aead aead_;
+  SchemeOptions options_;
+  net::Channel* channel_;
+  RandomSource* rng_;
+  std::set<uint64_t> used_ids_;
+};
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_SCHEME1_CLIENT_H_

@@ -1,0 +1,183 @@
+#include "sse/core/scheme1_messages.h"
+
+#include "sse/util/serde.h"
+
+namespace sse::core {
+
+namespace {
+
+Status CheckType(const net::Message& msg, uint16_t want) {
+  if (msg.type != want) {
+    return Status::ProtocolError("expected message type " +
+                                 net::MessageTypeName(want) + ", got " +
+                                 net::MessageTypeName(msg.type));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+net::Message S1NonceRequest::ToMessage() const {
+  BufferWriter w;
+  PutBytesList(w, tokens);
+  return net::Message{kMsgS1NonceRequest, w.TakeData()};
+}
+
+Result<S1NonceRequest> S1NonceRequest::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS1NonceRequest));
+  BufferReader r(msg.payload);
+  S1NonceRequest out;
+  SSE_ASSIGN_OR_RETURN(out.tokens, GetBytesList(r));
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S1NonceReply::ToMessage() const {
+  BufferWriter w;
+  w.PutVarint(entries.size());
+  for (const S1NonceEntry& e : entries) {
+    w.PutBool(e.present);
+    w.PutBytes(e.enc_nonce);
+  }
+  return net::Message{kMsgS1NonceReply, w.TakeData()};
+}
+
+Result<S1NonceReply> S1NonceReply::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS1NonceReply));
+  BufferReader r(msg.payload);
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > r.remaining()) {
+    return Status::Corruption("nonce entry count exceeds payload");
+  }
+  S1NonceReply out;
+  out.entries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    S1NonceEntry e;
+    SSE_ASSIGN_OR_RETURN(e.present, r.GetBool());
+    SSE_ASSIGN_OR_RETURN(e.enc_nonce, r.GetBytes());
+    out.entries.push_back(std::move(e));
+  }
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S1UpdateRequest::ToMessage() const {
+  BufferWriter w;
+  w.PutVarint(entries.size());
+  for (const S1UpdateEntry& e : entries) {
+    w.PutBytes(e.token);
+    w.PutBytes(e.masked_delta);
+    w.PutBytes(e.new_enc_nonce);
+    w.PutBool(e.is_new);
+  }
+  PutWireDocuments(w, documents);
+  return net::Message{kMsgS1UpdateRequest, w.TakeData()};
+}
+
+Result<S1UpdateRequest> S1UpdateRequest::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS1UpdateRequest));
+  BufferReader r(msg.payload);
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > r.remaining()) {
+    return Status::Corruption("update entry count exceeds payload");
+  }
+  S1UpdateRequest out;
+  out.entries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    S1UpdateEntry e;
+    SSE_ASSIGN_OR_RETURN(e.token, r.GetBytes());
+    SSE_ASSIGN_OR_RETURN(e.masked_delta, r.GetBytes());
+    SSE_ASSIGN_OR_RETURN(e.new_enc_nonce, r.GetBytes());
+    SSE_ASSIGN_OR_RETURN(e.is_new, r.GetBool());
+    out.entries.push_back(std::move(e));
+  }
+  SSE_ASSIGN_OR_RETURN(out.documents, GetWireDocuments(r));
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S1UpdateAck::ToMessage() const {
+  BufferWriter w;
+  w.PutVarint(keywords_updated);
+  return net::Message{kMsgS1UpdateAck, w.TakeData()};
+}
+
+Result<S1UpdateAck> S1UpdateAck::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS1UpdateAck));
+  BufferReader r(msg.payload);
+  S1UpdateAck out;
+  SSE_ASSIGN_OR_RETURN(out.keywords_updated, r.GetVarint());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S1SearchRequest::ToMessage() const {
+  BufferWriter w;
+  w.PutBytes(token);
+  return net::Message{kMsgS1SearchRequest, w.TakeData()};
+}
+
+Result<S1SearchRequest> S1SearchRequest::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS1SearchRequest));
+  BufferReader r(msg.payload);
+  S1SearchRequest out;
+  SSE_ASSIGN_OR_RETURN(out.token, r.GetBytes());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S1SearchNonceReply::ToMessage() const {
+  BufferWriter w;
+  w.PutBool(found);
+  w.PutBytes(enc_nonce);
+  return net::Message{kMsgS1SearchNonceReply, w.TakeData()};
+}
+
+Result<S1SearchNonceReply> S1SearchNonceReply::FromMessage(
+    const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS1SearchNonceReply));
+  BufferReader r(msg.payload);
+  S1SearchNonceReply out;
+  SSE_ASSIGN_OR_RETURN(out.found, r.GetBool());
+  SSE_ASSIGN_OR_RETURN(out.enc_nonce, r.GetBytes());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S1SearchFinish::ToMessage() const {
+  BufferWriter w;
+  w.PutBytes(token);
+  w.PutBytes(nonce);
+  return net::Message{kMsgS1SearchFinish, w.TakeData()};
+}
+
+Result<S1SearchFinish> S1SearchFinish::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS1SearchFinish));
+  BufferReader r(msg.payload);
+  S1SearchFinish out;
+  SSE_ASSIGN_OR_RETURN(out.token, r.GetBytes());
+  SSE_ASSIGN_OR_RETURN(out.nonce, r.GetBytes());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S1SearchResult::ToMessage() const {
+  BufferWriter w;
+  PutIdList(w, ids);
+  PutWireDocuments(w, documents);
+  return net::Message{kMsgS1SearchResult, w.TakeData()};
+}
+
+Result<S1SearchResult> S1SearchResult::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS1SearchResult));
+  BufferReader r(msg.payload);
+  S1SearchResult out;
+  SSE_ASSIGN_OR_RETURN(out.ids, GetIdList(r));
+  SSE_ASSIGN_OR_RETURN(out.documents, GetWireDocuments(r));
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+}  // namespace sse::core

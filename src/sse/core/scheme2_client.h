@@ -1,0 +1,136 @@
+#ifndef SSE_CORE_SCHEME2_CLIENT_H_
+#define SSE_CORE_SCHEME2_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sse/core/options.h"
+#include "sse/core/scheme2_messages.h"
+#include "sse/core/types.h"
+#include "sse/crypto/aead.h"
+#include "sse/crypto/keys.h"
+#include "sse/crypto/prf.h"
+#include "sse/net/channel.h"
+
+namespace sse::core {
+
+/// The client of Scheme 2 (paper §5.5–5.6).
+///
+/// Per keyword, update j is encrypted under the chain key
+/// `k_j(w) = f^{l-ctr}(seed_w)`; the client walks its per-keyword chain
+/// backwards as the global counter `ctr` grows. Client state is tiny: the
+/// counter, a searched-since-last-update bit (Optimization 2), the chain
+/// epoch, and the set of used document ids.
+///
+/// Substitution note: the paper seeds the chain with the literal string
+/// `w ‖ k_w`; we derive `seed_w = PRF_{k_w}("s2.chain" ‖ epoch ‖ token_w)`
+/// instead. This is equivalent under the PRF assumption and lets the
+/// re-initialization procedure (which only sees tokens, not keywords)
+/// rebuild every chain.
+class Scheme2Client : public SseClientInterface {
+ public:
+  static Result<std::unique_ptr<Scheme2Client>> Create(
+      const crypto::MasterKey& key, const SchemeOptions& options,
+      net::Channel* channel, RandomSource* rng);
+
+  Status Store(const std::vector<Document>& docs) override;
+  Result<SearchOutcome> Search(std::string_view keyword) override;
+  Status FakeUpdate(const std::vector<std::string>& keywords) override;
+  std::string name() const override { return "scheme2"; }
+
+  /// Trapdoor(w) = (f_{k_w}(w), f^{l-ctr}(seed_w)).
+  struct Trapdoor {
+    Bytes token;
+    Bytes chain_element;
+  };
+  Result<Trapdoor> MakeTrapdoor(std::string_view keyword) const;
+
+  /// Current global counter; at most chain_length counted updates fit in
+  /// one epoch.
+  uint32_t counter() const { return ctr_; }
+  uint32_t epoch() const { return epoch_; }
+
+  /// Remaining counted updates before the chain is exhausted.
+  uint32_t remaining_updates() const { return options_.chain_length - ctr_; }
+
+  /// Rebuilds the whole index under a fresh chain epoch (paper
+  /// Optimization 2 discussion: "the whole process should be repeated again
+  /// with a different seed"). Downloads every keyword's segments, decrypts
+  /// and merges them locally, resets the counter, and replaces the server
+  /// index with one fresh segment per keyword. Costs two rounds plus the
+  /// full index in bandwidth — which is why Optimization 2 tries to delay it.
+  Status Reinitialize();
+
+  /// Diagnostic counters from the last search reply.
+  uint64_t last_search_chain_steps() const { return last_chain_steps_; }
+  uint64_t last_search_segments_decrypted() const { return last_segments_; }
+
+  /// Reconnects the client to a new channel (e.g. after a server restart).
+  /// Client-side protocol state (counter, epoch, used ids) is preserved.
+  void set_channel(net::Channel* channel) { channel_ = channel; }
+
+  /// Serializes the client's protocol state — counter, epoch,
+  /// searched-since-update flag and the used document ids. A client MUST
+  /// persist this between sessions: restoring an older counter would reuse
+  /// chain elements the server has already seen.
+  Bytes SerializeState() const;
+  Status RestoreState(BytesView data);
+
+ private:
+  Scheme2Client(crypto::Prf prf, crypto::Aead aead,
+                const SchemeOptions& options, net::Channel* channel,
+                RandomSource* rng);
+
+  struct PendingUpdate {
+    std::string keyword;
+    std::vector<uint64_t> ids;
+  };
+
+  Result<Bytes> Token(std::string_view keyword) const;
+  /// Chain seed for `token` in `epoch`.
+  Result<Bytes> ChainSeed(BytesView token, uint32_t epoch) const;
+  /// Chain element at counter `ctr` for `token` (the key k_{ctr}).
+  Result<Bytes> ChainKeyAt(BytesView token, uint32_t epoch,
+                           uint32_t ctr) const;
+
+  /// Advances the counter per the Optimization 2 policy and returns the
+  /// value updates in this batch must use. Fails with RESOURCE_EXHAUSTED
+  /// when the chain is spent.
+  Result<uint32_t> NextUpdateCounter();
+
+  Status RunUpdateProtocol(const std::vector<PendingUpdate>& updates,
+                           const std::vector<Document>& documents);
+
+  crypto::Prf prf_;
+  crypto::Aead aead_;
+  SchemeOptions options_;
+  net::Channel* channel_;
+  RandomSource* rng_;
+
+  /// Per-keyword memo of the last computed chain element. Walking the
+  /// chain costs l-ctr hash steps from the seed; since the counter only
+  /// grows by small amounts between operations on the same keyword, the
+  /// memo turns the common cases (same counter, or an *older* element,
+  /// reachable by walking forward) into O(delta) instead of O(l).
+  struct ChainMemo {
+    uint32_t epoch = 0;
+    uint32_t ctr = 0;  // the counter whose element is memoized
+    Bytes element;
+  };
+  mutable std::map<std::string, ChainMemo> chain_memo_;  // key: hex token
+
+  uint32_t ctr_ = 0;
+  uint32_t epoch_ = 0;
+  bool searched_since_update_ = true;  // first update always increments
+  std::set<uint64_t> used_ids_;
+  uint64_t last_chain_steps_ = 0;
+  uint64_t last_segments_ = 0;
+};
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_SCHEME2_CLIENT_H_

@@ -1,0 +1,214 @@
+#include "sse/core/scheme2_messages.h"
+
+#include "sse/util/serde.h"
+
+namespace sse::core {
+
+namespace {
+
+Status CheckType(const net::Message& msg, uint16_t want) {
+  if (msg.type != want) {
+    return Status::ProtocolError("expected message type " +
+                                 net::MessageTypeName(want) + ", got " +
+                                 net::MessageTypeName(msg.type));
+  }
+  return Status::OK();
+}
+
+void PutSegment(BufferWriter& w, const S2Segment& seg) {
+  w.PutBytes(seg.ciphertext);
+  w.PutBytes(seg.tag);
+}
+
+Result<S2Segment> GetSegment(BufferReader& r) {
+  S2Segment seg;
+  SSE_ASSIGN_OR_RETURN(seg.ciphertext, r.GetBytes());
+  SSE_ASSIGN_OR_RETURN(seg.tag, r.GetBytes());
+  return seg;
+}
+
+void PutUpdateEntries(BufferWriter& w,
+                      const std::vector<S2UpdateEntry>& entries) {
+  w.PutVarint(entries.size());
+  for (const S2UpdateEntry& e : entries) {
+    w.PutBytes(e.token);
+    PutSegment(w, e.segment);
+  }
+}
+
+Result<std::vector<S2UpdateEntry>> GetUpdateEntries(BufferReader& r) {
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > r.remaining()) {
+    return Status::Corruption("entry count exceeds payload");
+  }
+  std::vector<S2UpdateEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    S2UpdateEntry e;
+    SSE_ASSIGN_OR_RETURN(e.token, r.GetBytes());
+    SSE_ASSIGN_OR_RETURN(e.segment, GetSegment(r));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace
+
+net::Message S2UpdateRequest::ToMessage() const {
+  BufferWriter w;
+  PutUpdateEntries(w, entries);
+  PutWireDocuments(w, documents);
+  return net::Message{kMsgS2UpdateRequest, w.TakeData()};
+}
+
+Result<S2UpdateRequest> S2UpdateRequest::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS2UpdateRequest));
+  BufferReader r(msg.payload);
+  S2UpdateRequest out;
+  SSE_ASSIGN_OR_RETURN(out.entries, GetUpdateEntries(r));
+  SSE_ASSIGN_OR_RETURN(out.documents, GetWireDocuments(r));
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S2UpdateAck::ToMessage() const {
+  BufferWriter w;
+  w.PutVarint(keywords_updated);
+  return net::Message{kMsgS2UpdateAck, w.TakeData()};
+}
+
+Result<S2UpdateAck> S2UpdateAck::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS2UpdateAck));
+  BufferReader r(msg.payload);
+  S2UpdateAck out;
+  SSE_ASSIGN_OR_RETURN(out.keywords_updated, r.GetVarint());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S2SearchRequest::ToMessage() const {
+  BufferWriter w;
+  w.PutBytes(token);
+  w.PutBytes(chain_element);
+  return net::Message{kMsgS2SearchRequest, w.TakeData()};
+}
+
+Result<S2SearchRequest> S2SearchRequest::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS2SearchRequest));
+  BufferReader r(msg.payload);
+  S2SearchRequest out;
+  SSE_ASSIGN_OR_RETURN(out.token, r.GetBytes());
+  SSE_ASSIGN_OR_RETURN(out.chain_element, r.GetBytes());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S2SearchResult::ToMessage() const {
+  BufferWriter w;
+  w.PutBool(found);
+  PutIdList(w, ids);
+  PutWireDocuments(w, documents);
+  w.PutVarint(chain_steps);
+  w.PutVarint(segments_decrypted);
+  return net::Message{kMsgS2SearchResult, w.TakeData()};
+}
+
+Result<S2SearchResult> S2SearchResult::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS2SearchResult));
+  BufferReader r(msg.payload);
+  S2SearchResult out;
+  SSE_ASSIGN_OR_RETURN(out.found, r.GetBool());
+  SSE_ASSIGN_OR_RETURN(out.ids, GetIdList(r));
+  SSE_ASSIGN_OR_RETURN(out.documents, GetWireDocuments(r));
+  SSE_ASSIGN_OR_RETURN(out.chain_steps, r.GetVarint());
+  SSE_ASSIGN_OR_RETURN(out.segments_decrypted, r.GetVarint());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S2FetchAllRequest::ToMessage() const {
+  return net::Message{kMsgS2FetchAllRequest, {}};
+}
+
+Result<S2FetchAllRequest> S2FetchAllRequest::FromMessage(
+    const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS2FetchAllRequest));
+  if (!msg.payload.empty()) {
+    return Status::ProtocolError("fetch-all request carries a payload");
+  }
+  return S2FetchAllRequest{};
+}
+
+net::Message S2FetchAllReply::ToMessage() const {
+  BufferWriter w;
+  w.PutVarint(keywords.size());
+  for (const S2KeywordDump& kw : keywords) {
+    w.PutBytes(kw.token);
+    w.PutVarint(kw.segments.size());
+    for (const S2Segment& seg : kw.segments) PutSegment(w, seg);
+  }
+  return net::Message{kMsgS2FetchAllReply, w.TakeData()};
+}
+
+Result<S2FetchAllReply> S2FetchAllReply::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS2FetchAllReply));
+  BufferReader r(msg.payload);
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > r.remaining()) {
+    return Status::Corruption("keyword count exceeds payload");
+  }
+  S2FetchAllReply out;
+  out.keywords.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    S2KeywordDump kw;
+    SSE_ASSIGN_OR_RETURN(kw.token, r.GetBytes());
+    uint64_t seg_count = 0;
+    SSE_ASSIGN_OR_RETURN(seg_count, r.GetVarint());
+    if (seg_count > r.remaining()) {
+      return Status::Corruption("segment count exceeds payload");
+    }
+    kw.segments.reserve(static_cast<size_t>(seg_count));
+    for (uint64_t j = 0; j < seg_count; ++j) {
+      S2Segment seg;
+      SSE_ASSIGN_OR_RETURN(seg, GetSegment(r));
+      kw.segments.push_back(std::move(seg));
+    }
+    out.keywords.push_back(std::move(kw));
+  }
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S2ReinitRequest::ToMessage() const {
+  BufferWriter w;
+  PutUpdateEntries(w, entries);
+  return net::Message{kMsgS2ReinitRequest, w.TakeData()};
+}
+
+Result<S2ReinitRequest> S2ReinitRequest::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS2ReinitRequest));
+  BufferReader r(msg.payload);
+  S2ReinitRequest out;
+  SSE_ASSIGN_OR_RETURN(out.entries, GetUpdateEntries(r));
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message S2ReinitAck::ToMessage() const {
+  BufferWriter w;
+  w.PutVarint(keywords);
+  return net::Message{kMsgS2ReinitAck, w.TakeData()};
+}
+
+Result<S2ReinitAck> S2ReinitAck::FromMessage(const net::Message& msg) {
+  SSE_RETURN_IF_ERROR(CheckType(msg, kMsgS2ReinitAck));
+  BufferReader r(msg.payload);
+  S2ReinitAck out;
+  SSE_ASSIGN_OR_RETURN(out.keywords, r.GetVarint());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+}  // namespace sse::core

@@ -1,0 +1,236 @@
+#include "sse/core/scheme2_server.h"
+
+#include <algorithm>
+
+#include "sse/crypto/hash_chain.h"
+#include "sse/crypto/stream_cipher.h"
+#include "sse/util/serde.h"
+
+namespace sse::core {
+
+Scheme2Server::Scheme2Server(const SchemeOptions& options)
+    : options_(options),
+      index_(options.use_hash_index, options.btree_order) {}
+
+Result<net::Message> Scheme2Server::Handle(const net::Message& request) {
+  switch (request.type) {
+    case kMsgS2UpdateRequest:
+      return HandleUpdate(request);
+    case kMsgS2SearchRequest:
+      return HandleSearch(request);
+    case kMsgS2FetchAllRequest:
+      return HandleFetchAll(request);
+    case kMsgS2ReinitRequest:
+      return HandleReinit(request);
+    default:
+      return Status::ProtocolError("scheme2 server: unexpected message " +
+                                   net::MessageTypeName(request.type));
+  }
+}
+
+Result<net::Message> Scheme2Server::HandleUpdate(const net::Message& msg) {
+  S2UpdateRequest req;
+  SSE_ASSIGN_OR_RETURN(req, S2UpdateRequest::FromMessage(msg));
+  for (S2UpdateEntry& e : req.entries) {
+    Entry* entry = index_.GetMutable(e.token);
+    index_bytes_ += e.segment.ciphertext.size() + e.segment.tag.size();
+    if (entry == nullptr) {
+      Entry fresh;
+      fresh.segments.push_back(std::move(e.segment));
+      index_bytes_ += e.token.size();
+      index_.Put(e.token, std::move(fresh));
+    } else {
+      entry->segments.push_back(std::move(e.segment));
+    }
+  }
+  for (const WireDocument& doc : req.documents) {
+    SSE_RETURN_IF_ERROR(docs_.Put(doc.id, doc.ciphertext));
+  }
+  S2UpdateAck ack;
+  ack.keywords_updated = req.entries.size();
+  return ack.ToMessage();
+}
+
+Result<net::Message> Scheme2Server::HandleSearch(const net::Message& msg) {
+  S2SearchRequest req;
+  SSE_ASSIGN_OR_RETURN(req, S2SearchRequest::FromMessage(msg));
+  S2SearchResult result;
+
+  Entry* entry = index_.GetMutable(req.token);
+  if (entry == nullptr) {
+    result.found = false;
+    return result.ToMessage();
+  }
+  result.found = true;
+
+  // Decide which segments still need decryption (Optimization 1: the ones
+  // beyond the plaintext cache; without the cache, all of them).
+  const size_t start =
+      options_.server_plaintext_cache ? entry->cached_segments : 0;
+  index::DocIdList ids = options_.server_plaintext_cache
+                             ? entry->cached_ids
+                             : index::DocIdList{};
+
+  // Walk the chain forward from the trapdoor's element, newest segment
+  // first: newer segments use deeper (smaller-index) chain elements, so
+  // their keys appear earlier on the forward walk.
+  Bytes position = req.chain_element;
+  for (size_t j = entry->segments.size(); j-- > start;) {
+    const S2Segment& seg = entry->segments[j];
+    Result<crypto::HashChain::WalkResult> walk_result =
+        crypto::HashChain::WalkForwardToTag(position, seg.tag,
+                                            options_.chain_length);
+    if (!walk_result.ok() &&
+        walk_result.status().code() == StatusCode::kNotFound &&
+        position != req.chain_element) {
+      // Segments are normally stored newest-last with monotonically deeper
+      // keys, but a rolled-back client can append a segment under an older
+      // key than its predecessor. Restart the walk from the trapdoor
+      // element so any key at or below the trapdoor depth stays reachable.
+      walk_result = crypto::HashChain::WalkForwardToTag(
+          req.chain_element, seg.tag, options_.chain_length);
+    }
+    if (!walk_result.ok()) return walk_result.status();
+    crypto::HashChain::WalkResult walk = std::move(walk_result).value();
+    total_chain_steps_ += walk.steps;
+    result.chain_steps += walk.steps;
+    position = walk.element;
+
+    Result<crypto::StreamCipher> cipher =
+        crypto::StreamCipher::Create(walk.element);
+    if (!cipher.ok()) return cipher.status();
+    Bytes plain;
+    SSE_ASSIGN_OR_RETURN(plain, cipher->Decrypt(seg.ciphertext));
+    index::DocIdList segment_ids;
+    SSE_ASSIGN_OR_RETURN(segment_ids, index::DecodeIdList(plain));
+    ids = index::MergeIdLists(ids, segment_ids);
+    ++total_segments_decrypted_;
+    ++result.segments_decrypted;
+  }
+
+  if (options_.server_plaintext_cache) {
+    entry->cached_ids = ids;
+    entry->cached_segments = entry->segments.size();
+  }
+
+  result.ids = std::move(ids);
+  std::vector<std::pair<uint64_t, Bytes>> fetched;
+  SSE_ASSIGN_OR_RETURN(fetched, docs_.GetMany(result.ids));
+  for (const auto& [id, blob] : fetched) {
+    result.documents.push_back(WireDocument{id, blob});
+  }
+  return result.ToMessage();
+}
+
+Result<net::Message> Scheme2Server::HandleFetchAll(const net::Message& msg) {
+  S2FetchAllRequest req;
+  SSE_ASSIGN_OR_RETURN(req, S2FetchAllRequest::FromMessage(msg));
+  S2FetchAllReply reply;
+  reply.keywords.reserve(index_.size());
+  index_.ForEach([&](const Bytes& token, const Entry& entry) {
+    S2KeywordDump dump;
+    dump.token = token;
+    dump.segments = entry.segments;
+    reply.keywords.push_back(std::move(dump));
+    return true;
+  });
+  return reply.ToMessage();
+}
+
+Result<net::Message> Scheme2Server::HandleReinit(const net::Message& msg) {
+  S2ReinitRequest req;
+  SSE_ASSIGN_OR_RETURN(req, S2ReinitRequest::FromMessage(msg));
+  index_.Clear();
+  index_bytes_ = 0;
+  for (S2UpdateEntry& e : req.entries) {
+    Entry fresh;
+    index_bytes_ +=
+        e.token.size() + e.segment.ciphertext.size() + e.segment.tag.size();
+    fresh.segments.push_back(std::move(e.segment));
+    index_.Put(e.token, std::move(fresh));
+  }
+  S2ReinitAck ack;
+  ack.keywords = req.entries.size();
+  return ack.ToMessage();
+}
+
+Result<Bytes> Scheme2Server::SerializeState() const {
+  BufferWriter w;
+  w.PutVarint(index_.size());
+  index_.ForEach([&](const Bytes& token, const Entry& entry) {
+    w.PutBytes(token);
+    w.PutVarint(entry.segments.size());
+    for (const S2Segment& seg : entry.segments) {
+      w.PutBytes(seg.ciphertext);
+      w.PutBytes(seg.tag);
+    }
+    return true;
+  });
+  w.PutVarint(docs_.size());
+  SSE_RETURN_IF_ERROR(docs_.ForEach([&](uint64_t id, const Bytes& blob) {
+    w.PutVarint(id);
+    w.PutBytes(blob);
+    return true;
+  }));
+  return w.TakeData();
+}
+
+Status Scheme2Server::RestoreState(BytesView data) {
+  TokenMap<Entry> index(options_.use_hash_index, options_.btree_order);
+  storage::DocumentStore docs;
+  uint64_t index_bytes = 0;
+
+  BufferReader r(data);
+  uint64_t keyword_count = 0;
+  SSE_ASSIGN_OR_RETURN(keyword_count, r.GetVarint());
+  for (uint64_t i = 0; i < keyword_count; ++i) {
+    Bytes token;
+    SSE_ASSIGN_OR_RETURN(token, r.GetBytes());
+    uint64_t seg_count = 0;
+    SSE_ASSIGN_OR_RETURN(seg_count, r.GetVarint());
+    if (seg_count > r.remaining()) {
+      return Status::Corruption("segment count exceeds payload");
+    }
+    Entry entry;
+    entry.segments.reserve(static_cast<size_t>(seg_count));
+    index_bytes += token.size();
+    for (uint64_t j = 0; j < seg_count; ++j) {
+      S2Segment seg;
+      SSE_ASSIGN_OR_RETURN(seg.ciphertext, r.GetBytes());
+      SSE_ASSIGN_OR_RETURN(seg.tag, r.GetBytes());
+      index_bytes += seg.ciphertext.size() + seg.tag.size();
+      entry.segments.push_back(std::move(seg));
+    }
+    index.Put(token, std::move(entry));
+  }
+  uint64_t doc_count = 0;
+  SSE_ASSIGN_OR_RETURN(doc_count, r.GetVarint());
+  for (uint64_t i = 0; i < doc_count; ++i) {
+    uint64_t id = 0;
+    SSE_ASSIGN_OR_RETURN(id, r.GetVarint());
+    Bytes blob;
+    SSE_ASSIGN_OR_RETURN(blob, r.GetBytes());
+    SSE_RETURN_IF_ERROR(docs.Put(id, std::move(blob)));
+  }
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+
+  index_ = std::move(index);
+  docs_ = std::move(docs);
+  index_bytes_ = index_bytes;
+  return Status::OK();
+}
+
+bool Scheme2Server::IsMutating(uint16_t msg_type) const {
+  return msg_type == kMsgS2UpdateRequest || msg_type == kMsgS2ReinitRequest;
+}
+
+Status Scheme2Server::UseLogBackedDocuments(const std::string& path) {
+  if (docs_.size() != 0) {
+    return Status::FailedPrecondition(
+        "cannot switch document backend after documents were stored");
+  }
+  SSE_ASSIGN_OR_RETURN(docs_, storage::DocumentStore::OpenLogBacked(path));
+  return Status::OK();
+}
+
+}  // namespace sse::core

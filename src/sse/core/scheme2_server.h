@@ -1,0 +1,81 @@
+#ifndef SSE_CORE_SCHEME2_SERVER_H_
+#define SSE_CORE_SCHEME2_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sse/core/options.h"
+#include "sse/core/persistable.h"
+#include "sse/core/scheme2_messages.h"
+#include "sse/core/token_map.h"
+#include "sse/index/posting.h"
+#include "sse/storage/document_store.h"
+
+namespace sse::core {
+
+/// The honest-but-curious server of Scheme 2.
+///
+/// Per unique keyword it stores the paper's growing list
+///   S(w) = (f_{k_w}(w), E_{k_1}(I_1(w)), f'(k_1), ..., E_{k_j}(I_j(w)), f'(k_j))
+/// — one encrypted posting segment per update, each tagged with the public
+/// image f'(k_j) of its chain key. On a search the server receives the
+/// newest usable chain element and walks the chain *forward*, matching tags
+/// to recover each older segment key (Fig. 4); it can never walk backward
+/// to keys of future updates.
+///
+/// Optimization 1 (paper §5.6): once a search decrypted a keyword's
+/// segments, the union of ids is cached in plaintext, so the next search
+/// only decrypts segments added since. The cache is soft state (never
+/// serialized) — it reflects information the server has legitimately
+/// learned through the access pattern.
+class Scheme2Server : public PersistableHandler {
+ public:
+  explicit Scheme2Server(const SchemeOptions& options);
+
+  Result<net::Message> Handle(const net::Message& request) override;
+
+  Result<Bytes> SerializeState() const override;
+  Status RestoreState(BytesView data) override;
+  bool IsMutating(uint16_t msg_type) const override;
+
+  size_t unique_keywords() const { return index_.size(); }
+  size_t document_count() const { return docs_.size(); }
+  uint64_t stored_index_bytes() const { return index_bytes_; }
+  uint64_t index_comparisons() const { return index_.comparisons(); }
+  void ResetIndexStats() { index_.ResetStats(); }
+
+  /// Total chain steps walked across all searches (Table 1's l/2x term).
+  uint64_t total_chain_steps() const { return total_chain_steps_; }
+  uint64_t total_segments_decrypted() const {
+    return total_segments_decrypted_;
+  }
+
+  /// Switches document ciphertexts to an on-disk LogStore (see
+  /// SchemeOptions::document_log_path).
+  Status UseLogBackedDocuments(const std::string& path);
+
+ private:
+  struct Entry {
+    std::vector<S2Segment> segments;
+    // Optimization 1 cache (soft state): ids decrypted so far and how many
+    // segments they cover.
+    index::DocIdList cached_ids;
+    size_t cached_segments = 0;
+  };
+
+  Result<net::Message> HandleUpdate(const net::Message& msg);
+  Result<net::Message> HandleSearch(const net::Message& msg);
+  Result<net::Message> HandleFetchAll(const net::Message& msg);
+  Result<net::Message> HandleReinit(const net::Message& msg);
+
+  SchemeOptions options_;
+  TokenMap<Entry> index_;
+  storage::DocumentStore docs_;
+  uint64_t index_bytes_ = 0;
+  uint64_t total_chain_steps_ = 0;
+  uint64_t total_segments_decrypted_ = 0;
+};
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_SCHEME2_SERVER_H_

@@ -1,0 +1,20 @@
+#include "sse/core/types.h"
+
+namespace sse::core {
+
+Document Document::Make(uint64_t id, std::string_view content,
+                        std::vector<std::string> keywords) {
+  Document d;
+  d.id = id;
+  d.content = StringToBytes(content);
+  d.keywords = std::move(keywords);
+  return d;
+}
+
+Bytes EncodeDocId(uint64_t id) {
+  Bytes out(8);
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(id >> (8 * i));
+  return out;
+}
+
+}  // namespace sse::core

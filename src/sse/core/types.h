@@ -1,0 +1,67 @@
+#ifndef SSE_CORE_TYPES_H_
+#define SSE_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::core {
+
+/// A document as the paper models it: `D_i = (M_i, W_i)` — a data item
+/// (opaque content bytes) plus a metadata item (the set of keywords), bound
+/// to a client-chosen exclusive identifier `i`.
+struct Document {
+  uint64_t id = 0;
+  Bytes content;                      // M_i (plaintext on the client side)
+  std::vector<std::string> keywords;  // W_i
+
+  static Document Make(uint64_t id, std::string_view content,
+                       std::vector<std::string> keywords);
+};
+
+/// What a search returns to the client: the matching identifiers and the
+/// decrypted data items.
+struct SearchOutcome {
+  std::vector<uint64_t> ids;  // I(w), ascending
+  /// (id, plaintext) for every returned document that decrypted cleanly.
+  std::vector<std::pair<uint64_t, Bytes>> documents;
+};
+
+/// The client half of any searchable-encryption system in this library.
+/// Both paper schemes and all three baselines implement it, so tests and
+/// benches drive every system through one interface.
+class SseClientInterface {
+ public:
+  virtual ~SseClientInterface() = default;
+
+  /// Storage/MetadataStorage: adds `docs` to the encrypted database in one
+  /// batch (one protocol run). Ids must not have been stored before.
+  virtual Status Store(const std::vector<Document>& docs) = 0;
+
+  /// Trapdoor + Search: retrieves every document whose metadata contains
+  /// `keyword`.
+  virtual Result<SearchOutcome> Search(std::string_view keyword) = 0;
+
+  /// A "fake update" (§5.7): runs the update protocol for `keywords`
+  /// without changing any posting, hiding real update sizes from the
+  /// server. Baselines that cannot express this return UNIMPLEMENTED.
+  virtual Status FakeUpdate(const std::vector<std::string>& keywords) {
+    (void)keywords;
+    return Status::Unimplemented("fake updates not supported by this scheme");
+  }
+
+  /// Human-readable system name, e.g. "scheme1".
+  virtual std::string name() const = 0;
+};
+
+/// 8-byte little-endian encoding of a document id, used as AEAD associated
+/// data so ciphertexts cannot be transplanted between identifiers.
+Bytes EncodeDocId(uint64_t id);
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_TYPES_H_

@@ -1,0 +1,72 @@
+#include "sse/core/wire_common.h"
+
+namespace sse::core {
+
+void PutWireDocuments(BufferWriter& w, const std::vector<WireDocument>& docs) {
+  w.PutVarint(docs.size());
+  for (const WireDocument& doc : docs) {
+    w.PutVarint(doc.id);
+    w.PutBytes(doc.ciphertext);
+  }
+}
+
+Result<std::vector<WireDocument>> GetWireDocuments(BufferReader& r) {
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > r.remaining()) {
+    return Status::Corruption("document count exceeds payload size");
+  }
+  std::vector<WireDocument> docs;
+  docs.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    WireDocument doc;
+    SSE_ASSIGN_OR_RETURN(doc.id, r.GetVarint());
+    SSE_ASSIGN_OR_RETURN(doc.ciphertext, r.GetBytes());
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+void PutIdList(BufferWriter& w, const std::vector<uint64_t>& ids) {
+  w.PutVarint(ids.size());
+  for (uint64_t id : ids) w.PutVarint(id);
+}
+
+Result<std::vector<uint64_t>> GetIdList(BufferReader& r) {
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > r.remaining()) {
+    return Status::Corruption("id count exceeds payload size");
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    SSE_ASSIGN_OR_RETURN(id, r.GetVarint());
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void PutBytesList(BufferWriter& w, const std::vector<Bytes>& items) {
+  w.PutVarint(items.size());
+  for (const Bytes& item : items) w.PutBytes(item);
+}
+
+Result<std::vector<Bytes>> GetBytesList(BufferReader& r) {
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > r.remaining()) {
+    return Status::Corruption("list count exceeds payload size");
+  }
+  std::vector<Bytes> items;
+  items.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Bytes item;
+    SSE_ASSIGN_OR_RETURN(item, r.GetBytes());
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace sse::core

@@ -1,0 +1,41 @@
+#ifndef SSE_CRYPTO_AEAD_H_
+#define SSE_CRYPTO_AEAD_H_
+
+#include <cstddef>
+
+#include "sse/util/bytes.h"
+#include "sse/util/random.h"
+#include "sse/util/result.h"
+
+namespace sse::crypto {
+
+inline constexpr size_t kAeadKeySize = 32;
+inline constexpr size_t kAeadNonceSize = 12;
+inline constexpr size_t kAeadTagSize = 16;
+/// Ciphertext expansion: nonce || ct || tag.
+inline constexpr size_t kAeadOverhead = kAeadNonceSize + kAeadTagSize;
+
+/// Authenticated encryption (AES-256-GCM) used for the data items: the
+/// paper's `E_{k_m}(M_i)`. Each Seal draws a fresh random nonce which is
+/// prepended to the ciphertext, so the same key can encrypt many documents.
+class Aead {
+ public:
+  /// `key` must be exactly 32 bytes.
+  static Result<Aead> Create(BytesView key);
+
+  /// Encrypts `plaintext` binding `associated_data` (e.g. the document id,
+  /// so a malicious server cannot swap ciphertexts between ids).
+  Result<Bytes> Seal(BytesView plaintext, BytesView associated_data,
+                     RandomSource& rng) const;
+
+  /// Decrypts and authenticates. Fails with CRYPTO_ERROR on any tampering.
+  Result<Bytes> Open(BytesView ciphertext, BytesView associated_data) const;
+
+ private:
+  explicit Aead(Bytes key) : key_(std::move(key)) {}
+  Bytes key_;
+};
+
+}  // namespace sse::crypto
+
+#endif  // SSE_CRYPTO_AEAD_H_

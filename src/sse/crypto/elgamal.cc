@@ -1,0 +1,275 @@
+#include "sse/crypto/elgamal.h"
+
+#include <openssl/bn.h>
+
+#include <string>
+
+#include "sse/crypto/sha256.h"
+#include "sse/util/serde.h"
+
+namespace sse::crypto {
+
+namespace {
+
+// RFC 3526 MODP primes (generator 2). Stored as hex.
+constexpr const char* kModp1536Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF";
+
+constexpr const char* kModp2048Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+constexpr const char* kModp3072Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AAAC42DAD33170D04507A33"
+    "A85521ABDF1CBA64ECFB850458DBEF0A8AEA71575D060C7DB3970F85A6E1E4C7"
+    "ABF5AE8CDB0933D71E8C94E04A25619DCEE3D2261AD2EE6BF12FFA06D98A0864"
+    "D87602733EC86A64521F2B18177B200CBBE117577A615D6C770988C0BAD946E2"
+    "08E24FA074E5AB3143DB5BFCE0FD108E4B82D120A93AD2CAFFFFFFFFFFFFFFFF";
+
+// 512-bit safe prime (p = 2q+1) for fast tests. INSECURE at this size;
+// generated once with `openssl prime -generate -bits 512 -safe`.
+constexpr const char* kToy512Hex =
+    "D39CE5FD2026EBDE1273DCFC61507421ABF8CBD21D32970CA2EE4A54144FFEA8"
+    "1125D09C77700CCDD7C60851E7E48610731FD96DB4ED661CB927DB337CC0D177";
+
+struct Group {
+  BIGNUM* p;
+  BIGNUM* g;
+};
+
+// Builds (and leaks, intentionally — process lifetime) the named group.
+Result<Group> GetGroup(ElGamalGroupId id) {
+  const char* hex = nullptr;
+  switch (id) {
+    case ElGamalGroupId::kToy512:
+      hex = kToy512Hex;
+      break;
+    case ElGamalGroupId::kModp1536:
+      hex = kModp1536Hex;
+      break;
+    case ElGamalGroupId::kModp2048:
+      hex = kModp2048Hex;
+      break;
+    case ElGamalGroupId::kModp3072:
+      hex = kModp3072Hex;
+      break;
+  }
+  if (hex == nullptr) return Status::InvalidArgument("unknown ElGamal group");
+  BIGNUM* p = nullptr;
+  if (BN_hex2bn(&p, hex) == 0) {
+    return Status::CryptoError("BN_hex2bn failed for group prime");
+  }
+  BIGNUM* g = BN_new();
+  if (g == nullptr || BN_set_word(g, 2) != 1) {
+    BN_free(p);
+    BN_free(g);
+    return Status::CryptoError("failed to build generator");
+  }
+  return Group{p, g};
+}
+
+// Fixed-width big-endian encoding, matching the group's modulus size so
+// that KDF inputs and wire sizes are canonical.
+Bytes BnToBytesPadded(const BIGNUM* bn, size_t width) {
+  Bytes out(width, 0);
+  const size_t n = static_cast<size_t>(BN_num_bytes(bn));
+  BN_bn2bin(bn, out.data() + (width - n));
+  return out;
+}
+
+constexpr size_t kExponentBytes = 32;  // 256-bit short exponents.
+constexpr const char* kKdfLabel = "sse.elgamal.kdf";
+
+Result<Bytes> DeriveMaskKey(const BIGNUM* shared, size_t modulus_bytes) {
+  Bytes encoded = BnToBytesPadded(shared, modulus_bytes);
+  Bytes label = StringToBytes(kKdfLabel);
+  return Sha256Concat(label, encoded);
+}
+
+}  // namespace
+
+struct ElGamal::Impl {
+  BIGNUM* p = nullptr;
+  BIGNUM* g = nullptr;
+  BIGNUM* x = nullptr;  // secret key
+  BIGNUM* h = nullptr;  // public key g^x mod p
+  size_t modulus_bytes = 0;
+
+  ~Impl() {
+    BN_free(p);
+    BN_free(g);
+    BN_clear_free(x);
+    BN_free(h);
+  }
+};
+
+ElGamal::ElGamal(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)), group_id_(ElGamalGroupId::kModp2048) {}
+
+ElGamal::ElGamal(ElGamal&&) noexcept = default;
+ElGamal& ElGamal::operator=(ElGamal&&) noexcept = default;
+ElGamal::~ElGamal() = default;
+
+namespace {
+
+Result<std::unique_ptr<ElGamal::Impl>> BuildKeyPair(ElGamalGroupId group,
+                                                    BytesView exponent_bytes) {
+  Group grp{nullptr, nullptr};
+  SSE_ASSIGN_OR_RETURN(grp, GetGroup(group));
+  auto impl = std::make_unique<ElGamal::Impl>();
+  impl->p = grp.p;
+  impl->g = grp.g;
+  impl->modulus_bytes = static_cast<size_t>(BN_num_bytes(impl->p));
+
+  impl->x = BN_bin2bn(exponent_bytes.data(),
+                      static_cast<int>(exponent_bytes.size()), nullptr);
+  if (impl->x == nullptr || BN_is_zero(impl->x)) {
+    return Status::CryptoError("invalid ElGamal secret exponent");
+  }
+  impl->h = BN_new();
+  BN_CTX* ctx = BN_CTX_new();
+  if (impl->h == nullptr || ctx == nullptr ||
+      BN_mod_exp(impl->h, impl->g, impl->x, impl->p, ctx) != 1) {
+    BN_CTX_free(ctx);
+    return Status::CryptoError("BN_mod_exp failed during keygen");
+  }
+  BN_CTX_free(ctx);
+  return impl;
+}
+
+}  // namespace
+
+Result<ElGamal> ElGamal::Generate(ElGamalGroupId group, RandomSource& rng) {
+  Bytes exponent;
+  SSE_ASSIGN_OR_RETURN(exponent, rng.Generate(kExponentBytes));
+  std::unique_ptr<Impl> impl;
+  SSE_ASSIGN_OR_RETURN(impl, BuildKeyPair(group, exponent));
+  ElGamal out(std::move(impl));
+  out.group_id_ = group;
+  return out;
+}
+
+Result<ElGamal> ElGamal::FromSecret(ElGamalGroupId group, BytesView secret) {
+  if (secret.size() < 16) {
+    return Status::InvalidArgument("ElGamal secret must be >= 16 bytes");
+  }
+  // Stretch the secret into a uniform 256-bit exponent.
+  Bytes label = StringToBytes("sse.elgamal.secret");
+  Bytes exponent;
+  SSE_ASSIGN_OR_RETURN(exponent, Sha256Concat(label, secret));
+  std::unique_ptr<Impl> impl;
+  SSE_ASSIGN_OR_RETURN(impl, BuildKeyPair(group, exponent));
+  ElGamal out(std::move(impl));
+  out.group_id_ = group;
+  return out;
+}
+
+Result<Bytes> ElGamal::Encrypt(BytesView message, RandomSource& rng) const {
+  if (message.size() > kMaxMessageSize) {
+    return Status::InvalidArgument("ElGamal message exceeds 32 bytes");
+  }
+  Bytes eph;
+  SSE_ASSIGN_OR_RETURN(eph, rng.Generate(kExponentBytes));
+  BIGNUM* y = BN_bin2bn(eph.data(), static_cast<int>(eph.size()), nullptr);
+  BIGNUM* c1 = BN_new();
+  BIGNUM* s = BN_new();
+  BN_CTX* ctx = BN_CTX_new();
+  Status status = Status::OK();
+  Bytes out;
+  if (y == nullptr || c1 == nullptr || s == nullptr || ctx == nullptr ||
+      BN_is_zero(y)) {
+    status = Status::CryptoError("ElGamal encrypt allocation failed");
+  } else if (BN_mod_exp(c1, impl_->g, y, impl_->p, ctx) != 1 ||
+             BN_mod_exp(s, impl_->h, y, impl_->p, ctx) != 1) {
+    status = Status::CryptoError("ElGamal encrypt exponentiation failed");
+  } else {
+    Result<Bytes> key = DeriveMaskKey(s, impl_->modulus_bytes);
+    if (!key.ok()) {
+      status = key.status();
+    } else {
+      // c2 = first |m| bytes of the mask XOR message, plus a length byte so
+      // Decrypt knows the original size.
+      Bytes c2(message.size());
+      for (size_t i = 0; i < message.size(); ++i) {
+        c2[i] = message[i] ^ key.value()[i];
+      }
+      BufferWriter w;
+      w.PutBytes(BnToBytesPadded(c1, impl_->modulus_bytes));
+      w.PutBytes(c2);
+      out = w.TakeData();
+    }
+  }
+  BN_clear_free(y);
+  BN_free(c1);
+  BN_clear_free(s);
+  BN_CTX_free(ctx);
+  if (!status.ok()) return status;
+  return out;
+}
+
+Result<Bytes> ElGamal::Decrypt(BytesView ciphertext) const {
+  BufferReader r(ciphertext);
+  Bytes c1_bytes;
+  SSE_ASSIGN_OR_RETURN(c1_bytes, r.GetBytes(impl_->modulus_bytes + 8));
+  Bytes c2;
+  SSE_ASSIGN_OR_RETURN(c2, r.GetBytes(kMaxMessageSize));
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  if (c1_bytes.size() != impl_->modulus_bytes) {
+    return Status::CryptoError("ElGamal c1 has wrong width");
+  }
+
+  BIGNUM* c1 = BN_bin2bn(c1_bytes.data(), static_cast<int>(c1_bytes.size()),
+                         nullptr);
+  BIGNUM* s = BN_new();
+  BN_CTX* ctx = BN_CTX_new();
+  Status status = Status::OK();
+  Bytes out;
+  if (c1 == nullptr || s == nullptr || ctx == nullptr) {
+    status = Status::CryptoError("ElGamal decrypt allocation failed");
+  } else if (BN_is_zero(c1) || BN_cmp(c1, impl_->p) >= 0) {
+    status = Status::CryptoError("ElGamal c1 outside group range");
+  } else if (BN_mod_exp(s, c1, impl_->x, impl_->p, ctx) != 1) {
+    status = Status::CryptoError("ElGamal decrypt exponentiation failed");
+  } else {
+    Result<Bytes> key = DeriveMaskKey(s, impl_->modulus_bytes);
+    if (!key.ok()) {
+      status = key.status();
+    } else {
+      out.resize(c2.size());
+      for (size_t i = 0; i < c2.size(); ++i) out[i] = c2[i] ^ key.value()[i];
+    }
+  }
+  BN_free(c1);
+  BN_clear_free(s);
+  BN_CTX_free(ctx);
+  if (!status.ok()) return status;
+  return out;
+}
+
+size_t ElGamal::CiphertextSize() const {
+  // varint(|c1|) is 2 bytes for all supported groups; varint(32) is 1 byte.
+  BufferWriter w;
+  w.PutVarint(impl_->modulus_bytes);
+  const size_t c1_prefix = w.size();
+  return c1_prefix + impl_->modulus_bytes + 1 + kMaxMessageSize;
+}
+
+}  // namespace sse::crypto

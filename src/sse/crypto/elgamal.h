@@ -1,0 +1,82 @@
+#ifndef SSE_CRYPTO_ELGAMAL_H_
+#define SSE_CRYPTO_ELGAMAL_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "sse/util/bytes.h"
+#include "sse/util/random.h"
+#include "sse/util/result.h"
+
+namespace sse::crypto {
+
+/// Named groups for the ElGamal instantiation of the paper's trapdoor
+/// function F. The MODP groups are the safe-prime groups from RFC 3526;
+/// kToy512 is a 512-bit safe prime for fast unit tests ONLY (insecure).
+enum class ElGamalGroupId : int {
+  kToy512 = 0,
+  kModp1536 = 1,
+  kModp2048 = 2,
+  kModp3072 = 3,
+};
+
+/// Hashed-ElGamal public-key encryption over a safe-prime group.
+///
+/// This is the paper's `F(.)`: an IND-CPA public-key primitive that lets
+/// the client — holder of the secret key — recover the per-keyword nonce
+/// `r = F^{-1}(F(r))` that masks the posting bitmap in Scheme 1. The paper
+/// calls F a "trapdoor permutation (e.g. an ElGamal encryption)"; we follow
+/// its own suggestion and use ElGamal in KEM/DEM form:
+///
+///   F(r):  y ←R [1, q),  c1 = g^y,  k = SHA-256("sse.elgamal.kdf" ‖ h^y),
+///          c2 = k ⊕ r          (r padded/limited to 32 bytes)
+///   F^-1:  k = SHA-256("sse.elgamal.kdf" ‖ c1^x),  r = c2 ⊕ k
+///
+/// Exponents are drawn with 256 bits (the "short exponent" optimization
+/// standard for MODP groups), which keeps Scheme 1 searches at two modular
+/// exponentiations.
+class ElGamal {
+ public:
+  ElGamal(ElGamal&&) noexcept;
+  ElGamal& operator=(ElGamal&&) noexcept;
+  ElGamal(const ElGamal&) = delete;
+  ElGamal& operator=(const ElGamal&) = delete;
+  ~ElGamal();
+
+  /// Generates a fresh key pair in the given group.
+  static Result<ElGamal> Generate(ElGamalGroupId group, RandomSource& rng);
+
+  /// Deterministically derives the key pair from a 32-byte secret (used so
+  /// the SSE client can reconstruct its ElGamal key from the master key
+  /// without storing extra state).
+  static Result<ElGamal> FromSecret(ElGamalGroupId group, BytesView secret);
+
+  /// Encrypts a message of at most 32 bytes. Output layout:
+  /// varint |c1| ‖ c1 ‖ varint |c2| ‖ c2.
+  Result<Bytes> Encrypt(BytesView message, RandomSource& rng) const;
+
+  /// Decrypts a ciphertext produced by Encrypt.
+  Result<Bytes> Decrypt(BytesView ciphertext) const;
+
+  /// Size in bytes of a ciphertext for a 32-byte message (fixed per group);
+  /// the benches use it to report Scheme 1 storage overhead.
+  size_t CiphertextSize() const;
+
+  ElGamalGroupId group_id() const { return group_id_; }
+
+  /// Maximum message length Encrypt accepts.
+  static constexpr size_t kMaxMessageSize = 32;
+
+  /// Opaque implementation (BIGNUM state); public only so the .cc file's
+  /// free helpers can name it.
+  struct Impl;
+
+ private:
+  explicit ElGamal(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+  ElGamalGroupId group_id_;
+};
+
+}  // namespace sse::crypto
+
+#endif  // SSE_CRYPTO_ELGAMAL_H_

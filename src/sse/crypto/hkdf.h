@@ -1,0 +1,25 @@
+#ifndef SSE_CRYPTO_HKDF_H_
+#define SSE_CRYPTO_HKDF_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::crypto {
+
+/// HKDF-SHA-256 (RFC 5869). Used to derive the data key `k_m`, the keyword
+/// key `k_w`, and the ElGamal secret from a single master secret, and to
+/// split one stream-cipher key into (encryption key, MAC key).
+///
+/// `info` provides domain separation; `out_len` up to 255*32 bytes.
+Result<Bytes> HkdfSha256(BytesView ikm, BytesView salt, std::string_view info,
+                         size_t out_len);
+
+/// Expand-only step for already-uniform keys.
+Result<Bytes> HkdfExpand(BytesView prk, std::string_view info, size_t out_len);
+
+}  // namespace sse::crypto
+
+#endif  // SSE_CRYPTO_HKDF_H_

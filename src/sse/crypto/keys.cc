@@ -1,0 +1,53 @@
+#include "sse/crypto/keys.h"
+
+#include "sse/crypto/hkdf.h"
+#include "sse/util/serde.h"
+
+namespace sse::crypto {
+
+Result<MasterKey> MasterKey::Generate(RandomSource& rng,
+                                      size_t security_parameter) {
+  if (security_parameter < 16) {
+    return Status::InvalidArgument("security parameter must be >= 16 bytes");
+  }
+  Bytes k_m;
+  SSE_ASSIGN_OR_RETURN(k_m, rng.Generate(security_parameter));
+  Bytes k_w;
+  SSE_ASSIGN_OR_RETURN(k_w, rng.Generate(security_parameter));
+  return MasterKey(std::move(k_m), std::move(k_w));
+}
+
+Result<MasterKey> MasterKey::FromPassphrase(std::string_view passphrase) {
+  if (passphrase.empty()) {
+    return Status::InvalidArgument("passphrase is empty");
+  }
+  Bytes material;
+  SSE_ASSIGN_OR_RETURN(
+      material, HkdfSha256(StringToBytes(passphrase), /*salt=*/{},
+                           "sse.master_key.v1", 2 * kMasterKeyPartSize));
+  Bytes k_m(material.begin(), material.begin() + kMasterKeyPartSize);
+  Bytes k_w(material.begin() + kMasterKeyPartSize, material.end());
+  return MasterKey(std::move(k_m), std::move(k_w));
+}
+
+Result<MasterKey> MasterKey::Deserialize(BytesView data) {
+  BufferReader r(data);
+  Bytes k_m;
+  SSE_ASSIGN_OR_RETURN(k_m, r.GetBytes(1024));
+  Bytes k_w;
+  SSE_ASSIGN_OR_RETURN(k_w, r.GetBytes(1024));
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  if (k_m.size() < 16 || k_w.size() < 16) {
+    return Status::Corruption("master key parts too short");
+  }
+  return MasterKey(std::move(k_m), std::move(k_w));
+}
+
+Bytes MasterKey::Serialize() const {
+  BufferWriter w;
+  w.PutBytes(k_m_);
+  w.PutBytes(k_w_);
+  return w.TakeData();
+}
+
+}  // namespace sse::crypto

@@ -1,0 +1,47 @@
+#ifndef SSE_CRYPTO_KEYS_H_
+#define SSE_CRYPTO_KEYS_H_
+
+#include <cstddef>
+
+#include "sse/util/bytes.h"
+#include "sse/util/random.h"
+#include "sse/util/result.h"
+
+namespace sse::crypto {
+
+inline constexpr size_t kMasterKeyPartSize = 32;
+
+/// The paper's master key `K = (k_m, k_w)`: `k_m` encrypts data items,
+/// `k_w` drives every metadata-side primitive (search tokens, chain seeds,
+/// masks). Produced by Keygen(s); serializable so a client can persist it.
+class MasterKey {
+ public:
+  /// Keygen(s): draws both parts from `rng`. `security_parameter` is the
+  /// part size in bytes (>= 16; default 32 matching the 256-bit primitives).
+  static Result<MasterKey> Generate(RandomSource& rng,
+                                    size_t security_parameter = kMasterKeyPartSize);
+
+  /// Deterministic derivation from a passphrase (HKDF); for examples/CLI.
+  static Result<MasterKey> FromPassphrase(std::string_view passphrase);
+
+  /// Parses the serialization produced by Serialize().
+  static Result<MasterKey> Deserialize(BytesView data);
+
+  const Bytes& data_key() const { return k_m_; }     // k_m
+  const Bytes& keyword_key() const { return k_w_; }  // k_w
+
+  Bytes Serialize() const;
+
+  bool operator==(const MasterKey& other) const {
+    return k_m_ == other.k_m_ && k_w_ == other.k_w_;
+  }
+
+ private:
+  MasterKey(Bytes k_m, Bytes k_w) : k_m_(std::move(k_m)), k_w_(std::move(k_w)) {}
+  Bytes k_m_;
+  Bytes k_w_;
+};
+
+}  // namespace sse::crypto
+
+#endif  // SSE_CRYPTO_KEYS_H_

@@ -1,0 +1,38 @@
+#include "sse/crypto/prf.h"
+
+#include <openssl/hmac.h>
+
+namespace sse::crypto {
+
+Result<Bytes> HmacSha256(BytesView key, BytesView data) {
+  Bytes out(kPrfOutputSize);
+  unsigned int len = 0;
+  if (HMAC(EVP_sha256(), key.data(), static_cast<int>(key.size()), data.data(),
+           data.size(), out.data(), &len) == nullptr ||
+      len != kPrfOutputSize) {
+    return Status::CryptoError("HMAC-SHA256 failed");
+  }
+  return out;
+}
+
+Result<Prf> Prf::Create(BytesView key) {
+  if (key.size() < 16) {
+    return Status::InvalidArgument("PRF key must be at least 16 bytes");
+  }
+  return Prf(ToBytes(key));
+}
+
+Result<Bytes> Prf::Eval(BytesView input) const { return HmacSha256(key_, input); }
+
+Result<Bytes> Prf::Eval(std::string_view input) const {
+  return Eval(StringToBytes(input));
+}
+
+Result<Bytes> Prf::EvalLabeled(std::string_view label, BytesView input) const {
+  Bytes msg = StringToBytes(label);
+  msg.push_back(0x00);
+  msg.insert(msg.end(), input.begin(), input.end());
+  return HmacSha256(key_, msg);
+}
+
+}  // namespace sse::crypto

@@ -1,0 +1,43 @@
+#ifndef SSE_CRYPTO_PRF_H_
+#define SSE_CRYPTO_PRF_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::crypto {
+
+inline constexpr size_t kPrfOutputSize = 32;
+
+/// The paper's pseudo-random function `f_{k_w}(.)`, instantiated as
+/// HMAC-SHA-256. Deterministic: the same (key, input) always yields the
+/// same 32-byte output — which is exactly what makes `f_{k_w}(w)` a stable
+/// search token the server can index on.
+class Prf {
+ public:
+  /// `key` may be any length >= 16 bytes (HMAC handles arbitrary keys, the
+  /// lower bound guards against accidental empty keys).
+  static Result<Prf> Create(BytesView key);
+
+  /// 32-byte PRF output for `input`.
+  Result<Bytes> Eval(BytesView input) const;
+  Result<Bytes> Eval(std::string_view input) const;
+
+  /// Domain-separated evaluation: PRF(key, label || 0x00 || input). Used to
+  /// derive independent sub-PRFs (search tokens vs. chain seeds) from one
+  /// keyword key.
+  Result<Bytes> EvalLabeled(std::string_view label, BytesView input) const;
+
+ private:
+  explicit Prf(Bytes key) : key_(std::move(key)) {}
+  Bytes key_;
+};
+
+/// One-shot HMAC-SHA-256.
+Result<Bytes> HmacSha256(BytesView key, BytesView data);
+
+}  // namespace sse::crypto
+
+#endif  // SSE_CRYPTO_PRF_H_

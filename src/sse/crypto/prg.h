@@ -1,0 +1,23 @@
+#ifndef SSE_CRYPTO_PRG_H_
+#define SSE_CRYPTO_PRG_H_
+
+#include <cstddef>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::crypto {
+
+/// The paper's pseudo-random generator `G(.)`: expands a short seed into an
+/// arbitrarily long pseudo-random string. Scheme 1 masks the posting bitmap
+/// as `I(w) ⊕ G(r)` where `r` is a fresh per-keyword nonce, so the masked
+/// index stored at the server is indistinguishable from random bits.
+///
+/// Instantiation: AES-256-CTR keystream keyed with SHA-256(seed) and a zero
+/// IV. Each seed is used for at most one mask in the protocols, matching
+/// CTR's single-use-per-key requirement.
+Result<Bytes> PrgExpand(BytesView seed, size_t out_len);
+
+}  // namespace sse::crypto
+
+#endif  // SSE_CRYPTO_PRG_H_

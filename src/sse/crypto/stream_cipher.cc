@@ -1,0 +1,76 @@
+#include "sse/crypto/stream_cipher.h"
+
+#include <openssl/evp.h>
+
+#include "sse/crypto/hkdf.h"
+#include "sse/crypto/prf.h"
+
+namespace sse::crypto {
+
+namespace {
+
+Result<Bytes> AesCtr(BytesView key, BytesView iv, BytesView input) {
+  EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
+  if (ctx == nullptr) return Status::CryptoError("EVP_CIPHER_CTX_new failed");
+  Bytes out(input.size());
+  int len = 0;
+  Status status = Status::OK();
+  if (EVP_EncryptInit_ex(ctx, EVP_aes_256_ctr(), nullptr, key.data(),
+                         iv.data()) != 1) {
+    status = Status::CryptoError("CTR init failed");
+  } else if (!input.empty() &&
+             (EVP_EncryptUpdate(ctx, out.data(), &len, input.data(),
+                                static_cast<int>(input.size())) != 1 ||
+              static_cast<size_t>(len) != input.size())) {
+    status = Status::CryptoError("CTR update failed");
+  }
+  EVP_CIPHER_CTX_free(ctx);
+  if (!status.ok()) return status;
+  return out;
+}
+
+}  // namespace
+
+Result<StreamCipher> StreamCipher::Create(BytesView key) {
+  if (key.size() < 16) {
+    return Status::InvalidArgument("StreamCipher key must be >= 16 bytes");
+  }
+  Bytes material;
+  SSE_ASSIGN_OR_RETURN(material, HkdfSha256(key, /*salt=*/{},
+                                            "sse.stream_cipher.v1", 64));
+  Bytes enc_key(material.begin(), material.begin() + 32);
+  Bytes mac_key(material.begin() + 32, material.end());
+  return StreamCipher(std::move(enc_key), std::move(mac_key));
+}
+
+Result<Bytes> StreamCipher::Encrypt(BytesView plaintext,
+                                    RandomSource& rng) const {
+  Bytes iv(kStreamIvSize);
+  SSE_RETURN_IF_ERROR(rng.Fill(iv));
+  Bytes ct;
+  SSE_ASSIGN_OR_RETURN(ct, AesCtr(enc_key_, iv, plaintext));
+  Bytes out = Concat(iv, ct);
+  Bytes tag;
+  SSE_ASSIGN_OR_RETURN(tag, HmacSha256(mac_key_, out));
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+Result<Bytes> StreamCipher::Decrypt(BytesView ciphertext) const {
+  if (ciphertext.size() < kStreamOverhead) {
+    return Status::CryptoError("stream ciphertext too short");
+  }
+  const size_t body_len = ciphertext.size() - kStreamTagSize;
+  BytesView body = ciphertext.subspan(0, body_len);
+  BytesView tag = ciphertext.subspan(body_len);
+  Bytes expected;
+  SSE_ASSIGN_OR_RETURN(expected, HmacSha256(mac_key_, body));
+  if (!ConstantTimeEqual(expected, tag)) {
+    return Status::CryptoError("stream cipher MAC mismatch");
+  }
+  BytesView iv = body.subspan(0, kStreamIvSize);
+  BytesView ct = body.subspan(kStreamIvSize);
+  return AesCtr(enc_key_, iv, ct);
+}
+
+}  // namespace sse::crypto

@@ -1,0 +1,94 @@
+#include "sse/index/bloom.h"
+
+#include <cmath>
+
+#include "sse/crypto/sha256.h"
+
+namespace sse::index {
+
+namespace {
+
+struct HashPair {
+  uint64_t h1;
+  uint64_t h2;
+};
+
+Result<HashPair> HashItem(BytesView item) {
+  Bytes digest;
+  SSE_ASSIGN_OR_RETURN(digest, crypto::Sha256(item));
+  HashPair out{0, 0};
+  for (int i = 0; i < 8; ++i) {
+    out.h1 |= static_cast<uint64_t>(digest[i]) << (8 * i);
+    out.h2 |= static_cast<uint64_t>(digest[8 + i]) << (8 * i);
+  }
+  // h2 must be odd so the probe sequence covers the table well.
+  out.h2 |= 1;
+  return out;
+}
+
+}  // namespace
+
+Result<BloomFilter> BloomFilter::Create(size_t num_bits, size_t num_hashes) {
+  if (num_bits < 8) return Status::InvalidArgument("bloom needs >= 8 bits");
+  if (num_hashes < 1 || num_hashes > 32) {
+    return Status::InvalidArgument("bloom num_hashes must be in [1, 32]");
+  }
+  return BloomFilter(BitVec(num_bits), num_hashes);
+}
+
+Result<BloomFilter> BloomFilter::CreateForCapacity(size_t capacity,
+                                                   double false_positive_rate) {
+  if (capacity == 0) return Status::InvalidArgument("bloom capacity is zero");
+  if (false_positive_rate <= 0.0 || false_positive_rate >= 1.0) {
+    return Status::InvalidArgument("false positive rate must be in (0, 1)");
+  }
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(capacity) *
+                   std::log(false_positive_rate) / (ln2 * ln2);
+  const double k = (m / static_cast<double>(capacity)) * ln2;
+  size_t num_bits = static_cast<size_t>(std::ceil(m));
+  size_t num_hashes = static_cast<size_t>(std::round(k));
+  if (num_bits < 8) num_bits = 8;
+  if (num_hashes < 1) num_hashes = 1;
+  if (num_hashes > 32) num_hashes = 32;
+  return Create(num_bits, num_hashes);
+}
+
+Result<BloomFilter> BloomFilter::FromBits(BitVec bits, size_t num_hashes) {
+  if (bits.size() < 8) return Status::InvalidArgument("bloom needs >= 8 bits");
+  if (num_hashes < 1 || num_hashes > 32) {
+    return Status::InvalidArgument("bloom num_hashes must be in [1, 32]");
+  }
+  return BloomFilter(std::move(bits), num_hashes);
+}
+
+Status BloomFilter::Insert(BytesView item) {
+  HashPair h{0, 0};
+  SSE_ASSIGN_OR_RETURN(h, HashItem(item));
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t pos = (h.h1 + i * h.h2) % bits_.size();
+    bits_.Set(static_cast<size_t>(pos));
+  }
+  ++inserted_;
+  return Status::OK();
+}
+
+Result<bool> BloomFilter::Contains(BytesView item) const {
+  HashPair h{0, 0};
+  SSE_ASSIGN_OR_RETURN(h, HashItem(item));
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t pos = (h.h1 + i * h.h2) % bits_.size();
+    if (!bits_.Get(static_cast<size_t>(pos))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate() const {
+  const double m = static_cast<double>(bits_.size());
+  const double k = static_cast<double>(num_hashes_);
+  const double n = static_cast<double>(inserted_);
+  const double fill = 1.0 - std::exp(-k * n / m);
+  return std::pow(fill, k);
+}
+
+}  // namespace sse::index

@@ -1,0 +1,53 @@
+#ifndef SSE_INDEX_BLOOM_H_
+#define SSE_INDEX_BLOOM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sse/util/bitvec.h"
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::index {
+
+/// Standard Bloom filter over byte-string items, used by the Goh Z-IDX
+/// baseline (one filter per document). Double hashing: two 64-bit values
+/// are derived from SHA-256(item) and combined as h1 + i*h2 (Kirsch &
+/// Mitzenmacher), so `num_hashes` probes cost one hash computation.
+class BloomFilter {
+ public:
+  /// `num_bits` >= 8, `num_hashes` in [1, 32].
+  static Result<BloomFilter> Create(size_t num_bits, size_t num_hashes);
+
+  /// Chooses (m, k) for an expected `capacity` items at the given false
+  /// positive rate.
+  static Result<BloomFilter> CreateForCapacity(size_t capacity,
+                                               double false_positive_rate);
+
+  /// Reconstructs a filter from serialized bits (e.g. off the wire).
+  static Result<BloomFilter> FromBits(BitVec bits, size_t num_hashes);
+
+  Status Insert(BytesView item);
+  /// May return false positives; never false negatives.
+  Result<bool> Contains(BytesView item) const;
+
+  size_t num_bits() const { return bits_.size(); }
+  size_t num_hashes() const { return num_hashes_; }
+  size_t inserted_count() const { return inserted_; }
+  const BitVec& bits() const { return bits_; }
+
+  /// Estimated false-positive probability at the current fill level.
+  double EstimatedFalsePositiveRate() const;
+
+ private:
+  BloomFilter(BitVec bits, size_t num_hashes)
+      : bits_(std::move(bits)), num_hashes_(num_hashes) {}
+
+  BitVec bits_;
+  size_t num_hashes_;
+  size_t inserted_ = 0;
+};
+
+}  // namespace sse::index
+
+#endif  // SSE_INDEX_BLOOM_H_

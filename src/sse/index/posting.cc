@@ -1,0 +1,70 @@
+#include "sse/index/posting.h"
+
+#include <algorithm>
+
+#include "sse/util/serde.h"
+
+namespace sse::index {
+
+Result<Bytes> EncodeIdList(const DocIdList& ids) {
+  BufferWriter w;
+  w.PutVarint(ids.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0 && ids[i] <= prev) {
+      return Status::InvalidArgument(
+          "id list must be strictly increasing before encoding");
+    }
+    w.PutVarint(i == 0 ? ids[i] : ids[i] - prev);
+    prev = ids[i];
+  }
+  return w.TakeData();
+}
+
+Result<DocIdList> DecodeIdList(BytesView data) {
+  BufferReader r(data);
+  uint64_t count = 0;
+  SSE_ASSIGN_OR_RETURN(count, r.GetVarint());
+  if (count > data.size()) {
+    // Each id needs at least one byte; a bigger count is corruption.
+    return Status::Corruption("posting count exceeds payload size");
+  }
+  DocIdList ids;
+  ids.reserve(static_cast<size_t>(count));
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    SSE_ASSIGN_OR_RETURN(delta, r.GetVarint());
+    if (i > 0 && delta == 0) {
+      return Status::Corruption("zero delta in posting list");
+    }
+    const uint64_t id = (i == 0) ? delta : prev + delta;
+    if (i > 0 && id < prev) return Status::Corruption("posting delta overflow");
+    ids.push_back(id);
+    prev = id;
+  }
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return ids;
+}
+
+DocIdList Canonicalize(DocIdList ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+Result<BitVec> IdsToBitmap(size_t num_bits, const DocIdList& ids) {
+  return BitVec::FromPositions(num_bits, ids);
+}
+
+DocIdList BitmapToIds(const BitVec& bitmap) { return bitmap.Ones(); }
+
+DocIdList MergeIdLists(const DocIdList& a, const DocIdList& b) {
+  DocIdList out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace sse::index

@@ -1,0 +1,42 @@
+#ifndef SSE_INDEX_POSTING_H_
+#define SSE_INDEX_POSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sse/util/bitvec.h"
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::index {
+
+/// Document identifiers as used throughout the library. The paper assigns
+/// each document an exclusive client-chosen identifier `i`; Scheme 1 uses
+/// the identifier as a bit position, Scheme 2 stores lists of them.
+using DocIdList = std::vector<uint64_t>;
+
+/// Encodes a strictly-increasing id list as delta varints (count-prefixed).
+/// Scheme 2's posting segments use this format before encryption, so the
+/// plaintext a chain key unlocks is compact.
+Result<Bytes> EncodeIdList(const DocIdList& ids);
+
+/// Decodes EncodeIdList output. Enforces strict monotonicity (duplicate or
+/// out-of-order ids indicate corruption).
+Result<DocIdList> DecodeIdList(BytesView data);
+
+/// Sorts and deduplicates in place; returns the canonical strictly
+/// increasing list.
+DocIdList Canonicalize(DocIdList ids);
+
+/// Converts an id list to a bitmap of `num_bits` bits (Scheme 1's I(w)).
+Result<BitVec> IdsToBitmap(size_t num_bits, const DocIdList& ids);
+
+/// Extracts the set bit positions (bitmap -> id list).
+DocIdList BitmapToIds(const BitVec& bitmap);
+
+/// Merges two canonical lists (set union).
+DocIdList MergeIdLists(const DocIdList& a, const DocIdList& b);
+
+}  // namespace sse::index
+
+#endif  // SSE_INDEX_POSTING_H_

@@ -1,0 +1,57 @@
+#include "sse/net/channel.h"
+
+#include <cstdio>
+
+namespace sse::net {
+
+std::string ChannelStats::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "rounds=%llu sent=%lluB recv=%lluB total=%lluB",
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(bytes_sent),
+                static_cast<unsigned long long>(bytes_received),
+                static_cast<unsigned long long>(TotalBytes()));
+  return buf;
+}
+
+InProcessChannel::InProcessChannel(MessageHandler* handler, Options options)
+    : handler_(handler), options_(options) {}
+
+Result<Message> InProcessChannel::Call(const Message& request) {
+  // Serialize + reparse so byte counts reflect exactly what a socket
+  // transport would carry, and so the server never aliases client memory.
+  Bytes wire = request.Encode();
+  stats_.rounds += 1;
+  stats_.bytes_sent += wire.size();
+  stats_.calls_by_type[request.type] += 1;
+
+  Message server_side;
+  SSE_ASSIGN_OR_RETURN(server_side, Message::Decode(wire));
+  Result<Message> reply = handler_->Handle(server_side);
+  if (!reply.ok()) {
+    // Transport a handler failure as an explicit error message, mirroring
+    // what a real server process would send.
+    reply = MakeErrorMessage(reply.status());
+  }
+  Bytes reply_wire = reply->Encode();
+  stats_.bytes_received += reply_wire.size();
+
+  if (options_.rtt_ms > 0.0) virtual_time_ms_ += options_.rtt_ms;
+  if (options_.bandwidth_bytes_per_sec > 0.0) {
+    virtual_time_ms_ += 1000.0 *
+                        static_cast<double>(wire.size() + reply_wire.size()) /
+                        options_.bandwidth_bytes_per_sec;
+  }
+
+  Message parsed;
+  SSE_ASSIGN_OR_RETURN(parsed, Message::Decode(reply_wire));
+  if (options_.record_transcript) {
+    transcript_.push_back(Exchange{server_side, parsed});
+  }
+  Status app_error = DecodeErrorMessage(parsed);
+  if (!app_error.ok()) return app_error;
+  return parsed;
+}
+
+}  // namespace sse::net

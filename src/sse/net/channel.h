@@ -1,0 +1,104 @@
+#ifndef SSE_NET_CHANNEL_H_
+#define SSE_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sse/net/message.h"
+#include "sse/util/result.h"
+
+namespace sse::net {
+
+/// Server-side message dispatcher: one request in, one reply out.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual Result<Message> Handle(const Message& request) = 0;
+};
+
+/// Cumulative traffic accounting for one client-server connection. This is
+/// what the Table 1 benches read: "rounds" is exactly the paper's
+/// communication-round count (one Call = one round trip), and the byte
+/// counters measure the bandwidth claims of §5.4.
+struct ChannelStats {
+  uint64_t rounds = 0;
+  uint64_t bytes_sent = 0;      // client -> server, framed
+  uint64_t bytes_received = 0;  // server -> client, framed
+  std::map<uint16_t, uint64_t> calls_by_type;
+
+  void Clear() { *this = ChannelStats{}; }
+  uint64_t TotalBytes() const { return bytes_sent + bytes_received; }
+  std::string ToString() const;
+};
+
+/// One request/response exchange as seen on the wire, with the direction
+/// split out; the security module reconstructs the server's *view* from a
+/// sequence of these.
+struct Exchange {
+  Message request;
+  Message reply;
+};
+
+/// Client-side connection abstraction: one `Call` is one communication
+/// round.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends `request`, waits for the reply. Transport-level failures come
+  /// back as statuses; an application-level kMsgError reply is surfaced as
+  /// its embedded status.
+  virtual Result<Message> Call(const Message& request) = 0;
+
+  virtual const ChannelStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+/// In-process channel: dispatches directly to a `MessageHandler`, counting
+/// rounds and framed bytes, optionally keeping a full transcript and
+/// simulating link latency.
+class InProcessChannel : public Channel {
+ public:
+  struct Options {
+    /// Keep a copy of every exchange (memory-heavy; for security analyses
+    /// and tests, not for large benches).
+    bool record_transcript = false;
+    /// Simulated round-trip time added per Call to the virtual clock.
+    double rtt_ms = 0.0;
+    /// Simulated link bandwidth (0 = infinite) for the virtual clock.
+    double bandwidth_bytes_per_sec = 0.0;
+  };
+
+  /// `handler` must outlive the channel.
+  explicit InProcessChannel(MessageHandler* handler)
+      : InProcessChannel(handler, Options()) {}
+  InProcessChannel(MessageHandler* handler, Options options);
+
+  Result<Message> Call(const Message& request) override;
+
+  const ChannelStats& stats() const override { return stats_; }
+  void ResetStats() override {
+    stats_.Clear();
+    virtual_time_ms_ = 0.0;
+  }
+
+  /// Accumulated simulated network time (rounds * rtt + bytes / bandwidth).
+  double virtual_time_ms() const { return virtual_time_ms_; }
+
+  const std::vector<Exchange>& transcript() const { return transcript_; }
+  void ClearTranscript() { transcript_.clear(); }
+
+ private:
+  MessageHandler* handler_;
+  Options options_;
+  ChannelStats stats_;
+  double virtual_time_ms_ = 0.0;
+  std::vector<Exchange> transcript_;
+};
+
+}  // namespace sse::net
+
+#endif  // SSE_NET_CHANNEL_H_

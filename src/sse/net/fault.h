@@ -1,0 +1,63 @@
+#ifndef SSE_NET_FAULT_H_
+#define SSE_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+
+#include "sse/net/channel.h"
+
+namespace sse::net {
+
+/// Fault-injecting decorator over any Channel, for testing client behavior
+/// under transport failures. Two failure points matter and behave
+/// differently for the protocols:
+///
+///  * kRequestLost  — the request never reaches the server (server state
+///    unchanged); the client sees an IO error.
+///  * kReplyLost    — the server processed the request but the reply was
+///    dropped; the client sees the same IO error, yet server-side effects
+///    (an applied update!) persist. This is the classic at-most-once vs
+///    at-least-once ambiguity clients must tolerate.
+class FaultInjectionChannel : public Channel {
+ public:
+  enum class FaultPoint { kRequestLost, kReplyLost };
+
+  /// `inner` must outlive this wrapper.
+  explicit FaultInjectionChannel(Channel* inner) : inner_(inner) {}
+
+  /// Arms a fault for the `call_index`-th Call (0-based, counting every
+  /// Call made through this wrapper).
+  void FailCall(uint64_t call_index, FaultPoint point) {
+    faults_[call_index] = point;
+  }
+
+  Result<Message> Call(const Message& request) override {
+    const uint64_t index = calls_made_++;
+    auto it = faults_.find(index);
+    if (it == faults_.end()) return inner_->Call(request);
+    const FaultPoint point = it->second;
+    ++faults_injected_;
+    if (point == FaultPoint::kRequestLost) {
+      return Status::IoError("injected fault: request lost");
+    }
+    // Reply lost: the server still handles the request.
+    (void)inner_->Call(request);
+    return Status::IoError("injected fault: reply lost");
+  }
+
+  const ChannelStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+  uint64_t calls_made() const { return calls_made_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  Channel* inner_;
+  std::map<uint64_t, FaultPoint> faults_;
+  uint64_t calls_made_ = 0;
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace sse::net
+
+#endif  // SSE_NET_FAULT_H_

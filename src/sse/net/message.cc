@@ -1,0 +1,90 @@
+#include "sse/net/message.h"
+
+#include "sse/util/serde.h"
+
+namespace sse::net {
+
+Bytes Message::Encode() const {
+  BufferWriter w;
+  w.PutU16(type);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutRaw(payload);
+  return w.TakeData();
+}
+
+Result<Message> Message::Decode(BytesView data) {
+  BufferReader r(data);
+  Message msg;
+  SSE_ASSIGN_OR_RETURN(msg.type, r.GetU16());
+  uint32_t len = 0;
+  SSE_ASSIGN_OR_RETURN(len, r.GetU32());
+  if (len != r.remaining()) {
+    return Status::ProtocolError("message length field mismatch");
+  }
+  SSE_ASSIGN_OR_RETURN(msg.payload, r.GetRaw(len));
+  return msg;
+}
+
+std::string MessageTypeName(uint16_t type) {
+  switch (type) {
+    case kMsgError:
+      return "Error";
+    case kMsgPutDocument:
+      return "PutDocument";
+    case kMsgPutDocumentAck:
+      return "PutDocumentAck";
+    case kMsgFetchDocuments:
+      return "FetchDocuments";
+    case kMsgFetchDocumentsResult:
+      return "FetchDocumentsResult";
+    default:
+      break;
+  }
+  // Names of the scheme-specific messages. Kept here (rather than in the
+  // core headers that define the constants) so transcripts and benches can
+  // label any message without a dependency cycle; the layouts are fixed by
+  // the wire protocol.
+  static constexpr const char* kScheme1Names[] = {
+      nullptr,        "NonceRequest", "NonceReply",       "UpdateRequest",
+      "UpdateAck",    "SearchRequest", "SearchNonceReply", "SearchFinish",
+      "SearchResult"};
+  static constexpr const char* kScheme2Names[] = {
+      nullptr,        "UpdateRequest", "UpdateAck",     "SearchRequest",
+      "SearchResult", "FetchAllRequest", "FetchAllReply", "ReinitRequest",
+      "ReinitAck"};
+  const uint16_t range = type & 0xff00;
+  const int sub = type & 0xff;
+  std::string prefix;
+  if (range == kMsgRangeScheme1) {
+    prefix = "Scheme1.";
+    if (sub >= 1 && sub <= 8) return prefix + kScheme1Names[sub];
+  } else if (range == kMsgRangeScheme2) {
+    prefix = "Scheme2.";
+    if (sub >= 1 && sub <= 8) return prefix + kScheme2Names[sub];
+  } else if (range == kMsgRangeBaseline) {
+    prefix = "Baseline.";
+  } else {
+    prefix = "Unknown.";
+  }
+  return prefix + std::to_string(sub);
+}
+
+Message MakeErrorMessage(const Status& status) {
+  BufferWriter w;
+  w.PutU16(static_cast<uint16_t>(status.code()));
+  w.PutString(status.message());
+  return Message{kMsgError, w.TakeData()};
+}
+
+Status DecodeErrorMessage(const Message& msg) {
+  if (msg.type != kMsgError) return Status::OK();
+  BufferReader r(msg.payload);
+  auto code = r.GetU16();
+  auto text = r.GetString();
+  if (!code.ok() || !text.ok()) {
+    return Status::ProtocolError("malformed error reply");
+  }
+  return Status(static_cast<StatusCode>(code.value()), text.value());
+}
+
+}  // namespace sse::net

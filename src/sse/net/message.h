@@ -1,0 +1,55 @@
+#ifndef SSE_NET_MESSAGE_H_
+#define SSE_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::net {
+
+/// Wire message: a 16-bit type tag plus an opaque payload. Each scheme
+/// defines its own type constants (see sse/core/*_messages.h); the channel
+/// layer only needs the envelope to frame, count and transcribe traffic.
+struct Message {
+  uint16_t type = 0;
+  Bytes payload;
+
+  /// Envelope size on the wire: type(2) ‖ u32 length ‖ payload.
+  size_t WireSize() const { return 2 + 4 + payload.size(); }
+
+  /// Serializes to the framed wire form.
+  Bytes Encode() const;
+
+  /// Parses a framed message; rejects trailing bytes.
+  static Result<Message> Decode(BytesView data);
+};
+
+/// Message type ranges. Keeping ranges disjoint per scheme makes
+/// transcripts self-describing.
+inline constexpr uint16_t kMsgRangeCommon = 0x0000;
+inline constexpr uint16_t kMsgRangeScheme1 = 0x0100;
+inline constexpr uint16_t kMsgRangeScheme2 = 0x0200;
+inline constexpr uint16_t kMsgRangeBaseline = 0x0300;
+
+/// Common messages.
+inline constexpr uint16_t kMsgError = kMsgRangeCommon + 1;
+inline constexpr uint16_t kMsgPutDocument = kMsgRangeCommon + 2;
+inline constexpr uint16_t kMsgPutDocumentAck = kMsgRangeCommon + 3;
+inline constexpr uint16_t kMsgFetchDocuments = kMsgRangeCommon + 4;
+inline constexpr uint16_t kMsgFetchDocumentsResult = kMsgRangeCommon + 5;
+
+/// Human-readable name for a message type (for transcripts and benches).
+std::string MessageTypeName(uint16_t type);
+
+/// Builds the standard error reply carrying a status.
+Message MakeErrorMessage(const Status& status);
+
+/// If `msg` is an error reply, decodes it into a Status (always non-OK);
+/// otherwise returns OK.
+Status DecodeErrorMessage(const Message& msg);
+
+}  // namespace sse::net
+
+#endif  // SSE_NET_MESSAGE_H_

@@ -1,0 +1,228 @@
+#include "sse/net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+
+namespace sse::net {
+
+namespace {
+
+constexpr uint32_t kMaxFrameSize = 1u << 30;
+
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IoError("socket send failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes; NOT_FOUND signals a clean EOF at a frame
+/// boundary (start of a frame), IO_ERROR anything else.
+Status ReadAll(int fd, uint8_t* data, size_t len, bool eof_ok_at_start) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) {
+      if (got == 0 && eof_ok_at_start) {
+        return Status::NotFound("peer closed the connection");
+      }
+      return Status::IoError("socket closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("socket recv failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, const Bytes& payload) {
+  uint8_t header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(payload.size() >> (8 * i));
+  }
+  SSE_RETURN_IF_ERROR(WriteAll(fd, header, 4));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<Bytes> ReadFrame(int fd, bool eof_ok_at_start) {
+  uint8_t header[4];
+  SSE_RETURN_IF_ERROR(ReadAll(fd, header, 4, eof_ok_at_start));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  if (len > kMaxFrameSize) {
+    return Status::ProtocolError("frame length exceeds 1 GiB");
+  }
+  Bytes payload(len);
+  if (len > 0) {
+    SSE_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len, false));
+  }
+  return payload;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- server --
+
+TcpServer::TcpServer(MessageHandler* handler, int listen_fd, uint16_t port)
+    : handler_(handler), listen_fd_(listen_fd), port_(port) {}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(MessageHandler* handler,
+                                                    uint16_t port) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("handler must be non-null");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("bind failed: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::IoError("listen failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return Status::IoError("getsockname failed");
+  }
+  auto server = std::unique_ptr<TcpServer>(
+      new TcpServer(handler, fd, ntohs(addr.sin_port)));
+  server->thread_ = std::thread([raw = server.get()] { raw->Serve(); });
+  return server;
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Shut the listening socket down; accept() returns with an error. Also
+  // shut down live connections so blocked recv() calls return and their
+  // worker threads can exit.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (int fd : open_conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpServer::Serve() {
+  while (!stopping_.load()) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listening socket gone
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      open_conns_.insert(conn);
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, conn] {
+      ServeConnection(conn);
+      {
+        std::lock_guard<std::mutex> conns_lock(conns_mutex_);
+        open_conns_.erase(conn);
+      }
+      ::close(conn);
+    });
+  }
+  // Join connection threads before the accept thread exits.
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  while (!stopping_.load()) {
+    Result<Bytes> frame = ReadFrame(fd, /*eof_ok_at_start=*/true);
+    if (!frame.ok()) return;  // clean close or broken peer: drop connection
+    Result<Message> request = Message::Decode(*frame);
+    Result<Message> reply = [&]() -> Result<Message> {
+      if (!request.ok()) return request.status();
+      std::lock_guard<std::mutex> lock(handler_mutex_);
+      return handler_->Handle(*request);
+    }();
+    if (!reply.ok()) reply = MakeErrorMessage(reply.status());
+    requests_served_.fetch_add(1);
+    if (!WriteFrame(fd, reply->Encode()).ok()) return;
+  }
+}
+
+// ---------------------------------------------------------------- client --
+
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
+    uint16_t port, const std::string& host) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("invalid host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Message> TcpChannel::Call(const Message& request) {
+  Bytes wire = request.Encode();
+  SSE_RETURN_IF_ERROR(WriteFrame(fd_, wire));
+  stats_.rounds += 1;
+  stats_.bytes_sent += wire.size();
+  stats_.calls_by_type[request.type] += 1;
+
+  Result<Bytes> frame = ReadFrame(fd_, /*eof_ok_at_start=*/false);
+  if (!frame.ok()) return frame.status();
+  stats_.bytes_received += frame->size();
+  Result<Message> reply = Message::Decode(*frame);
+  if (!reply.ok()) return reply.status();
+  Status app_error = DecodeErrorMessage(*reply);
+  if (!app_error.ok()) return app_error;
+  return reply;
+}
+
+}  // namespace sse::net

@@ -1,0 +1,89 @@
+#ifndef SSE_NET_TCP_H_
+#define SSE_NET_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sse/net/channel.h"
+#include "sse/util/result.h"
+
+namespace sse::net {
+
+/// Loopback/network transport for the protocols: a real TCP server serving
+/// any `MessageHandler`, and a matching `Channel` client. Framing is a
+/// little-endian u32 length prefix around `Message::Encode()` bytes — the
+/// same bytes the in-process channel counts, so measurements transfer.
+///
+/// Connections are served concurrently (thread per connection); the
+/// handler — a single-writer state machine in this library — is protected
+/// by a per-server mutex, so requests from different clients serialize at
+/// the dispatch point.
+class TcpServer {
+ public:
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving `handler`
+  /// on a background thread. `handler` must outlive the server.
+  static Result<std::unique_ptr<TcpServer>> Start(MessageHandler* handler,
+                                                  uint16_t port = 0);
+
+  /// The actually bound port.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the service thread. Idempotent; also run by
+  /// the destructor.
+  void Stop();
+
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  TcpServer(MessageHandler* handler, int listen_fd, uint16_t port);
+  void Serve();
+  void ServeConnection(int fd);
+
+  MessageHandler* handler_;
+  int listen_fd_;
+  uint16_t port_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread thread_;
+  std::mutex handler_mutex_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mutex_;
+  std::set<int> open_conns_;
+};
+
+/// Client channel over a TCP connection. One `Call` = one request/response
+/// round trip on the persistent connection.
+class TcpChannel : public Channel {
+ public:
+  ~TcpChannel() override;
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  /// Connects to 127.0.0.1:`port` (or `host`).
+  static Result<std::unique_ptr<TcpChannel>> Connect(
+      uint16_t port, const std::string& host = "127.0.0.1");
+
+  Result<Message> Call(const Message& request) override;
+  const ChannelStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Clear(); }
+
+ private:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+  int fd_;
+  ChannelStats stats_;
+};
+
+}  // namespace sse::net
+
+#endif  // SSE_NET_TCP_H_

@@ -1,0 +1,67 @@
+#include "sse/phr/phr_store.h"
+
+#include "sse/phr/tokenizer.h"
+
+namespace sse::phr {
+
+PhrStore::PhrStore(core::SseClientInterface* client) : client_(client) {}
+
+Status PhrStore::AddRecords(const std::vector<PatientRecord>& records) {
+  std::vector<core::Document> docs;
+  docs.reserve(records.size());
+  for (const PatientRecord& record : records) {
+    docs.push_back(RecordToDocument(next_id_ + docs.size(), record));
+  }
+  SSE_RETURN_IF_ERROR(client_->Store(docs));
+  next_id_ += docs.size();
+  return Status::OK();
+}
+
+Status PhrStore::AddRecord(const PatientRecord& record) {
+  return AddRecords({record});
+}
+
+Result<std::vector<PatientRecord>> PhrStore::SearchTag(std::string_view ns,
+                                                       std::string_view value) {
+  core::SearchOutcome outcome;
+  SSE_ASSIGN_OR_RETURN(outcome, client_->Search(Tag(ns, value)));
+  std::vector<PatientRecord> records;
+  records.reserve(outcome.documents.size());
+  for (const auto& [id, content] : outcome.documents) {
+    PatientRecord record;
+    SSE_ASSIGN_OR_RETURN(record, DocumentToRecord(content));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<PatientRecord>> PhrStore::FindByPatient(
+    std::string_view patient_id) {
+  return SearchTag("patient", patient_id);
+}
+
+Result<std::vector<PatientRecord>> PhrStore::FindByCondition(
+    std::string_view condition) {
+  return SearchTag("condition", condition);
+}
+
+Result<std::vector<PatientRecord>> PhrStore::FindByMedication(
+    std::string_view medication) {
+  return SearchTag("med", medication);
+}
+
+Result<std::vector<PatientRecord>> PhrStore::FindByNoteTerm(
+    std::string_view term) {
+  core::SearchOutcome outcome;
+  SSE_ASSIGN_OR_RETURN(outcome, client_->Search(ToLowerAscii(term)));
+  std::vector<PatientRecord> records;
+  records.reserve(outcome.documents.size());
+  for (const auto& [id, content] : outcome.documents) {
+    PatientRecord record;
+    SSE_ASSIGN_OR_RETURN(record, DocumentToRecord(content));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace sse::phr

@@ -1,0 +1,59 @@
+#ifndef SSE_PHR_PHR_STORE_H_
+#define SSE_PHR_PHR_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sse/core/types.h"
+#include "sse/phr/record.h"
+
+namespace sse::phr {
+
+/// PHR⁺ — the privacy-enhanced personal health record application of §6,
+/// layered over any of the library's SSE clients. The server (e.g. a cloud
+/// provider) stores only ciphertext and searchable tokens; all record
+/// parsing and keyword extraction happens client-side.
+///
+/// The two usage profiles from the paper map to the two schemes:
+///  * traveler / journalist: reads from anywhere, rare updates → Scheme 1
+///    (cheapest search computation; the extra round trip is fine on a
+///    broadband link).
+///  * general practitioner: update after every visit, search before the
+///    next one → Scheme 2 (one-round search, minimal update bandwidth;
+///    the search/update interleaving is exactly Optimization 2's best case).
+class PhrStore {
+ public:
+  /// `client` must outlive the store.
+  explicit PhrStore(core::SseClientInterface* client);
+
+  /// Stores a batch of records; assigns fresh document ids.
+  Status AddRecords(const std::vector<PatientRecord>& records);
+  Status AddRecord(const PatientRecord& record);
+
+  /// All records of one patient.
+  Result<std::vector<PatientRecord>> FindByPatient(std::string_view patient_id);
+  /// All records mentioning a diagnosed condition.
+  Result<std::vector<PatientRecord>> FindByCondition(
+      std::string_view condition);
+  /// All records prescribing a medication.
+  Result<std::vector<PatientRecord>> FindByMedication(
+      std::string_view medication);
+  /// Free-text search over note tokens.
+  Result<std::vector<PatientRecord>> FindByNoteTerm(std::string_view term);
+
+  /// Number of records stored through this handle.
+  uint64_t record_count() const { return next_id_; }
+
+ private:
+  Result<std::vector<PatientRecord>> SearchTag(std::string_view ns,
+                                               std::string_view value);
+
+  core::SseClientInterface* client_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace sse::phr
+
+#endif  // SSE_PHR_PHR_STORE_H_

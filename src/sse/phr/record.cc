@@ -1,0 +1,123 @@
+#include "sse/phr/record.h"
+
+#include <sstream>
+
+#include "sse/phr/tokenizer.h"
+
+namespace sse::phr {
+
+namespace {
+
+std::string JoinList(const std::vector<std::string>& items) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += items[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitList(const std::string& line) {
+  std::vector<std::string> out;
+  std::string current;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ';') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+      if (i + 1 < line.size() && line[i + 1] == ' ') ++i;
+    } else {
+      current.push_back(line[i]);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+}  // namespace
+
+std::string PatientRecord::ToText() const {
+  std::ostringstream os;
+  os << "patient_id: " << patient_id << "\n";
+  os << "name: " << name << "\n";
+  os << "visit_date: " << visit_date << "\n";
+  os << "practitioner: " << practitioner << "\n";
+  os << "conditions: " << JoinList(conditions) << "\n";
+  os << "medications: " << JoinList(medications) << "\n";
+  os << "allergies: " << JoinList(allergies) << "\n";
+  os << "notes: " << notes << "\n";
+  return os.str();
+}
+
+Result<PatientRecord> PatientRecord::FromText(const std::string& text) {
+  PatientRecord record;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_patient_id = false;
+  while (std::getline(is, line)) {
+    const size_t colon = line.find(": ");
+    std::string key;
+    std::string value;
+    if (colon == std::string::npos) {
+      // "key:" with empty value.
+      if (!line.empty() && line.back() == ':') {
+        key = line.substr(0, line.size() - 1);
+      } else {
+        continue;
+      }
+    } else {
+      key = line.substr(0, colon);
+      value = line.substr(colon + 2);
+    }
+    if (key == "patient_id") {
+      record.patient_id = value;
+      saw_patient_id = true;
+    } else if (key == "name") {
+      record.name = value;
+    } else if (key == "visit_date") {
+      record.visit_date = value;
+    } else if (key == "practitioner") {
+      record.practitioner = value;
+    } else if (key == "conditions") {
+      record.conditions = SplitList(value);
+    } else if (key == "medications") {
+      record.medications = SplitList(value);
+    } else if (key == "allergies") {
+      record.allergies = SplitList(value);
+    } else if (key == "notes") {
+      record.notes = value;
+    }
+  }
+  if (!saw_patient_id) {
+    return Status::Corruption("record text lacks a patient_id line");
+  }
+  return record;
+}
+
+std::vector<std::string> PatientRecord::SearchKeywords() const {
+  std::vector<std::string> keywords;
+  keywords.push_back(Tag("patient", patient_id));
+  if (!practitioner.empty()) keywords.push_back(Tag("gp", practitioner));
+  if (visit_date.size() >= 7) {
+    keywords.push_back(Tag("date", visit_date.substr(0, 7)));  // year-month
+  }
+  for (const std::string& c : conditions) {
+    keywords.push_back(Tag("condition", c));
+  }
+  for (const std::string& m : medications) keywords.push_back(Tag("med", m));
+  for (const std::string& a : allergies) keywords.push_back(Tag("allergy", a));
+  for (std::string& token : Tokenize(notes)) {
+    keywords.push_back(std::move(token));
+  }
+  return keywords;
+}
+
+core::Document RecordToDocument(uint64_t doc_id, const PatientRecord& record) {
+  return core::Document::Make(doc_id, record.ToText(),
+                              record.SearchKeywords());
+}
+
+Result<PatientRecord> DocumentToRecord(const Bytes& content) {
+  return PatientRecord::FromText(BytesToString(content));
+}
+
+}  // namespace sse::phr

@@ -1,0 +1,45 @@
+#ifndef SSE_PHR_RECORD_H_
+#define SSE_PHR_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sse/core/types.h"
+#include "sse/util/result.h"
+
+namespace sse::phr {
+
+/// A personal-health-record entry, the application the paper motivates in
+/// §1/§6 (PHR⁺: privacy-enhanced PHR on an honest-but-curious server).
+struct PatientRecord {
+  std::string patient_id;   // e.g. national id or MRN
+  std::string name;
+  std::string visit_date;   // ISO date string
+  std::string practitioner;
+  std::vector<std::string> conditions;
+  std::vector<std::string> medications;
+  std::vector<std::string> allergies;
+  std::string notes;
+
+  /// Serializes to a human-readable text body (the data item M_i).
+  std::string ToText() const;
+  /// Parses ToText() output.
+  static Result<PatientRecord> FromText(const std::string& text);
+
+  /// Structured search keywords (the metadata item W_i): namespaced tags
+  /// like "patient:p123", "condition:diabetes", "med:metformin",
+  /// "date:2026-07", plus free-text tokens from the notes.
+  std::vector<std::string> SearchKeywords() const;
+};
+
+/// Converts a record into the library's Document form under identifier
+/// `doc_id`.
+core::Document RecordToDocument(uint64_t doc_id, const PatientRecord& record);
+
+/// Parses a search outcome's document back into a record.
+Result<PatientRecord> DocumentToRecord(const Bytes& content);
+
+}  // namespace sse::phr
+
+#endif  // SSE_PHR_RECORD_H_

@@ -1,0 +1,76 @@
+#include "sse/phr/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+
+namespace sse::phr {
+
+namespace {
+
+constexpr std::array<std::string_view, 32> kStopwords = {
+    "the", "and", "for", "with", "that", "this", "from", "was",
+    "are", "has", "had", "have", "not", "but", "she", "him",
+    "her", "his", "its", "were", "been", "they", "them", "their",
+    "will", "would", "could", "should", "than", "then", "when", "who"};
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return std::find(kStopwords.begin(), kStopwords.end(), word) !=
+         kStopwords.end();
+}
+
+std::string ToLowerAscii(std::string_view word) {
+  std::string out;
+  out.reserve(word.size());
+  for (char c : word) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view text, size_t min_len) {
+  std::vector<std::string> tokens;
+  std::set<std::string> seen;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= min_len && !IsStopword(current) &&
+        seen.insert(current).second) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::string Tag(std::string_view ns, std::string_view value) {
+  std::string out(ns);
+  out.push_back(':');
+  bool last_dash = false;
+  for (char c : value) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      out.push_back(static_cast<char>(std::tolower(uc)));
+      last_dash = false;
+    } else if (!last_dash && !out.empty() && out.back() != ':') {
+      out.push_back('-');
+      last_dash = true;
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+}  // namespace sse::phr

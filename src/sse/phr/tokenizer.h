@@ -1,0 +1,29 @@
+#ifndef SSE_PHR_TOKENIZER_H_
+#define SSE_PHR_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sse::phr {
+
+/// Lowercases and strips non-alphanumerics; splits on whitespace and
+/// punctuation. Tokens shorter than `min_len` and stopwords are dropped;
+/// duplicates removed. This is the client-side step that turns free text
+/// into the keyword set W_i before encryption — the server never sees it.
+std::vector<std::string> Tokenize(std::string_view text, size_t min_len = 3);
+
+/// True for common English stopwords ("the", "and", ...).
+bool IsStopword(std::string_view word);
+
+/// Lowercase copy of `word` (ASCII).
+std::string ToLowerAscii(std::string_view word);
+
+/// Builds a namespaced tag, e.g. Tag("condition", "Diabetes Type 2") ->
+/// "condition:diabetes-type-2". Tags are exact-match keywords, robust to
+/// tokenizer changes.
+std::string Tag(std::string_view ns, std::string_view value);
+
+}  // namespace sse::phr
+
+#endif  // SSE_PHR_TOKENIZER_H_

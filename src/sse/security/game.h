@@ -1,0 +1,80 @@
+#ifndef SSE_SECURITY_GAME_H_
+#define SSE_SECURITY_GAME_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sse/core/options.h"
+#include "sse/security/trace.h"
+#include "sse/util/random.h"
+
+namespace sse::security {
+
+/// Executable form of the paper's Definition 4 (adaptive semantic
+/// security), as a distinguishing experiment.
+///
+/// Two histories with EQUAL traces are fixed; each trial flips a fair coin
+/// `b`, executes history `H_b` on a fresh Scheme 1 instance (fresh key,
+/// fresh randomness), and hands the adversary the server's *view*. The
+/// adversary guesses `b`; its advantage is `2·Pr[correct] − 1`. If the
+/// scheme meets the definition, no efficient adversary has non-negligible
+/// advantage — the suite runs a battery of concrete distinguishers and
+/// checks each stays within statistical noise, and validates the harness
+/// itself by confirming the same distinguishers DO win against a
+/// deliberately leaky strawman.
+///
+/// This is evidence, not proof: a passing battery cannot certify security,
+/// but any reliably winning distinguisher is a concrete break.
+
+/// Runs one history on a fresh Scheme 1 system and captures the server's
+/// view (Definition 2): ids, data-item ciphertexts, the searchable
+/// representations, and the search trapdoors in query order.
+Result<View> CaptureScheme1View(const History& history,
+                                const core::SchemeOptions& options,
+                                RandomSource& rng);
+
+/// An adversary: examines a view, outputs a guess for b (0 or 1).
+struct Distinguisher {
+  std::string name;
+  std::function<int(const View&)> guess;
+};
+
+/// Crude but honest adversaries: byte statistics over the masked index,
+/// ciphertext bit counts, nonce-blob correlations. Each would win with
+/// advantage ~1 against a scheme that leaked plaintext structure.
+std::vector<Distinguisher> BuiltinDistinguishers();
+
+struct GameOutcome {
+  int trials = 0;
+  int correct = 0;
+  /// 2·(correct/trials) − 1, in [−1, 1]; ~0 means no better than guessing.
+  double Advantage() const;
+};
+
+/// Plays the game for one distinguisher. `h0` and `h1` MUST have equal
+/// traces (checked; INVALID_ARGUMENT otherwise). Coin flips come from
+/// `coin_rng`; per-trial scheme randomness from `scheme_rng`.
+Result<GameOutcome> PlayScheme1Game(const History& h0, const History& h1,
+                                    const core::SchemeOptions& options,
+                                    const Distinguisher& adversary, int trials,
+                                    RandomSource& coin_rng,
+                                    RandomSource& scheme_rng);
+
+/// The strawman: a "view" of the same shape whose index stores the posting
+/// bitmaps UNMASKED (as a broken scheme would). Used to prove the
+/// distinguishers have teeth.
+Result<View> CaptureLeakyStrawmanView(const History& history,
+                                      const core::SchemeOptions& options,
+                                      RandomSource& rng);
+
+/// Plays the game against the strawman instead of the real scheme.
+Result<GameOutcome> PlayStrawmanGame(const History& h0, const History& h1,
+                                     const core::SchemeOptions& options,
+                                     const Distinguisher& adversary,
+                                     int trials, RandomSource& coin_rng,
+                                     RandomSource& scheme_rng);
+
+}  // namespace sse::security
+
+#endif  // SSE_SECURITY_GAME_H_

@@ -1,0 +1,88 @@
+#include "sse/security/leakage.h"
+
+#include <cmath>
+
+#include "sse/core/scheme1_messages.h"
+#include "sse/core/scheme2_messages.h"
+
+namespace sse::security {
+
+uint64_t LeakageReport::repeated_searches() const {
+  uint64_t repeats = 0;
+  for (const auto& [token, count] : token_occurrences) {
+    if (count > 1) repeats += count - 1;
+  }
+  return repeats;
+}
+
+double LeakageReport::UpdateSizeEntropy() const {
+  if (update_sizes.empty()) return 0.0;
+  std::map<uint64_t, uint64_t> histogram;
+  for (uint64_t size : update_sizes) ++histogram[size];
+  const double n = static_cast<double>(update_sizes.size());
+  double entropy = 0.0;
+  for (const auto& [size, count] : histogram) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+LeakageReport AnalyzeTranscript(
+    const std::vector<net::Exchange>& transcript) {
+  LeakageReport report;
+  for (const net::Exchange& exchange : transcript) {
+    const net::Message& req = exchange.request;
+    switch (req.type) {
+      case core::kMsgS1UpdateRequest: {
+        Result<core::S1UpdateRequest> parsed =
+            core::S1UpdateRequest::FromMessage(req);
+        if (parsed.ok()) {
+          report.update_keyword_counts.push_back(parsed->entries.size());
+          report.update_sizes.push_back(req.WireSize());
+        }
+        break;
+      }
+      case core::kMsgS2UpdateRequest: {
+        Result<core::S2UpdateRequest> parsed =
+            core::S2UpdateRequest::FromMessage(req);
+        if (parsed.ok()) {
+          report.update_keyword_counts.push_back(parsed->entries.size());
+          report.update_sizes.push_back(req.WireSize());
+        }
+        break;
+      }
+      case core::kMsgS1SearchRequest: {
+        Result<core::S1SearchRequest> parsed =
+            core::S1SearchRequest::FromMessage(req);
+        if (parsed.ok()) {
+          ++report.token_occurrences[HexEncode(parsed->token)];
+        }
+        break;
+      }
+      case core::kMsgS2SearchRequest: {
+        Result<core::S2SearchRequest> parsed =
+            core::S2SearchRequest::FromMessage(req);
+        if (parsed.ok()) {
+          ++report.token_occurrences[HexEncode(parsed->token)];
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    const net::Message& reply = exchange.reply;
+    if (reply.type == core::kMsgS1SearchResult) {
+      Result<core::S1SearchResult> parsed =
+          core::S1SearchResult::FromMessage(reply);
+      if (parsed.ok()) report.result_sizes.push_back(parsed->ids.size());
+    } else if (reply.type == core::kMsgS2SearchResult) {
+      Result<core::S2SearchResult> parsed =
+          core::S2SearchResult::FromMessage(reply);
+      if (parsed.ok()) report.result_sizes.push_back(parsed->ids.size());
+    }
+  }
+  return report;
+}
+
+}  // namespace sse::security

@@ -1,0 +1,45 @@
+#ifndef SSE_SECURITY_LEAKAGE_H_
+#define SSE_SECURITY_LEAKAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sse/net/channel.h"
+#include "sse/util/bytes.h"
+
+namespace sse::security {
+
+/// What an honest-but-curious server can extract from a connection's
+/// transcript without any keys. This is the measurement side of §5.7: the
+/// update-leakage analysis and the effect of batching / fake updates.
+struct LeakageReport {
+  /// Per update request: how many keyword entries it carried. An observer
+  /// learns the *aggregate* keyword count of a batch, nothing per-document
+  /// — which is why batching damps leakage, and why fixed-size fake-padded
+  /// updates make the sequence constant.
+  std::vector<uint64_t> update_keyword_counts;
+  /// Per update request: total wire bytes.
+  std::vector<uint64_t> update_sizes;
+  /// Distinct search tokens observed, with occurrence counts (the search
+  /// pattern Π in observable form).
+  std::map<std::string, uint64_t> token_occurrences;  // hex token -> count
+  /// Result-set sizes per search reply (the access pattern).
+  std::vector<uint64_t> result_sizes;
+
+  /// Number of searches whose token repeats an earlier search.
+  uint64_t repeated_searches() const;
+  /// Shannon entropy (bits) of the update-size sequence; 0 when all
+  /// updates look identical (perfect padding).
+  double UpdateSizeEntropy() const;
+};
+
+/// Parses a transcript of exchanges (any of the five systems) into the
+/// leakage an observer can extract. Unknown message types are counted by
+/// size only.
+LeakageReport AnalyzeTranscript(const std::vector<net::Exchange>& transcript);
+
+}  // namespace sse::security
+
+#endif  // SSE_SECURITY_LEAKAGE_H_

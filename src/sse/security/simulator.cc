@@ -1,0 +1,81 @@
+#include "sse/security/simulator.h"
+
+#include "sse/crypto/aead.h"
+#include "sse/crypto/elgamal.h"
+#include "sse/crypto/prf.h"
+
+namespace sse::security {
+
+size_t Scheme1Simulator::CiphertextSizeFor(size_t plain_len) {
+  return plain_len + crypto::kAeadOverhead;
+}
+
+size_t Scheme1Simulator::EncNonceSize() const {
+  // The group is a public parameter, so the simulator may size C_i exactly.
+  // Derive the size from a throwaway key pair (cached would be fine too;
+  // simulation is not on any hot path).
+  DeterministicRandom rng(7);
+  Result<crypto::ElGamal> eg =
+      crypto::ElGamal::Generate(options_.elgamal_group, rng);
+  if (!eg.ok()) return 0;
+  return eg->CiphertextSize();
+}
+
+Result<View> Scheme1Simulator::SimulateView(const Trace& trace,
+                                            size_t t) const {
+  if (t > trace.results.size()) {
+    return Status::InvalidArgument("t exceeds the trace's query count");
+  }
+  View view;
+  view.ids = trace.ids;
+
+  // R_1 .. R_n: random strings shaped like the real ciphertexts.
+  view.encrypted_documents.reserve(trace.lengths.size());
+  for (uint64_t len : trace.lengths) {
+    Bytes r;
+    SSE_ASSIGN_OR_RETURN(
+        r, rng_->Generate(CiphertextSizeFor(static_cast<size_t>(len))));
+    view.encrypted_documents.push_back(std::move(r));
+  }
+
+  // The simulated index: |W_D| random triples (A_i, B_i, C_i).
+  const size_t bitmap_bytes = (options_.max_documents + 7) / 8;
+  const size_t nonce_ct_size = EncNonceSize();
+  view.index.reserve(static_cast<size_t>(trace.unique_keywords));
+  for (uint64_t i = 0; i < trace.unique_keywords; ++i) {
+    View::IndexEntry entry;
+    SSE_ASSIGN_OR_RETURN(entry.token, rng_->Generate(crypto::kPrfOutputSize));
+    SSE_ASSIGN_OR_RETURN(entry.masked_bitmap, rng_->Generate(bitmap_bytes));
+    SSE_ASSIGN_OR_RETURN(entry.enc_nonce, rng_->Generate(nonce_ct_size));
+    view.index.push_back(std::move(entry));
+  }
+
+  // Trapdoors: repeat queries reuse the earlier T (search pattern Π);
+  // fresh queries consume an unused A_j.
+  size_t next_unused = 0;
+  view.trapdoors.reserve(t);
+  for (size_t i = 0; i < t; ++i) {
+    bool reused = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (trace.search_pattern[j][i]) {
+        view.trapdoors.push_back(view.trapdoors[j]);
+        reused = true;
+        break;
+      }
+    }
+    if (reused) continue;
+    if (next_unused >= view.index.size()) {
+      // More distinct queries than keywords: the extra trapdoors hit
+      // nothing; fabricate fresh random tokens.
+      Bytes token;
+      SSE_ASSIGN_OR_RETURN(token, rng_->Generate(crypto::kPrfOutputSize));
+      view.trapdoors.push_back(std::move(token));
+    } else {
+      view.trapdoors.push_back(view.index[next_unused].token);
+      ++next_unused;
+    }
+  }
+  return view;
+}
+
+}  // namespace sse::security

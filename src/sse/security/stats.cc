@@ -1,0 +1,72 @@
+#include "sse/security/stats.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+namespace sse::security {
+
+double MonobitFraction(BytesView data) {
+  if (data.empty()) return 0.5;
+  size_t ones = 0;
+  for (uint8_t b : data) ones += std::popcount(b);
+  return static_cast<double>(ones) / (8.0 * static_cast<double>(data.size()));
+}
+
+double ChiSquareBytes(BytesView data) {
+  if (data.empty()) return 0.0;
+  std::array<uint64_t, 256> histogram{};
+  for (uint8_t b : data) ++histogram[b];
+  const double expected = static_cast<double>(data.size()) / 256.0;
+  double chi = 0.0;
+  for (uint64_t observed : histogram) {
+    const double d = static_cast<double>(observed) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+double ShannonEntropyBytes(BytesView data) {
+  if (data.empty()) return 0.0;
+  std::array<uint64_t, 256> histogram{};
+  for (uint8_t b : data) ++histogram[b];
+  double entropy = 0.0;
+  const double n = static_cast<double>(data.size());
+  for (uint64_t count : histogram) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double SerialCorrelationBytes(BytesView data) {
+  if (data.size() < 2) return 0.0;
+  const size_t n = data.size() - 1;
+  double sum_x = 0, sum_y = 0, sum_xy = 0, sum_x2 = 0, sum_y2 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = data[i];
+    const double y = data[i + 1];
+    sum_x += x;
+    sum_y += y;
+    sum_xy += x * y;
+    sum_x2 += x * x;
+    sum_y2 += y * y;
+  }
+  const double num = static_cast<double>(n) * sum_xy - sum_x * sum_y;
+  const double den =
+      std::sqrt((static_cast<double>(n) * sum_x2 - sum_x * sum_x) *
+                (static_cast<double>(n) * sum_y2 - sum_y * sum_y));
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+bool LooksUniform(BytesView data, double monobit_slack, double chi_cut,
+                  double corr_cut) {
+  if (std::abs(MonobitFraction(data) - 0.5) > monobit_slack) return false;
+  if (ChiSquareBytes(data) > chi_cut) return false;
+  if (std::abs(SerialCorrelationBytes(data)) > corr_cut) return false;
+  return true;
+}
+
+}  // namespace sse::security

@@ -1,0 +1,36 @@
+#ifndef SSE_SECURITY_STATS_H_
+#define SSE_SECURITY_STATS_H_
+
+#include <cstddef>
+
+#include "sse/util/bytes.h"
+
+namespace sse::security {
+
+/// Crude statistical distinguishers used to sanity-check that real view
+/// components "look random" to the same degree simulated ones do. These
+/// are necessary-but-not-sufficient checks: failing them would break the
+/// scheme's security argument outright; passing them is consistent with it.
+
+/// Fraction of 1 bits. Uniform data converges to 0.5.
+double MonobitFraction(BytesView data);
+
+/// Pearson chi-square statistic of the byte histogram against uniform
+/// (255 degrees of freedom; ~340 is the p=0.0001 cut for large samples).
+double ChiSquareBytes(BytesView data);
+
+/// Shannon entropy of the byte distribution, in bits per byte (max 8).
+double ShannonEntropyBytes(BytesView data);
+
+/// Lag-1 serial correlation of the byte sequence (uniform data → ~0).
+double SerialCorrelationBytes(BytesView data);
+
+/// True when the sample passes all of: monobit within `monobit_slack` of
+/// 0.5, chi-square below `chi_cut`, |serial correlation| below `corr_cut`.
+/// Defaults suit samples of at least a few kilobytes.
+bool LooksUniform(BytesView data, double monobit_slack = 0.02,
+                  double chi_cut = 400.0, double corr_cut = 0.05);
+
+}  // namespace sse::security
+
+#endif  // SSE_SECURITY_STATS_H_

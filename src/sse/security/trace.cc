@@ -1,0 +1,48 @@
+#include "sse/security/trace.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sse::security {
+
+bool Trace::operator==(const Trace& other) const {
+  return ids == other.ids && lengths == other.lengths &&
+         unique_keywords == other.unique_keywords && results == other.results &&
+         search_pattern == other.search_pattern;
+}
+
+Trace ComputeTrace(const History& history) {
+  Trace trace;
+  trace.ids.reserve(history.documents.size());
+  trace.lengths.reserve(history.documents.size());
+  std::set<std::string> vocabulary;
+  for (const core::Document& doc : history.documents) {
+    trace.ids.push_back(doc.id);
+    trace.lengths.push_back(doc.content.size());
+    vocabulary.insert(doc.keywords.begin(), doc.keywords.end());
+  }
+  trace.unique_keywords = vocabulary.size();
+
+  for (const std::string& query : history.queries) {
+    std::vector<uint64_t> matches;
+    for (const core::Document& doc : history.documents) {
+      if (std::find(doc.keywords.begin(), doc.keywords.end(), query) !=
+          doc.keywords.end()) {
+        matches.push_back(doc.id);
+      }
+    }
+    std::sort(matches.begin(), matches.end());
+    trace.results.push_back(std::move(matches));
+  }
+
+  const size_t q = history.queries.size();
+  trace.search_pattern.assign(q, std::vector<bool>(q, false));
+  for (size_t i = 0; i < q; ++i) {
+    for (size_t j = 0; j < q; ++j) {
+      trace.search_pattern[i][j] = history.queries[i] == history.queries[j];
+    }
+  }
+  return trace;
+}
+
+}  // namespace sse::security

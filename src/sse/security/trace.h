@@ -1,0 +1,60 @@
+#ifndef SSE_SECURITY_TRACE_H_
+#define SSE_SECURITY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sse/core/types.h"
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::security {
+
+/// The paper's History (Definition 1): the client's secret input — a
+/// document collection plus the sequence of searched keywords.
+struct History {
+  std::vector<core::Document> documents;
+  std::vector<std::string> queries;  // w_1 .. w_q
+};
+
+/// The paper's Trace (Definition 3): everything the scheme is *allowed* to
+/// leak. Contains only public quantities — identifiers, data lengths, the
+/// number of unique keywords, per-query result sets (the access pattern)
+/// and the search pattern Π (which queries repeat).
+struct Trace {
+  std::vector<uint64_t> ids;           // id(M_1) .. id(M_n)
+  std::vector<uint64_t> lengths;       // |M_1| .. |M_n|
+  uint64_t unique_keywords = 0;        // |W_D|
+  std::vector<std::vector<uint64_t>> results;  // D(w_1) .. D(w_q)
+  /// search_pattern[i][j] == true iff w_i == w_j (symmetric, reflexive).
+  std::vector<std::vector<bool>> search_pattern;  // Π_q
+
+  /// True when `other` describes the same allowed leakage. Two histories
+  /// with equal traces must be indistinguishable to the server.
+  bool operator==(const Trace& other) const;
+};
+
+/// Computes the trace of a history (plaintext computation, used by the
+/// simulator and the tests).
+Trace ComputeTrace(const History& history);
+
+/// The paper's View (Definition 2): everything the server actually sees.
+/// Captured from a real protocol run, or fabricated by the Simulator.
+struct View {
+  std::vector<uint64_t> ids;
+  std::vector<Bytes> encrypted_documents;  // E_{k_m}(M_i)
+  /// The searchable representations S, one serialized entry per unique
+  /// keyword: for Scheme 1 a triple (token, masked bitmap, F(r)).
+  struct IndexEntry {
+    Bytes token;
+    Bytes masked_bitmap;
+    Bytes enc_nonce;
+  };
+  std::vector<IndexEntry> index;
+  std::vector<Bytes> trapdoors;  // T_{w_1} .. T_{w_t}
+};
+
+}  // namespace sse::security
+
+#endif  // SSE_SECURITY_TRACE_H_

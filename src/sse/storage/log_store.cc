@@ -1,0 +1,295 @@
+#include "sse/storage/log_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "sse/util/crc32.h"
+#include "sse/util/serde.h"
+
+namespace sse::storage {
+
+namespace {
+
+constexpr size_t kHeaderSize = 8;
+constexpr uint32_t kMaxRecordSize = 1u << 30;
+constexpr uint8_t kFlagPut = 0;
+constexpr uint8_t kFlagTombstone = 1;
+
+void PutU32(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32(const uint8_t* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+Status WriteAllAt(int fd, const uint8_t* data, size_t len, uint64_t offset) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::pwrite(fd, data + written, len - written,
+                               static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pwrite failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Bytes> ReadExactAt(int fd, size_t len, uint64_t offset) {
+  Bytes out(len);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::pread(fd, out.data() + got, len - got,
+                              static_cast<off_t>(offset + got));
+    if (n == 0) return Status::IoError("unexpected EOF in data file");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pread failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return out;
+}
+
+struct ParsedPayload {
+  uint8_t flags = 0;
+  Bytes key;
+  Bytes value;
+};
+
+Result<ParsedPayload> ParsePayload(BytesView payload) {
+  BufferReader r(payload);
+  ParsedPayload out;
+  SSE_ASSIGN_OR_RETURN(out.flags, r.GetU8());
+  if (out.flags > kFlagTombstone) {
+    return Status::Corruption("unknown record flags");
+  }
+  SSE_ASSIGN_OR_RETURN(out.key, r.GetBytes());
+  if (out.flags == kFlagPut) {
+    SSE_ASSIGN_OR_RETURN(out.value, r.GetBytes());
+  }
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Bytes BuildPayload(uint8_t flags, BytesView key, BytesView value) {
+  BufferWriter w;
+  w.PutU8(flags);
+  w.PutBytes(key);
+  if (flags == kFlagPut) w.PutBytes(value);
+  return w.TakeData();
+}
+
+}  // namespace
+
+LogStore::~LogStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<LogStore>> LogStore::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto store = std::unique_ptr<LogStore>(new LogStore(path, fd));
+  SSE_RETURN_IF_ERROR(store->ScanAndIndex());
+  return store;
+}
+
+Status LogStore::ScanAndIndex() {
+  const off_t file_size = ::lseek(fd_, 0, SEEK_END);
+  if (file_size < 0) return Status::IoError("lseek failed");
+  uint64_t offset = 0;
+  while (offset + kHeaderSize <= static_cast<uint64_t>(file_size)) {
+    Bytes header;
+    SSE_ASSIGN_OR_RETURN(header, ReadExactAt(fd_, kHeaderSize, offset));
+    const uint32_t len = GetU32(header.data());
+    const uint32_t crc = GetU32(header.data() + 4);
+    if (len > kMaxRecordSize) {
+      return Status::Corruption("record length implausible at offset " +
+                                std::to_string(offset));
+    }
+    if (offset + kHeaderSize + len > static_cast<uint64_t>(file_size)) {
+      break;  // torn tail
+    }
+    Bytes payload;
+    SSE_ASSIGN_OR_RETURN(payload, ReadExactAt(fd_, len, offset + kHeaderSize));
+    if (Crc32c(payload) != crc) {
+      // Torn if final record, corruption otherwise.
+      if (offset + kHeaderSize + len == static_cast<uint64_t>(file_size)) {
+        break;
+      }
+      return Status::Corruption("record CRC mismatch at offset " +
+                                std::to_string(offset));
+    }
+    ParsedPayload parsed;
+    SSE_ASSIGN_OR_RETURN(parsed, ParsePayload(payload));
+    const uint32_t record_len = kHeaderSize + len;
+    const std::string key = BytesToString(parsed.key);
+    auto it = index_.find(key);
+    if (it != index_.end()) garbage_bytes_ += it->second.record_len;
+    if (parsed.flags == kFlagPut) {
+      index_[key] = Slot{offset, record_len};
+    } else {
+      if (it != index_.end()) index_.erase(it);
+      garbage_bytes_ += record_len;  // the tombstone itself is garbage
+    }
+    offset += record_len;
+  }
+  tail_offset_ = offset;
+  // Drop any torn tail so new appends are well-framed.
+  if (offset < static_cast<uint64_t>(file_size)) {
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+      return Status::IoError("cannot truncate torn tail");
+    }
+  }
+  return Status::OK();
+}
+
+Status LogStore::AppendRecord(uint8_t flags, BytesView key, BytesView value,
+                              Slot* out_slot) {
+  const Bytes payload = BuildPayload(flags, key, value);
+  if (payload.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record exceeds 1 GiB");
+  }
+  Bytes record(kHeaderSize + payload.size());
+  PutU32(record.data(), static_cast<uint32_t>(payload.size()));
+  PutU32(record.data() + 4, Crc32c(payload));
+  std::copy(payload.begin(), payload.end(), record.begin() + kHeaderSize);
+  SSE_RETURN_IF_ERROR(WriteAllAt(fd_, record.data(), record.size(),
+                                 tail_offset_));
+  if (out_slot != nullptr) {
+    *out_slot = Slot{tail_offset_, static_cast<uint32_t>(record.size())};
+  }
+  tail_offset_ += record.size();
+  return Status::OK();
+}
+
+Status LogStore::Put(BytesView key, BytesView value) {
+  Slot slot;
+  SSE_RETURN_IF_ERROR(AppendRecord(kFlagPut, key, value, &slot));
+  const std::string k = BytesToString(key);
+  auto it = index_.find(k);
+  if (it != index_.end()) garbage_bytes_ += it->second.record_len;
+  index_[k] = slot;
+  return Status::OK();
+}
+
+Result<Bytes> LogStore::ReadValueAt(const Slot& slot,
+                                    BytesView expect_key) const {
+  Bytes record;
+  SSE_ASSIGN_OR_RETURN(record, ReadExactAt(fd_, slot.record_len, slot.offset));
+  const uint32_t len = GetU32(record.data());
+  const uint32_t crc = GetU32(record.data() + 4);
+  if (len + kHeaderSize != slot.record_len) {
+    return Status::Corruption("record length changed under us");
+  }
+  BytesView payload(record.data() + kHeaderSize, len);
+  if (Crc32c(payload) != crc) {
+    return Status::Corruption("record CRC mismatch on read");
+  }
+  ParsedPayload parsed;
+  SSE_ASSIGN_OR_RETURN(parsed, ParsePayload(payload));
+  if (parsed.flags != kFlagPut || !ConstantTimeEqual(parsed.key, expect_key)) {
+    return Status::Corruption("index points at a foreign record");
+  }
+  return parsed.value;
+}
+
+Result<Bytes> LogStore::Get(BytesView key) const {
+  auto it = index_.find(BytesToString(key));
+  if (it == index_.end()) {
+    return Status::NotFound("key not present");
+  }
+  return ReadValueAt(it->second, key);
+}
+
+bool LogStore::Contains(BytesView key) const {
+  return index_.count(BytesToString(key)) > 0;
+}
+
+Result<bool> LogStore::Delete(BytesView key) {
+  const std::string k = BytesToString(key);
+  auto it = index_.find(k);
+  if (it == index_.end()) return false;
+  Slot slot;
+  SSE_RETURN_IF_ERROR(AppendRecord(kFlagTombstone, key, {}, &slot));
+  garbage_bytes_ += it->second.record_len + slot.record_len;
+  index_.erase(it);
+  return true;
+}
+
+Status LogStore::Sync() {
+  if (::fsync(fd_) != 0) return Status::IoError("fsync failed");
+  return Status::OK();
+}
+
+Status LogStore::ForEach(
+    const std::function<Status(BytesView, BytesView)>& fn) const {
+  for (const auto& [key, slot] : index_) {
+    Bytes key_bytes = StringToBytes(key);
+    Bytes value;
+    SSE_ASSIGN_OR_RETURN(value, ReadValueAt(slot, key_bytes));
+    SSE_RETURN_IF_ERROR(fn(key_bytes, value));
+  }
+  return Status::OK();
+}
+
+Status LogStore::Compact() {
+  const std::string tmp_path = path_ + ".compact";
+  const int tmp_fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IoError("cannot create " + tmp_path);
+  }
+  // Stream live records into the new file and build the new index.
+  std::unordered_map<std::string, Slot> new_index;
+  uint64_t new_tail = 0;
+  Status status = Status::OK();
+  for (const auto& [key, slot] : index_) {
+    Bytes key_bytes = StringToBytes(key);
+    Result<Bytes> value = ReadValueAt(slot, key_bytes);
+    if (!value.ok()) {
+      status = value.status();
+      break;
+    }
+    const Bytes payload = BuildPayload(kFlagPut, key_bytes, *value);
+    Bytes record(kHeaderSize + payload.size());
+    PutU32(record.data(), static_cast<uint32_t>(payload.size()));
+    PutU32(record.data() + 4, Crc32c(payload));
+    std::copy(payload.begin(), payload.end(), record.begin() + kHeaderSize);
+    status = WriteAllAt(tmp_fd, record.data(), record.size(), new_tail);
+    if (!status.ok()) break;
+    new_index[key] = Slot{new_tail, static_cast<uint32_t>(record.size())};
+    new_tail += record.size();
+  }
+  if (status.ok() && ::fsync(tmp_fd) != 0) {
+    status = Status::IoError("fsync of compacted file failed");
+  }
+  if (!status.ok()) {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IoError("rename of compacted file failed");
+  }
+  ::close(fd_);
+  fd_ = tmp_fd;
+  index_ = std::move(new_index);
+  tail_offset_ = new_tail;
+  garbage_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace sse::storage

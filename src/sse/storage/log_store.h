@@ -1,0 +1,93 @@
+#ifndef SSE_STORAGE_LOG_STORE_H_
+#define SSE_STORAGE_LOG_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::storage {
+
+/// Append-only key-value store (bitcask design): one data file, every
+/// Put/Delete appends a checksummed record, and an in-memory index maps
+/// each live key to its newest record's offset. Reads are one pread;
+/// recovery is a single sequential scan (torn tails tolerated, mid-file
+/// corruption reported); `Compact()` rewrites only live records and swaps
+/// the file atomically.
+///
+/// This is the scale-path backend for the encrypted document store: values
+/// are opaque ciphertext blobs that never need range scans, exactly the
+/// access pattern a log-structured store serves best. Keys are arbitrary
+/// byte strings (document ids, tokens, anything).
+///
+/// Record format, little-endian:
+///   len:u32  crc32c(payload):u32  payload
+///   payload := flags:u8 (0 = put, 1 = tombstone) ‖ key:bytes ‖ value:bytes
+/// (tombstones omit the value field).
+class LogStore {
+ public:
+  ~LogStore();
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Opens (creating if absent) the store at `path` and rebuilds the
+  /// index by scanning. A torn final record is truncated away.
+  static Result<std::unique_ptr<LogStore>> Open(const std::string& path);
+
+  /// Inserts or overwrites `key`.
+  Status Put(BytesView key, BytesView value);
+
+  /// Returns the newest value for `key`, or NOT_FOUND.
+  Result<Bytes> Get(BytesView key) const;
+
+  bool Contains(BytesView key) const;
+
+  /// Removes `key` (appends a tombstone). Returns true if it was present.
+  Result<bool> Delete(BytesView key);
+
+  /// Flushes and fsyncs the data file.
+  Status Sync();
+
+  /// Rewrites the file keeping only live records; atomic (temp + rename).
+  /// Reclaims the garbage accumulated by overwrites and tombstones.
+  Status Compact();
+
+  /// Visits every live (key, value). Order unspecified. Reads values from
+  /// disk, so the callback sees exactly what recovery would.
+  Status ForEach(
+      const std::function<Status(BytesView key, BytesView value)>& fn) const;
+
+  size_t live_keys() const { return index_.size(); }
+  /// Current data file size in bytes.
+  uint64_t file_bytes() const { return tail_offset_; }
+  /// Bytes occupied by superseded records and tombstones (reclaimable).
+  uint64_t garbage_bytes() const { return garbage_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Slot {
+    uint64_t offset = 0;  // of the record header
+    uint32_t record_len = 0;  // header + payload
+  };
+
+  LogStore(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  Status ScanAndIndex();
+  Result<Bytes> ReadValueAt(const Slot& slot, BytesView expect_key) const;
+  Status AppendRecord(uint8_t flags, BytesView key, BytesView value,
+                      Slot* out_slot);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t tail_offset_ = 0;
+  uint64_t garbage_bytes_ = 0;
+  std::unordered_map<std::string, Slot> index_;
+};
+
+}  // namespace sse::storage
+
+#endif  // SSE_STORAGE_LOG_STORE_H_

@@ -1,0 +1,99 @@
+#include "sse/storage/snapshot.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "sse/util/crc32.h"
+#include "sse/util/serde.h"
+
+namespace sse::storage {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'S', 'E', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status Snapshot::Write(const std::string& path, BytesView payload) {
+  BufferWriter w;
+  w.PutRaw(BytesView(reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic)));
+  w.PutU32(kVersion);
+  w.PutU64(payload.size());
+  w.PutU32(Crc32c(payload));
+  w.PutRaw(payload);
+  const Bytes& framed = w.data();
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create " + tmp + ": " + std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(framed.data(), 1, framed.size(), file) == framed.size();
+  const bool flushed = std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+  std::fclose(file);
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IoError("snapshot write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("snapshot rename failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<Bytes> Snapshot::Read(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("no snapshot at " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long file_size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (file_size < 0) {
+    std::fclose(file);
+    return Status::IoError("cannot stat snapshot " + path);
+  }
+  Bytes raw(static_cast<size_t>(file_size));
+  const size_t got = raw.empty() ? 0 : std::fread(raw.data(), 1, raw.size(), file);
+  std::fclose(file);
+  if (got != raw.size()) return Status::IoError("short read on snapshot");
+
+  BufferReader r(raw);
+  Bytes magic;
+  SSE_ASSIGN_OR_RETURN(magic, r.GetRaw(sizeof(kMagic)));
+  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("snapshot magic mismatch");
+  }
+  uint32_t version = 0;
+  SSE_ASSIGN_OR_RETURN(version, r.GetU32());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported snapshot version " +
+                              std::to_string(version));
+  }
+  uint64_t length = 0;
+  SSE_ASSIGN_OR_RETURN(length, r.GetU64());
+  uint32_t crc = 0;
+  SSE_ASSIGN_OR_RETURN(crc, r.GetU32());
+  if (length != r.remaining()) {
+    return Status::Corruption("snapshot payload length mismatch");
+  }
+  Bytes payload;
+  SSE_ASSIGN_OR_RETURN(payload, r.GetRaw(static_cast<size_t>(length)));
+  if (Crc32c(payload) != crc) {
+    return Status::Corruption("snapshot CRC mismatch");
+  }
+  return payload;
+}
+
+bool Snapshot::Exists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace sse::storage

@@ -1,0 +1,32 @@
+#ifndef SSE_STORAGE_SNAPSHOT_H_
+#define SSE_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::storage {
+
+/// Atomic snapshot files.
+///
+/// A snapshot is an opaque byte blob (the serialized server state) wrapped
+/// in a small integrity envelope: magic ‖ version ‖ u64 length ‖ u32 CRC-32C
+/// ‖ payload. `Write` stages into `<path>.tmp` and renames, so readers
+/// never observe a half-written snapshot; `Read` verifies the envelope and
+/// fails with CORRUPTION on any mismatch.
+class Snapshot {
+ public:
+  /// Writes `payload` atomically to `path`.
+  static Status Write(const std::string& path, BytesView payload);
+
+  /// Reads and verifies the snapshot at `path`.
+  static Result<Bytes> Read(const std::string& path);
+
+  /// True if a snapshot file exists at `path`.
+  static bool Exists(const std::string& path);
+};
+
+}  // namespace sse::storage
+
+#endif  // SSE_STORAGE_SNAPSHOT_H_

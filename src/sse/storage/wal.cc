@@ -1,0 +1,142 @@
+#include "sse/storage/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "sse/util/crc32.h"
+
+namespace sse::storage {
+
+namespace {
+
+void PutU32(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32(const uint8_t* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+constexpr size_t kHeaderSize = 8;
+constexpr uint32_t kMaxRecordSize = 1u << 30;
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      appended_records_(other.appended_records_) {
+  other.file_ = nullptr;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    appended_records_ = other.appended_records_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open WAL at " + path + ": " +
+                           std::strerror(errno));
+  }
+  return WriteAheadLog(path, file);
+}
+
+Status WriteAheadLog::Append(BytesView payload) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
+  if (payload.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("WAL record exceeds 1 GiB");
+  }
+  uint8_t header[kHeaderSize];
+  PutU32(header, static_cast<uint32_t>(payload.size()));
+  PutU32(header + 4, Crc32c(payload));
+  if (std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    return Status::IoError("WAL header write failed");
+  }
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    return Status::IoError("WAL payload write failed");
+  }
+  ++appended_records_;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
+  if (std::fflush(file_) != 0) return Status::IoError("WAL fflush failed");
+  if (fsync(fileno(file_)) != 0) return Status::IoError("WAL fsync failed");
+  return Status::OK();
+}
+
+Status WriteAheadLog::Replay(const std::string& path,
+                             const std::function<Status(BytesView)>& fn,
+                             uint64_t* torn_bytes) {
+  if (torn_bytes != nullptr) *torn_bytes = 0;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    // A missing log is an empty log.
+    return Status::OK();
+  }
+  Status status = Status::OK();
+  while (true) {
+    uint8_t header[kHeaderSize];
+    const size_t got = std::fread(header, 1, kHeaderSize, file);
+    if (got == 0) break;  // clean EOF
+    if (got < kHeaderSize) {
+      if (torn_bytes != nullptr) *torn_bytes = got;
+      break;  // torn header at tail
+    }
+    const uint32_t len = GetU32(header);
+    const uint32_t crc = GetU32(header + 4);
+    if (len > kMaxRecordSize) {
+      status = Status::Corruption("WAL record length implausible");
+      break;
+    }
+    Bytes payload(len);
+    const size_t body = std::fread(payload.data(), 1, len, file);
+    if (body < len) {
+      if (torn_bytes != nullptr) *torn_bytes = kHeaderSize + body;
+      break;  // torn payload at tail
+    }
+    if (Crc32c(payload) != crc) {
+      // If this is the final record it is a torn write; if more data
+      // follows it is corruption. Peek one byte to distinguish.
+      const int next = std::fgetc(file);
+      if (next == EOF) {
+        if (torn_bytes != nullptr) *torn_bytes = kHeaderSize + len;
+        break;
+      }
+      status = Status::Corruption("WAL record CRC mismatch mid-log");
+      break;
+    }
+    status = fn(payload);
+    if (!status.ok()) break;
+  }
+  std::fclose(file);
+  return status;
+}
+
+Status WriteAheadLog::Reset() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return Status::IoError("WAL reopen failed");
+  appended_records_ = 0;
+  return Status::OK();
+}
+
+}  // namespace sse::storage

@@ -1,0 +1,63 @@
+#ifndef SSE_STORAGE_WAL_H_
+#define SSE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::storage {
+
+/// Append-only write-ahead log.
+///
+/// The SSE server journals every mutation (document put, searchable
+/// representation change) before applying it, so a crash between a client
+/// update and the next snapshot cannot lose acknowledged writes. Record
+/// framing: u32 payload length ‖ u32 CRC-32C(payload) ‖ payload, all
+/// little-endian. Replay stops cleanly at a torn tail (truncated or
+/// CRC-failing final record) and reports genuine corruption elsewhere.
+class WriteAheadLog {
+ public:
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  ~WriteAheadLog();
+
+  /// Opens (creating if absent) the log at `path` for appending.
+  static Result<WriteAheadLog> Open(const std::string& path);
+
+  /// Appends one record. The payload may be empty.
+  Status Append(BytesView payload);
+
+  /// Flushes buffered writes to the OS and fsyncs.
+  Status Sync();
+
+  /// Reads every intact record from `path` in order. A torn final record is
+  /// tolerated (returns OK and reports how many bytes were dropped via
+  /// `torn_bytes` if non-null); corruption elsewhere returns CORRUPTION.
+  static Status Replay(const std::string& path,
+                       const std::function<Status(BytesView)>& fn,
+                       uint64_t* torn_bytes = nullptr);
+
+  /// Truncates the log to zero length (after a snapshot subsumes it).
+  Status Reset();
+
+  uint64_t appended_records() const { return appended_records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t appended_records_ = 0;
+};
+
+}  // namespace sse::storage
+
+#endif  // SSE_STORAGE_WAL_H_

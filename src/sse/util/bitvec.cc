@@ -1,0 +1,127 @@
+#include "sse/util/bitvec.h"
+
+#include <bit>
+
+namespace sse {
+
+namespace {
+constexpr size_t kWordBits = 64;
+
+size_t WordsFor(size_t num_bits) { return (num_bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVec::BitVec(size_t num_bits)
+    : num_bits_(num_bits), words_(WordsFor(num_bits), 0) {}
+
+Result<BitVec> BitVec::FromPositions(size_t num_bits,
+                                     const std::vector<uint64_t>& positions) {
+  BitVec v(num_bits);
+  for (uint64_t pos : positions) {
+    if (pos >= num_bits) {
+      return Status::OutOfRange("bit position " + std::to_string(pos) +
+                                " >= size " + std::to_string(num_bits));
+    }
+    v.Set(static_cast<size_t>(pos));
+  }
+  return v;
+}
+
+Result<BitVec> BitVec::FromBytes(size_t num_bits, BytesView bytes) {
+  const size_t want = (num_bits + 7) / 8;
+  if (bytes.size() != want) {
+    return Status::InvalidArgument("bitmap byte size mismatch: got " +
+                                   std::to_string(bytes.size()) + ", want " +
+                                   std::to_string(want));
+  }
+  BitVec v(num_bits);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    v.words_[i / 8] |= static_cast<uint64_t>(bytes[i]) << (8 * (i % 8));
+  }
+  // Padding bits beyond num_bits must be zero; otherwise two logically
+  // equal bitmaps could have different serializations.
+  BitVec check = v;
+  check.ClearPadding();
+  if (check.words_ != v.words_) {
+    return Status::InvalidArgument("nonzero padding bits in bitmap");
+  }
+  return v;
+}
+
+bool BitVec::Get(size_t i) const {
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVec::Set(size_t i, bool value) {
+  const uint64_t mask = uint64_t{1} << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::Flip(size_t i) { words_[i / kWordBits] ^= uint64_t{1} << (i % kWordBits); }
+
+void BitVec::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+void BitVec::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize(WordsFor(num_bits), 0);
+  ClearPadding();
+}
+
+size_t BitVec::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+std::vector<uint64_t> BitVec::Ones() const {
+  std::vector<uint64_t> out;
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<uint64_t>(wi) * kWordBits + bit);
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+Status BitVec::XorWith(const BitVec& other) {
+  if (num_bits_ != other.num_bits_) {
+    return Status::InvalidArgument("BitVec XOR size mismatch");
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return Status::OK();
+}
+
+Bytes BitVec::ToBytes() const {
+  Bytes out((num_bits_ + 7) / 8, 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>(words_[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+std::string BitVec::ToString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) out.push_back(Get(i) ? '1' : '0');
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+void BitVec::ClearPadding() {
+  if (words_.empty()) return;
+  const size_t used = num_bits_ % kWordBits;
+  if (used != 0) {
+    words_.back() &= (uint64_t{1} << used) - 1;
+  }
+}
+
+}  // namespace sse

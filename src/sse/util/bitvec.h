@@ -1,0 +1,78 @@
+#ifndef SSE_UTIL_BITVEC_H_
+#define SSE_UTIL_BITVEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse {
+
+/// Dynamically sized bit vector with fast XOR / popcount / set-bit
+/// enumeration.
+///
+/// Scheme 1 represents the posting set `I(w)` as a bitmap over document
+/// identifiers: bit `i` is set iff document `i` matches keyword `w`
+/// (paper §5.2). The mask `G(r)` and the update delta `U(w)` use the same
+/// representation, so the whole update protocol reduces to BitVec XORs.
+class BitVec {
+ public:
+  BitVec() = default;
+  /// Creates a vector of `num_bits` zero bits.
+  explicit BitVec(size_t num_bits);
+
+  /// Builds a bitmap with the given bit positions set. Positions >=
+  /// num_bits are rejected.
+  static Result<BitVec> FromPositions(size_t num_bits,
+                                      const std::vector<uint64_t>& positions);
+
+  /// Interprets `bytes` as a bitmap of exactly `num_bits` bits
+  /// (little-endian bit order within each byte). Rejects size mismatch and
+  /// nonzero padding bits.
+  static Result<BitVec> FromBytes(size_t num_bits, BytesView bytes);
+
+  size_t size() const { return num_bits_; }
+  size_t size_bytes() const { return words_.size() * 8; }
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Precondition: `i < size()`.
+  bool Get(size_t i) const;
+  void Set(size_t i, bool value = true);
+  void Flip(size_t i);
+  void Clear();
+
+  /// Grows (or shrinks) to `num_bits`; new bits are zero. Shrinking clears
+  /// any bits beyond the new size.
+  void Resize(size_t num_bits);
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<uint64_t> Ones() const;
+
+  /// XORs `other` into this vector. Requires equal sizes.
+  Status XorWith(const BitVec& other);
+
+  /// Serializes to ceil(num_bits/8) bytes, little-endian bit order.
+  Bytes ToBytes() const;
+
+  /// "0"/"1" string, index 0 first; for diagnostics and small tests.
+  std::string ToString() const;
+
+  bool operator==(const BitVec& other) const;
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+ private:
+  void ClearPadding();
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sse
+
+#endif  // SSE_UTIL_BITVEC_H_

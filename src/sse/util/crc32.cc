@@ -1,0 +1,42 @@
+#include "sse/util/crc32.h"
+
+#include <array>
+
+namespace sse {
+
+namespace {
+
+// CRC-32C (Castagnoli) polynomial, reflected form.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t seed, BytesView data) {
+  const auto& table = Table();
+  uint32_t crc = ~seed;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(BytesView data) { return Crc32cExtend(0, data); }
+
+}  // namespace sse

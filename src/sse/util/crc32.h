@@ -1,0 +1,19 @@
+#ifndef SSE_UTIL_CRC32_H_
+#define SSE_UTIL_CRC32_H_
+
+#include <cstdint>
+
+#include "sse/util/bytes.h"
+
+namespace sse {
+
+/// CRC-32C (Castagnoli) checksum, used to detect torn or corrupted records
+/// in the write-ahead log and snapshot files.
+uint32_t Crc32c(BytesView data);
+
+/// Incremental form: pass the previous return value as `seed` (start at 0).
+uint32_t Crc32cExtend(uint32_t seed, BytesView data);
+
+}  // namespace sse
+
+#endif  // SSE_UTIL_CRC32_H_

@@ -1,0 +1,43 @@
+#ifndef SSE_UTIL_LOGGING_H_
+#define SSE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sse {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped. Default is
+/// kWarning so library users see problems but not chatter.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style one-shot logger; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define SSE_LOG(level)                                                      \
+  ::sse::internal_logging::LogMessage(::sse::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+}  // namespace sse
+
+#endif  // SSE_UTIL_LOGGING_H_

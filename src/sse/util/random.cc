@@ -1,0 +1,91 @@
+#include "sse/util/random.h"
+
+#include <openssl/rand.h>
+
+namespace sse {
+
+Result<Bytes> RandomSource::Generate(size_t n) {
+  Bytes out(n);
+  SSE_RETURN_IF_ERROR(Fill(out));
+  return out;
+}
+
+Result<uint64_t> RandomSource::NextU64() {
+  Bytes b(8);
+  SSE_RETURN_IF_ERROR(Fill(b));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> RandomSource::UniformU64(uint64_t bound) {
+  if (bound == 0) return Status::InvalidArgument("UniformU64 bound must be > 0");
+  // Rejection sampling: accept values below the largest multiple of bound.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  while (true) {
+    uint64_t v = 0;
+    SSE_ASSIGN_OR_RETURN(v, NextU64());
+    if (v < limit || limit == 0) return v % bound;
+  }
+}
+
+Status SystemRandom::Fill(Bytes& out) {
+  if (out.empty()) return Status::OK();
+  if (RAND_bytes(out.data(), static_cast<int>(out.size())) != 1) {
+    return Status::CryptoError("RAND_bytes failed");
+  }
+  return Status::OK();
+}
+
+SystemRandom& SystemRandom::Instance() {
+  static SystemRandom* instance = new SystemRandom();
+  return *instance;
+}
+
+namespace {
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the single seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+DeterministicRandom::DeterministicRandom(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+uint64_t DeterministicRandom::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double DeterministicRandom::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+Status DeterministicRandom::Fill(Bytes& out) {
+  size_t i = 0;
+  while (i < out.size()) {
+    uint64_t v = Next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<uint8_t>(v >> (8 * b));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sse

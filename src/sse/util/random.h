@@ -1,0 +1,63 @@
+#ifndef SSE_UTIL_RANDOM_H_
+#define SSE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse {
+
+/// Source of random bytes. Every randomized component in the library
+/// (key generation, nonce drawing, ElGamal ephemerals, workload synthesis)
+/// takes a `RandomSource&` so tests and benchmarks can inject a seeded
+/// deterministic generator while production uses the OS CSPRNG.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with `out.size()` random bytes.
+  virtual Status Fill(Bytes& out) = 0;
+
+  /// Returns `n` random bytes.
+  Result<Bytes> Generate(size_t n);
+
+  /// Uniform 64-bit value.
+  Result<uint64_t> NextU64();
+
+  /// Uniform value in [0, bound) via rejection sampling (no modulo bias).
+  /// `bound` must be nonzero.
+  Result<uint64_t> UniformU64(uint64_t bound);
+};
+
+/// Cryptographically secure source backed by OpenSSL `RAND_bytes`.
+class SystemRandom : public RandomSource {
+ public:
+  SystemRandom() = default;
+  Status Fill(Bytes& out) override;
+
+  /// Shared process-wide instance.
+  static SystemRandom& Instance();
+};
+
+/// Deterministic, seedable generator (xoshiro256**). NOT cryptographically
+/// secure — for tests and reproducible workload generation only.
+class DeterministicRandom : public RandomSource {
+ public:
+  explicit DeterministicRandom(uint64_t seed);
+  Status Fill(Bytes& out) override;
+
+  /// Raw next value of the underlying engine (handy for workload code).
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sse
+
+#endif  // SSE_UTIL_RANDOM_H_

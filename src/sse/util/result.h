@@ -1,0 +1,79 @@
+#ifndef SSE_UTIL_RESULT_H_
+#define SSE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "sse/util/status.h"
+
+namespace sse {
+
+/// `Result<T>` is either a value of type `T` or a non-OK `Status`
+/// (abseil `StatusOr` idiom). It converts implicitly from both so that
+/// `return Status::NotFound(...)` and `return value;` both work inside a
+/// `Result`-returning function.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit, mirroring absl::StatusOr: allows
+  /// `return value;` from Result-returning functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Intentionally implicit: allows `return Status::NotFound(...);`.
+  /// `status` must be non-OK; an OK status here is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagates the error if any, otherwise
+/// assigns the value into `lhs`, which must already be declared.
+#define SSE_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  do {                                                \
+    auto _sse_result = (rexpr);                       \
+    if (!_sse_result.ok()) return _sse_result.status(); \
+    lhs = std::move(_sse_result).value();             \
+  } while (0)
+
+}  // namespace sse
+
+#endif  // SSE_UTIL_RESULT_H_

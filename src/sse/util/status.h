@@ -1,0 +1,119 @@
+#ifndef SSE_UTIL_STATUS_H_
+#define SSE_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sse {
+
+/// Error categories used across the library. The set intentionally mirrors
+/// the failure domains of an SSE deployment: local argument misuse, crypto
+/// failures (bad MAC, decryption failure), protocol violations observed by
+/// either party, server-side storage faults, and exhausted resources such as
+/// a fully-consumed hash chain (Scheme 2, Optimization 2).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kCryptoError = 6,
+  kProtocolError = 7,
+  kIoError = 8,
+  kCorruption = 9,
+  kResourceExhausted = 10,
+  kUnimplemented = 11,
+  kInternal = 12,
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "CRYPTO_ERROR").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic status object carrying an error code and a message.
+///
+/// The library does not throw exceptions across its public API; every
+/// fallible operation returns `Status` or `Result<T>`. `Status` is cheap to
+/// copy in the OK case (empty message) and cheap to move always.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller. Usable in any function
+/// returning `Status` or `Result<T>` (Result converts from Status).
+#define SSE_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::sse::Status _sse_status = (expr);      \
+    if (!_sse_status.ok()) return _sse_status; \
+  } while (0)
+
+}  // namespace sse
+
+#endif  // SSE_UTIL_STATUS_H_

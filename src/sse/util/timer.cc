@@ -1,0 +1,50 @@
+#include "sse/util/timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sse {
+
+double LatencyStats::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyStats::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::Percentile(double q) const {
+  if (samples_.empty()) return 0;
+  std::sort(samples_.begin(), samples_.end());
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t idx = static_cast<size_t>(pos + 0.5);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double LatencyStats::Stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double mean = Mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - mean) * (s - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string LatencyStats::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus", count(),
+                Mean(), Percentile(0.50), Percentile(0.99), Max());
+  return buf;
+}
+
+}  // namespace sse

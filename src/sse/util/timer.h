@@ -1,0 +1,53 @@
+#ifndef SSE_UTIL_TIMER_H_
+#define SSE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sse {
+
+/// Monotonic stopwatch for the benchmark harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates latency samples and reports summary statistics. Used by the
+/// table-reproduction harness (google-benchmark handles the micro side;
+/// this covers protocol-level sweeps where we print paper-style rows).
+class LatencyStats {
+ public:
+  void Add(double micros) { samples_.push_back(micros); }
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// q in [0,1]; nearest-rank on the sorted samples.
+  double Percentile(double q) const;
+  double Stddev() const;
+
+  /// e.g. "n=100 mean=12.3us p50=11.0us p99=20.1us".
+  std::string Summary() const;
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+}  // namespace sse
+
+#endif  // SSE_UTIL_TIMER_H_

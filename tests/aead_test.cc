@@ -1,0 +1,98 @@
+#include "sse/crypto/aead.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/util/random.h"
+
+namespace sse::crypto {
+namespace {
+
+class AeadTest : public ::testing::Test {
+ protected:
+  AeadTest() : rng_(42), aead_(Aead::Create(Bytes(32, 0x01)).value()) {}
+  DeterministicRandom rng_;
+  Aead aead_;
+};
+
+TEST_F(AeadTest, RoundTrip) {
+  Bytes plaintext = StringToBytes("patient record: hypertension");
+  Bytes aad = StringToBytes("doc-7");
+  auto ct = aead_.Seal(plaintext, aad, rng_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->size(), plaintext.size() + kAeadOverhead);
+  auto pt = aead_.Open(*ct, aad);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, plaintext);
+}
+
+TEST_F(AeadTest, EmptyPlaintext) {
+  auto ct = aead_.Seal(Bytes{}, Bytes{}, rng_);
+  ASSERT_TRUE(ct.ok());
+  auto pt = aead_.Open(*ct, Bytes{});
+  ASSERT_TRUE(pt.ok());
+  EXPECT_TRUE(pt->empty());
+}
+
+TEST_F(AeadTest, CiphertextsAreRandomized) {
+  Bytes plaintext = StringToBytes("same message");
+  auto a = aead_.Seal(plaintext, {}, rng_);
+  auto b = aead_.Seal(plaintext, {}, rng_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST_F(AeadTest, TamperedCiphertextRejected) {
+  auto ct = aead_.Seal(StringToBytes("secret"), {}, rng_);
+  ASSERT_TRUE(ct.ok());
+  for (size_t i = 0; i < ct->size(); i += 5) {
+    Bytes corrupted = *ct;
+    corrupted[i] ^= 0x80;
+    EXPECT_FALSE(aead_.Open(corrupted, {}).ok()) << "byte " << i;
+  }
+}
+
+TEST_F(AeadTest, WrongAadRejected) {
+  auto ct = aead_.Seal(StringToBytes("content"), StringToBytes("doc-1"), rng_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(aead_.Open(*ct, StringToBytes("doc-2")).ok());
+  EXPECT_FALSE(aead_.Open(*ct, Bytes{}).ok());
+}
+
+TEST_F(AeadTest, WrongKeyRejected) {
+  auto other = Aead::Create(Bytes(32, 0x02));
+  ASSERT_TRUE(other.ok());
+  auto ct = aead_.Seal(StringToBytes("content"), {}, rng_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(other->Open(*ct, {}).ok());
+}
+
+TEST_F(AeadTest, TruncatedCiphertextRejected) {
+  auto ct = aead_.Seal(StringToBytes("content"), {}, rng_);
+  ASSERT_TRUE(ct.ok());
+  Bytes truncated(ct->begin(), ct->begin() + kAeadOverhead - 1);
+  EXPECT_FALSE(aead_.Open(truncated, {}).ok());
+  EXPECT_FALSE(aead_.Open(Bytes{}, {}).ok());
+}
+
+TEST(AeadCreateTest, RejectsWrongKeySize) {
+  EXPECT_FALSE(Aead::Create(Bytes(16, 1)).ok());
+  EXPECT_FALSE(Aead::Create(Bytes(31, 1)).ok());
+  EXPECT_FALSE(Aead::Create(Bytes{}).ok());
+  EXPECT_TRUE(Aead::Create(Bytes(32, 1)).ok());
+}
+
+TEST(AeadCreateTest, LargePayloadRoundTrip) {
+  DeterministicRandom rng(3);
+  Aead aead = Aead::Create(Bytes(32, 0x0c)).value();
+  Bytes big(1 << 20);
+  ASSERT_TRUE(rng.Fill(big).ok());
+  auto ct = aead.Seal(big, {}, rng);
+  ASSERT_TRUE(ct.ok());
+  auto pt = aead.Open(*ct, {});
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, big);
+}
+
+}  // namespace
+}  // namespace sse::crypto

@@ -1,0 +1,178 @@
+#include "sse/util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/util/random.h"
+
+namespace sse {
+namespace {
+
+TEST(BitVecTest, StartsAllZero) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.Count(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVecTest, SetGetFlip) {
+  BitVec v(70);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(69);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(69));
+  EXPECT_EQ(v.Count(), 4u);
+  v.Flip(63);
+  EXPECT_FALSE(v.Get(63));
+  v.Set(0, false);
+  EXPECT_FALSE(v.Get(0));
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVecTest, OnesAscending) {
+  BitVec v(130);
+  v.Set(5);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_EQ(v.Ones(), (std::vector<uint64_t>{5, 64, 129}));
+}
+
+TEST(BitVecTest, FromPositions) {
+  auto v = BitVec::FromPositions(16, {1, 3, 15});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Count(), 3u);
+  EXPECT_TRUE(v->Get(15));
+}
+
+TEST(BitVecTest, FromPositionsRejectsOutOfRange) {
+  EXPECT_FALSE(BitVec::FromPositions(16, {16}).ok());
+}
+
+TEST(BitVecTest, BytesRoundTripOddSizes) {
+  for (size_t bits : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 100u, 256u}) {
+    BitVec v(bits);
+    v.Set(0);
+    if (bits > 2) v.Set(bits - 1);
+    Bytes serialized = v.ToBytes();
+    EXPECT_EQ(serialized.size(), (bits + 7) / 8);
+    auto restored = BitVec::FromBytes(bits, serialized);
+    ASSERT_TRUE(restored.ok()) << "bits=" << bits;
+    EXPECT_EQ(*restored, v);
+  }
+}
+
+TEST(BitVecTest, FromBytesRejectsWrongSize) {
+  EXPECT_FALSE(BitVec::FromBytes(16, Bytes{0xff}).ok());
+  EXPECT_FALSE(BitVec::FromBytes(16, Bytes{0, 0, 0}).ok());
+}
+
+TEST(BitVecTest, FromBytesRejectsDirtyPadding) {
+  // 12 bits -> 2 bytes; the high 4 bits of byte 1 are padding.
+  EXPECT_FALSE(BitVec::FromBytes(12, Bytes{0x00, 0xf0}).ok());
+  EXPECT_TRUE(BitVec::FromBytes(12, Bytes{0x00, 0x0f}).ok());
+}
+
+TEST(BitVecTest, XorWith) {
+  BitVec a(10);
+  BitVec b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  ASSERT_TRUE(a.XorWith(b).ok());
+  EXPECT_EQ(a.Ones(), (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(BitVecTest, XorWithSizeMismatchFails) {
+  BitVec a(10);
+  BitVec b(11);
+  EXPECT_FALSE(a.XorWith(b).ok());
+}
+
+TEST(BitVecTest, ResizeGrowAndShrink) {
+  BitVec v(8);
+  v.Set(7);
+  v.Resize(16);
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_TRUE(v.Get(7));
+  EXPECT_FALSE(v.Get(15));
+  v.Resize(4);
+  EXPECT_EQ(v.Count(), 0u);  // bit 7 discarded
+  v.Resize(8);
+  EXPECT_FALSE(v.Get(7));  // stays cleared after shrink
+}
+
+TEST(BitVecTest, ClearResetsAllBits) {
+  BitVec v(100);
+  for (size_t i = 0; i < 100; i += 3) v.Set(i);
+  v.Clear();
+  EXPECT_EQ(v.Count(), 0u);
+}
+
+TEST(BitVecTest, ToStringSmall) {
+  BitVec v(4);
+  v.Set(1);
+  EXPECT_EQ(v.ToString(), "0100");
+}
+
+TEST(BitVecTest, FuzzAgainstStdVectorBool) {
+  DeterministicRandom rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t bits = 1 + rng.Next() % 500;
+    BitVec vec(bits);
+    std::vector<bool> reference(bits, false);
+    for (int op = 0; op < 300; ++op) {
+      const size_t i = rng.Next() % bits;
+      switch (rng.Next() % 4) {
+        case 0:
+          vec.Set(i);
+          reference[i] = true;
+          break;
+        case 1:
+          vec.Set(i, false);
+          reference[i] = false;
+          break;
+        case 2:
+          vec.Flip(i);
+          reference[i] = !reference[i];
+          break;
+        case 3:
+          ASSERT_EQ(vec.Get(i), reference[i]);
+          break;
+      }
+    }
+    size_t expected_count = 0;
+    for (size_t i = 0; i < bits; ++i) {
+      ASSERT_EQ(vec.Get(i), reference[i]) << "bit " << i;
+      if (reference[i]) ++expected_count;
+    }
+    EXPECT_EQ(vec.Count(), expected_count);
+    // Serialization round-trips the exact state.
+    auto restored = BitVec::FromBytes(bits, vec.ToBytes());
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, vec);
+  }
+}
+
+TEST(BitVecTest, XorRandomizedSelfInverse) {
+  DeterministicRandom rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t bits = 1 + rng.Next() % 300;
+    BitVec data(bits);
+    BitVec mask(bits);
+    for (size_t i = 0; i < bits; ++i) {
+      if (rng.Next() % 2) data.Set(i);
+      if (rng.Next() % 2) mask.Set(i);
+    }
+    BitVec original = data;
+    ASSERT_TRUE(data.XorWith(mask).ok());
+    ASSERT_TRUE(data.XorWith(mask).ok());
+    EXPECT_EQ(data, original);
+  }
+}
+
+}  // namespace
+}  // namespace sse

@@ -1,0 +1,74 @@
+#include "sse/index/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sse::index {
+namespace {
+
+TEST(BloomTest, CreateValidation) {
+  EXPECT_FALSE(BloomFilter::Create(4, 4).ok());
+  EXPECT_FALSE(BloomFilter::Create(64, 0).ok());
+  EXPECT_FALSE(BloomFilter::Create(64, 33).ok());
+  EXPECT_TRUE(BloomFilter::Create(64, 4).ok());
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  auto bloom = BloomFilter::Create(1 << 14, 7);
+  ASSERT_TRUE(bloom.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(bloom->Insert(StringToBytes("item" + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto found = bloom->Contains(StringToBytes("item" + std::to_string(i)));
+    ASSERT_TRUE(found.ok());
+    EXPECT_TRUE(*found) << "item" << i;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearTheory) {
+  auto bloom = BloomFilter::CreateForCapacity(1000, 0.01);
+  ASSERT_TRUE(bloom.ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(bloom->Insert(StringToBytes("in" + std::to_string(i))).ok());
+  }
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    auto found = bloom->Contains(StringToBytes("out" + std::to_string(i)));
+    ASSERT_TRUE(found.ok());
+    if (*found) ++false_positives;
+  }
+  const double rate = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(rate, 0.03) << "rate=" << rate;  // target 1%, allow 3x slack
+  EXPECT_NEAR(bloom->EstimatedFalsePositiveRate(), 0.01, 0.01);
+}
+
+TEST(BloomTest, CreateForCapacityValidation) {
+  EXPECT_FALSE(BloomFilter::CreateForCapacity(0, 0.01).ok());
+  EXPECT_FALSE(BloomFilter::CreateForCapacity(10, 0.0).ok());
+  EXPECT_FALSE(BloomFilter::CreateForCapacity(10, 1.0).ok());
+}
+
+TEST(BloomTest, FromBitsRoundTrip) {
+  auto bloom = BloomFilter::Create(256, 4);
+  ASSERT_TRUE(bloom.ok());
+  ASSERT_TRUE(bloom->Insert(StringToBytes("alpha")).ok());
+  ASSERT_TRUE(bloom->Insert(StringToBytes("beta")).ok());
+  auto restored = BloomFilter::FromBits(bloom->bits(), 4);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored->Contains(StringToBytes("alpha")));
+  EXPECT_TRUE(*restored->Contains(StringToBytes("beta")));
+}
+
+TEST(BloomTest, EmptyFilterContainsNothing) {
+  auto bloom = BloomFilter::Create(1024, 5);
+  ASSERT_TRUE(bloom.ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(*bloom->Contains(StringToBytes("x" + std::to_string(i))));
+  }
+}
+
+}  // namespace
+}  // namespace sse::index

@@ -1,0 +1,207 @@
+#include "sse/index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "sse/util/random.h"
+
+namespace sse::index {
+namespace {
+
+Bytes Key(const std::string& s) { return StringToBytes(s); }
+
+TEST(BTreeTest, EmptyTree) {
+  BTreeMap<int> tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Get(Key("missing")), nullptr);
+  EXPECT_FALSE(tree.Erase(Key("missing")));
+  EXPECT_EQ(tree.Height(), 1u);
+}
+
+TEST(BTreeTest, PutGetSingle) {
+  BTreeMap<int> tree;
+  EXPECT_TRUE(tree.Put(Key("a"), 1));
+  ASSERT_NE(tree.Get(Key("a")), nullptr);
+  EXPECT_EQ(*tree.Get(Key("a")), 1);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, PutReplacesExisting) {
+  BTreeMap<int> tree;
+  EXPECT_TRUE(tree.Put(Key("a"), 1));
+  EXPECT_FALSE(tree.Put(Key("a"), 2));  // replace, not insert
+  EXPECT_EQ(*tree.Get(Key("a")), 2);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, GetMutable) {
+  BTreeMap<int> tree;
+  tree.Put(Key("x"), 5);
+  int* v = tree.GetMutable(Key("x"));
+  ASSERT_NE(v, nullptr);
+  *v = 9;
+  EXPECT_EQ(*tree.Get(Key("x")), 9);
+}
+
+TEST(BTreeTest, ManyInsertsAllRetrievable) {
+  BTreeMap<int> tree(/*order=*/8);  // small order forces deep splits
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    tree.Put(Key("key" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int* v = tree.Get(Key("key" + std::to_string(i)));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_GT(tree.Height(), 2u);
+}
+
+TEST(BTreeTest, InOrderIteration) {
+  BTreeMap<int> tree(8);
+  DeterministicRandom rng(42);
+  std::map<std::string, int> reference;
+  for (int i = 0; i < 1000; ++i) {
+    std::string k = "k" + std::to_string(rng.Next() % 10000);
+    tree.Put(Key(k), i);
+    reference[k] = i;
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  std::vector<std::pair<std::string, int>> visited;
+  tree.ForEach([&](const Bytes& key, const int& value) {
+    visited.emplace_back(BytesToString(key), value);
+    return true;
+  });
+  ASSERT_EQ(visited.size(), reference.size());
+  auto it = reference.begin();
+  for (const auto& [k, v] : visited) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST(BTreeTest, ForEachEarlyStop) {
+  BTreeMap<int> tree;
+  for (int i = 0; i < 100; ++i) tree.Put(Key("k" + std::to_string(i)), i);
+  int count = 0;
+  tree.ForEach([&](const Bytes&, const int&) { return ++count < 10; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(BTreeTest, ForEachMutable) {
+  BTreeMap<int> tree;
+  for (int i = 0; i < 50; ++i) tree.Put(Key("k" + std::to_string(i)), i);
+  tree.ForEachMutable([](const Bytes&, int& v) {
+    v *= 2;
+    return true;
+  });
+  EXPECT_EQ(*tree.Get(Key("k7")), 14);
+}
+
+TEST(BTreeTest, EraseAtLeaf) {
+  BTreeMap<int> tree(8);
+  for (int i = 0; i < 200; ++i) tree.Put(Key("k" + std::to_string(i)), i);
+  EXPECT_TRUE(tree.Erase(Key("k100")));
+  EXPECT_EQ(tree.Get(Key("k100")), nullptr);
+  EXPECT_FALSE(tree.Erase(Key("k100")));
+  EXPECT_EQ(tree.size(), 199u);
+  // Other keys unaffected.
+  EXPECT_NE(tree.Get(Key("k101")), nullptr);
+}
+
+TEST(BTreeTest, RandomizedAgainstStdMap) {
+  BTreeMap<std::string> tree(16);
+  std::map<std::string, std::string> reference;
+  DeterministicRandom rng(7);
+  for (int op = 0; op < 20000; ++op) {
+    const std::string k = "key" + std::to_string(rng.Next() % 2000);
+    const int action = rng.Next() % 10;
+    if (action < 6) {  // put
+      const std::string v = "v" + std::to_string(op);
+      tree.Put(Key(k), v);
+      reference[k] = v;
+    } else if (action < 8) {  // get
+      const std::string* got = tree.Get(Key(k));
+      auto it = reference.find(k);
+      if (it == reference.end()) {
+        EXPECT_EQ(got, nullptr);
+      } else {
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, it->second);
+      }
+    } else {  // erase
+      EXPECT_EQ(tree.Erase(Key(k)), reference.erase(k) > 0);
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+TEST(BTreeTest, LogarithmicComparisons) {
+  // The paper's complexity claim: lookups cost O(log u) comparisons.
+  // Compare measured comparisons at u and 16u: the ratio must be far
+  // below the linear factor 16.
+  auto measure = [](size_t u) {
+    BTreeMap<int> tree(64);
+    DeterministicRandom rng(3);
+    for (size_t i = 0; i < u; ++i) {
+      Bytes key(32);
+      (void)rng.Fill(key);
+      tree.Put(key, static_cast<int>(i));
+    }
+    // Probe with fresh random keys (misses descend the full height too).
+    tree.ResetStats();
+    const int probes = 200;
+    DeterministicRandom probe_rng(4);
+    for (int i = 0; i < probes; ++i) {
+      Bytes key(32);
+      (void)probe_rng.Fill(key);
+      tree.Get(key);
+    }
+    return static_cast<double>(tree.comparisons()) / probes;
+  };
+  const double small = measure(1000);
+  const double large = measure(16000);
+  EXPECT_LT(large / small, 3.0) << "small=" << small << " large=" << large;
+  EXPECT_GT(large, small);  // still grows (logarithmically)
+}
+
+TEST(BTreeTest, BinaryKeysWithEmbeddedZeros) {
+  BTreeMap<int> tree;
+  Bytes k1{0, 0, 1};
+  Bytes k2{0, 0, 2};
+  Bytes k3{0};
+  tree.Put(k1, 1);
+  tree.Put(k2, 2);
+  tree.Put(k3, 3);
+  EXPECT_EQ(*tree.Get(k1), 1);
+  EXPECT_EQ(*tree.Get(k2), 2);
+  EXPECT_EQ(*tree.Get(k3), 3);
+}
+
+TEST(BTreeTest, ClearResets) {
+  BTreeMap<int> tree;
+  for (int i = 0; i < 100; ++i) tree.Put(Key(std::to_string(i)), i);
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Get(Key("5")), nullptr);
+  tree.Put(Key("5"), 5);
+  EXPECT_EQ(*tree.Get(Key("5")), 5);
+}
+
+TEST(BTreeTest, MoveOnlyValues) {
+  BTreeMap<std::unique_ptr<int>> tree;
+  tree.Put(Key("p"), std::make_unique<int>(11));
+  const std::unique_ptr<int>* v = tree.Get(Key("p"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(**v, 11);
+}
+
+}  // namespace
+}  // namespace sse::index

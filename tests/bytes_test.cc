@@ -1,0 +1,90 @@
+#include "sse/util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace sse {
+namespace {
+
+TEST(BytesTest, StringRoundTrip) {
+  const std::string s = "hello\0world";  // embedded NUL survives
+  Bytes b = StringToBytes(s);
+  EXPECT_EQ(BytesToString(b), s);
+}
+
+TEST(BytesTest, HexEncode) {
+  EXPECT_EQ(HexEncode(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(HexEncode(Bytes{}), "");
+  EXPECT_EQ(HexEncode(Bytes{0x00, 0x0f}), "000f");
+}
+
+TEST(BytesTest, HexDecodeRoundTrip) {
+  Bytes original{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef};
+  auto decoded = HexDecode(HexEncode(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(BytesTest, HexDecodeAcceptsUppercase) {
+  auto decoded = HexDecode("DEADBEEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+  EXPECT_FALSE(HexDecode("a ").ok());
+}
+
+TEST(BytesTest, Concat) {
+  Bytes a{1, 2};
+  Bytes b{3};
+  Bytes c{4, 5, 6};
+  EXPECT_EQ(Concat(a, b), (Bytes{1, 2, 3}));
+  EXPECT_EQ(Concat(a, b, c), (Bytes{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(Concat(Bytes{}, Bytes{}), Bytes{});
+}
+
+TEST(BytesTest, XorInPlace) {
+  Bytes a{0xff, 0x00, 0xaa};
+  Bytes b{0x0f, 0xf0, 0xaa};
+  ASSERT_TRUE(XorInPlace(a, b).ok());
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(BytesTest, XorRejectsSizeMismatch) {
+  Bytes a{1, 2};
+  EXPECT_FALSE(XorInPlace(a, Bytes{1}).ok());
+  EXPECT_FALSE(Xor(Bytes{1, 2}, Bytes{1}).ok());
+}
+
+TEST(BytesTest, XorIsSelfInverse) {
+  Bytes data{0x12, 0x34, 0x56};
+  Bytes mask{0xab, 0xcd, 0xef};
+  auto once = Xor(data, mask);
+  ASSERT_TRUE(once.ok());
+  auto twice = Xor(*once, mask);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*twice, data);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEqual(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEqual(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEqual(Bytes{}, Bytes{}));
+}
+
+TEST(BytesTest, CompareOrdersLexicographically) {
+  EXPECT_EQ(Compare(Bytes{1, 2}, Bytes{1, 2}), 0);
+  EXPECT_LT(Compare(Bytes{1, 2}, Bytes{1, 3}), 0);
+  EXPECT_GT(Compare(Bytes{2}, Bytes{1, 9, 9}), 0);
+  EXPECT_LT(Compare(Bytes{1, 2}, Bytes{1, 2, 0}), 0);  // prefix sorts first
+  EXPECT_LT(Compare(Bytes{}, Bytes{0}), 0);
+}
+
+}  // namespace
+}  // namespace sse

@@ -1,0 +1,39 @@
+#include "sse/util/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace sse {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // CRC-32C ("123456789") = 0xe3069283 (well-known check value).
+  Bytes digits = StringToBytes("123456789");
+  EXPECT_EQ(Crc32c(digits), 0xe3069283u);
+  EXPECT_EQ(Crc32c(Bytes{}), 0u);
+}
+
+TEST(Crc32Test, DifferentInputsDifferentCrc) {
+  EXPECT_NE(Crc32c(StringToBytes("hello")), Crc32c(StringToBytes("hellp")));
+  EXPECT_NE(Crc32c(StringToBytes("a")), Crc32c(StringToBytes("aa")));
+}
+
+TEST(Crc32Test, SingleBitFlipDetected) {
+  Bytes data(100, 0x5a);
+  const uint32_t clean = Crc32c(data);
+  for (size_t i = 0; i < data.size(); i += 13) {
+    Bytes corrupted = data;
+    corrupted[i] ^= 0x01;
+    EXPECT_NE(Crc32c(corrupted), clean) << "at byte " << i;
+  }
+}
+
+TEST(Crc32Test, ExtendMatchesOneShot) {
+  Bytes full = StringToBytes("the quick brown fox");
+  Bytes part1 = StringToBytes("the quick ");
+  Bytes part2 = StringToBytes("brown fox");
+  const uint32_t incremental = Crc32cExtend(Crc32c(part1), part2);
+  EXPECT_EQ(incremental, Crc32c(full));
+}
+
+}  // namespace
+}  // namespace sse

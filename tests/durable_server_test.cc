@@ -1,0 +1,201 @@
+#include "sse/core/durable_server.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/core/registry.h"
+#include "sse/core/scheme1_server.h"
+#include "sse/core/scheme2_server.h"
+#include "sse/core/scheme1_client.h"
+#include "sse/core/scheme2_client.h"
+#include "test_util.h"
+
+namespace sse::core {
+namespace {
+
+using sse::testing::FastTestConfig;
+using sse::testing::TempDir;
+using sse::testing::TestMasterKey;
+
+TEST(DurableServerTest, Scheme1SurvivesRestartViaWalReplay) {
+  TempDir dir;
+  DeterministicRandom rng(1);
+  const SchemeOptions options = FastTestConfig().scheme;
+
+  // Session 1: store documents, no checkpoint, "crash".
+  {
+    Scheme1Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel channel(durable->get());
+    auto client = Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    SSE_ASSERT_OK((*client)->Store({Document::Make(0, "alpha", {"kw"}),
+                                    Document::Make(1, "beta", {"kw"})}));
+    EXPECT_GT((*durable)->wal_records(), 0u);
+  }
+
+  // Session 2: recover purely from the WAL and search.
+  {
+    Scheme1Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    EXPECT_EQ(inner.document_count(), 2u);
+    net::InProcessChannel channel(durable->get());
+    DeterministicRandom rng2(2);
+    auto client = Scheme1Client::Create(TestMasterKey(), options, &channel, &rng2);
+    SSE_ASSERT_OK_RESULT(client);
+    auto outcome = (*client)->Search("kw");
+    SSE_ASSERT_OK_RESULT(outcome);
+    EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1}));
+  }
+}
+
+TEST(DurableServerTest, CheckpointTruncatesWalAndRestores) {
+  TempDir dir;
+  DeterministicRandom rng(3);
+  const SchemeOptions options = FastTestConfig().scheme;
+
+  {
+    Scheme2Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel channel(durable->get());
+    auto client = Scheme2Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"k1"})}));
+    SSE_ASSERT_OK((*durable)->Checkpoint());
+    EXPECT_EQ((*durable)->wal_records(), 0u);
+    SSE_ASSERT_OK((*client)->Store({Document::Make(1, "b", {"k1"})}));
+    EXPECT_EQ((*durable)->wal_records(), 1u);  // only post-checkpoint ops
+  }
+
+  // Recovery = snapshot + 1 replayed record.
+  {
+    Scheme2Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    EXPECT_EQ(inner.document_count(), 2u);
+    EXPECT_EQ(inner.unique_keywords(), 1u);
+  }
+}
+
+TEST(DurableServerTest, SearchesAreNotJournaled) {
+  TempDir dir;
+  DeterministicRandom rng(4);
+  const SchemeOptions options = FastTestConfig().scheme;
+  Scheme1Server inner(options);
+  auto durable = DurableServer::Open(dir.path(), &inner);
+  SSE_ASSERT_OK_RESULT(durable);
+  net::InProcessChannel channel(durable->get());
+  auto client = Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+  SSE_ASSERT_OK_RESULT(client);
+  SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"kw"})}));
+  const uint64_t after_store = (*durable)->wal_records();
+  SSE_ASSERT_OK_RESULT((*client)->Search("kw"));
+  SSE_ASSERT_OK_RESULT((*client)->Search("kw"));
+  EXPECT_EQ((*durable)->wal_records(), after_store);
+}
+
+TEST(DurableServerTest, RejectedMutationDoesNotPoisonRecovery) {
+  // Regression: a malformed mutating request must be rejected WITHOUT
+  // being journaled — otherwise replaying it makes recovery fail forever.
+  TempDir dir;
+  DeterministicRandom rng(21);
+  const SchemeOptions options = FastTestConfig().scheme;
+  {
+    Scheme1Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel channel(durable->get());
+    auto client =
+        Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"k"})}));
+    // Garbage with a mutating type: rejected, and must not hit the WAL.
+    const uint64_t wal_before = (*durable)->wal_records();
+    auto reply =
+        channel.Call(net::Message{kMsgS1UpdateRequest, Bytes{0xff, 0xee}});
+    EXPECT_FALSE(reply.ok());
+    EXPECT_EQ((*durable)->wal_records(), wal_before);
+  }
+  // Recovery succeeds and serves the good data.
+  Scheme1Server inner(options);
+  auto durable = DurableServer::Open(dir.path(), &inner);
+  SSE_ASSERT_OK_RESULT(durable);
+  EXPECT_EQ(inner.document_count(), 1u);
+}
+
+TEST(DurableServerTest, CorruptedWalDetectedOnRecovery) {
+  TempDir dir;
+  DeterministicRandom rng(7);
+  const SchemeOptions options = FastTestConfig().scheme;
+  {
+    Scheme1Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel channel(durable->get());
+    auto client =
+        Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"k"})}));
+    SSE_ASSERT_OK((*client)->Store({Document::Make(1, "b", {"k"})}));
+  }
+  // Flip a byte inside the FIRST journaled record's payload.
+  const std::string wal_path = dir.path() + "/wal.log";
+  std::FILE* f = std::fopen(wal_path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 12, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, 12, SEEK_SET);
+  std::fputc(c ^ 0x55, f);
+  std::fclose(f);
+
+  Scheme1Server inner(options);
+  auto durable = DurableServer::Open(dir.path(), &inner);
+  EXPECT_FALSE(durable.ok());
+  EXPECT_EQ(durable.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DurableServerTest, TornWalTailRecoversPrefix) {
+  TempDir dir;
+  DeterministicRandom rng(8);
+  const SchemeOptions options = FastTestConfig().scheme;
+  {
+    Scheme1Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel channel(durable->get());
+    auto client =
+        Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"k"})}));
+    SSE_ASSERT_OK((*client)->Store({Document::Make(1, "b", {"k"})}));
+  }
+  // Simulate a crash mid-append: chop bytes off the log tail.
+  const std::string wal_path = dir.path() + "/wal.log";
+  std::FILE* f = std::fopen(wal_path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size - 7), 0);
+  std::fclose(f);
+
+  Scheme1Server inner(options);
+  auto durable = DurableServer::Open(dir.path(), &inner);
+  SSE_ASSERT_OK_RESULT(durable);
+  // The first update survived; the torn second one is gone.
+  EXPECT_EQ(inner.document_count(), 1u);
+}
+
+TEST(DurableServerTest, NullInnerRejected) {
+  TempDir dir;
+  EXPECT_FALSE(DurableServer::Open(dir.path(), nullptr).ok());
+}
+
+TEST(DurableServerTest, UnwritableDirectoryFails) {
+  Scheme1Server inner(FastTestConfig().scheme);
+  EXPECT_FALSE(DurableServer::Open("/nonexistent/path/here", &inner).ok());
+}
+
+}  // namespace
+}  // namespace sse::core

@@ -1,0 +1,248 @@
+// Full-pipeline integration: PHR application -> scheme client -> channel ->
+// durable server -> WAL/snapshot -> restart -> search, for both schemes.
+
+#include <gtest/gtest.h>
+
+#include "sse/core/durable_server.h"
+#include "sse/core/registry.h"
+#include "sse/core/scheme1_client.h"
+#include "sse/core/scheme1_server.h"
+#include "sse/core/scheme2_client.h"
+#include "sse/core/scheme2_server.h"
+#include "sse/phr/phr_store.h"
+#include "sse/phr/tokenizer.h"
+#include "sse/phr/workload.h"
+#include "test_util.h"
+
+namespace sse {
+namespace {
+
+using core::Document;
+using core::SystemKind;
+using sse::testing::FastTestConfig;
+using sse::testing::MakeTestSystem;
+using sse::testing::TempDir;
+using sse::testing::TestMasterKey;
+
+TEST(EndToEndTest, PhrOverDurableScheme1WithRestart) {
+  TempDir dir;
+  const core::SchemeOptions options = FastTestConfig().scheme;
+  phr::PhrWorkload::Params params;
+  params.num_patients = 6;
+  params.visits_per_patient = 2;
+  phr::PhrWorkload workload(params);
+
+  // Session 1: ingest half the records, checkpoint, ingest the rest,
+  // "crash" without a second checkpoint.
+  {
+    core::Scheme1Server inner(options);
+    auto durable = core::DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel channel(durable->get());
+    DeterministicRandom rng(1);
+    auto client =
+        core::Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    phr::PhrStore store(client->get());
+
+    const auto& records = workload.records();
+    std::vector<phr::PatientRecord> first_half(records.begin(),
+                                               records.begin() + 6);
+    std::vector<phr::PatientRecord> second_half(records.begin() + 6,
+                                                records.end());
+    SSE_ASSERT_OK(store.AddRecords(first_half));
+    SSE_ASSERT_OK((*durable)->Checkpoint());
+    SSE_ASSERT_OK(store.AddRecords(second_half));
+  }
+
+  // Session 2: recover (snapshot + WAL) and verify every patient's records
+  // are all present.
+  {
+    core::Scheme1Server inner(options);
+    auto durable = core::DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    EXPECT_EQ(inner.document_count(), 12u);
+    net::InProcessChannel channel(durable->get());
+    DeterministicRandom rng(2);
+    auto client =
+        core::Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+
+    std::map<std::string, int> expected_counts;
+    for (const auto& record : workload.records()) {
+      ++expected_counts[record.patient_id];
+    }
+    for (const auto& [pid, count] : expected_counts) {
+      auto outcome = (*client)->Search(phr::Tag("patient", pid));
+      SSE_ASSERT_OK_RESULT(outcome);
+      EXPECT_EQ(outcome->ids.size(), static_cast<size_t>(count)) << pid;
+      // Contents decrypt to parseable records.
+      for (const auto& [id, content] : outcome->documents) {
+        EXPECT_TRUE(phr::DocumentToRecord(content).ok());
+      }
+    }
+  }
+}
+
+TEST(EndToEndTest, Scheme2SurvivesRestartMidEpoch) {
+  TempDir dir;
+  const core::SchemeOptions options = FastTestConfig().scheme;
+
+  // The Scheme 2 client's counter is client state; persist it by re-running
+  // the same deterministic sequence — here we simply keep one client alive
+  // across two server incarnations, as a real deployment would persist ctr.
+  DeterministicRandom rng(3);
+  core::Scheme2Server inner1(options);
+  auto durable1 = core::DurableServer::Open(dir.path(), &inner1);
+  SSE_ASSERT_OK_RESULT(durable1);
+  net::InProcessChannel channel1(durable1->get());
+  auto client =
+      core::Scheme2Client::Create(TestMasterKey(), options, &channel1, &rng);
+  SSE_ASSERT_OK_RESULT(client);
+
+  SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"kw"})}));
+  SSE_ASSERT_OK_RESULT((*client)->Search("kw"));
+  SSE_ASSERT_OK((*client)->Store({Document::Make(1, "b", {"kw"})}));
+
+  // Server restarts; client keeps its counter (1 search + 2 updates -> 2).
+  core::Scheme2Server inner2(options);
+  auto durable2 = core::DurableServer::Open(dir.path(), &inner2);
+  SSE_ASSERT_OK_RESULT(durable2);
+  EXPECT_EQ(inner2.document_count(), 2u);
+
+  // Reconnect the SAME client (its counter/epoch are client state) to the
+  // recovered server and keep working.
+  net::InProcessChannel channel2(durable2->get());
+  (*client)->set_channel(&channel2);
+  auto outcome = (*client)->Search("kw");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1}));
+  SSE_ASSERT_OK((*client)->Store({Document::Make(2, "c", {"kw"})}));
+  auto grown = (*client)->Search("kw");
+  SSE_ASSERT_OK_RESULT(grown);
+  EXPECT_EQ(grown->ids, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(EndToEndTest, LogBackedDocumentsServeBothSchemes) {
+  // Document ciphertexts spill to an on-disk LogStore; the searchable
+  // index stays in memory. Search results and contents must be identical
+  // to the in-memory backend, and the blobs must survive a reopen.
+  for (SystemKind kind : {SystemKind::kScheme1, SystemKind::kScheme2}) {
+    TempDir dir;
+    core::SystemConfig config = FastTestConfig();
+    config.scheme.document_log_path = dir.path() + "/docs.log";
+    DeterministicRandom rng(33);
+    core::SseSystem sys = MakeTestSystem(kind, &rng, config);
+
+    std::vector<Document> docs;
+    for (uint64_t i = 0; i < 20; ++i) {
+      docs.push_back(Document::Make(i, "payload-" + std::to_string(i),
+                                    {"kw" + std::to_string(i % 4)}));
+    }
+    SSE_ASSERT_OK(sys.client->Store(docs));
+    auto outcome = sys.client->Search("kw2");
+    SSE_ASSERT_OK_RESULT(outcome);
+    EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{2, 6, 10, 14, 18}));
+    ASSERT_EQ(outcome->documents.size(), 5u);
+    EXPECT_EQ(BytesToString(outcome->documents[0].second), "payload-2");
+
+    // The blobs are on disk: a second store over the same log sees them.
+    auto reopened =
+        storage::DocumentStore::OpenLogBacked(config.scheme.document_log_path);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened->size(), 20u);
+  }
+}
+
+TEST(EndToEndTest, MultiTenantIsolationOnSharedServer) {
+  // Two clients with independent master keys share one physical server.
+  // Tokens are PRF outputs under different keys, so the tenants' indexes
+  // interleave in the same tree without any cross-talk.
+  const core::SchemeOptions options = FastTestConfig().scheme;
+  for (SystemKind kind : {SystemKind::kScheme1, SystemKind::kScheme2}) {
+    DeterministicRandom rng_a(11);
+    DeterministicRandom rng_b(22);
+    DeterministicRandom key_rng_a(100);
+    DeterministicRandom key_rng_b(200);
+    auto key_a = crypto::MasterKey::Generate(key_rng_a);
+    auto key_b = crypto::MasterKey::Generate(key_rng_b);
+    ASSERT_TRUE(key_a.ok());
+    ASSERT_TRUE(key_b.ok());
+
+    std::unique_ptr<core::PersistableHandler> server;
+    if (kind == SystemKind::kScheme1) {
+      server = std::make_unique<core::Scheme1Server>(options);
+    } else {
+      server = std::make_unique<core::Scheme2Server>(options);
+    }
+    net::InProcessChannel channel_a(server.get());
+    net::InProcessChannel channel_b(server.get());
+
+    std::unique_ptr<core::SseClientInterface> client_a;
+    std::unique_ptr<core::SseClientInterface> client_b;
+    if (kind == SystemKind::kScheme1) {
+      client_a = core::Scheme1Client::Create(*key_a, options, &channel_a,
+                                             &rng_a)
+                     .value();
+      client_b = core::Scheme1Client::Create(*key_b, options, &channel_b,
+                                             &rng_b)
+                     .value();
+    } else {
+      client_a = core::Scheme2Client::Create(*key_a, options, &channel_a,
+                                             &rng_a)
+                     .value();
+      client_b = core::Scheme2Client::Create(*key_b, options, &channel_b,
+                                             &rng_b)
+                     .value();
+    }
+
+    // Both tenants use the SAME keyword string and overlapping doc ids...
+    // which collide in the document store, so tenants must partition ids
+    // (a deployment concern); use disjoint ranges here.
+    SSE_ASSERT_OK(client_a->Store({Document::Make(0, "tenant A doc", {"kw"})}));
+    SSE_ASSERT_OK(
+        client_b->Store({Document::Make(100, "tenant B doc", {"kw"})}));
+
+    auto a = client_a->Search("kw");
+    SSE_ASSERT_OK_RESULT(a);
+    EXPECT_EQ(a->ids, std::vector<uint64_t>{0}) << core::SystemKindName(kind);
+    auto b = client_b->Search("kw");
+    SSE_ASSERT_OK_RESULT(b);
+    EXPECT_EQ(b->ids, std::vector<uint64_t>{100});
+    // Tenant A cannot decrypt or even see tenant B's postings.
+    ASSERT_EQ(a->documents.size(), 1u);
+    EXPECT_EQ(BytesToString(a->documents[0].second), "tenant A doc");
+  }
+}
+
+TEST(EndToEndTest, MixedWorkloadAcrossAllSystems) {
+  // The same PHR workload must yield identical query answers on every
+  // system (modulo none — results are exact for all five).
+  phr::PhrWorkload::Params params;
+  params.num_patients = 8;
+  params.visits_per_patient = 2;
+  phr::PhrWorkload workload(params);
+  auto docs = workload.ToDocuments();
+
+  std::map<std::string, std::vector<uint64_t>> reference;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    for (const auto& kw : docs[i].keywords) {
+      reference[kw].push_back(docs[i].id);
+    }
+  }
+
+  for (SystemKind kind : core::AllSystemKinds()) {
+    DeterministicRandom rng(7);
+    core::SseSystem sys = MakeTestSystem(kind, &rng);
+    SSE_ASSERT_OK(sys.client->Store(docs));
+    for (const auto& [kw, expected] : reference) {
+      auto outcome = sys.client->Search(kw);
+      SSE_ASSERT_OK_RESULT(outcome);
+      EXPECT_EQ(outcome->ids, expected)
+          << core::SystemKindName(kind) << " keyword " << kw;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sse

@@ -1,0 +1,117 @@
+// The Definition 4 distinguishing experiment, executed: no built-in
+// adversary beats coin flipping against the real Scheme 1, while the same
+// battery demolishes a strawman that skips the PRG mask — so a pass means
+// something.
+
+#include "sse/security/game.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace sse::security {
+namespace {
+
+/// Equal-trace history pair engineered so that UNMASKED indexes differ
+/// blatantly (uniform popularity vs one-hot-popular keyword) while every
+/// trace component — ids, lengths, |W_D|, query results, Π — matches.
+struct HistoryPair {
+  History h0;
+  History h1;
+};
+
+HistoryPair MakePair() {
+  constexpr size_t kDocs = 16;
+  HistoryPair pair;
+  for (size_t i = 0; i < kDocs; ++i) {
+    // Same content length everywhere (lengths are in the trace).
+    const std::string content = "record-" + std::string(8, 'x');
+    // h0: 16 keywords, each matching exactly two documents.
+    pair.h0.documents.push_back(core::Document::Make(
+        i, content,
+        {"p" + std::to_string(i / 2), "f" + std::to_string(((i + 3) % 16) / 2)}));
+    // h1: one keyword on every document, plus singletons.
+    std::vector<std::string> kws = {"all"};
+    if (i < 15) kws.push_back("s" + std::to_string(i));
+    pair.h1.documents.push_back(core::Document::Make(i, content, kws));
+  }
+  return pair;
+}
+
+core::SchemeOptions GameOptions() {
+  core::SchemeOptions options = sse::testing::FastTestConfig().scheme;
+  options.max_documents = 16;  // tight bitmaps make plaintext leaks glaring
+  return options;
+}
+
+TEST(GameTest, PairHasEqualTraces) {
+  HistoryPair pair = MakePair();
+  const Trace t0 = ComputeTrace(pair.h0);
+  const Trace t1 = ComputeTrace(pair.h1);
+  EXPECT_EQ(t0.unique_keywords, 16u);
+  EXPECT_TRUE(t0 == t1);
+}
+
+TEST(GameTest, MismatchedTracesRejected) {
+  HistoryPair pair = MakePair();
+  pair.h1.queries.push_back("all");  // breaks trace equality
+  DeterministicRandom coin(1);
+  DeterministicRandom scheme(2);
+  auto adversaries = BuiltinDistinguishers();
+  auto outcome = PlayScheme1Game(pair.h0, pair.h1, GameOptions(),
+                                 adversaries[0], 4, coin, scheme);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(GameTest, NoBuiltinAdversaryBeatsTheRealScheme) {
+  HistoryPair pair = MakePair();
+  DeterministicRandom coin(3);
+  DeterministicRandom scheme(4);
+  const int trials = 60;
+  // 3-sigma bound for a fair coin over `trials` flips.
+  const double noise = 3.0 / std::sqrt(static_cast<double>(trials));
+  for (const Distinguisher& adversary : BuiltinDistinguishers()) {
+    auto outcome = PlayScheme1Game(pair.h0, pair.h1, GameOptions(), adversary,
+                                   trials, coin, scheme);
+    ASSERT_TRUE(outcome.ok()) << adversary.name;
+    EXPECT_LT(std::abs(outcome->Advantage()), noise)
+        << adversary.name << " wins with advantage " << outcome->Advantage();
+  }
+}
+
+TEST(GameTest, BatteryDemolishesTheLeakyStrawman) {
+  HistoryPair pair = MakePair();
+  DeterministicRandom coin(5);
+  DeterministicRandom scheme(6);
+  const int trials = 40;
+  double best = 0.0;
+  std::string winner;
+  for (const Distinguisher& adversary : BuiltinDistinguishers()) {
+    auto outcome = PlayStrawmanGame(pair.h0, pair.h1, GameOptions(), adversary,
+                                    trials, coin, scheme);
+    ASSERT_TRUE(outcome.ok()) << adversary.name;
+    if (std::abs(outcome->Advantage()) > best) {
+      best = std::abs(outcome->Advantage());
+      winner = adversary.name;
+    }
+  }
+  EXPECT_GT(best, 0.9) << "no distinguisher caught the unmasked index; "
+                          "the battery has no teeth (best: " << winner << ")";
+}
+
+TEST(GameTest, AdvantageArithmetic) {
+  GameOutcome outcome;
+  outcome.trials = 100;
+  outcome.correct = 50;
+  EXPECT_DOUBLE_EQ(outcome.Advantage(), 0.0);
+  outcome.correct = 100;
+  EXPECT_DOUBLE_EQ(outcome.Advantage(), 1.0);
+  outcome.correct = 0;
+  EXPECT_DOUBLE_EQ(outcome.Advantage(), -1.0);
+  EXPECT_DOUBLE_EQ(GameOutcome{}.Advantage(), 0.0);
+}
+
+}  // namespace
+}  // namespace sse::security

@@ -1,0 +1,61 @@
+#include "sse/crypto/keys.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/util/random.h"
+
+namespace sse::crypto {
+namespace {
+
+TEST(MasterKeyTest, GenerateProducesIndependentParts) {
+  DeterministicRandom rng(1);
+  auto key = MasterKey::Generate(rng);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->data_key().size(), kMasterKeyPartSize);
+  EXPECT_EQ(key->keyword_key().size(), kMasterKeyPartSize);
+  EXPECT_NE(key->data_key(), key->keyword_key());
+}
+
+TEST(MasterKeyTest, SecurityParameterControlsSize) {
+  DeterministicRandom rng(2);
+  auto key = MasterKey::Generate(rng, 16);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->data_key().size(), 16u);
+  EXPECT_FALSE(MasterKey::Generate(rng, 8).ok());
+}
+
+TEST(MasterKeyTest, SerializeRoundTrip) {
+  DeterministicRandom rng(3);
+  auto key = MasterKey::Generate(rng);
+  ASSERT_TRUE(key.ok());
+  auto restored = MasterKey::Deserialize(key->Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, *key);
+}
+
+TEST(MasterKeyTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(MasterKey::Deserialize(Bytes{}).ok());
+  EXPECT_FALSE(MasterKey::Deserialize(Bytes{1, 2, 3}).ok());
+  // Trailing bytes rejected.
+  DeterministicRandom rng(4);
+  auto key = MasterKey::Generate(rng);
+  ASSERT_TRUE(key.ok());
+  Bytes serialized = key->Serialize();
+  serialized.push_back(0);
+  EXPECT_FALSE(MasterKey::Deserialize(serialized).ok());
+}
+
+TEST(MasterKeyTest, FromPassphraseDeterministic) {
+  auto a = MasterKey::FromPassphrase("correct horse battery staple");
+  auto b = MasterKey::FromPassphrase("correct horse battery staple");
+  auto c = MasterKey::FromPassphrase("correct horse battery stapl3");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_FALSE(*a == *c);
+  EXPECT_FALSE(MasterKey::FromPassphrase("").ok());
+}
+
+}  // namespace
+}  // namespace sse::crypto

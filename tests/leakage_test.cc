@@ -1,0 +1,142 @@
+// Tests for §5.7: what updates leak, and how batching / fake updates damp it.
+
+#include "sse/security/leakage.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/core/registry.h"
+#include "test_util.h"
+
+namespace sse::security {
+namespace {
+
+using core::Document;
+using core::SystemKind;
+using sse::testing::FastTestConfig;
+using sse::testing::MakeTestSystem;
+
+core::SseSystem TranscribingSystem(SystemKind kind, RandomSource* rng) {
+  core::SystemConfig config = FastTestConfig();
+  config.channel.record_transcript = true;
+  return MakeTestSystem(kind, rng, config);
+}
+
+TEST(LeakageTest, UpdateRevealsAggregateKeywordCountOnly) {
+  for (SystemKind kind : {SystemKind::kScheme1, SystemKind::kScheme2}) {
+    DeterministicRandom rng(1);
+    core::SseSystem sys = TranscribingSystem(kind, &rng);
+    // Two docs with 2 and 3 distinct keywords, one shared: 4 unique total.
+    SSE_ASSERT_OK(sys.client->Store({
+        Document::Make(0, "a", {"k1", "shared"}),
+        Document::Make(1, "b", {"k2", "k3", "shared"}),
+    }));
+    LeakageReport report = AnalyzeTranscript(sys.channel->transcript());
+    ASSERT_EQ(report.update_keyword_counts.size(), 1u)
+        << SystemKindName(kind);
+    // The observer sees 4 keyword entries — never which doc has which.
+    EXPECT_EQ(report.update_keyword_counts[0], 4u);
+  }
+}
+
+TEST(LeakageTest, BatchingHidesPerDocumentCounts) {
+  // Storing n docs one-by-one leaks n individual counts; one batch leaks a
+  // single aggregate — the §5.7 batching argument, measured.
+  DeterministicRandom rng(2);
+  core::SseSystem one_by_one = TranscribingSystem(SystemKind::kScheme2, &rng);
+  for (uint64_t i = 0; i < 5; ++i) {
+    SSE_ASSERT_OK(one_by_one.client->Store(
+        {Document::Make(i, "d", {"kw" + std::to_string(i), "extra" + std::to_string(i % 2)})}));
+  }
+  LeakageReport drip = AnalyzeTranscript(one_by_one.channel->transcript());
+  EXPECT_EQ(drip.update_keyword_counts.size(), 5u);
+
+  DeterministicRandom rng2(2);
+  core::SseSystem batched = TranscribingSystem(SystemKind::kScheme2, &rng2);
+  std::vector<Document> docs;
+  for (uint64_t i = 0; i < 5; ++i) {
+    docs.push_back(Document::Make(
+        i, "d", {"kw" + std::to_string(i), "extra" + std::to_string(i % 2)}));
+  }
+  SSE_ASSERT_OK(batched.client->Store(docs));
+  LeakageReport bulk = AnalyzeTranscript(batched.channel->transcript());
+  ASSERT_EQ(bulk.update_keyword_counts.size(), 1u);
+  EXPECT_EQ(bulk.update_keyword_counts[0], 7u);  // 5 kw + 2 extra
+}
+
+TEST(LeakageTest, FakeUpdatesFlattenUpdateSizes) {
+  // Padding every update to the same keyword count makes the size sequence
+  // constant: zero entropy for the observer.
+  DeterministicRandom rng(3);
+  core::SseSystem sys = TranscribingSystem(SystemKind::kScheme2, &rng);
+  const size_t pad_to = 4;
+  for (uint64_t i = 0; i < 6; ++i) {
+    // Real updates of varying keyword counts, padded with fake keywords.
+    std::vector<std::string> kws;
+    for (uint64_t k = 0; k <= i % 3; ++k) {
+      kws.push_back("kw" + std::to_string(i) + "_" + std::to_string(k));
+    }
+    std::vector<std::string> fakes;
+    for (size_t f = kws.size(); f < pad_to; ++f) {
+      fakes.push_back("pad" + std::to_string(i) + "_" + std::to_string(f));
+    }
+    std::vector<std::string> all = kws;
+    all.insert(all.end(), fakes.begin(), fakes.end());
+    // One protocol run covering real + fake keywords: use FakeUpdate for
+    // the padding and a real store for the payload would take two runs, so
+    // emulate the padded update as a single fake update over `all` — the
+    // wire shape is identical.
+    SSE_ASSERT_OK(sys.client->FakeUpdate(all));
+  }
+  LeakageReport report = AnalyzeTranscript(sys.channel->transcript());
+  ASSERT_EQ(report.update_keyword_counts.size(), 6u);
+  for (uint64_t count : report.update_keyword_counts) {
+    EXPECT_EQ(count, pad_to);
+  }
+  EXPECT_DOUBLE_EQ(report.UpdateSizeEntropy(), 0.0);
+}
+
+TEST(LeakageTest, UnpaddedUpdatesLeakSizeVariation) {
+  DeterministicRandom rng(4);
+  core::SseSystem sys = TranscribingSystem(SystemKind::kScheme2, &rng);
+  for (uint64_t i = 0; i < 6; ++i) {
+    std::vector<std::string> kws;
+    for (uint64_t k = 0; k <= i % 3; ++k) {
+      kws.push_back("kw" + std::to_string(i) + "_" + std::to_string(k));
+    }
+    SSE_ASSERT_OK(sys.client->FakeUpdate(kws));
+  }
+  LeakageReport report = AnalyzeTranscript(sys.channel->transcript());
+  EXPECT_GT(report.UpdateSizeEntropy(), 0.5);  // observable variation
+}
+
+TEST(LeakageTest, SearchPatternIsVisible) {
+  // Repeating a query repeats its token: the allowed Π leakage, no more.
+  DeterministicRandom rng(5);
+  core::SseSystem sys = TranscribingSystem(SystemKind::kScheme1, &rng);
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(0, "a", {"flu", "cold"})}));
+  SSE_ASSERT_OK_RESULT(sys.client->Search("flu"));
+  SSE_ASSERT_OK_RESULT(sys.client->Search("cold"));
+  SSE_ASSERT_OK_RESULT(sys.client->Search("flu"));
+  LeakageReport report = AnalyzeTranscript(sys.channel->transcript());
+  EXPECT_EQ(report.token_occurrences.size(), 2u);  // two distinct tokens
+  EXPECT_EQ(report.repeated_searches(), 1u);
+  ASSERT_EQ(report.result_sizes.size(), 3u);
+  EXPECT_EQ(report.result_sizes[0], 1u);
+}
+
+TEST(LeakageTest, TokensDoNotRevealKeywordLength) {
+  // Every token is exactly 32 bytes regardless of the keyword.
+  DeterministicRandom rng(6);
+  core::SseSystem sys = TranscribingSystem(SystemKind::kScheme1, &rng);
+  SSE_ASSERT_OK(sys.client->Store(
+      {Document::Make(0, "a", {"x", std::string(500, 'y')})}));
+  SSE_ASSERT_OK_RESULT(sys.client->Search("x"));
+  SSE_ASSERT_OK_RESULT(sys.client->Search(std::string(500, 'y')));
+  LeakageReport report = AnalyzeTranscript(sys.channel->transcript());
+  for (const auto& [token_hex, count] : report.token_occurrences) {
+    EXPECT_EQ(token_hex.size(), 64u);  // 32 bytes hex-encoded
+  }
+}
+
+}  // namespace
+}  // namespace sse::security

@@ -1,0 +1,242 @@
+#include "sse/storage/log_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "test_util.h"
+
+namespace sse::storage {
+namespace {
+
+using sse::testing::TempDir;
+
+Bytes Key(const std::string& s) { return StringToBytes(s); }
+
+TEST(LogStoreTest, PutGetRoundTrip) {
+  TempDir dir;
+  auto store = LogStore::Open(dir.path() + "/data.log");
+  ASSERT_TRUE(store.ok());
+  SSE_ASSERT_OK((*store)->Put(Key("doc1"), Key("ciphertext-1")));
+  SSE_ASSERT_OK((*store)->Put(Key("doc2"), Key("ciphertext-2")));
+  auto v1 = (*store)->Get(Key("doc1"));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(BytesToString(*v1), "ciphertext-1");
+  EXPECT_TRUE((*store)->Contains(Key("doc2")));
+  EXPECT_FALSE((*store)->Contains(Key("doc3")));
+  EXPECT_EQ((*store)->Get(Key("doc3")).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*store)->live_keys(), 2u);
+}
+
+TEST(LogStoreTest, OverwriteKeepsNewestAndTracksGarbage) {
+  TempDir dir;
+  auto store = LogStore::Open(dir.path() + "/data.log");
+  ASSERT_TRUE(store.ok());
+  SSE_ASSERT_OK((*store)->Put(Key("k"), Bytes(100, 1)));
+  EXPECT_EQ((*store)->garbage_bytes(), 0u);
+  SSE_ASSERT_OK((*store)->Put(Key("k"), Bytes(50, 2)));
+  EXPECT_GT((*store)->garbage_bytes(), 100u);
+  auto v = (*store)->Get(Key("k"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Bytes(50, 2));
+  EXPECT_EQ((*store)->live_keys(), 1u);
+}
+
+TEST(LogStoreTest, DeleteAddsTombstone) {
+  TempDir dir;
+  auto store = LogStore::Open(dir.path() + "/data.log");
+  ASSERT_TRUE(store.ok());
+  SSE_ASSERT_OK((*store)->Put(Key("k"), Key("v")));
+  auto deleted = (*store)->Delete(Key("k"));
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_TRUE(*deleted);
+  EXPECT_FALSE((*store)->Contains(Key("k")));
+  auto again = (*store)->Delete(Key("k"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  // Deleted key stays deleted across reopen (the tombstone persists).
+}
+
+TEST(LogStoreTest, RecoveryAcrossReopen) {
+  TempDir dir;
+  const std::string path = dir.path() + "/data.log";
+  {
+    auto store = LogStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    SSE_ASSERT_OK((*store)->Put(Key("a"), Key("1")));
+    SSE_ASSERT_OK((*store)->Put(Key("b"), Key("2")));
+    SSE_ASSERT_OK((*store)->Put(Key("a"), Key("1-updated")));
+    ASSERT_TRUE((*store)->Delete(Key("b")).ok());
+    SSE_ASSERT_OK((*store)->Put(Key("c"), Key("3")));
+    SSE_ASSERT_OK((*store)->Sync());
+  }
+  auto store = LogStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->live_keys(), 2u);
+  EXPECT_EQ(BytesToString(*(*store)->Get(Key("a"))), "1-updated");
+  EXPECT_FALSE((*store)->Contains(Key("b")));
+  EXPECT_EQ(BytesToString(*(*store)->Get(Key("c"))), "3");
+  EXPECT_GT((*store)->garbage_bytes(), 0u);  // superseded + tombstone
+}
+
+TEST(LogStoreTest, TornTailTruncatedOnOpen) {
+  TempDir dir;
+  const std::string path = dir.path() + "/data.log";
+  {
+    auto store = LogStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    SSE_ASSERT_OK((*store)->Put(Key("good"), Bytes(64, 7)));
+    SSE_ASSERT_OK((*store)->Put(Key("torn"), Bytes(64, 8)));
+    SSE_ASSERT_OK((*store)->Sync());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  ASSERT_EQ(ftruncate(fileno(f), std::ftell(f) - 10), 0);
+  std::fclose(f);
+
+  auto store = LogStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->live_keys(), 1u);
+  EXPECT_TRUE((*store)->Contains(Key("good")));
+  // New appends after the truncation are cleanly framed.
+  SSE_ASSERT_OK((*store)->Put(Key("after"), Key("x")));
+  auto reopened = LogStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->live_keys(), 2u);
+}
+
+TEST(LogStoreTest, MidFileCorruptionReported) {
+  TempDir dir;
+  const std::string path = dir.path() + "/data.log";
+  {
+    auto store = LogStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    SSE_ASSERT_OK((*store)->Put(Key("first"), Bytes(32, 1)));
+    SSE_ASSERT_OK((*store)->Put(Key("second"), Bytes(32, 2)));
+    SSE_ASSERT_OK((*store)->Sync());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 10, SEEK_SET);  // inside the first record's payload
+  std::fputc(0xee, f);
+  std::fclose(f);
+  auto store = LogStore::Open(path);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LogStoreTest, CompactReclaimsGarbage) {
+  TempDir dir;
+  const std::string path = dir.path() + "/data.log";
+  auto store = LogStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  for (int round = 0; round < 10; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      SSE_ASSERT_OK((*store)->Put(Key("k" + std::to_string(k)),
+                                  Bytes(200, static_cast<uint8_t>(round))));
+    }
+  }
+  ASSERT_TRUE((*store)->Delete(Key("k0")).ok());
+  const uint64_t before = (*store)->file_bytes();
+  EXPECT_GT((*store)->garbage_bytes(), before / 2);
+
+  SSE_ASSERT_OK((*store)->Compact());
+  EXPECT_EQ((*store)->garbage_bytes(), 0u);
+  EXPECT_LT((*store)->file_bytes(), before / 5);
+  EXPECT_EQ((*store)->live_keys(), 19u);
+  // Contents intact after compaction...
+  EXPECT_EQ(*(*store)->Get(Key("k7")), Bytes(200, 9));
+  // ...and still work after compaction + new writes + reopen.
+  SSE_ASSERT_OK((*store)->Put(Key("post"), Key("compact")));
+  auto reopened = LogStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->live_keys(), 20u);
+  EXPECT_EQ(*(*reopened)->Get(Key("k7")), Bytes(200, 9));
+  EXPECT_EQ(BytesToString(*(*reopened)->Get(Key("post"))), "compact");
+}
+
+TEST(LogStoreTest, ForEachVisitsLiveRecords) {
+  TempDir dir;
+  auto store = LogStore::Open(dir.path() + "/data.log");
+  ASSERT_TRUE(store.ok());
+  SSE_ASSERT_OK((*store)->Put(Key("a"), Key("1")));
+  SSE_ASSERT_OK((*store)->Put(Key("b"), Key("2")));
+  ASSERT_TRUE((*store)->Delete(Key("a")).ok());
+  std::map<std::string, std::string> seen;
+  SSE_ASSERT_OK((*store)->ForEach([&](BytesView key, BytesView value) {
+    seen[BytesToString(key)] = BytesToString(value);
+    return Status::OK();
+  }));
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen["b"], "2");
+}
+
+TEST(LogStoreTest, BinaryKeysAndLargeValues) {
+  TempDir dir;
+  auto store = LogStore::Open(dir.path() + "/data.log");
+  ASSERT_TRUE(store.ok());
+  Bytes key{0x00, 0xff, 0x00, 0x01};
+  DeterministicRandom rng(5);
+  Bytes value(1 << 20);
+  ASSERT_TRUE(rng.Fill(value).ok());
+  SSE_ASSERT_OK((*store)->Put(key, value));
+  auto got = (*store)->Get(key);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value);
+  EXPECT_TRUE((*store)->Put(key, Bytes{}).ok());  // empty value allowed
+  EXPECT_TRUE((*store)->Get(key)->empty());
+}
+
+TEST(LogStoreTest, RandomizedAgainstStdMap) {
+  TempDir dir;
+  const std::string path = dir.path() + "/data.log";
+  std::map<std::string, Bytes> reference;
+  DeterministicRandom rng(77);
+  auto store_result = LogStore::Open(path);
+  ASSERT_TRUE(store_result.ok());
+  std::unique_ptr<LogStore> store = std::move(store_result).value();
+
+  for (int op = 0; op < 2000; ++op) {
+    const std::string key = "key" + std::to_string(rng.Next() % 100);
+    const int action = rng.Next() % 10;
+    if (action < 5) {
+      Bytes value(rng.Next() % 300);
+      ASSERT_TRUE(rng.Fill(value).ok());
+      SSE_ASSERT_OK(store->Put(StringToBytes(key), value));
+      reference[key] = value;
+    } else if (action < 7) {
+      auto deleted = store->Delete(StringToBytes(key));
+      ASSERT_TRUE(deleted.ok());
+      EXPECT_EQ(*deleted, reference.erase(key) > 0);
+    } else if (action < 9) {
+      auto got = store->Get(StringToBytes(key));
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_FALSE(got.ok());
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, it->second);
+      }
+    } else if (op % 500 == 499) {
+      SSE_ASSERT_OK(store->Compact());
+    }
+    // Periodically crash-recover.
+    if (op % 700 == 699) {
+      store.reset();
+      auto reopened = LogStore::Open(path);
+      ASSERT_TRUE(reopened.ok());
+      store = std::move(reopened).value();
+    }
+  }
+  EXPECT_EQ(store->live_keys(), reference.size());
+  for (const auto& [key, value] : reference) {
+    auto got = store->Get(StringToBytes(key));
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value);
+  }
+}
+
+}  // namespace
+}  // namespace sse::storage

@@ -1,0 +1,68 @@
+#include "sse/net/message.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/core/scheme1_messages.h"
+#include "sse/core/scheme2_messages.h"
+
+namespace sse::net {
+namespace {
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  Message msg{0x0105, Bytes{1, 2, 3, 4}};
+  Bytes wire = msg.Encode();
+  EXPECT_EQ(wire.size(), msg.WireSize());
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->payload, msg.payload);
+}
+
+TEST(MessageTest, EmptyPayload) {
+  Message msg{7, {}};
+  auto decoded = Message::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(MessageTest, DecodeRejectsLengthMismatch) {
+  Message msg{1, Bytes{1, 2, 3}};
+  Bytes wire = msg.Encode();
+  wire.push_back(0);  // trailing garbage
+  EXPECT_FALSE(Message::Decode(wire).ok());
+  wire.pop_back();
+  wire.pop_back();  // truncated payload
+  EXPECT_FALSE(Message::Decode(wire).ok());
+}
+
+TEST(MessageTest, DecodeRejectsTinyInputs) {
+  EXPECT_FALSE(Message::Decode(Bytes{}).ok());
+  EXPECT_FALSE(Message::Decode(Bytes{1}).ok());
+  EXPECT_FALSE(Message::Decode(Bytes{1, 2, 3}).ok());
+}
+
+TEST(MessageTest, ErrorMessageRoundTrip) {
+  Message err = MakeErrorMessage(Status::NotFound("token missing"));
+  EXPECT_EQ(err.type, kMsgError);
+  Status s = DecodeErrorMessage(err);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "token missing");
+}
+
+TEST(MessageTest, NonErrorDecodesToOk) {
+  Message msg{kMsgPutDocument, {}};
+  EXPECT_TRUE(DecodeErrorMessage(msg).ok());
+}
+
+TEST(MessageTest, TypeNames) {
+  EXPECT_EQ(MessageTypeName(kMsgError), "Error");
+  EXPECT_EQ(MessageTypeName(core::kMsgS1SearchRequest).substr(0, 8),
+            "Scheme1.");
+  EXPECT_EQ(MessageTypeName(core::kMsgS2UpdateRequest).substr(0, 8),
+            "Scheme2.");
+  EXPECT_EQ(MessageTypeName(0x0301).substr(0, 9), "Baseline.");
+  EXPECT_EQ(MessageTypeName(0x7001).substr(0, 8), "Unknown.");
+}
+
+}  // namespace
+}  // namespace sse::net

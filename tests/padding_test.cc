@@ -1,0 +1,110 @@
+#include "sse/core/padding.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/core/registry.h"
+#include "sse/security/leakage.h"
+#include "test_util.h"
+
+namespace sse::core {
+namespace {
+
+using sse::testing::FastTestConfig;
+using sse::testing::MakeTestSystem;
+
+TEST(PaddingPolicyTest, Targets) {
+  PaddingPolicy none;
+  EXPECT_EQ(none.TargetFor(5), 5u);
+
+  PaddingPolicy fixed;
+  fixed.mode = PaddingPolicy::Mode::kFixedBucket;
+  fixed.bucket = 8;
+  EXPECT_EQ(fixed.TargetFor(1), 8u);
+  EXPECT_EQ(fixed.TargetFor(8), 8u);
+  EXPECT_EQ(fixed.TargetFor(9), 16u);
+  EXPECT_EQ(fixed.TargetFor(0), 8u);
+
+  PaddingPolicy pow2;
+  pow2.mode = PaddingPolicy::Mode::kPowerOfTwo;
+  EXPECT_EQ(pow2.TargetFor(1), 1u);
+  EXPECT_EQ(pow2.TargetFor(3), 4u);
+  EXPECT_EQ(pow2.TargetFor(4), 4u);
+  EXPECT_EQ(pow2.TargetFor(17), 32u);
+}
+
+class PaddedClientTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(PaddedClientTest, SearchResultsUnaffected) {
+  DeterministicRandom rng(1);
+  SseSystem sys = MakeTestSystem(GetParam(), &rng);
+  PaddingPolicy policy;
+  policy.mode = PaddingPolicy::Mode::kFixedBucket;
+  policy.bucket = 10;
+  PaddedClient padded(sys.client.get(), policy, &rng);
+
+  SSE_ASSERT_OK(padded.Store({
+      Document::Make(0, "a", {"x", "y"}),
+      Document::Make(1, "b", {"y"}),
+  }));
+  EXPECT_GT(padded.decoys_added(), 0u);
+
+  auto outcome = padded.Search("y");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1}));
+  auto x = padded.Search("x");
+  SSE_ASSERT_OK_RESULT(x);
+  EXPECT_EQ(x->ids, std::vector<uint64_t>{0});
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSchemes, PaddedClientTest,
+                         ::testing::Values(SystemKind::kScheme1,
+                                           SystemKind::kScheme2),
+                         [](const ::testing::TestParamInfo<SystemKind>& info) {
+                           return std::string(SystemKindName(info.param));
+                         });
+
+TEST(PaddedClientTest, ObserverSeesOnlyPaddedCounts) {
+  DeterministicRandom rng(2);
+  SystemConfig config = FastTestConfig();
+  config.channel.record_transcript = true;
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme2, &rng, config);
+  PaddingPolicy policy;
+  policy.mode = PaddingPolicy::Mode::kFixedBucket;
+  policy.bucket = 6;
+  PaddedClient padded(sys.client.get(), policy, &rng);
+
+  // Batches with 1, 3 and 5 real keywords: all must appear as 6.
+  SSE_ASSERT_OK(padded.Store({Document::Make(0, "a", {"k1"})}));
+  SSE_ASSERT_OK(padded.Store({Document::Make(1, "b", {"k2", "k3", "k4"})}));
+  SSE_ASSERT_OK(padded.Store(
+      {Document::Make(2, "c", {"k5", "k6", "k7", "k8", "k9"})}));
+
+  security::LeakageReport report =
+      security::AnalyzeTranscript(sys.channel->transcript());
+  ASSERT_EQ(report.update_keyword_counts.size(), 3u);
+  for (uint64_t count : report.update_keyword_counts) {
+    EXPECT_EQ(count, 6u);
+  }
+}
+
+TEST(PaddedClientTest, FakeUpdatePadded) {
+  DeterministicRandom rng(3);
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme2, &rng);
+  PaddingPolicy policy;
+  policy.mode = PaddingPolicy::Mode::kPowerOfTwo;
+  PaddedClient padded(sys.client.get(), policy, &rng);
+  SSE_ASSERT_OK(padded.FakeUpdate({"a", "b", "c"}));
+  EXPECT_EQ(padded.decoys_added(), 1u);  // 3 -> 4
+  EXPECT_EQ(padded.name(), "scheme2+padded");
+}
+
+TEST(PaddedClientTest, NoneModePassesThrough) {
+  DeterministicRandom rng(4);
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme1, &rng);
+  PaddedClient padded(sys.client.get(), PaddingPolicy{}, &rng);
+  SSE_ASSERT_OK(padded.Store({Document::Make(0, "a", {"only"})}));
+  EXPECT_EQ(padded.decoys_added(), 0u);
+}
+
+}  // namespace
+}  // namespace sse::core

@@ -1,0 +1,111 @@
+#include "sse/phr/phr_store.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/core/registry.h"
+#include "sse/phr/workload.h"
+#include "test_util.h"
+
+namespace sse::phr {
+namespace {
+
+using core::SystemKind;
+using sse::testing::MakeTestSystem;
+
+PatientRecord Visit(const std::string& pid, const std::string& condition,
+                    const std::string& med, const std::string& notes = "") {
+  PatientRecord record;
+  record.patient_id = pid;
+  record.name = "test patient";
+  record.visit_date = "2026-07-01";
+  record.practitioner = "dr test";
+  record.conditions = {condition};
+  record.medications = {med};
+  record.notes = notes;
+  return record;
+}
+
+class PhrStoreTest : public ::testing::TestWithParam<SystemKind> {
+ protected:
+  PhrStoreTest()
+      : rng_(123),
+        sys_(MakeTestSystem(GetParam(), &rng_)),
+        store_(sys_.client.get()) {}
+
+  DeterministicRandom rng_;
+  core::SseSystem sys_;
+  PhrStore store_;
+};
+
+TEST_P(PhrStoreTest, GpScenario) {
+  // The §6 GP flow: retrieve the record before a visit, update afterwards.
+  SSE_ASSERT_OK(store_.AddRecord(
+      Visit("p1", "hypertension", "lisinopril", "initial consult")));
+  SSE_ASSERT_OK(store_.AddRecord(Visit("p2", "asthma", "albuterol")));
+
+  auto before_visit = store_.FindByPatient("p1");
+  SSE_ASSERT_OK_RESULT(before_visit);
+  ASSERT_EQ(before_visit->size(), 1u);
+  EXPECT_EQ((*before_visit)[0].conditions[0], "hypertension");
+
+  // After the visit the GP appends a new record.
+  SSE_ASSERT_OK(store_.AddRecord(
+      Visit("p1", "hypertension", "lisinopril", "dosage increased")));
+  auto after_visit = store_.FindByPatient("p1");
+  SSE_ASSERT_OK_RESULT(after_visit);
+  EXPECT_EQ(after_visit->size(), 2u);
+}
+
+TEST_P(PhrStoreTest, FindByConditionAndMedication) {
+  SSE_ASSERT_OK(store_.AddRecords({
+      Visit("p1", "hypertension", "lisinopril"),
+      Visit("p2", "type 2 diabetes", "metformin"),
+      Visit("p3", "hypertension", "amlodipine"),
+  }));
+  auto hyper = store_.FindByCondition("hypertension");
+  SSE_ASSERT_OK_RESULT(hyper);
+  EXPECT_EQ(hyper->size(), 2u);
+  auto metformin = store_.FindByMedication("metformin");
+  SSE_ASSERT_OK_RESULT(metformin);
+  ASSERT_EQ(metformin->size(), 1u);
+  EXPECT_EQ((*metformin)[0].patient_id, "p2");
+}
+
+TEST_P(PhrStoreTest, FreeTextNoteSearch) {
+  SSE_ASSERT_OK(store_.AddRecord(
+      Visit("p1", "migraine", "sumatriptan", "Recurring Aura symptoms")));
+  auto hits = store_.FindByNoteTerm("AURA");  // case-insensitive
+  SSE_ASSERT_OK_RESULT(hits);
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].patient_id, "p1");
+  auto miss = store_.FindByNoteTerm("absent-term");
+  SSE_ASSERT_OK_RESULT(miss);
+  EXPECT_TRUE(miss->empty());
+}
+
+TEST_P(PhrStoreTest, RecordsRoundTripThroughEncryption) {
+  PatientRecord original =
+      Visit("p9", "eczema", "hydrocortisone", "mild flareup on arms");
+  original.allergies = {"latex"};
+  SSE_ASSERT_OK(store_.AddRecord(original));
+  auto found = store_.FindByPatient("p9");
+  SSE_ASSERT_OK_RESULT(found);
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0].ToText(), original.ToText());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, PhrStoreTest,
+    ::testing::Values(SystemKind::kScheme1, SystemKind::kScheme2,
+                      SystemKind::kSwp, SystemKind::kGohZidx,
+                      SystemKind::kCgkoSse1),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name(core::SystemKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sse::phr

@@ -1,0 +1,92 @@
+#include "sse/index/posting.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/util/random.h"
+
+namespace sse::index {
+namespace {
+
+TEST(PostingTest, EncodeDecodeRoundTrip) {
+  const DocIdList ids{0, 1, 5, 100, 1000000, 1000001};
+  auto encoded = EncodeIdList(ids);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeIdList(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ids);
+}
+
+TEST(PostingTest, EmptyList) {
+  auto encoded = EncodeIdList({});
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->size(), 1u);  // just the count varint
+  auto decoded = DecodeIdList(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PostingTest, DeltaEncodingIsCompact) {
+  // 1000 consecutive small ids must encode in ~1 byte each.
+  DocIdList ids;
+  for (uint64_t i = 0; i < 1000; ++i) ids.push_back(i);
+  auto encoded = EncodeIdList(ids);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_LT(encoded->size(), 1100u);
+}
+
+TEST(PostingTest, EncodeRejectsUnsorted) {
+  EXPECT_FALSE(EncodeIdList({3, 1}).ok());
+  EXPECT_FALSE(EncodeIdList({1, 1}).ok());  // duplicates rejected too
+}
+
+TEST(PostingTest, DecodeRejectsCorruptions) {
+  // Count larger than payload.
+  Bytes bogus{0xff, 0xff, 0x01};
+  EXPECT_FALSE(DecodeIdList(bogus).ok());
+  // Trailing garbage after a valid list.
+  auto encoded = EncodeIdList({1, 2});
+  ASSERT_TRUE(encoded.ok());
+  Bytes padded = *encoded;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeIdList(padded).ok());
+}
+
+TEST(PostingTest, Canonicalize) {
+  EXPECT_EQ(Canonicalize({5, 1, 3, 1, 5}), (DocIdList{1, 3, 5}));
+  EXPECT_EQ(Canonicalize({}), DocIdList{});
+}
+
+TEST(PostingTest, BitmapConversions) {
+  const DocIdList ids{0, 7, 63, 64, 127};
+  auto bitmap = IdsToBitmap(128, ids);
+  ASSERT_TRUE(bitmap.ok());
+  EXPECT_EQ(BitmapToIds(*bitmap), ids);
+  EXPECT_FALSE(IdsToBitmap(100, {100}).ok());
+}
+
+TEST(PostingTest, MergeIdLists) {
+  EXPECT_EQ(MergeIdLists({1, 3, 5}, {2, 3, 6}), (DocIdList{1, 2, 3, 5, 6}));
+  EXPECT_EQ(MergeIdLists({}, {1}), DocIdList{1});
+  EXPECT_EQ(MergeIdLists({}, {}), DocIdList{});
+}
+
+TEST(PostingTest, RandomizedRoundTrip) {
+  DeterministicRandom rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    DocIdList ids;
+    uint64_t current = 0;
+    const size_t n = rng.Next() % 200;
+    for (size_t i = 0; i < n; ++i) {
+      current += 1 + rng.Next() % 10000;
+      ids.push_back(current);
+    }
+    auto encoded = EncodeIdList(ids);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = DecodeIdList(*encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, ids);
+  }
+}
+
+}  // namespace
+}  // namespace sse::index

@@ -1,0 +1,232 @@
+// Long-horizon randomized property tests: arbitrary interleavings of
+// stores, searches, fake updates, removals (Scheme 1), chain
+// re-initializations (Scheme 2) and full server crash/recovery cycles must
+// always agree with a plaintext reference index.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sse/core/durable_server.h"
+#include "sse/core/padding.h"
+#include "sse/core/registry.h"
+#include "sse/core/scheme1_client.h"
+#include "sse/core/scheme1_server.h"
+#include "sse/core/scheme2_client.h"
+#include "sse/core/scheme2_server.h"
+#include "test_util.h"
+
+namespace sse::core {
+namespace {
+
+using sse::testing::FastTestConfig;
+using sse::testing::TempDir;
+using sse::testing::TestMasterKey;
+
+std::string Kw(uint64_t i) { return "v" + std::to_string(i); }
+
+/// Plaintext reference the encrypted systems must match.
+class Reference {
+ public:
+  void Add(uint64_t id, const std::vector<std::string>& keywords) {
+    for (const auto& kw : keywords) postings_[kw].insert(id);
+    keywords_of_[id] = keywords;
+  }
+  void Remove(uint64_t id) {
+    auto it = keywords_of_.find(id);
+    if (it == keywords_of_.end()) return;
+    for (const auto& kw : it->second) postings_[kw].erase(id);
+    keywords_of_.erase(it);
+  }
+  std::vector<uint64_t> Lookup(const std::string& kw) const {
+    auto it = postings_.find(kw);
+    if (it == postings_.end()) return {};
+    return {it->second.begin(), it->second.end()};
+  }
+  const std::vector<std::string>* KeywordsOf(uint64_t id) const {
+    auto it = keywords_of_.find(id);
+    return it == keywords_of_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, std::set<uint64_t>> postings_;
+  std::map<uint64_t, std::vector<std::string>> keywords_of_;
+};
+
+std::vector<std::string> RandomKeywords(DeterministicRandom& rng,
+                                        size_t vocabulary) {
+  std::set<std::string> kws;
+  const size_t n = 1 + rng.Next() % 4;
+  while (kws.size() < n) kws.insert(Kw(rng.Next() % vocabulary));
+  return {kws.begin(), kws.end()};
+}
+
+TEST(PropertyTest, Scheme1LongInterleavingWithRemovals) {
+  DeterministicRandom rng(1001);
+  SseSystem sys = sse::testing::MakeTestSystem(SystemKind::kScheme1, &rng);
+  auto* client = static_cast<Scheme1Client*>(sys.client.get());
+  Reference reference;
+  uint64_t next_id = 0;
+  const size_t vocabulary = 10;
+  DeterministicRandom op_rng(2002);
+
+  for (int step = 0; step < 300; ++step) {
+    const int op = op_rng.Next() % 10;
+    if (op < 5 || next_id == 0) {  // store
+      auto kws = RandomKeywords(op_rng, vocabulary);
+      ASSERT_TRUE(
+          sys.client->Store({Document::Make(next_id, "c", kws)}).ok());
+      reference.Add(next_id, kws);
+      ++next_id;
+    } else if (op < 7) {  // remove a random live document
+      const uint64_t id = op_rng.Next() % next_id;
+      const auto* kws = reference.KeywordsOf(id);
+      if (kws != nullptr) {
+        ASSERT_TRUE(client->RemoveDocument(id, *kws).ok());
+        reference.Remove(id);
+      }
+    } else if (op == 7) {  // fake update
+      ASSERT_TRUE(sys.client->FakeUpdate({Kw(op_rng.Next() % vocabulary)}).ok());
+    } else {  // search
+      const std::string kw = Kw(op_rng.Next() % vocabulary);
+      auto outcome = sys.client->Search(kw);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_EQ(outcome->ids, reference.Lookup(kw)) << "step " << step;
+    }
+  }
+  // Full sweep at the end.
+  for (size_t v = 0; v < vocabulary; ++v) {
+    auto outcome = sys.client->Search(Kw(v));
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->ids, reference.Lookup(Kw(v)));
+  }
+}
+
+TEST(PropertyTest, Scheme2LongInterleavingWithReinit) {
+  // Tiny chain so re-initialization triggers repeatedly mid-run.
+  SystemConfig config = FastTestConfig();
+  config.scheme.chain_length = 8;
+  DeterministicRandom rng(3003);
+  SseSystem sys =
+      sse::testing::MakeTestSystem(SystemKind::kScheme2, &rng, config);
+  auto* client = static_cast<Scheme2Client*>(sys.client.get());
+  Reference reference;
+  uint64_t next_id = 0;
+  const size_t vocabulary = 8;
+  DeterministicRandom op_rng(4004);
+  int reinits = 0;
+
+  for (int step = 0; step < 300; ++step) {
+    const int op = op_rng.Next() % 8;
+    if (op < 4 || next_id == 0) {  // store (reinit on exhaustion)
+      auto kws = RandomKeywords(op_rng, vocabulary);
+      Status s = sys.client->Store({Document::Make(next_id, "c", kws)});
+      if (s.code() == StatusCode::kResourceExhausted) {
+        ASSERT_TRUE(client->Reinitialize().ok()) << "step " << step;
+        ++reinits;
+        s = sys.client->Store({Document::Make(next_id, "c", kws)});
+      }
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      reference.Add(next_id, kws);
+      ++next_id;
+    } else if (op == 4) {  // fake update (also consumes chain budget)
+      Status s = sys.client->FakeUpdate({Kw(op_rng.Next() % vocabulary)});
+      if (s.code() == StatusCode::kResourceExhausted) {
+        ASSERT_TRUE(client->Reinitialize().ok());
+        ++reinits;
+      } else {
+        ASSERT_TRUE(s.ok());
+      }
+    } else {  // search
+      const std::string kw = Kw(op_rng.Next() % vocabulary);
+      auto outcome = sys.client->Search(kw);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_EQ(outcome->ids, reference.Lookup(kw)) << "step " << step;
+    }
+  }
+  EXPECT_GT(reinits, 2) << "chain never exhausted; test lost its teeth";
+  for (size_t v = 0; v < vocabulary; ++v) {
+    auto outcome = sys.client->Search(Kw(v));
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->ids, reference.Lookup(Kw(v)));
+  }
+}
+
+TEST(PropertyTest, Scheme1DurableCrashRecoveryLoop) {
+  TempDir dir;
+  const SchemeOptions options = FastTestConfig().scheme;
+  Reference reference;
+  Bytes client_state;
+  uint64_t next_id = 0;
+  DeterministicRandom op_rng(5005);
+
+  for (int session = 0; session < 5; ++session) {
+    Scheme1Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel channel(durable->get());
+    DeterministicRandom rng(6006 + session);
+    auto client =
+        Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    if (!client_state.empty()) {
+      SSE_ASSERT_OK((*client)->RestoreState(client_state));
+    }
+
+    for (int step = 0; step < 40; ++step) {
+      if (op_rng.Next() % 3 != 0 || next_id == 0) {
+        auto kws = RandomKeywords(op_rng, 6);
+        ASSERT_TRUE(
+            (*client)->Store({Document::Make(next_id, "c", kws)}).ok());
+        reference.Add(next_id, kws);
+        ++next_id;
+      } else {
+        const std::string kw = Kw(op_rng.Next() % 6);
+        auto outcome = (*client)->Search(kw);
+        ASSERT_TRUE(outcome.ok());
+        EXPECT_EQ(outcome->ids, reference.Lookup(kw))
+            << "session " << session << " step " << step;
+      }
+    }
+    // Half the sessions checkpoint; the others "crash" with a WAL only.
+    if (session % 2 == 0) {
+      SSE_ASSERT_OK((*durable)->Checkpoint());
+    }
+    client_state = (*client)->SerializeState();
+  }
+}
+
+TEST(PropertyTest, PaddedClientsAgreeWithReference) {
+  // Padding must never change results, across both schemes, under a long
+  // random interleaving.
+  for (SystemKind kind : {SystemKind::kScheme1, SystemKind::kScheme2}) {
+    DeterministicRandom rng(7007);
+    SseSystem sys = sse::testing::MakeTestSystem(kind, &rng);
+    PaddingPolicy policy;
+    policy.mode = PaddingPolicy::Mode::kPowerOfTwo;
+    PaddedClient padded(sys.client.get(), policy, &rng);
+    Reference reference;
+    uint64_t next_id = 0;
+    DeterministicRandom op_rng(8008);
+
+    for (int step = 0; step < 120; ++step) {
+      if (op_rng.Next() % 3 != 0 || next_id == 0) {
+        auto kws = RandomKeywords(op_rng, 6);
+        ASSERT_TRUE(padded.Store({Document::Make(next_id, "c", kws)}).ok());
+        reference.Add(next_id, kws);
+        ++next_id;
+      } else {
+        const std::string kw = Kw(op_rng.Next() % 6);
+        auto outcome = padded.Search(kw);
+        ASSERT_TRUE(outcome.ok());
+        EXPECT_EQ(outcome->ids, reference.Lookup(kw))
+            << SystemKindName(kind) << " step " << step;
+      }
+    }
+    EXPECT_GT(padded.decoys_added(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sse::core

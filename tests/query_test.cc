@@ -1,0 +1,87 @@
+#include "sse/core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/core/registry.h"
+#include "test_util.h"
+
+namespace sse::core {
+namespace {
+
+using sse::testing::MakeTestSystem;
+
+class QueryTest : public ::testing::TestWithParam<SystemKind> {
+ protected:
+  QueryTest() : rng_(7), sys_(MakeTestSystem(GetParam(), &rng_)) {
+    Status s = sys_.client->Store({
+        Document::Make(0, "d0", {"red", "round"}),
+        Document::Make(1, "d1", {"red", "square"}),
+        Document::Make(2, "d2", {"blue", "round"}),
+        Document::Make(3, "d3", {"red", "round", "large"}),
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  DeterministicRandom rng_;
+  SseSystem sys_;
+};
+
+TEST_P(QueryTest, Conjunction) {
+  auto outcome = SearchAll(*sys_.client, {"red", "round"});
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 3}));
+  // All three terms.
+  auto narrow = SearchAll(*sys_.client, {"red", "round", "large"});
+  SSE_ASSERT_OK_RESULT(narrow);
+  EXPECT_EQ(narrow->ids, std::vector<uint64_t>{3});
+  ASSERT_EQ(narrow->documents.size(), 1u);
+  EXPECT_EQ(BytesToString(narrow->documents[0].second), "d3");
+}
+
+TEST_P(QueryTest, ConjunctionEmptyIntersection) {
+  auto outcome = SearchAll(*sys_.client, {"blue", "square"});
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_TRUE(outcome->ids.empty());
+}
+
+TEST_P(QueryTest, ConjunctionWithUnknownKeyword) {
+  auto outcome = SearchAll(*sys_.client, {"red", "nonexistent"});
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_TRUE(outcome->ids.empty());
+}
+
+TEST_P(QueryTest, Disjunction) {
+  auto outcome = SearchAny(*sys_.client, {"blue", "square"});
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(outcome->documents.size(), 2u);
+}
+
+TEST_P(QueryTest, DisjunctionDeduplicates) {
+  auto outcome = SearchAny(*sys_.client, {"red", "round"});
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1, 2, 3}));
+}
+
+TEST_P(QueryTest, Except) {
+  auto outcome = SearchExcept(*sys_.client, "red", "round");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, std::vector<uint64_t>{1});
+}
+
+TEST_P(QueryTest, EmptyKeywordListRejected) {
+  EXPECT_FALSE(SearchAll(*sys_.client, {}).ok());
+  EXPECT_FALSE(SearchAny(*sys_.client, {}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, QueryTest, ::testing::ValuesIn(AllSystemKinds()),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name(SystemKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sse::core

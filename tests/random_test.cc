@@ -1,0 +1,87 @@
+#include "sse/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sse {
+namespace {
+
+TEST(SystemRandomTest, FillsRequestedLength) {
+  SystemRandom rng;
+  for (size_t n : {0u, 1u, 16u, 1024u}) {
+    auto bytes = rng.Generate(n);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes->size(), n);
+  }
+}
+
+TEST(SystemRandomTest, OutputsDiffer) {
+  SystemRandom rng;
+  auto a = rng.Generate(32);
+  auto b = rng.Generate(32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);  // 2^-256 failure probability
+}
+
+TEST(DeterministicRandomTest, SameSeedSameStream) {
+  DeterministicRandom a(123);
+  DeterministicRandom b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(DeterministicRandomTest, DifferentSeedsDiverge) {
+  DeterministicRandom a(1);
+  DeterministicRandom b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(DeterministicRandomTest, FillIsDeterministic) {
+  DeterministicRandom a(5);
+  DeterministicRandom b(5);
+  Bytes x(37);
+  Bytes y(37);
+  ASSERT_TRUE(a.Fill(x).ok());
+  ASSERT_TRUE(b.Fill(y).ok());
+  EXPECT_EQ(x, y);
+}
+
+TEST(DeterministicRandomTest, NextDoubleInUnitInterval) {
+  DeterministicRandom rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomSourceTest, UniformU64RespectsBound) {
+  DeterministicRandom rng(11);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      auto v = rng.UniformU64(bound);
+      ASSERT_TRUE(v.ok());
+      EXPECT_LT(*v, bound);
+    }
+  }
+}
+
+TEST(RandomSourceTest, UniformU64RejectsZeroBound) {
+  DeterministicRandom rng(1);
+  EXPECT_FALSE(rng.UniformU64(0).ok());
+}
+
+TEST(RandomSourceTest, UniformU64CoversRange) {
+  DeterministicRandom rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(*rng.UniformU64(10));
+  EXPECT_EQ(seen.size(), 10u);  // all values hit in 500 draws
+}
+
+}  // namespace
+}  // namespace sse

@@ -1,0 +1,81 @@
+#include "sse/phr/record.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sse::phr {
+namespace {
+
+PatientRecord SampleRecord() {
+  PatientRecord record;
+  record.patient_id = "p00042";
+  record.name = "emma jansen";
+  record.visit_date = "2026-03-14";
+  record.practitioner = "dr visser";
+  record.conditions = {"hypertension", "type 2 diabetes"};
+  record.medications = {"lisinopril", "metformin"};
+  record.allergies = {"penicillin"};
+  record.notes = "patient reports mild headaches after dosage change";
+  return record;
+}
+
+TEST(RecordTest, TextRoundTrip) {
+  const PatientRecord original = SampleRecord();
+  auto restored = PatientRecord::FromText(original.ToText());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->patient_id, original.patient_id);
+  EXPECT_EQ(restored->name, original.name);
+  EXPECT_EQ(restored->visit_date, original.visit_date);
+  EXPECT_EQ(restored->practitioner, original.practitioner);
+  EXPECT_EQ(restored->conditions, original.conditions);
+  EXPECT_EQ(restored->medications, original.medications);
+  EXPECT_EQ(restored->allergies, original.allergies);
+  EXPECT_EQ(restored->notes, original.notes);
+}
+
+TEST(RecordTest, EmptyListsRoundTrip) {
+  PatientRecord record;
+  record.patient_id = "p1";
+  auto restored = PatientRecord::FromText(record.ToText());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->conditions.empty());
+  EXPECT_TRUE(restored->medications.empty());
+}
+
+TEST(RecordTest, FromTextRejectsGarbage) {
+  EXPECT_FALSE(PatientRecord::FromText("not a record at all").ok());
+  EXPECT_FALSE(PatientRecord::FromText("").ok());
+}
+
+TEST(RecordTest, SearchKeywordsContainTags) {
+  const PatientRecord record = SampleRecord();
+  auto keywords = record.SearchKeywords();
+  auto has = [&](const std::string& kw) {
+    return std::find(keywords.begin(), keywords.end(), kw) != keywords.end();
+  };
+  EXPECT_TRUE(has("patient:p00042"));
+  EXPECT_TRUE(has("condition:hypertension"));
+  EXPECT_TRUE(has("condition:type-2-diabetes"));
+  EXPECT_TRUE(has("med:metformin"));
+  EXPECT_TRUE(has("allergy:penicillin"));
+  EXPECT_TRUE(has("gp:dr-visser"));
+  EXPECT_TRUE(has("date:2026-03"));
+  // Note tokens included; raw unnormalized phrases are not.
+  EXPECT_TRUE(has("headaches"));
+  EXPECT_TRUE(has("dosage"));
+  EXPECT_FALSE(has("type 2 diabetes"));  // only the tag form is indexed
+}
+
+TEST(RecordTest, DocumentConversionRoundTrip) {
+  const PatientRecord record = SampleRecord();
+  core::Document doc = RecordToDocument(17, record);
+  EXPECT_EQ(doc.id, 17u);
+  EXPECT_FALSE(doc.keywords.empty());
+  auto restored = DocumentToRecord(doc.content);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->patient_id, record.patient_id);
+}
+
+}  // namespace
+}  // namespace sse::phr

@@ -1,0 +1,198 @@
+// Parameterized conformance suite: every searchable-encryption system in
+// the library (both paper schemes and all three baselines) must satisfy the
+// same functional contract. Runs each test once per system.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sse/core/registry.h"
+#include "sse/phr/tokenizer.h"
+#include "sse/phr/workload.h"
+#include "test_util.h"
+
+namespace sse::core {
+namespace {
+
+using sse::testing::FastTestConfig;
+using sse::testing::MakeTestSystem;
+
+class AllSchemesTest : public ::testing::TestWithParam<SystemKind> {
+ protected:
+  AllSchemesTest()
+      : rng_(2024), sys_(MakeTestSystem(GetParam(), &rng_)) {}
+
+  /// Searches and returns just the ids (asserting success).
+  std::vector<uint64_t> SearchIds(const std::string& keyword) {
+    auto outcome = sys_.client->Search(keyword);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (!outcome.ok()) return {};
+    return outcome->ids;
+  }
+
+  DeterministicRandom rng_;
+  SseSystem sys_;
+};
+
+TEST_P(AllSchemesTest, NameMatchesRegistry) {
+  EXPECT_EQ(sys_.client->name(), SystemKindName(GetParam()));
+}
+
+TEST_P(AllSchemesTest, EmptyDatabaseSearch) {
+  EXPECT_TRUE(SearchIds("anything").empty());
+}
+
+TEST_P(AllSchemesTest, SingleDocumentRoundTrip) {
+  SSE_ASSERT_OK(sys_.client->Store(
+      {Document::Make(0, "the content", {"alpha", "beta"})}));
+  EXPECT_EQ(SearchIds("alpha"), std::vector<uint64_t>{0});
+  EXPECT_EQ(SearchIds("beta"), std::vector<uint64_t>{0});
+  EXPECT_TRUE(SearchIds("gamma").empty());
+
+  auto outcome = sys_.client->Search("alpha");
+  SSE_ASSERT_OK_RESULT(outcome);
+  ASSERT_EQ(outcome->documents.size(), 1u);
+  EXPECT_EQ(outcome->documents[0].first, 0u);
+  EXPECT_EQ(BytesToString(outcome->documents[0].second), "the content");
+}
+
+TEST_P(AllSchemesTest, DisjointAndOverlappingPostings) {
+  SSE_ASSERT_OK(sys_.client->Store({
+      Document::Make(0, "d0", {"x", "shared"}),
+      Document::Make(1, "d1", {"y", "shared"}),
+      Document::Make(2, "d2", {"x", "y", "shared"}),
+  }));
+  EXPECT_EQ(SearchIds("x"), (std::vector<uint64_t>{0, 2}));
+  EXPECT_EQ(SearchIds("y"), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(SearchIds("shared"), (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST_P(AllSchemesTest, IncrementalStores) {
+  for (uint64_t i = 0; i < 8; ++i) {
+    SSE_ASSERT_OK(sys_.client->Store(
+        {Document::Make(i, "doc" + std::to_string(i), {"all"})}));
+  }
+  std::vector<uint64_t> expected;
+  for (uint64_t i = 0; i < 8; ++i) expected.push_back(i);
+  EXPECT_EQ(SearchIds("all"), expected);
+}
+
+TEST_P(AllSchemesTest, SearchesInterleavedWithStores) {
+  SSE_ASSERT_OK(sys_.client->Store({Document::Make(0, "a", {"w"})}));
+  EXPECT_EQ(SearchIds("w"), std::vector<uint64_t>{0});
+  SSE_ASSERT_OK(sys_.client->Store({Document::Make(1, "b", {"w"})}));
+  EXPECT_EQ(SearchIds("w"), (std::vector<uint64_t>{0, 1}));
+  SSE_ASSERT_OK(sys_.client->Store({Document::Make(2, "c", {"v"})}));
+  EXPECT_EQ(SearchIds("w"), (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(SearchIds("v"), std::vector<uint64_t>{2});
+}
+
+TEST_P(AllSchemesTest, RepeatSearchesAreStable) {
+  SSE_ASSERT_OK(sys_.client->Store(
+      {Document::Make(0, "a", {"kw"}), Document::Make(1, "b", {"kw"})}));
+  const std::vector<uint64_t> first = SearchIds("kw");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(SearchIds("kw"), first);
+}
+
+TEST_P(AllSchemesTest, BinaryContentSurvives) {
+  Bytes binary(256);
+  for (size_t i = 0; i < binary.size(); ++i) {
+    binary[i] = static_cast<uint8_t>(i);
+  }
+  Document doc;
+  doc.id = 0;
+  doc.content = binary;
+  doc.keywords = {"blob"};
+  SSE_ASSERT_OK(sys_.client->Store({doc}));
+  auto outcome = sys_.client->Search("blob");
+  SSE_ASSERT_OK_RESULT(outcome);
+  ASSERT_EQ(outcome->documents.size(), 1u);
+  EXPECT_EQ(outcome->documents[0].second, binary);
+}
+
+TEST_P(AllSchemesTest, UnicodeAndOddKeywords) {
+  SSE_ASSERT_OK(sys_.client->Store({Document::Make(
+      0, "x", {"naïve", "köln", "condition:type-2", "a b c", ""})}));
+  EXPECT_EQ(SearchIds("naïve"), std::vector<uint64_t>{0});
+  EXPECT_EQ(SearchIds("köln"), std::vector<uint64_t>{0});
+  EXPECT_EQ(SearchIds("condition:type-2"), std::vector<uint64_t>{0});
+  EXPECT_EQ(SearchIds("a b c"), std::vector<uint64_t>{0});
+  EXPECT_TRUE(SearchIds("naive").empty());  // exact match semantics
+}
+
+TEST_P(AllSchemesTest, RandomizedAgainstPlaintextReference) {
+  // Property test: after any interleaving of stores and searches, results
+  // must equal a plaintext inverted index's.
+  DeterministicRandom op_rng(31337);
+  std::map<std::string, std::set<uint64_t>> reference;
+  uint64_t next_id = 0;
+  const size_t vocabulary = 12;
+
+  for (int step = 0; step < 60; ++step) {
+    if (op_rng.Next() % 3 != 0 || next_id == 0) {
+      // Store a small batch.
+      const size_t batch = 1 + op_rng.Next() % 3;
+      std::vector<Document> docs;
+      for (size_t b = 0; b < batch; ++b) {
+        std::vector<std::string> kws;
+        const size_t nkw = 1 + op_rng.Next() % 4;
+        for (size_t k = 0; k < nkw; ++k) {
+          std::string kw = "v" + std::to_string(op_rng.Next() % vocabulary);
+          if (std::find(kws.begin(), kws.end(), kw) == kws.end()) {
+            kws.push_back(kw);
+          }
+        }
+        docs.push_back(
+            Document::Make(next_id, "content" + std::to_string(next_id), kws));
+        for (const auto& kw : kws) reference[kw].insert(next_id);
+        ++next_id;
+      }
+      SSE_ASSERT_OK(sys_.client->Store(docs));
+    } else {
+      const std::string kw = "v" + std::to_string(op_rng.Next() % vocabulary);
+      const auto& expected_set = reference[kw];
+      std::vector<uint64_t> expected(expected_set.begin(), expected_set.end());
+      EXPECT_EQ(SearchIds(kw), expected) << "keyword " << kw;
+    }
+  }
+  // Final sweep over the whole vocabulary.
+  for (size_t v = 0; v < vocabulary; ++v) {
+    const std::string kw = "v" + std::to_string(v);
+    const auto& expected_set = reference[kw];
+    std::vector<uint64_t> expected(expected_set.begin(), expected_set.end());
+    EXPECT_EQ(SearchIds(kw), expected) << "keyword " << kw;
+  }
+}
+
+TEST_P(AllSchemesTest, PhrWorkloadEndToEnd) {
+  phr::PhrWorkload::Params params;
+  params.num_patients = 10;
+  params.visits_per_patient = 2;
+  phr::PhrWorkload workload(params);
+  SSE_ASSERT_OK(sys_.client->Store(workload.ToDocuments()));
+
+  // Every record must be findable by its patient tag.
+  std::map<std::string, std::set<uint64_t>> by_patient;
+  const auto& records = workload.records();
+  for (size_t i = 0; i < records.size(); ++i) {
+    by_patient[records[i].patient_id].insert(i);
+  }
+  for (const auto& [pid, expected_set] : by_patient) {
+    std::vector<uint64_t> expected(expected_set.begin(), expected_set.end());
+    EXPECT_EQ(SearchIds(phr::Tag("patient", pid)), expected) << pid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, AllSchemesTest, ::testing::ValuesIn(AllSystemKinds()),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name(SystemKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sse::core

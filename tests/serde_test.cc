@@ -1,0 +1,144 @@
+#include "sse/util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/util/random.h"
+
+namespace sse {
+namespace {
+
+TEST(SerdeTest, FixedWidthRoundTrip) {
+  BufferWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutBool(true);
+  w.PutBool(false);
+
+  BufferReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(*r.GetBool());
+  EXPECT_FALSE(*r.GetBool());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(SerdeTest, VarintRoundTripBoundaries) {
+  const uint64_t values[] = {0,    1,    127,        128,
+                             255,  300,  16383,      16384,
+                             1u << 21,   (1ull << 35) - 1, UINT64_MAX};
+  BufferWriter w;
+  for (uint64_t v : values) w.PutVarint(v);
+  BufferReader r(w.data());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, VarintEncodingIsMinimalFor127) {
+  BufferWriter w;
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.PutVarint(128);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(SerdeTest, BytesAndStrings) {
+  BufferWriter w;
+  w.PutBytes(Bytes{1, 2, 3});
+  w.PutString("hello");
+  w.PutBytes(Bytes{});
+  BufferReader r(w.data());
+  EXPECT_EQ(*r.GetBytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetBytes(), Bytes{});
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedReadsFail) {
+  BufferWriter w;
+  w.PutU32(7);
+  BufferReader r(w.data());
+  EXPECT_TRUE(r.GetU16().ok());
+  EXPECT_FALSE(r.GetU32().ok());  // only 2 bytes left
+}
+
+TEST(SerdeTest, LengthPrefixBeyondInputFails) {
+  BufferWriter w;
+  w.PutVarint(1000);  // claims 1000 bytes follow
+  w.PutU8(1);
+  BufferReader r(w.data());
+  EXPECT_FALSE(r.GetBytes().ok());
+}
+
+TEST(SerdeTest, LengthPrefixOverMaxLenFails) {
+  BufferWriter w;
+  w.PutVarint(100);
+  for (int i = 0; i < 100; ++i) w.PutU8(0);
+  BufferReader r(w.data());
+  EXPECT_FALSE(r.GetBytes(/*max_len=*/99).ok());
+}
+
+TEST(SerdeTest, MalformedVarintFails) {
+  // 10 continuation bytes overflow 64 bits.
+  Bytes bad(10, 0xff);
+  bad.push_back(0x7f);
+  BufferReader r(bad);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(SerdeTest, TruncatedVarintFails) {
+  Bytes bad{0x80};  // continuation bit set, no next byte
+  BufferReader r(bad);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(SerdeTest, BoolRejectsNonBinary) {
+  Bytes bad{2};
+  BufferReader r(bad);
+  EXPECT_FALSE(r.GetBool().ok());
+}
+
+TEST(SerdeTest, ExpectEndFailsOnTrailingBytes) {
+  BufferWriter w;
+  w.PutU8(1);
+  w.PutU8(2);
+  BufferReader r(w.data());
+  EXPECT_TRUE(r.GetU8().ok());
+  EXPECT_FALSE(r.ExpectEnd().ok());
+}
+
+TEST(SerdeTest, RandomizedRoundTrip) {
+  DeterministicRandom rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    BufferWriter w;
+    std::vector<uint64_t> varints;
+    std::vector<Bytes> blobs;
+    const size_t items = rng.Next() % 20;
+    for (size_t i = 0; i < items; ++i) {
+      uint64_t v = rng.Next() >> (rng.Next() % 64);
+      varints.push_back(v);
+      w.PutVarint(v);
+      Bytes blob(rng.Next() % 50);
+      (void)rng.Fill(blob);
+      blobs.push_back(blob);
+      w.PutBytes(blob);
+    }
+    BufferReader r(w.data());
+    for (size_t i = 0; i < items; ++i) {
+      EXPECT_EQ(*r.GetVarint(), varints[i]);
+      EXPECT_EQ(*r.GetBytes(), blobs[i]);
+    }
+    EXPECT_TRUE(r.ExpectEnd().ok());
+  }
+}
+
+}  // namespace
+}  // namespace sse

@@ -1,0 +1,76 @@
+#include "sse/crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace sse::crypto {
+namespace {
+
+TEST(Sha256Test, EmptyStringVector) {
+  auto digest = Sha256(Bytes{});
+  ASSERT_TRUE(digest.ok());
+  EXPECT_EQ(HexEncode(*digest),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcVector) {
+  auto digest = Sha256(StringToBytes("abc"));
+  ASSERT_TRUE(digest.ok());
+  EXPECT_EQ(HexEncode(*digest),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, ConcatMatchesDirect) {
+  auto direct = Sha256(StringToBytes("hello world"));
+  auto concat = Sha256Concat(StringToBytes("hello "), StringToBytes("world"));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(concat.ok());
+  EXPECT_EQ(*direct, *concat);
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes data = StringToBytes("a longer message split into several updates");
+  Sha256Hasher hasher;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    const size_t n = std::min<size_t>(7, data.size() - i);
+    ASSERT_TRUE(hasher.Update(BytesView(data.data() + i, n)).ok());
+  }
+  auto incremental = hasher.Finish();
+  auto one_shot = Sha256(data);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(one_shot.ok());
+  EXPECT_EQ(*incremental, *one_shot);
+}
+
+TEST(Sha256Test, HasherReusableAfterFinish) {
+  Sha256Hasher hasher;
+  ASSERT_TRUE(hasher.Update(StringToBytes("first")).ok());
+  auto first = hasher.Finish();
+  ASSERT_TRUE(hasher.Update(StringToBytes("second")).ok());
+  auto second = hasher.Finish();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*first, *second);
+  EXPECT_EQ(*second, *Sha256(StringToBytes("second")));
+}
+
+TEST(Sha256Test, AvalancheOnOneBit) {
+  Bytes a(32, 0);
+  Bytes b(32, 0);
+  b[0] = 1;
+  auto da = Sha256(a);
+  auto db = Sha256(b);
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  size_t differing_bits = 0;
+  for (size_t i = 0; i < 32; ++i) {
+    uint8_t x = (*da)[i] ^ (*db)[i];
+    while (x != 0) {
+      differing_bits += x & 1;
+      x >>= 1;
+    }
+  }
+  EXPECT_GT(differing_bits, 80u);  // ~128 expected
+}
+
+}  // namespace
+}  // namespace sse::crypto

@@ -1,0 +1,103 @@
+#include "sse/storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.h"
+
+namespace sse::storage {
+namespace {
+
+using sse::testing::TempDir;
+
+TEST(SnapshotTest, WriteReadRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.path() + "/state.snap";
+  Bytes payload = StringToBytes("serialized server state");
+  ASSERT_TRUE(Snapshot::Write(path, payload).ok());
+  EXPECT_TRUE(Snapshot::Exists(path));
+  auto restored = Snapshot::Read(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, payload);
+}
+
+TEST(SnapshotTest, EmptyPayload) {
+  TempDir dir;
+  const std::string path = dir.path() + "/empty.snap";
+  ASSERT_TRUE(Snapshot::Write(path, Bytes{}).ok());
+  auto restored = Snapshot::Read(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(SnapshotTest, MissingFileNotFound) {
+  TempDir dir;
+  auto restored = Snapshot::Read(dir.path() + "/nope.snap");
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(Snapshot::Exists(dir.path() + "/nope.snap"));
+}
+
+TEST(SnapshotTest, OverwriteReplacesAtomically) {
+  TempDir dir;
+  const std::string path = dir.path() + "/state.snap";
+  ASSERT_TRUE(Snapshot::Write(path, StringToBytes("v1")).ok());
+  ASSERT_TRUE(Snapshot::Write(path, StringToBytes("v2")).ok());
+  auto restored = Snapshot::Read(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(BytesToString(*restored), "v2");
+}
+
+TEST(SnapshotTest, CorruptedPayloadDetected) {
+  TempDir dir;
+  const std::string path = dir.path() + "/state.snap";
+  ASSERT_TRUE(Snapshot::Write(path, Bytes(100, 0x5a)).ok());
+  // Flip a byte inside the payload region.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 40, SEEK_SET);
+  std::fputc(0xff, f);
+  std::fclose(f);
+  auto restored = Snapshot::Read(path);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotTest, WrongMagicDetected) {
+  TempDir dir;
+  const std::string path = dir.path() + "/state.snap";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTASNAPSHOTFILE________", f);
+  std::fclose(f);
+  auto restored = Snapshot::Read(path);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotTest, TruncatedFileDetected) {
+  TempDir dir;
+  const std::string path = dir.path() + "/state.snap";
+  ASSERT_TRUE(Snapshot::Write(path, Bytes(100, 1)).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(ftruncate(fileno(f), 50), 0);
+  std::fclose(f);
+  EXPECT_FALSE(Snapshot::Read(path).ok());
+}
+
+TEST(SnapshotTest, LargePayload) {
+  TempDir dir;
+  const std::string path = dir.path() + "/big.snap";
+  DeterministicRandom rng(5);
+  Bytes payload(1 << 20);
+  ASSERT_TRUE(rng.Fill(payload).ok());
+  ASSERT_TRUE(Snapshot::Write(path, payload).ok());
+  auto restored = Snapshot::Read(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, payload);
+}
+
+}  // namespace
+}  // namespace sse::storage

@@ -1,0 +1,65 @@
+#include "sse/security/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/util/random.h"
+
+namespace sse::security {
+namespace {
+
+Bytes UniformSample(size_t n, uint64_t seed) {
+  DeterministicRandom rng(seed);
+  Bytes data(n);
+  (void)rng.Fill(data);
+  return data;
+}
+
+TEST(StatsTest, MonobitOnKnownInputs) {
+  EXPECT_DOUBLE_EQ(MonobitFraction(Bytes(100, 0x00)), 0.0);
+  EXPECT_DOUBLE_EQ(MonobitFraction(Bytes(100, 0xff)), 1.0);
+  EXPECT_DOUBLE_EQ(MonobitFraction(Bytes(100, 0x0f)), 0.5);
+  EXPECT_DOUBLE_EQ(MonobitFraction(Bytes{}), 0.5);
+}
+
+TEST(StatsTest, MonobitNearHalfForUniform) {
+  EXPECT_NEAR(MonobitFraction(UniformSample(1 << 16, 1)), 0.5, 0.01);
+}
+
+TEST(StatsTest, ChiSquareLowForUniformHighForConstant) {
+  const Bytes uniform = UniformSample(1 << 16, 2);
+  EXPECT_LT(ChiSquareBytes(uniform), 340.0);
+  const Bytes constant(1 << 16, 0x41);
+  EXPECT_GT(ChiSquareBytes(constant), 1e6);
+}
+
+TEST(StatsTest, EntropyBounds) {
+  EXPECT_NEAR(ShannonEntropyBytes(UniformSample(1 << 16, 3)), 8.0, 0.05);
+  EXPECT_DOUBLE_EQ(ShannonEntropyBytes(Bytes(1000, 7)), 0.0);
+  // Two equiprobable symbols -> 1 bit.
+  Bytes two;
+  for (int i = 0; i < 1000; ++i) two.push_back(i % 2 ? 0xaa : 0x55);
+  EXPECT_NEAR(ShannonEntropyBytes(two), 1.0, 0.01);
+}
+
+TEST(StatsTest, SerialCorrelationDetectsRuns) {
+  EXPECT_NEAR(SerialCorrelationBytes(UniformSample(1 << 16, 4)), 0.0, 0.02);
+  // A slowly-varying ramp is highly correlated.
+  Bytes ramp(4096);
+  for (size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<uint8_t>(i / 16);
+  }
+  EXPECT_GT(SerialCorrelationBytes(ramp), 0.9);
+  EXPECT_DOUBLE_EQ(SerialCorrelationBytes(Bytes{1}), 0.0);
+}
+
+TEST(StatsTest, LooksUniformVerdicts) {
+  EXPECT_TRUE(LooksUniform(UniformSample(1 << 15, 5)));
+  EXPECT_FALSE(LooksUniform(Bytes(1 << 15, 0x00)));
+  // ASCII text fails (biased bytes).
+  std::string text;
+  for (int i = 0; i < 4000; ++i) text += "keyword ";
+  EXPECT_FALSE(LooksUniform(StringToBytes(text)));
+}
+
+}  // namespace
+}  // namespace sse::security

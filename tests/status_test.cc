@@ -1,0 +1,121 @@
+#include "sse/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sse/util/result.h"
+
+namespace sse {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NOT_FOUND"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "ALREADY_EXISTS"},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {Status::CryptoError("f"), StatusCode::kCryptoError, "CRYPTO_ERROR"},
+      {Status::ProtocolError("g"), StatusCode::kProtocolError,
+       "PROTOCOL_ERROR"},
+      {Status::IoError("h"), StatusCode::kIoError, "IO_ERROR"},
+      {Status::Corruption("i"), StatusCode::kCorruption, "CORRUPTION"},
+      {Status::ResourceExhausted("j"), StatusCode::kResourceExhausted,
+       "RESOURCE_EXHAUSTED"},
+      {Status::Unimplemented("k"), StatusCode::kUnimplemented,
+       "UNIMPLEMENTED"},
+      {Status::Internal("l"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeToString(c.code), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::NotFound("missing token");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing token");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Corruption("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::IoError("disk gone");
+  EXPECT_EQ(os.str(), "IO_ERROR: disk gone");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fail = []() -> Status { return Status::Corruption("inner"); };
+  auto outer = [&]() -> Status {
+    SSE_RETURN_IF_ERROR(fail());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kCorruption);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("bad");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    int v = 0;
+    SSE_ASSIGN_OR_RETURN(v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace sse

@@ -1,0 +1,96 @@
+#include "sse/crypto/stream_cipher.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/util/random.h"
+
+namespace sse::crypto {
+namespace {
+
+TEST(StreamCipherTest, RoundTrip) {
+  DeterministicRandom rng(1);
+  auto cipher = StreamCipher::Create(Bytes(32, 0x42));
+  ASSERT_TRUE(cipher.ok());
+  Bytes plain = StringToBytes("posting list segment");
+  auto ct = cipher->Encrypt(plain, rng);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->size(), plain.size() + kStreamOverhead);
+  auto pt = cipher->Decrypt(*ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, plain);
+}
+
+TEST(StreamCipherTest, EmptyPlaintext) {
+  DeterministicRandom rng(2);
+  auto cipher = StreamCipher::Create(Bytes(32, 0x01));
+  ASSERT_TRUE(cipher.ok());
+  auto ct = cipher->Encrypt(Bytes{}, rng);
+  ASSERT_TRUE(ct.ok());
+  auto pt = cipher->Decrypt(*ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_TRUE(pt->empty());
+}
+
+TEST(StreamCipherTest, RandomizedCiphertexts) {
+  DeterministicRandom rng(3);
+  auto cipher = StreamCipher::Create(Bytes(32, 0x05));
+  ASSERT_TRUE(cipher.ok());
+  auto a = cipher->Encrypt(StringToBytes("x"), rng);
+  auto b = cipher->Encrypt(StringToBytes("x"), rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(StreamCipherTest, TamperDetection) {
+  DeterministicRandom rng(4);
+  auto cipher = StreamCipher::Create(Bytes(32, 0x07));
+  ASSERT_TRUE(cipher.ok());
+  auto ct = cipher->Encrypt(StringToBytes("sensitive ids"), rng);
+  ASSERT_TRUE(ct.ok());
+  for (size_t i = 0; i < ct->size(); i += 7) {
+    Bytes corrupted = *ct;
+    corrupted[i] ^= 0x01;
+    EXPECT_FALSE(cipher->Decrypt(corrupted).ok()) << "byte " << i;
+  }
+}
+
+TEST(StreamCipherTest, WrongKeyFailsMac) {
+  DeterministicRandom rng(5);
+  auto cipher1 = StreamCipher::Create(Bytes(32, 0x08));
+  auto cipher2 = StreamCipher::Create(Bytes(32, 0x09));
+  ASSERT_TRUE(cipher1.ok());
+  ASSERT_TRUE(cipher2.ok());
+  auto ct = cipher1->Encrypt(StringToBytes("data"), rng);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(cipher2->Decrypt(*ct).ok());
+}
+
+TEST(StreamCipherTest, TooShortCiphertextRejected) {
+  auto cipher = StreamCipher::Create(Bytes(32, 0x0a));
+  ASSERT_TRUE(cipher.ok());
+  EXPECT_FALSE(cipher->Decrypt(Bytes(kStreamOverhead - 1, 0)).ok());
+  EXPECT_FALSE(cipher->Decrypt(Bytes{}).ok());
+}
+
+TEST(StreamCipherTest, KeyLengthValidation) {
+  EXPECT_FALSE(StreamCipher::Create(Bytes(8, 1)).ok());
+  EXPECT_TRUE(StreamCipher::Create(Bytes(16, 1)).ok());
+  EXPECT_TRUE(StreamCipher::Create(Bytes(64, 1)).ok());
+}
+
+TEST(StreamCipherTest, DistinctKeysFromChainElements) {
+  // Scheme 2 derives one cipher per chain element; neighboring elements
+  // must produce unrelated ciphers.
+  DeterministicRandom rng(6);
+  auto c1 = StreamCipher::Create(Bytes(32, 0xaa));
+  auto c2 = StreamCipher::Create(Bytes(32, 0xab));
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  auto ct = c1->Encrypt(StringToBytes("segment"), rng);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(c2->Decrypt(*ct).ok());
+}
+
+}  // namespace
+}  // namespace sse::crypto

@@ -1,0 +1,111 @@
+#include "sse/baselines/swp.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/core/registry.h"
+#include "test_util.h"
+
+namespace sse::baselines {
+namespace {
+
+using core::Document;
+using core::SystemKind;
+using sse::testing::MakeTestSystem;
+
+class SwpTest : public ::testing::Test {
+ protected:
+  SwpTest() : rng_(55), sys_(MakeTestSystem(SystemKind::kSwp, &rng_)) {}
+  SwpServer* server() { return static_cast<SwpServer*>(sys_.server.get()); }
+
+  DeterministicRandom rng_;
+  core::SseSystem sys_;
+};
+
+TEST_F(SwpTest, SearchScansEveryBlock) {
+  // 10 documents x 4 keywords = 40 blocks; a query for a keyword no
+  // document has must scan all of them.
+  std::vector<Document> docs;
+  for (uint64_t i = 0; i < 10; ++i) {
+    docs.push_back(Document::Make(i, "d", {"a", "b", "c", "d"}));
+  }
+  SSE_ASSERT_OK(sys_.client->Store(docs));
+  const uint64_t before = server()->blocks_scanned();
+  auto outcome = sys_.client->Search("missing");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(server()->blocks_scanned() - before, 40u);
+}
+
+TEST_F(SwpTest, MatchingDocShortCircuits) {
+  // A document stops scanning at its first matching block.
+  SSE_ASSERT_OK(
+      sys_.client->Store({Document::Make(0, "d", {"hit", "x", "y"})}));
+  const uint64_t before = server()->blocks_scanned();
+  SSE_ASSERT_OK_RESULT(sys_.client->Search("hit"));
+  EXPECT_EQ(server()->blocks_scanned() - before, 1u);
+}
+
+TEST_F(SwpTest, ScanCostGrowsLinearly) {
+  // Double the corpus, double the miss-scan cost — the O(n) behaviour the
+  // paper's schemes avoid.
+  std::vector<Document> docs;
+  for (uint64_t i = 0; i < 50; ++i) {
+    docs.push_back(Document::Make(i, "d", {"k1", "k2"}));
+  }
+  SSE_ASSERT_OK(sys_.client->Store(docs));
+  server();  // silence clang-tidy
+  uint64_t before = server()->blocks_scanned();
+  SSE_ASSERT_OK_RESULT(sys_.client->Search("zzz"));
+  const uint64_t cost_small = server()->blocks_scanned() - before;
+
+  std::vector<Document> more;
+  for (uint64_t i = 50; i < 100; ++i) {
+    more.push_back(Document::Make(i, "d", {"k1", "k2"}));
+  }
+  SSE_ASSERT_OK(sys_.client->Store(more));
+  before = server()->blocks_scanned();
+  SSE_ASSERT_OK_RESULT(sys_.client->Search("zzz"));
+  const uint64_t cost_large = server()->blocks_scanned() - before;
+  EXPECT_EQ(cost_large, 2 * cost_small);
+}
+
+TEST_F(SwpTest, NoFalsePositivesAcrossManyKeywords) {
+  std::vector<Document> docs;
+  for (uint64_t i = 0; i < 30; ++i) {
+    docs.push_back(
+        Document::Make(i, "d", {"kw" + std::to_string(i)}));
+  }
+  SSE_ASSERT_OK(sys_.client->Store(docs));
+  for (uint64_t i = 0; i < 30; ++i) {
+    auto outcome = sys_.client->Search("kw" + std::to_string(i));
+    SSE_ASSERT_OK_RESULT(outcome);
+    EXPECT_EQ(outcome->ids, std::vector<uint64_t>{i});
+  }
+}
+
+TEST_F(SwpTest, StateSerializationRoundTrip) {
+  SSE_ASSERT_OK(sys_.client->Store({Document::Make(0, "a", {"x"}),
+                                    Document::Make(1, "b", {"y"})}));
+  auto state = server()->SerializeState();
+  SSE_ASSERT_OK_RESULT(state);
+  SwpServer restored;
+  SSE_ASSERT_OK(restored.RestoreState(*state));
+  EXPECT_EQ(restored.document_count(), 2u);
+  auto state2 = restored.SerializeState();
+  SSE_ASSERT_OK_RESULT(state2);
+  EXPECT_EQ(*state, *state2);
+}
+
+TEST_F(SwpTest, MalformedMessagesRejected) {
+  EXPECT_FALSE(sys_.channel->Call(net::Message{kMsgSwpStore, Bytes{9}}).ok());
+  EXPECT_FALSE(
+      sys_.channel->Call(net::Message{kMsgSwpSearch, Bytes{1, 2}}).ok());
+  EXPECT_FALSE(sys_.channel->Call(net::Message{0x03f0, {}}).ok());
+}
+
+TEST_F(SwpTest, FakeUpdateUnsupported) {
+  EXPECT_EQ(sys_.client->FakeUpdate({"x"}).code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace sse::baselines

@@ -1,0 +1,166 @@
+#include "sse/net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "sse/core/registry.h"
+#include "sse/core/scheme2_client.h"
+#include "sse/core/scheme2_server.h"
+#include "test_util.h"
+
+namespace sse::net {
+namespace {
+
+using sse::testing::FastTestConfig;
+using sse::testing::TestMasterKey;
+
+class EchoHandler : public MessageHandler {
+ public:
+  Result<Message> Handle(const Message& request) override {
+    if (request.type == 99) return Status::Internal("boom");
+    return Message{static_cast<uint16_t>(request.type + 1), request.payload};
+  }
+};
+
+TEST(TcpTest, RoundTripOverRealSockets) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_GT((*server)->port(), 0);
+
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+
+  Message request{7, Bytes{1, 2, 3}};
+  auto reply = (*channel)->Call(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, 8);
+  EXPECT_EQ(reply->payload, request.payload);
+  EXPECT_EQ((*channel)->stats().rounds, 1u);
+  EXPECT_EQ((*server)->requests_served(), 1u);
+}
+
+TEST(TcpTest, HandlerErrorTravelsAsStatus) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call(Message{99, {}});
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInternal);
+}
+
+TEST(TcpTest, LargePayloads) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+  DeterministicRandom rng(1);
+  Bytes big(1 << 20);
+  ASSERT_TRUE(rng.Fill(big).ok());
+  auto reply = (*channel)->Call(Message{1, big});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->payload, big);
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 50;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto channel = TcpChannel::Connect((*server)->port());
+      if (!channel.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kCallsEach; ++i) {
+        Bytes payload{static_cast<uint8_t>(c), static_cast<uint8_t>(i)};
+        auto reply = (*channel)->Call(Message{1, payload});
+        if (!reply.ok() || reply->payload != payload) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*server)->requests_served(),
+            static_cast<uint64_t>(kClients * kCallsEach));
+}
+
+TEST(TcpTest, StopUnblocksIdleConnection) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE((*channel)->Call(Message{1, {}}).ok());
+  // The connection stays open and idle; Stop must not hang on it.
+  (*server)->Stop();
+  EXPECT_FALSE((*channel)->Call(Message{1, {}}).ok());
+}
+
+TEST(TcpTest, SequentialConnections) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto channel = TcpChannel::Connect((*server)->port());
+    ASSERT_TRUE(channel.ok()) << "connection " << i;
+    auto reply = (*channel)->Call(Message{1, Bytes{static_cast<uint8_t>(i)}});
+    ASSERT_TRUE(reply.ok());
+  }
+  EXPECT_EQ((*server)->requests_served(), 3u);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Grab a port, then stop the server: connecting must fail cleanly.
+  EchoHandler handler;
+  uint16_t port = 0;
+  {
+    auto server = TcpServer::Start(&handler);
+    ASSERT_TRUE(server.ok());
+    port = (*server)->port();
+  }
+  auto channel = TcpChannel::Connect(port);
+  EXPECT_FALSE(channel.ok());
+}
+
+TEST(TcpTest, StopIsIdempotent) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  (*server)->Stop();
+  (*server)->Stop();
+}
+
+TEST(TcpTest, FullSchemeOverTcp) {
+  // The whole Scheme 2 stack over real sockets.
+  const auto config = FastTestConfig();
+  core::Scheme2Server scheme_server(config.scheme);
+  auto server = TcpServer::Start(&scheme_server);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+
+  DeterministicRandom rng(5);
+  auto client = core::Scheme2Client::Create(TestMasterKey(), config.scheme,
+                                            channel->get(), &rng);
+  SSE_ASSERT_OK_RESULT(client);
+  SSE_ASSERT_OK((*client)->Store({
+      core::Document::Make(0, "over the wire", {"tcp", "net"}),
+      core::Document::Make(1, "second doc", {"net"}),
+  }));
+  auto outcome = (*client)->Search("net");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(BytesToString(outcome->documents[0].second), "over the wire");
+  EXPECT_EQ((*channel)->stats().rounds, 2u);  // 1 store + 1 search
+}
+
+}  // namespace
+}  // namespace sse::net

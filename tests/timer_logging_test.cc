@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sse/util/logging.h"
+#include "sse/util/timer.h"
+
+namespace sse {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double ms = timer.ElapsedMillis();
+  EXPECT_GE(ms, 9.0);
+  EXPECT_LT(ms, 500.0);  // generous upper bound for loaded CI machines
+  EXPECT_NEAR(timer.ElapsedMicros(), timer.ElapsedMillis() * 1000.0,
+              timer.ElapsedMicros() * 0.5);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), 5.0);
+}
+
+TEST(LatencyStatsTest, SummaryStatistics) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) stats.Add(static_cast<double>(i));
+  EXPECT_EQ(stats.count(), 100u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 100.0);
+  EXPECT_NEAR(stats.Percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(stats.Percentile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(stats.Stddev(), 29.0, 0.5);
+  EXPECT_NE(stats.Summary().find("n=100"), std::string::npos);
+}
+
+TEST(LatencyStatsTest, EmptyAndSingle) {
+  LatencyStats empty;
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Stddev(), 0.0);
+
+  LatencyStats single;
+  single.Add(7.0);
+  EXPECT_DOUBLE_EQ(single.Mean(), 7.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(single.Stddev(), 0.0);
+}
+
+TEST(LoggingTest, LevelGating) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // These must not crash regardless of the gate; output goes to stderr.
+  SSE_LOG(Debug) << "suppressed";
+  SSE_LOG(Info) << "suppressed " << 42;
+  SSE_LOG(Warning) << "suppressed";
+  SSE_LOG(Error) << "emitted during test, expected";
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace sse

@@ -1,0 +1,123 @@
+#include "sse/core/token_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sse/util/random.h"
+
+namespace sse::core {
+namespace {
+
+class TokenMapTest : public ::testing::TestWithParam<bool> {
+ protected:
+  TokenMap<int> MakeMap() { return TokenMap<int>(GetParam()); }
+};
+
+TEST_P(TokenMapTest, PutGetErase) {
+  TokenMap<int> map = MakeMap();
+  EXPECT_TRUE(map.Put(Bytes{1, 2}, 10));
+  EXPECT_FALSE(map.Put(Bytes{1, 2}, 20));  // replace
+  EXPECT_EQ(*map.Get(Bytes{1, 2}), 20);
+  EXPECT_EQ(map.Get(Bytes{9}), nullptr);
+  EXPECT_TRUE(map.Contains(Bytes{1, 2}));
+  EXPECT_TRUE(map.Erase(Bytes{1, 2}));
+  EXPECT_FALSE(map.Erase(Bytes{1, 2}));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST_P(TokenMapTest, GetMutable) {
+  TokenMap<int> map = MakeMap();
+  map.Put(Bytes{5}, 1);
+  *map.GetMutable(Bytes{5}) = 7;
+  EXPECT_EQ(*map.Get(Bytes{5}), 7);
+  EXPECT_EQ(map.GetMutable(Bytes{6}), nullptr);
+}
+
+TEST_P(TokenMapTest, BinaryTokensWithZeros) {
+  TokenMap<int> map = MakeMap();
+  map.Put(Bytes{0, 0, 0}, 1);
+  map.Put(Bytes{0, 0}, 2);
+  map.Put(Bytes{}, 3);
+  EXPECT_EQ(*map.Get(Bytes{0, 0, 0}), 1);
+  EXPECT_EQ(*map.Get(Bytes{0, 0}), 2);
+  EXPECT_EQ(*map.Get(Bytes{}), 3);
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST_P(TokenMapTest, ForEachVisitsAll) {
+  TokenMap<int> map = MakeMap();
+  std::map<std::string, int> reference;
+  DeterministicRandom rng(1);
+  for (int i = 0; i < 500; ++i) {
+    Bytes token(8);
+    (void)rng.Fill(token);
+    map.Put(token, i);
+    reference[BytesToString(token)] = i;
+  }
+  std::map<std::string, int> visited;
+  map.ForEach([&](const Bytes& token, const int& value) {
+    visited[BytesToString(token)] = value;
+    return true;
+  });
+  EXPECT_EQ(visited, reference);
+}
+
+TEST_P(TokenMapTest, ForEachMutable) {
+  TokenMap<int> map = MakeMap();
+  map.Put(Bytes{1}, 1);
+  map.Put(Bytes{2}, 2);
+  map.ForEachMutable([](const Bytes&, int& v) {
+    v += 100;
+    return true;
+  });
+  EXPECT_EQ(*map.Get(Bytes{1}), 101);
+  EXPECT_EQ(*map.Get(Bytes{2}), 102);
+}
+
+TEST_P(TokenMapTest, Clear) {
+  TokenMap<int> map = MakeMap();
+  map.Put(Bytes{1}, 1);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.Contains(Bytes{1}));
+}
+
+TEST_P(TokenMapTest, BackendFlagReported) {
+  TokenMap<int> map = MakeMap();
+  EXPECT_EQ(map.uses_hash_backend(), GetParam());
+}
+
+TEST(TokenMapOrderTest, TreeBackendIteratesInTokenOrder) {
+  TokenMap<int> map(/*use_hash=*/false);
+  map.Put(Bytes{3}, 3);
+  map.Put(Bytes{1}, 1);
+  map.Put(Bytes{2}, 2);
+  std::vector<int> order;
+  map.ForEach([&](const Bytes&, const int& v) {
+    order.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TokenMapOrderTest, TreeBackendCountsComparisons) {
+  TokenMap<int> map(/*use_hash=*/false);
+  for (int i = 0; i < 100; ++i) map.Put(Bytes{static_cast<uint8_t>(i)}, i);
+  map.ResetStats();
+  map.Get(Bytes{50});
+  EXPECT_GT(map.comparisons(), 0u);
+
+  TokenMap<int> hash(/*use_hash=*/true);
+  hash.Put(Bytes{1}, 1);
+  hash.Get(Bytes{1});
+  EXPECT_EQ(hash.comparisons(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TokenMapTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "hash" : "btree";
+                         });
+
+}  // namespace
+}  // namespace sse::core

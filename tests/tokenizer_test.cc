@@ -1,0 +1,73 @@
+#include "sse/phr/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace sse::phr {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Patient Reports MILD Symptoms");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"patient", "reports", "mild",
+                                              "symptoms"}));
+}
+
+TEST(TokenizerTest, DropsStopwordsAndShortTokens) {
+  auto tokens = Tokenize("the cat and the hat is on it");
+  // "the"/"and" are stopwords; "is"/"on"/"it"/"cat"/"hat" -> cat/hat pass
+  // (len 3), is/on/it dropped (len 2).
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cat", "hat"}));
+}
+
+TEST(TokenizerTest, Deduplicates) {
+  auto tokens = Tokenize("pain pain PAIN pain");
+  EXPECT_EQ(tokens, std::vector<std::string>{"pain"});
+}
+
+TEST(TokenizerTest, SplitsOnPunctuation) {
+  auto tokens = Tokenize("fever,chills;headache-nausea.dizzy");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"fever", "chills", "headache",
+                                              "nausea", "dizzy"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  auto tokens = Tokenize("blood pressure 140 over 90mm");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"blood", "pressure", "140",
+                                              "over", "90mm"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n  ").empty());
+}
+
+TEST(TokenizerTest, MinLenParameter) {
+  auto tokens = Tokenize("a bb ccc dddd", /*min_len=*/2);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"bb", "ccc", "dddd"}));
+}
+
+TEST(TokenizerTest, IsStopword) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("their"));
+  EXPECT_FALSE(IsStopword("diabetes"));
+}
+
+TEST(TokenizerTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD123"), "mixed123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(TagTest, BuildsNamespacedTags) {
+  EXPECT_EQ(Tag("condition", "Diabetes Type 2"), "condition:diabetes-type-2");
+  EXPECT_EQ(Tag("med", "metformin"), "med:metformin");
+  EXPECT_EQ(Tag("patient", "p00042"), "patient:p00042");
+}
+
+TEST(TagTest, CollapsesSeparatorRuns) {
+  EXPECT_EQ(Tag("x", "a -- b"), "x:a-b");
+  EXPECT_EQ(Tag("x", "  leading"), "x:leading");
+  EXPECT_EQ(Tag("x", "trailing!! "), "x:trailing");
+  EXPECT_EQ(Tag("x", ""), "x:");
+}
+
+}  // namespace
+}  // namespace sse::phr

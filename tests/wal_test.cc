@@ -1,0 +1,143 @@
+#include "sse/storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.h"
+
+namespace sse::storage {
+namespace {
+
+using sse::testing::TempDir;
+
+std::vector<Bytes> ReplayAll(const std::string& path,
+                             uint64_t* torn = nullptr) {
+  std::vector<Bytes> records;
+  Status s = WriteAheadLog::Replay(
+      path,
+      [&](BytesView record) {
+        records.push_back(ToBytes(record));
+        return Status::OK();
+      },
+      torn);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return records;
+}
+
+TEST(WalTest, AppendAndReplay) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(StringToBytes("first")).ok());
+    ASSERT_TRUE(wal->Append(StringToBytes("second")).ok());
+    ASSERT_TRUE(wal->Append(Bytes{}).ok());  // empty record allowed
+    ASSERT_TRUE(wal->Sync().ok());
+    EXPECT_EQ(wal->appended_records(), 3u);
+  }
+  auto records = ReplayAll(path);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(BytesToString(records[0]), "first");
+  EXPECT_EQ(BytesToString(records[1]), "second");
+  EXPECT_TRUE(records[2].empty());
+}
+
+TEST(WalTest, ReplayMissingFileIsEmpty) {
+  TempDir dir;
+  EXPECT_TRUE(ReplayAll(dir.path() + "/absent.log").empty());
+}
+
+TEST(WalTest, AppendAcrossReopens) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  for (int i = 0; i < 3; ++i) {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(StringToBytes("rec" + std::to_string(i))).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  EXPECT_EQ(ReplayAll(path).size(), 3u);
+}
+
+TEST(WalTest, TornTailTolerated) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(StringToBytes("complete")).ok());
+    ASSERT_TRUE(wal->Append(StringToBytes("will be torn")).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  // Chop the last 5 bytes to simulate a crash mid-write.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size - 5), 0);
+  std::fclose(f);
+
+  uint64_t torn = 0;
+  auto records = ReplayAll(path, &torn);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(BytesToString(records[0]), "complete");
+  EXPECT_GT(torn, 0u);
+}
+
+TEST(WalTest, MidLogCorruptionDetected) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(StringToBytes("one")).ok());
+    ASSERT_TRUE(wal->Append(StringToBytes("two")).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  // Flip a payload byte of the FIRST record (not the tail).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 8, SEEK_SET);  // first payload byte
+  int c = std::fgetc(f);
+  std::fseek(f, 8, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+
+  Status s = WriteAheadLog::Replay(
+      path, [](BytesView) { return Status::OK(); });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(WalTest, ResetTruncates) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(StringToBytes("old")).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_TRUE(wal->Reset().ok());
+  EXPECT_EQ(wal->appended_records(), 0u);
+  ASSERT_TRUE(wal->Append(StringToBytes("new")).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  auto records = ReplayAll(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(BytesToString(records[0]), "new");
+}
+
+TEST(WalTest, ReplayCallbackErrorPropagates) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(StringToBytes("x")).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  Status s = WriteAheadLog::Replay(
+      path, [](BytesView) { return Status::Internal("boom"); });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace sse::storage

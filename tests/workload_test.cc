@@ -1,0 +1,125 @@
+#include "sse/phr/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace sse::phr {
+namespace {
+
+TEST(ZipfSamplerTest, UniformWhenSkewZero) {
+  ZipfSampler sampler(10, 0.0);
+  DeterministicRandom rng(1);
+  std::map<size_t, int> counts;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.Sample(rng)];
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[i], draws / 10, draws / 40) << "rank " << i;
+  }
+}
+
+TEST(ZipfSamplerTest, SkewFavorsLowRanks) {
+  ZipfSampler sampler(100, 1.2);
+  DeterministicRandom rng(2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10] * 3);
+  EXPECT_GT(counts[0], 2000);
+}
+
+TEST(ZipfSamplerTest, BoundsRespected) {
+  ZipfSampler sampler(5, 2.0);
+  DeterministicRandom rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(sampler.Sample(rng), 5u);
+}
+
+TEST(PhrWorkloadTest, DeterministicInSeed) {
+  PhrWorkload::Params params;
+  params.num_patients = 5;
+  params.visits_per_patient = 2;
+  PhrWorkload a(params);
+  PhrWorkload b(params);
+  ASSERT_EQ(a.records().size(), 10u);
+  ASSERT_EQ(b.records().size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.records()[i].ToText(), b.records()[i].ToText());
+  }
+  params.seed = 43;
+  PhrWorkload c(params);
+  bool any_differ = false;
+  for (size_t i = 0; i < 10; ++i) {
+    if (a.records()[i].ToText() != c.records()[i].ToText()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(PhrWorkloadTest, ChronicConditionPersistsAcrossVisits) {
+  PhrWorkload::Params params;
+  params.num_patients = 8;
+  params.visits_per_patient = 3;
+  PhrWorkload workload(params);
+  const auto& records = workload.records();
+  for (size_t p = 0; p < params.num_patients; ++p) {
+    const std::string& chronic =
+        records[p * params.visits_per_patient].conditions[0];
+    for (size_t v = 1; v < params.visits_per_patient; ++v) {
+      EXPECT_EQ(records[p * params.visits_per_patient + v].conditions[0],
+                chronic);
+    }
+  }
+}
+
+TEST(PhrWorkloadTest, ToDocumentsAssignsSequentialIds) {
+  PhrWorkload::Params params;
+  params.num_patients = 3;
+  params.visits_per_patient = 2;
+  PhrWorkload workload(params);
+  auto docs = workload.ToDocuments();
+  ASSERT_EQ(docs.size(), 6u);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].id, i);
+    EXPECT_FALSE(docs[i].keywords.empty());
+    EXPECT_FALSE(docs[i].content.empty());
+  }
+}
+
+TEST(GenerateDocumentsTest, ShapeAndDeterminism) {
+  auto docs = GenerateDocuments(/*num_docs=*/50, /*vocabulary=*/20,
+                                /*keywords_per_doc=*/5, /*skew=*/0.9,
+                                /*seed=*/7);
+  ASSERT_EQ(docs.size(), 50u);
+  std::set<std::string> vocab;
+  for (const auto& doc : docs) {
+    EXPECT_EQ(doc.keywords.size(), 5u);
+    std::set<std::string> unique(doc.keywords.begin(), doc.keywords.end());
+    EXPECT_EQ(unique.size(), doc.keywords.size());  // no dups within a doc
+    vocab.insert(doc.keywords.begin(), doc.keywords.end());
+  }
+  EXPECT_LE(vocab.size(), 20u);
+  EXPECT_GT(vocab.size(), 10u);
+
+  auto again = GenerateDocuments(50, 20, 5, 0.9, 7);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(again[i].keywords, docs[i].keywords);
+    EXPECT_EQ(again[i].content, docs[i].content);
+  }
+}
+
+TEST(GenerateDocumentsTest, FirstIdOffset) {
+  auto docs = GenerateDocuments(5, 10, 2, 1.0, 1, 16, /*first_id=*/100);
+  EXPECT_EQ(docs.front().id, 100u);
+  EXPECT_EQ(docs.back().id, 104u);
+}
+
+TEST(GenerateDocumentsTest, TinyVocabularyTerminates) {
+  // keywords_per_doc > vocabulary: generator must cap, not loop forever.
+  auto docs = GenerateDocuments(3, 2, 5, 1.0, 1);
+  for (const auto& doc : docs) {
+    EXPECT_LE(doc.keywords.size(), 5u);
+    EXPECT_GE(doc.keywords.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sse::phr
