@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_opt1.
+# This may be replaced when dependencies are built.

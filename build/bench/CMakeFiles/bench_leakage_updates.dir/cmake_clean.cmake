@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leakage_updates.dir/bench_leakage_updates.cc.o"
+  "CMakeFiles/bench_leakage_updates.dir/bench_leakage_updates.cc.o.d"
+  "bench_leakage_updates"
+  "bench_leakage_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leakage_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

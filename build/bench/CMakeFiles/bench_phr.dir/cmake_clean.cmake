@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phr.dir/bench_phr.cc.o"
+  "CMakeFiles/bench_phr.dir/bench_phr.cc.o.d"
+  "bench_phr"
+  "bench_phr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

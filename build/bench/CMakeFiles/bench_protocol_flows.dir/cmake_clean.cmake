@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_flows.dir/bench_protocol_flows.cc.o"
+  "CMakeFiles/bench_protocol_flows.dir/bench_protocol_flows.cc.o.d"
+  "bench_protocol_flows"
+  "bench_protocol_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

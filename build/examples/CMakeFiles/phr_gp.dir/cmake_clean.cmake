@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phr_gp.dir/phr_gp.cpp.o"
+  "CMakeFiles/phr_gp.dir/phr_gp.cpp.o.d"
+  "phr_gp"
+  "phr_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phr_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phr_traveler.dir/phr_traveler.cpp.o"
+  "CMakeFiles/phr_traveler.dir/phr_traveler.cpp.o.d"
+  "phr_traveler"
+  "phr_traveler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phr_traveler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

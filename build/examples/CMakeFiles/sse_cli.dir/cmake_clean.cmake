@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sse_cli.dir/sse_cli.cpp.o"
+  "CMakeFiles/sse_cli.dir/sse_cli.cpp.o.d"
+  "sse_cli"
+  "sse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

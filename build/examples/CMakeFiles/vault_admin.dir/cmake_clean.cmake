@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vault_admin.dir/vault_admin.cpp.o"
+  "CMakeFiles/vault_admin.dir/vault_admin.cpp.o.d"
+  "vault_admin"
+  "vault_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vault_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

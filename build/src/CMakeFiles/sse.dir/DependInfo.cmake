@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sse/baselines/cgko_sse1.cc" "src/CMakeFiles/sse.dir/sse/baselines/cgko_sse1.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/baselines/cgko_sse1.cc.o.d"
+  "/root/repo/src/sse/baselines/goh_zidx.cc" "src/CMakeFiles/sse.dir/sse/baselines/goh_zidx.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/baselines/goh_zidx.cc.o.d"
+  "/root/repo/src/sse/baselines/swp.cc" "src/CMakeFiles/sse.dir/sse/baselines/swp.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/baselines/swp.cc.o.d"
+  "/root/repo/src/sse/core/durable_server.cc" "src/CMakeFiles/sse.dir/sse/core/durable_server.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/durable_server.cc.o.d"
+  "/root/repo/src/sse/core/padding.cc" "src/CMakeFiles/sse.dir/sse/core/padding.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/padding.cc.o.d"
+  "/root/repo/src/sse/core/query.cc" "src/CMakeFiles/sse.dir/sse/core/query.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/query.cc.o.d"
+  "/root/repo/src/sse/core/registry.cc" "src/CMakeFiles/sse.dir/sse/core/registry.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/registry.cc.o.d"
+  "/root/repo/src/sse/core/scheme1_client.cc" "src/CMakeFiles/sse.dir/sse/core/scheme1_client.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/scheme1_client.cc.o.d"
+  "/root/repo/src/sse/core/scheme1_messages.cc" "src/CMakeFiles/sse.dir/sse/core/scheme1_messages.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/scheme1_messages.cc.o.d"
+  "/root/repo/src/sse/core/scheme1_server.cc" "src/CMakeFiles/sse.dir/sse/core/scheme1_server.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/scheme1_server.cc.o.d"
+  "/root/repo/src/sse/core/scheme2_client.cc" "src/CMakeFiles/sse.dir/sse/core/scheme2_client.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/scheme2_client.cc.o.d"
+  "/root/repo/src/sse/core/scheme2_messages.cc" "src/CMakeFiles/sse.dir/sse/core/scheme2_messages.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/scheme2_messages.cc.o.d"
+  "/root/repo/src/sse/core/scheme2_server.cc" "src/CMakeFiles/sse.dir/sse/core/scheme2_server.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/scheme2_server.cc.o.d"
+  "/root/repo/src/sse/core/types.cc" "src/CMakeFiles/sse.dir/sse/core/types.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/types.cc.o.d"
+  "/root/repo/src/sse/core/wire_common.cc" "src/CMakeFiles/sse.dir/sse/core/wire_common.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/core/wire_common.cc.o.d"
+  "/root/repo/src/sse/crypto/aead.cc" "src/CMakeFiles/sse.dir/sse/crypto/aead.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/aead.cc.o.d"
+  "/root/repo/src/sse/crypto/elgamal.cc" "src/CMakeFiles/sse.dir/sse/crypto/elgamal.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/elgamal.cc.o.d"
+  "/root/repo/src/sse/crypto/hash_chain.cc" "src/CMakeFiles/sse.dir/sse/crypto/hash_chain.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/hash_chain.cc.o.d"
+  "/root/repo/src/sse/crypto/hkdf.cc" "src/CMakeFiles/sse.dir/sse/crypto/hkdf.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/hkdf.cc.o.d"
+  "/root/repo/src/sse/crypto/keys.cc" "src/CMakeFiles/sse.dir/sse/crypto/keys.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/keys.cc.o.d"
+  "/root/repo/src/sse/crypto/prf.cc" "src/CMakeFiles/sse.dir/sse/crypto/prf.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/prf.cc.o.d"
+  "/root/repo/src/sse/crypto/prg.cc" "src/CMakeFiles/sse.dir/sse/crypto/prg.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/prg.cc.o.d"
+  "/root/repo/src/sse/crypto/sha256.cc" "src/CMakeFiles/sse.dir/sse/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/sha256.cc.o.d"
+  "/root/repo/src/sse/crypto/stream_cipher.cc" "src/CMakeFiles/sse.dir/sse/crypto/stream_cipher.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/crypto/stream_cipher.cc.o.d"
+  "/root/repo/src/sse/index/bloom.cc" "src/CMakeFiles/sse.dir/sse/index/bloom.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/index/bloom.cc.o.d"
+  "/root/repo/src/sse/index/posting.cc" "src/CMakeFiles/sse.dir/sse/index/posting.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/index/posting.cc.o.d"
+  "/root/repo/src/sse/net/channel.cc" "src/CMakeFiles/sse.dir/sse/net/channel.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/net/channel.cc.o.d"
+  "/root/repo/src/sse/net/message.cc" "src/CMakeFiles/sse.dir/sse/net/message.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/net/message.cc.o.d"
+  "/root/repo/src/sse/net/tcp.cc" "src/CMakeFiles/sse.dir/sse/net/tcp.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/net/tcp.cc.o.d"
+  "/root/repo/src/sse/phr/phr_store.cc" "src/CMakeFiles/sse.dir/sse/phr/phr_store.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/phr/phr_store.cc.o.d"
+  "/root/repo/src/sse/phr/record.cc" "src/CMakeFiles/sse.dir/sse/phr/record.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/phr/record.cc.o.d"
+  "/root/repo/src/sse/phr/tokenizer.cc" "src/CMakeFiles/sse.dir/sse/phr/tokenizer.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/phr/tokenizer.cc.o.d"
+  "/root/repo/src/sse/phr/workload.cc" "src/CMakeFiles/sse.dir/sse/phr/workload.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/phr/workload.cc.o.d"
+  "/root/repo/src/sse/security/game.cc" "src/CMakeFiles/sse.dir/sse/security/game.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/security/game.cc.o.d"
+  "/root/repo/src/sse/security/leakage.cc" "src/CMakeFiles/sse.dir/sse/security/leakage.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/security/leakage.cc.o.d"
+  "/root/repo/src/sse/security/simulator.cc" "src/CMakeFiles/sse.dir/sse/security/simulator.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/security/simulator.cc.o.d"
+  "/root/repo/src/sse/security/stats.cc" "src/CMakeFiles/sse.dir/sse/security/stats.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/security/stats.cc.o.d"
+  "/root/repo/src/sse/security/trace.cc" "src/CMakeFiles/sse.dir/sse/security/trace.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/security/trace.cc.o.d"
+  "/root/repo/src/sse/storage/document_store.cc" "src/CMakeFiles/sse.dir/sse/storage/document_store.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/storage/document_store.cc.o.d"
+  "/root/repo/src/sse/storage/log_store.cc" "src/CMakeFiles/sse.dir/sse/storage/log_store.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/storage/log_store.cc.o.d"
+  "/root/repo/src/sse/storage/snapshot.cc" "src/CMakeFiles/sse.dir/sse/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/storage/snapshot.cc.o.d"
+  "/root/repo/src/sse/storage/wal.cc" "src/CMakeFiles/sse.dir/sse/storage/wal.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/storage/wal.cc.o.d"
+  "/root/repo/src/sse/util/bitvec.cc" "src/CMakeFiles/sse.dir/sse/util/bitvec.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/util/bitvec.cc.o.d"
+  "/root/repo/src/sse/util/bytes.cc" "src/CMakeFiles/sse.dir/sse/util/bytes.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/util/bytes.cc.o.d"
+  "/root/repo/src/sse/util/crc32.cc" "src/CMakeFiles/sse.dir/sse/util/crc32.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/util/crc32.cc.o.d"
+  "/root/repo/src/sse/util/logging.cc" "src/CMakeFiles/sse.dir/sse/util/logging.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/util/logging.cc.o.d"
+  "/root/repo/src/sse/util/random.cc" "src/CMakeFiles/sse.dir/sse/util/random.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/util/random.cc.o.d"
+  "/root/repo/src/sse/util/serde.cc" "src/CMakeFiles/sse.dir/sse/util/serde.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/util/serde.cc.o.d"
+  "/root/repo/src/sse/util/status.cc" "src/CMakeFiles/sse.dir/sse/util/status.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/util/status.cc.o.d"
+  "/root/repo/src/sse/util/timer.cc" "src/CMakeFiles/sse.dir/sse/util/timer.cc.o" "gcc" "src/CMakeFiles/sse.dir/sse/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aead_test.dir/aead_test.cc.o"
+  "CMakeFiles/aead_test.dir/aead_test.cc.o.d"
+  "aead_test"
+  "aead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

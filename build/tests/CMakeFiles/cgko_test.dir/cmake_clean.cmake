@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgko_test.dir/cgko_test.cc.o"
+  "CMakeFiles/cgko_test.dir/cgko_test.cc.o.d"
+  "cgko_test"
+  "cgko_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgko_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_state_test.dir/client_state_test.cc.o"
+  "CMakeFiles/client_state_test.dir/client_state_test.cc.o.d"
+  "client_state_test"
+  "client_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

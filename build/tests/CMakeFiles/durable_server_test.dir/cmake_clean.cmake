@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_server_test.dir/durable_server_test.cc.o"
+  "CMakeFiles/durable_server_test.dir/durable_server_test.cc.o.d"
+  "durable_server_test"
+  "durable_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goh_test.dir/goh_test.cc.o"
+  "CMakeFiles/goh_test.dir/goh_test.cc.o.d"
+  "goh_test"
+  "goh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

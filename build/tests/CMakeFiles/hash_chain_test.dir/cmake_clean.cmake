@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_chain_test.dir/hash_chain_test.cc.o"
+  "CMakeFiles/hash_chain_test.dir/hash_chain_test.cc.o.d"
+  "hash_chain_test"
+  "hash_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

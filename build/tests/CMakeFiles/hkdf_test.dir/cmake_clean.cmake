@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hkdf_test.dir/hkdf_test.cc.o"
+  "CMakeFiles/hkdf_test.dir/hkdf_test.cc.o.d"
+  "hkdf_test"
+  "hkdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hkdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

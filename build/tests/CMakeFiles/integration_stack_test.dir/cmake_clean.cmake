@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_stack_test.dir/integration_stack_test.cc.o"
+  "CMakeFiles/integration_stack_test.dir/integration_stack_test.cc.o.d"
+  "integration_stack_test"
+  "integration_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

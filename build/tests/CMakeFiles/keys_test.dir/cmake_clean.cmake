@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keys_test.dir/keys_test.cc.o"
+  "CMakeFiles/keys_test.dir/keys_test.cc.o.d"
+  "keys_test"
+  "keys_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phr_store_test.dir/phr_store_test.cc.o"
+  "CMakeFiles/phr_store_test.dir/phr_store_test.cc.o.d"
+  "phr_store_test"
+  "phr_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phr_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prf_test.dir/prf_test.cc.o"
+  "CMakeFiles/prf_test.dir/prf_test.cc.o.d"
+  "prf_test"
+  "prf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prg_test.dir/prg_test.cc.o"
+  "CMakeFiles/prg_test.dir/prg_test.cc.o.d"
+  "prg_test"
+  "prg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

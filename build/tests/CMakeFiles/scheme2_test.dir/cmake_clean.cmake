@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme2_test.dir/scheme2_test.cc.o"
+  "CMakeFiles/scheme2_test.dir/scheme2_test.cc.o.d"
+  "scheme2_test"
+  "scheme2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

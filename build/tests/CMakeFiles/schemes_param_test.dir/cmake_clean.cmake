@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemes_param_test.dir/schemes_param_test.cc.o"
+  "CMakeFiles/schemes_param_test.dir/schemes_param_test.cc.o.d"
+  "schemes_param_test"
+  "schemes_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemes_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_cipher_test.dir/stream_cipher_test.cc.o"
+  "CMakeFiles/stream_cipher_test.dir/stream_cipher_test.cc.o.d"
+  "stream_cipher_test"
+  "stream_cipher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_cipher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

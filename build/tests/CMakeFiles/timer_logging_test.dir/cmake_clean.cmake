@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_logging_test.dir/timer_logging_test.cc.o"
+  "CMakeFiles/timer_logging_test.dir/timer_logging_test.cc.o.d"
+  "timer_logging_test"
+  "timer_logging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_map_test.dir/token_map_test.cc.o"
+  "CMakeFiles/token_map_test.dir/token_map_test.cc.o.d"
+  "token_map_test"
+  "token_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
