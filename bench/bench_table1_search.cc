@@ -6,12 +6,17 @@
 // (a) B+-tree comparisons and wall-clock vs u for both schemes, and
 // (b) Scheme 2's chain-walk steps vs x and vs l.
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <thread>
 
 #include "bench_common.h"
+#include "sse/core/scheme1_client.h"
 #include "sse/core/scheme1_server.h"
 #include "sse/core/scheme2_client.h"
 #include "sse/core/scheme2_server.h"
+#include "sse/engine/server_engine.h"
 
 namespace sse::bench {
 namespace {
@@ -160,6 +165,86 @@ void SweepChainLength() {
   std::printf("\n");
 }
 
+void SweepEngineThreads() {
+  std::printf(
+      "T1-search (d): multi-threaded search throughput on the sharded\n"
+      "engine (scheme 1, 8 shards, shared document store). T per-thread\n"
+      "clients issue searches against one engine; searches lock shards\n"
+      "shared, so throughput scales with the cores the host actually has\n"
+      "(a 1-core host is expected to stay near 1.0x).\n\n");
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // One shared engine, preloaded once.
+  DeterministicRandom rng(6);
+  core::SystemConfig config = BenchConfig(/*max_documents=*/1 << 12,
+                                          /*chain_length=*/64);
+  config.engine_shards = 8;
+  core::SseSystem loader = MustCreate(core::SystemKind::kScheme1, config, &rng);
+  const size_t u = 4096;
+  const size_t docs_count = 256;
+  const size_t keywords_per_doc = u / docs_count;
+  std::vector<core::Document> docs;
+  size_t kw_rank = 0;
+  for (size_t i = 0; i < docs_count; ++i) {
+    std::vector<std::string> kws;
+    for (size_t k = 0; k < keywords_per_doc; ++k) {
+      kws.push_back(phr::SyntheticKeyword(kw_rank++));
+    }
+    docs.push_back(core::Document::Make(i, "content", kws));
+  }
+  MustOk(loader.client->Store(docs), "store");
+  auto* eng = static_cast<engine::ServerEngine*>(loader.server.get());
+
+  TablePrinter table(
+      {"threads", "searches", "total_ms", "searches/s", "speedup"});
+  table.PrintHeader();
+  double base_rate = 0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    const int per_thread = 192;
+    // Searching never mutates Scheme 1 client state, so each thread gets
+    // its own client (same master key) over its own channel to the shared
+    // engine — the contended path is the engine, as in a real deployment.
+    std::vector<std::unique_ptr<DeterministicRandom>> rngs;
+    std::vector<std::unique_ptr<net::InProcessChannel>> channels;
+    std::vector<std::unique_ptr<core::Scheme1Client>> clients;
+    for (size_t t = 0; t < threads; ++t) {
+      rngs.push_back(std::make_unique<DeterministicRandom>(100 + t));
+      channels.push_back(std::make_unique<net::InProcessChannel>(
+          eng, config.channel));
+      clients.push_back(MustValue(
+          core::Scheme1Client::Create(BenchKey(), config.scheme,
+                                      channels.back().get(), rngs.back().get()),
+          "client"));
+    }
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        DeterministicRandom probe(200 + t);
+        for (int i = 0; i < per_thread; ++i) {
+          MustValue(clients[t]->Search(
+                        phr::SyntheticKeyword(probe.Next() % u)),
+                    "search");
+        }
+      });
+    }
+    Timer timer;
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    const double ms = timer.ElapsedMicros() / 1000.0;
+    const double rate = threads * per_thread / (ms / 1000.0);
+    if (threads == 1) base_rate = rate;
+    table.PrintRow({FmtU(threads), FmtU(threads * per_thread),
+                    Fmt("%.1f", ms), Fmt("%.0f", rate),
+                    Fmt("%.2fx", base_rate > 0 ? rate / base_rate : 1.0)});
+  }
+  table.PrintRule();
+  std::printf("\nengine metrics after the sweep:\n%s\n",
+              eng->Metrics().ToString().c_str());
+}
+
 }  // namespace
 }  // namespace sse::bench
 
@@ -167,5 +252,6 @@ int main() {
   sse::bench::SweepUniqueKeywords();
   sse::bench::SweepUpdateSearchRatio();
   sse::bench::SweepChainLength();
+  sse::bench::SweepEngineThreads();
   return 0;
 }

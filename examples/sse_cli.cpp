@@ -1,9 +1,11 @@
 // sse_cli — a small command-line encrypted document store.
 //
-// The "server" is a durable Scheme 2 instance living in a directory; the
-// "client" runs in the same process with a key derived from SSE_PASSPHRASE
-// (or a default demo passphrase). Everything written to disk is ciphertext
-// and searchable tokens.
+// The "server" is a durable, sharded Scheme 2 engine living in a
+// directory; the "client" runs in the same process with a key derived from
+// SSE_PASSPHRASE (or a default demo passphrase). Everything written to
+// disk is ciphertext and searchable tokens. SSE_ENGINE_SHARDS (default 4)
+// picks the shard count; it must stay the same across sessions of one
+// vault because snapshots are partition-dependent.
 //
 // Usage:
 //   sse_cli <dir> put <id> <content...> --kw <k1,k2,...>
@@ -23,7 +25,8 @@
 
 #include "sse/core/durable_server.h"
 #include "sse/core/scheme2_client.h"
-#include "sse/core/scheme2_server.h"
+#include "sse/engine/scheme2_adapter.h"
+#include "sse/engine/server_engine.h"
 #include "sse/util/serde.h"
 
 namespace {
@@ -92,8 +95,18 @@ int main(int argc, char** argv) {
   options.max_documents = 1 << 16;
   options.chain_length = 1 << 14;
 
-  core::Scheme2Server server(options);
-  auto durable = core::DurableServer::Open(dir, &server);
+  engine::EngineOptions engine_options;
+  const char* shards_env = std::getenv("SSE_ENGINE_SHARDS");
+  engine_options.num_shards =
+      shards_env != nullptr ? std::strtoull(shards_env, nullptr, 10) : 4;
+  auto server = engine::ServerEngine::Create(
+      std::make_unique<engine::Scheme2Adapter>(options), engine_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  auto durable = core::DurableServer::Open(dir, server->get());
   if (!durable.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  durable.status().ToString().c_str());
@@ -156,10 +169,13 @@ int main(int argc, char** argv) {
     }
   } else if (command == "stats") {
     std::printf("documents: %zu\nunique keywords: %zu\nindex bytes: %llu\n"
-                "client counter: %u / %u\n",
-                server.document_count(), server.unique_keywords(),
-                static_cast<unsigned long long>(server.stored_index_bytes()),
-                (*client)->counter(), options.chain_length);
+                "client counter: %u / %u\nshards: %zu\n",
+                (*server)->document_count(), (*server)->unique_keywords(),
+                static_cast<unsigned long long>(
+                    (*server)->stored_index_bytes()),
+                (*client)->counter(), options.chain_length,
+                (*server)->num_shards());
+    std::printf("%s", (*server)->Metrics().ToString().c_str());
   } else {
     return Usage();
   }

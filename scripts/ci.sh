@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrency
+# tests. Usage: scripts/ci.sh [--skip-tsan]
+#
+# 1. Configure + build everything, run the full ctest suite (the repo's
+#    tier-1 gate from ROADMAP.md).
+# 2. Rebuild the engine/concurrency test targets with -fsanitize=thread in
+#    a separate build dir and run only the "concurrency" ctest label.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "==> tier-1: build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "==> skipping TSan pass (--skip-tsan)"
+  exit 0
+fi
+
+echo "==> tsan: concurrency tests under ThreadSanitizer"
+cmake -B build-tsan -S . \
+  -DSSE_TSAN=ON \
+  -DSSE_BUILD_BENCHMARKS=OFF \
+  -DSSE_BUILD_EXAMPLES=OFF >/dev/null
+# Only the labeled test targets need to exist; building them (plus their
+# libsse dependency) is much faster than a full TSan build.
+cmake --build build-tsan -j "$(nproc)" \
+  --target engine_concurrency_test tcp_test
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan -L concurrency --output-on-failure
+
+echo "==> ci.sh: all green"

@@ -46,6 +46,8 @@ Result<net::Message> DurableServer::Handle(const net::Message& request) {
   if (!inner_->IsMutating(request.type)) {
     return inner_->Handle(request);
   }
+  // Mutations hold the commit lock shared so Checkpoint() can quiesce them.
+  std::shared_lock<std::shared_mutex> commit_lock(commit_mutex_);
   // Apply first, journal second, reply last. Journaling a request the
   // handler would reject poisons the log (replay re-runs the rejection and
   // recovery fails), so only *accepted* mutations are written; because the
@@ -54,17 +56,66 @@ Result<net::Message> DurableServer::Handle(const net::Message& request) {
   // append loses only an unacknowledged update.
   Result<net::Message> reply = inner_->Handle(request);
   if (!reply.ok()) return reply;
-  SSE_RETURN_IF_ERROR(wal_->Append(request.Encode()));
+  uint64_t my_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    SSE_RETURN_IF_ERROR(wal_->Append(request.Encode()));
+    my_seq = ++appended_seq_;
+    if (options_.sync_every_append && !options_.group_commit) {
+      // Per-append-fsync baseline: sync inline under the WAL mutex.
+      SSE_RETURN_IF_ERROR(wal_->Sync());
+      synced_seq_ = appended_seq_;
+      ++syncs_performed_;
+      return reply;
+    }
+  }
   if (options_.sync_every_append) {
-    SSE_RETURN_IF_ERROR(wal_->Sync());
+    SSE_RETURN_IF_ERROR(SyncUpTo(my_seq));
   }
   return reply;
 }
 
+Status DurableServer::SyncUpTo(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(wal_mutex_);
+  while (synced_seq_ < seq) {
+    if (!sync_in_progress_) {
+      // Become the leader: one fsync covers every record appended so far,
+      // including those of the followers waiting behind us.
+      sync_in_progress_ = true;
+      const uint64_t target = appended_seq_;
+      lock.unlock();
+      Status s = wal_->Sync();  // stdio FILE* calls are internally locked
+      lock.lock();
+      sync_in_progress_ = false;
+      if (!s.ok()) {
+        sync_cv_.notify_all();
+        return s;
+      }
+      if (target > synced_seq_) synced_seq_ = target;
+      ++syncs_performed_;
+      sync_cv_.notify_all();
+    } else {
+      sync_cv_.wait(lock, [this, seq] {
+        return synced_seq_ >= seq || !sync_in_progress_;
+      });
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t DurableServer::wal_syncs() const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  return syncs_performed_;
+}
+
 Status DurableServer::Checkpoint() {
+  // Exclusive commit lock: no mutation is between apply and journal while
+  // the snapshot is cut, so snapshot + truncated WAL is a consistent pair.
+  std::unique_lock<std::shared_mutex> commit_lock(commit_mutex_);
   Bytes state;
   SSE_ASSIGN_OR_RETURN(state, inner_->SerializeState());
   SSE_RETURN_IF_ERROR(storage::Snapshot::Write(SnapshotPath(dir_), state));
+  std::lock_guard<std::mutex> lock(wal_mutex_);
   return wal_->Reset();
 }
 

@@ -1,7 +1,11 @@
 #ifndef SSE_CORE_DURABLE_SERVER_H_
 #define SSE_CORE_DURABLE_SERVER_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "sse/core/persistable.h"
@@ -20,11 +24,24 @@ namespace sse::core {
 /// withheld until the journal entry is durable — so acknowledged updates
 /// survive crashes and rejected requests can never poison recovery. Call
 /// Checkpoint() periodically to bound the log.
+///
+/// Concurrency: Handle() is safe to call from many threads when the inner
+/// handler is itself thread-safe (e.g. an engine::ServerEngine). Appends
+/// serialize on a WAL mutex; durability syncs use *group commit* — the
+/// first waiter fsyncs on behalf of every append that landed before the
+/// sync started, so N concurrent mutations cost far fewer than N fsyncs
+/// while each reply still waits for its own record to be durable.
+/// Checkpoint() quiesces mutating requests (a commit rw-lock) so the
+/// snapshot and the truncated WAL stay consistent.
 class DurableServer : public net::MessageHandler {
  public:
   struct Options {
-    /// fsync the WAL after every mutating request (safest, slowest).
+    /// fsync the WAL before replying to a mutating request (safest).
     bool sync_every_append = true;
+    /// Batch concurrent fsyncs (leader/follower group commit). With a
+    /// single client this degenerates to one fsync per append; turn it off
+    /// only to benchmark the per-append-fsync baseline.
+    bool group_commit = true;
   };
 
   /// Opens (and recovers) a durable server over `inner` in directory `dir`,
@@ -36,10 +53,15 @@ class DurableServer : public net::MessageHandler {
 
   Result<net::Message> Handle(const net::Message& request) override;
 
-  /// Writes a snapshot of the inner state and truncates the WAL.
+  /// Writes a snapshot of the inner state and truncates the WAL. Blocks
+  /// until in-flight mutating requests have committed, and blocks new ones
+  /// while the snapshot is cut.
   Status Checkpoint();
 
   uint64_t wal_records() const { return wal_->appended_records(); }
+  /// fsyncs actually issued; under concurrent load with group commit this
+  /// grows slower than wal_records().
+  uint64_t wal_syncs() const;
   const std::string& directory() const { return dir_; }
 
  private:
@@ -50,10 +72,26 @@ class DurableServer : public net::MessageHandler {
         wal_(std::make_unique<storage::WriteAheadLog>(std::move(wal))),
         options_(options) {}
 
+  /// Blocks until every append up to `seq` is fsynced, electing the caller
+  /// as the sync leader if none is running.
+  Status SyncUpTo(uint64_t seq);
+
   std::string dir_;
   PersistableHandler* inner_;
   std::unique_ptr<storage::WriteAheadLog> wal_;
   Options options_;
+
+  /// Held shared by mutating requests for their whole apply+journal span,
+  /// exclusively by Checkpoint(): the snapshot sees no half-committed
+  /// mutation and no applied-but-unjournaled request can be truncated.
+  std::shared_mutex commit_mutex_;
+
+  mutable std::mutex wal_mutex_;  // guards wal_ appends and the fields below
+  std::condition_variable sync_cv_;
+  uint64_t appended_seq_ = 0;
+  uint64_t synced_seq_ = 0;
+  bool sync_in_progress_ = false;
+  uint64_t syncs_performed_ = 0;
 };
 
 }  // namespace sse::core

@@ -6,8 +6,36 @@
 #include "sse/core/scheme1_server.h"
 #include "sse/core/scheme2_client.h"
 #include "sse/core/scheme2_server.h"
+#include "sse/engine/scheme1_adapter.h"
+#include "sse/engine/scheme2_adapter.h"
+#include "sse/engine/server_engine.h"
 
 namespace sse::core {
+
+namespace {
+
+Result<std::unique_ptr<PersistableHandler>> CreateEngineServer(
+    SystemKind kind, const SystemConfig& config) {
+  std::unique_ptr<engine::SchemeAdapter> adapter;
+  if (kind == SystemKind::kScheme1) {
+    adapter = std::make_unique<engine::Scheme1Adapter>(config.scheme);
+  } else if (kind == SystemKind::kScheme2) {
+    adapter = std::make_unique<engine::Scheme2Adapter>(config.scheme);
+  } else {
+    return Status::InvalidArgument(
+        "engine mode (engine_shards > 0) supports scheme1 and scheme2 only");
+  }
+  engine::EngineOptions opts;
+  opts.num_shards = config.engine_shards;
+  opts.worker_threads = config.engine_workers;
+  opts.document_log_path = config.scheme.document_log_path;
+  Result<std::unique_ptr<engine::ServerEngine>> eng =
+      engine::ServerEngine::Create(std::move(adapter), opts);
+  if (!eng.ok()) return eng.status();
+  return std::unique_ptr<PersistableHandler>(std::move(eng).value());
+}
+
+}  // namespace
 
 std::string_view SystemKindName(SystemKind kind) {
   switch (kind) {
@@ -40,8 +68,12 @@ std::vector<SystemKind> AllSystemKinds() {
 Result<SseSystem> CreateSystem(SystemKind kind, const crypto::MasterKey& key,
                                const SystemConfig& config, RandomSource* rng) {
   SseSystem sys;
+  if (config.engine_shards > 0) {
+    SSE_ASSIGN_OR_RETURN(sys.server, CreateEngineServer(kind, config));
+  }
   switch (kind) {
     case SystemKind::kScheme1: {
+      if (sys.server != nullptr) break;  // engine-backed
       auto server = std::make_unique<Scheme1Server>(config.scheme);
       if (!config.scheme.document_log_path.empty()) {
         SSE_RETURN_IF_ERROR(
@@ -51,6 +83,7 @@ Result<SseSystem> CreateSystem(SystemKind kind, const crypto::MasterKey& key,
       break;
     }
     case SystemKind::kScheme2: {
+      if (sys.server != nullptr) break;  // engine-backed
       auto server = std::make_unique<Scheme2Server>(config.scheme);
       if (!config.scheme.document_log_path.empty()) {
         SSE_RETURN_IF_ERROR(

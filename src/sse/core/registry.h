@@ -44,6 +44,14 @@ struct SystemConfig {
   SchemeOptions scheme;
   baselines::GohOptions goh;
   net::InProcessChannel::Options channel;
+
+  /// When > 0, scheme1/scheme2 servers are built as a sharded
+  /// engine::ServerEngine with this many shards (thread-safe Handle,
+  /// concurrent searches). 0 keeps the classic single-threaded server.
+  /// Baselines do not support engine mode.
+  size_t engine_shards = 0;
+  /// Worker threads for the engine's scatter pool (0 = one per shard).
+  size_t engine_workers = 0;
 };
 
 /// Builds a ready-to-use system of the given kind. `rng` must outlive the

@@ -1,0 +1,122 @@
+#include "sse/engine/metrics.h"
+
+#include <cstdio>
+
+namespace sse::engine {
+
+namespace {
+
+size_t BucketFor(uint64_t nanos) {
+  size_t b = 0;
+  while (b + 1 < LatencyHistogram::kBuckets && (1ULL << (b + 1)) <= nanos) {
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::mean_micros() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(total_nanos) / static_cast<double>(count) / 1e3;
+}
+
+double LatencyHistogram::Snapshot::quantile_micros(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return static_cast<double>(2ULL << i) / 1e3;  // bucket upper edge
+    }
+  }
+  return static_cast<double>(2ULL << (buckets.size() - 1)) / 1e3;
+}
+
+uint64_t MetricsSnapshot::total_reads() const {
+  uint64_t n = 0;
+  for (const ShardSnapshot& s : shards) n += s.reads;
+  return n;
+}
+
+uint64_t MetricsSnapshot::total_writes() const {
+  uint64_t n = 0;
+  for (const ShardSnapshot& s : shards) n += s.writes;
+  return n;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "engine: %llu requests (%llu scatter, %llu broadcast), "
+                "%llu doc puts, %llu doc fetches\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(scatters),
+                static_cast<unsigned long long>(broadcasts),
+                static_cast<unsigned long long>(doc_puts),
+                static_cast<unsigned long long>(doc_fetches));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "handle latency: mean %.1f us, p50 %.1f us, p99 %.1f us\n",
+                handle_latency.mean_micros(),
+                handle_latency.quantile_micros(0.5),
+                handle_latency.quantile_micros(0.99));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "lock wait:      mean %.1f us, p50 %.1f us, p99 %.1f us\n",
+                lock_wait.mean_micros(), lock_wait.quantile_micros(0.5),
+                lock_wait.quantile_micros(0.99));
+  out += buf;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "shard %2zu: %llu reads, %llu writes, %llu errors\n", i,
+                  static_cast<unsigned long long>(shards[i].reads),
+                  static_cast<unsigned long long>(shards[i].writes),
+                  static_cast<unsigned long long>(shards[i].errors));
+    out += buf;
+  }
+  return out;
+}
+
+MetricsSnapshot EngineMetrics::Snap() const {
+  MetricsSnapshot s;
+  s.shards.reserve(shards_.size());
+  for (const ShardCounters& c : shards_) {
+    ShardSnapshot ss;
+    ss.reads = c.reads.load(std::memory_order_relaxed);
+    ss.writes = c.writes.load(std::memory_order_relaxed);
+    ss.errors = c.errors.load(std::memory_order_relaxed);
+    s.shards.push_back(ss);
+  }
+  s.handle_latency = handle_latency_.Snap();
+  s.lock_wait = lock_wait_.Snap();
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.scatters = scatters_.load(std::memory_order_relaxed);
+  s.broadcasts = broadcasts_.load(std::memory_order_relaxed);
+  s.doc_puts = doc_puts_.load(std::memory_order_relaxed);
+  s.doc_fetches = doc_fetches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sse::engine

@@ -1,0 +1,103 @@
+#ifndef SSE_ENGINE_METRICS_H_
+#define SSE_ENGINE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sse::engine {
+
+/// Lock-free latency histogram with power-of-two nanosecond buckets.
+/// Recording is two relaxed atomic adds — cheap enough for every request on
+/// the hot path; snapshots are approximate (not a consistent cut), which is
+/// fine for reporting.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;  // covers ~1 ns .. ~9 min
+
+  void Record(uint64_t nanos);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t total_nanos = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    double mean_micros() const;
+    /// Upper edge (µs) of the bucket containing quantile `q` in [0,1].
+    double quantile_micros(double q) const;
+  };
+  Snapshot Snap() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Per-shard request counters (relaxed atomics, written by worker threads).
+struct ShardCounters {
+  std::atomic<uint64_t> reads{0};       // shared-lock requests handled
+  std::atomic<uint64_t> writes{0};      // exclusive-lock requests handled
+  std::atomic<uint64_t> errors{0};      // sub-requests that returned non-OK
+};
+
+struct ShardSnapshot {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t errors = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<ShardSnapshot> shards;
+  LatencyHistogram::Snapshot handle_latency;  // whole-request engine latency
+  LatencyHistogram::Snapshot lock_wait;       // per-sub-request lock waits
+  uint64_t requests = 0;
+  uint64_t scatters = 0;    // requests split across >1 shard
+  uint64_t broadcasts = 0;  // requests sent to every shard
+  uint64_t doc_puts = 0;
+  uint64_t doc_fetches = 0;
+
+  uint64_t total_reads() const;
+  uint64_t total_writes() const;
+  /// Multi-line human-readable report for the CLI and benches.
+  std::string ToString() const;
+};
+
+/// All engine-level counters. One instance per ServerEngine; every field is
+/// safe to mutate from any worker thread.
+class EngineMetrics {
+ public:
+  explicit EngineMetrics(size_t num_shards) : shards_(num_shards) {}
+
+  ShardCounters& shard(size_t i) { return shards_[i]; }
+  LatencyHistogram& handle_latency() { return handle_latency_; }
+  LatencyHistogram& lock_wait() { return lock_wait_; }
+
+  void AddRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void AddScatter() { scatters_.fetch_add(1, std::memory_order_relaxed); }
+  void AddBroadcast() { broadcasts_.fetch_add(1, std::memory_order_relaxed); }
+  void AddDocPuts(uint64_t n) {
+    doc_puts_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddDocFetches(uint64_t n) {
+    doc_fetches_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snap() const;
+
+ private:
+  std::vector<ShardCounters> shards_;
+  LatencyHistogram handle_latency_;
+  LatencyHistogram lock_wait_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> scatters_{0};
+  std::atomic<uint64_t> broadcasts_{0};
+  std::atomic<uint64_t> doc_puts_{0};
+  std::atomic<uint64_t> doc_fetches_{0};
+};
+
+}  // namespace sse::engine
+
+#endif  // SSE_ENGINE_METRICS_H_

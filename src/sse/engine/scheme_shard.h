@@ -1,0 +1,128 @@
+#ifndef SSE_ENGINE_SCHEME_SHARD_H_
+#define SSE_ENGINE_SCHEME_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sse/core/wire_common.h"
+#include "sse/net/message.h"
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::engine {
+
+/// How a message type must lock the shard it is dispatched to. Searches on
+/// Scheme 1 only read the token tree, so they share; anything that writes
+/// shard state — including Scheme 2's Optimization-1 plaintext cache, which
+/// a *search* refreshes — is exclusive.
+enum class LockMode { kShared, kExclusive };
+
+/// One shard's slice of a scheme server: the keyword entries whose tokens
+/// route to it. Shards never store document ciphertexts — those live in the
+/// engine's shared store — and they never see messages for tokens they do
+/// not own. Implementations wrap an unmodified scheme server; thread safety
+/// is the engine's job (per-shard reader-writer lock), not the shard's.
+class SchemeShard {
+ public:
+  virtual ~SchemeShard() = default;
+
+  virtual Result<net::Message> Handle(const net::Message& request) = 0;
+  virtual Result<Bytes> SerializeState() const = 0;
+  virtual Status RestoreState(BytesView data) = 0;
+
+  virtual size_t unique_keywords() const = 0;
+  virtual uint64_t stored_index_bytes() const = 0;
+};
+
+/// Wraps any scheme server type (Scheme1Server, Scheme2Server, ...) as a
+/// SchemeShard. The server's own document store stays empty — the routing
+/// adapter strips documents out of updates before they reach a shard.
+template <typename Server>
+class ServerShard : public SchemeShard {
+ public:
+  template <typename... Args>
+  explicit ServerShard(Args&&... args) : server_(std::forward<Args>(args)...) {}
+
+  Result<net::Message> Handle(const net::Message& request) override {
+    return server_.Handle(request);
+  }
+  Result<Bytes> SerializeState() const override {
+    return server_.SerializeState();
+  }
+  Status RestoreState(BytesView data) override {
+    return server_.RestoreState(data);
+  }
+  size_t unique_keywords() const override { return server_.unique_keywords(); }
+  uint64_t stored_index_bytes() const override {
+    return server_.stored_index_bytes();
+  }
+
+  Server& server() { return server_; }
+  const Server& server() const { return server_; }
+
+ private:
+  Server server_;
+};
+
+/// One shard's slice of a client request.
+struct SubRequest {
+  size_t shard = 0;
+  net::Message message;
+  /// For merges that must realign per-token reply entries with the original
+  /// request order (e.g. S1NonceReply): positions[i] is the index in the
+  /// original token list of this sub-request's i-th token.
+  std::vector<size_t> positions;
+};
+
+/// The routing decision for one decoded request: which shards see which
+/// sub-request, which documents the engine stores, and how the reply is
+/// reassembled.
+struct RequestPlan {
+  std::vector<SubRequest> subs;
+  /// Documents stripped from a mutating request; the engine stores them in
+  /// its shared document store after every sub-request succeeded.
+  std::vector<core::WireDocument> documents;
+  /// Merge needs to attach result.ids' ciphertexts from the engine store.
+  bool attach_documents = false;
+};
+
+/// Fetches (id, ciphertext) pairs from the engine's shared document store;
+/// handed to Merge so reply assembly can fill in search-result documents.
+using DocumentFetcher =
+    std::function<Result<std::vector<std::pair<uint64_t, Bytes>>>(
+        const std::vector<uint64_t>&)>;
+
+/// Scheme-specific sharding policy: how to create shard-local state, how to
+/// split a request across shards, and how to merge the shard replies into
+/// the single reply the (unmodified) scheme client expects. Adapters are
+/// stateless and shared across worker threads — all state lives in shards
+/// or in the engine.
+class SchemeAdapter {
+ public:
+  virtual ~SchemeAdapter() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::unique_ptr<SchemeShard> CreateShard() const = 0;
+  virtual bool IsMutating(uint16_t msg_type) const = 0;
+  virtual LockMode LockModeFor(uint16_t msg_type) const = 0;
+
+  /// Decodes `request` and splits it into per-shard sub-requests.
+  virtual Result<RequestPlan> Route(const net::Message& request,
+                                    size_t num_shards) const = 0;
+
+  /// Reassembles shard replies (aligned with plan.subs) into one reply.
+  /// Only called when every sub-request succeeded.
+  virtual Result<net::Message> Merge(const net::Message& request,
+                                     const RequestPlan& plan,
+                                     std::vector<net::Message> replies,
+                                     const DocumentFetcher& fetch_docs)
+      const = 0;
+};
+
+}  // namespace sse::engine
+
+#endif  // SSE_ENGINE_SCHEME_SHARD_H_

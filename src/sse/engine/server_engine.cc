@@ -1,0 +1,289 @@
+#include "sse/engine/server_engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "sse/util/serde.h"
+
+namespace sse::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NanosSince(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+ServerEngine::ServerEngine(std::unique_ptr<SchemeAdapter> adapter,
+                           EngineOptions options)
+    : adapter_(std::move(adapter)),
+      options_(options),
+      metrics_(options.num_shards) {}
+
+Result<std::unique_ptr<ServerEngine>> ServerEngine::Create(
+    std::unique_ptr<SchemeAdapter> adapter, const EngineOptions& options) {
+  if (adapter == nullptr) {
+    return Status::InvalidArgument("engine adapter must be non-null");
+  }
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("engine needs at least one shard");
+  }
+  auto engine = std::unique_ptr<ServerEngine>(
+      new ServerEngine(std::move(adapter), options));
+  engine->slots_.reserve(options.num_shards);
+  for (size_t i = 0; i < options.num_shards; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->shard = engine->adapter_->CreateShard();
+    engine->slots_.push_back(std::move(slot));
+  }
+  if (!options.document_log_path.empty()) {
+    SSE_ASSIGN_OR_RETURN(
+        engine->docs_,
+        storage::DocumentStore::OpenLogBacked(options.document_log_path));
+  }
+  size_t workers = options.worker_threads;
+  if (workers == 0) workers = options.num_shards;
+  if (workers > options.num_shards) workers = options.num_shards;
+  engine->pool_ = std::make_unique<WorkerPool>(workers);
+  return engine;
+}
+
+Result<net::Message> ServerEngine::Handle(const net::Message& request) {
+  metrics_.AddRequest();
+  const Clock::time_point t0 = Clock::now();
+  Result<net::Message> reply = HandleInternal(request);
+  metrics_.handle_latency().Record(NanosSince(t0));
+  return reply;
+}
+
+Result<net::Message> ServerEngine::HandleInternal(const net::Message& request) {
+  if (request.type == net::kMsgFetchDocuments) {
+    return HandleFetchDocuments(request);
+  }
+
+  RequestPlan plan;
+  SSE_ASSIGN_OR_RETURN(plan, adapter_->Route(request, slots_.size()));
+  if (plan.subs.size() > 1) {
+    if (plan.subs.size() == slots_.size()) {
+      metrics_.AddBroadcast();
+    } else {
+      metrics_.AddScatter();
+    }
+  }
+
+  std::vector<net::Message> replies(plan.subs.size());
+  Status first_error = Status::OK();
+  if (plan.subs.size() == 1) {
+    Result<net::Message> reply = DispatchSub(plan.subs[0]);
+    if (!reply.ok()) return reply.status();
+    replies[0] = std::move(reply).value();
+  } else if (!plan.subs.empty()) {
+    std::vector<Status> statuses(plan.subs.size(), Status::OK());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(plan.subs.size());
+    for (size_t i = 0; i < plan.subs.size(); ++i) {
+      tasks.push_back([this, &plan, &replies, &statuses, i] {
+        Result<net::Message> reply = DispatchSub(plan.subs[i]);
+        if (reply.ok()) {
+          replies[i] = std::move(reply).value();
+        } else {
+          statuses[i] = reply.status();
+        }
+      });
+    }
+    if (options_.parallel_scatter) {
+      pool_->RunBatch(std::move(tasks));
+    } else {
+      for (auto& task : tasks) task();
+    }
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+  }
+
+  if (!plan.documents.empty()) {
+    std::unique_lock<std::shared_mutex> lock(docs_mutex_);
+    for (core::WireDocument& doc : plan.documents) {
+      SSE_RETURN_IF_ERROR(docs_.Put(doc.id, std::move(doc.ciphertext)));
+    }
+    metrics_.AddDocPuts(plan.documents.size());
+  }
+
+  DocumentFetcher fetcher =
+      [this](const std::vector<uint64_t>& ids)
+      -> Result<std::vector<std::pair<uint64_t, Bytes>>> {
+    std::shared_lock<std::shared_mutex> lock(docs_mutex_);
+    metrics_.AddDocFetches(ids.size());
+    return docs_.GetMany(ids);
+  };
+  return adapter_->Merge(request, plan, std::move(replies), fetcher);
+}
+
+Result<net::Message> ServerEngine::HandleFetchDocuments(
+    const net::Message& request) {
+  BufferReader r(request.payload);
+  std::vector<uint64_t> ids;
+  SSE_ASSIGN_OR_RETURN(ids, core::GetIdList(r));
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+
+  std::vector<std::pair<uint64_t, Bytes>> fetched;
+  {
+    std::shared_lock<std::shared_mutex> lock(docs_mutex_);
+    SSE_ASSIGN_OR_RETURN(fetched, docs_.GetMany(ids));
+  }
+  metrics_.AddDocFetches(ids.size());
+
+  std::vector<core::WireDocument> docs;
+  docs.reserve(fetched.size());
+  for (auto& [id, blob] : fetched) {
+    docs.push_back(core::WireDocument{id, std::move(blob)});
+  }
+  BufferWriter w;
+  core::PutWireDocuments(w, docs);
+  net::Message reply;
+  reply.type = net::kMsgFetchDocumentsResult;
+  reply.payload = w.TakeData();
+  return reply;
+}
+
+Result<net::Message> ServerEngine::DispatchSub(const SubRequest& sub) {
+  Slot& slot = *slots_[sub.shard];
+  ShardCounters& counters = metrics_.shard(sub.shard);
+  const LockMode mode = adapter_->LockModeFor(sub.message.type);
+  Result<net::Message> reply = [&]() -> Result<net::Message> {
+    const Clock::time_point t0 = Clock::now();
+    if (mode == LockMode::kExclusive) {
+      std::unique_lock<std::shared_mutex> lock(slot.mutex);
+      metrics_.lock_wait().Record(NanosSince(t0));
+      counters.writes.fetch_add(1, std::memory_order_relaxed);
+      return slot.shard->Handle(sub.message);
+    }
+    std::shared_lock<std::shared_mutex> lock(slot.mutex);
+    metrics_.lock_wait().Record(NanosSince(t0));
+    counters.reads.fetch_add(1, std::memory_order_relaxed);
+    return slot.shard->Handle(sub.message);
+  }();
+  if (!reply.ok()) counters.errors.fetch_add(1, std::memory_order_relaxed);
+  return reply;
+}
+
+bool ServerEngine::IsMutating(uint16_t msg_type) const {
+  return adapter_->IsMutating(msg_type);
+}
+
+Result<Bytes> ServerEngine::SerializeState() const {
+  BufferWriter w;
+  w.PutU32(kEngineSnapshotMagic);
+  w.PutVarint(slots_.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(docs_mutex_);
+    w.PutVarint(docs_.size());
+    SSE_RETURN_IF_ERROR(docs_.ForEach([&](uint64_t id, const Bytes& blob) {
+      w.PutVarint(id);
+      w.PutBytes(blob);
+      return true;
+    }));
+  }
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    Bytes state;
+    SSE_ASSIGN_OR_RETURN(state, slot->shard->SerializeState());
+    w.PutBytes(state);
+  }
+  return w.TakeData();
+}
+
+Status ServerEngine::RestoreState(BytesView data) {
+  BufferReader r(data);
+  uint32_t magic = 0;
+  SSE_ASSIGN_OR_RETURN(magic, r.GetU32());
+  if (magic != kEngineSnapshotMagic) {
+    return Status::Corruption(
+        "not an engine snapshot (single-server state cannot be restored "
+        "into a sharded engine)");
+  }
+  uint64_t shard_count = 0;
+  SSE_ASSIGN_OR_RETURN(shard_count, r.GetVarint());
+  if (shard_count != slots_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(shard_count) +
+        " shards but the engine is configured with " +
+        std::to_string(slots_.size()) +
+        "; restore requires an identical shard count");
+  }
+
+  // Parse and restore into fresh state before touching live state, so a
+  // corrupt snapshot leaves the engine unchanged.
+  uint64_t doc_count = 0;
+  SSE_ASSIGN_OR_RETURN(doc_count, r.GetVarint());
+  std::vector<std::pair<uint64_t, Bytes>> docs;
+  docs.reserve(static_cast<size_t>(doc_count));
+  for (uint64_t i = 0; i < doc_count; ++i) {
+    uint64_t id = 0;
+    SSE_ASSIGN_OR_RETURN(id, r.GetVarint());
+    Bytes blob;
+    SSE_ASSIGN_OR_RETURN(blob, r.GetBytes());
+    docs.emplace_back(id, std::move(blob));
+  }
+  std::vector<std::unique_ptr<SchemeShard>> shards;
+  shards.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Bytes state;
+    SSE_ASSIGN_OR_RETURN(state, r.GetBytes());
+    std::unique_ptr<SchemeShard> shard = adapter_->CreateShard();
+    SSE_RETURN_IF_ERROR(shard->RestoreState(state));
+    shards.push_back(std::move(shard));
+  }
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+
+  // Swap in under every lock, shards in index order.
+  std::unique_lock<std::shared_mutex> docs_lock(docs_mutex_);
+  std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
+  shard_locks.reserve(slots_.size());
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    shard_locks.emplace_back(slot->mutex);
+  }
+  SSE_RETURN_IF_ERROR(docs_.Clear());
+  for (auto& [id, blob] : docs) {
+    SSE_RETURN_IF_ERROR(docs_.Put(id, std::move(blob)));
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i]->shard = std::move(shards[i]);
+  }
+  return Status::OK();
+}
+
+size_t ServerEngine::unique_keywords() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    total += slot->shard->unique_keywords();
+  }
+  return total;
+}
+
+uint64_t ServerEngine::stored_index_bytes() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    total += slot->shard->stored_index_bytes();
+  }
+  return total;
+}
+
+size_t ServerEngine::document_count() const {
+  std::shared_lock<std::shared_mutex> lock(docs_mutex_);
+  return docs_.size();
+}
+
+uint64_t ServerEngine::document_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(docs_mutex_);
+  return docs_.total_bytes();
+}
+
+}  // namespace sse::engine

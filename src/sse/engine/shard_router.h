@@ -1,0 +1,22 @@
+#ifndef SSE_ENGINE_SHARD_ROUTER_H_
+#define SSE_ENGINE_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sse/util/bytes.h"
+
+namespace sse::engine {
+
+/// Maps a search token `f_{k_w}(w)` to the shard that owns its keyword.
+///
+/// Tokens are PRF outputs, so their leading bytes are uniform by
+/// construction — partitioning on a mix of the first 8 bytes gives balanced
+/// shards without any coordination or rebalancing. The mix (splitmix64
+/// finalizer) only matters for non-PRF callers (tests, ablation tokens);
+/// for real tokens any byte would do.
+size_t ShardForToken(BytesView token, size_t num_shards);
+
+}  // namespace sse::engine
+
+#endif  // SSE_ENGINE_SHARD_ROUTER_H_

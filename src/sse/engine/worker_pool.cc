@@ -1,0 +1,71 @@
+#include "sse/engine/worker_pool.h"
+
+#include <atomic>
+
+namespace sse::engine {
+
+WorkerPool::WorkerPool(size_t threads) {
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void WorkerPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty()) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  struct Barrier {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = tasks.size();
+  for (auto& task : tasks) {
+    Submit([task = std::move(task), barrier] {
+      task();
+      std::lock_guard<std::mutex> lock(barrier->mutex);
+      if (--barrier->remaining == 0) barrier->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(barrier->mutex);
+  barrier->done.wait(lock, [&] { return barrier->remaining == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace sse::engine

@@ -1,0 +1,50 @@
+#ifndef SSE_ENGINE_WORKER_POOL_H_
+#define SSE_ENGINE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sse::engine {
+
+/// Fixed-size worker pool executing submitted closures FIFO.
+///
+/// The engine uses it for scatter requests (one keyword batch split across
+/// several shards): sub-requests run on pool threads while the submitting
+/// connection thread waits. Tasks must never submit-and-wait on the same
+/// pool recursively — the engine's dispatch is the only submitter, and it
+/// is one level deep by construction.
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `task` for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs every task (on pool threads) and blocks until all have finished.
+  /// With an empty pool (threads == 0) the tasks run inline on the caller.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  size_t thread_count() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sse::engine
+
+#endif  // SSE_ENGINE_WORKER_POOL_H_

@@ -1,6 +1,7 @@
 #ifndef SSE_INDEX_BTREE_H_
 #define SSE_INDEX_BTREE_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -24,7 +25,9 @@ namespace sse::index {
 /// the paper's complexity claim directly (comparisons per lookup vs. `u`)
 /// independent of wall-clock noise.
 ///
-/// Not thread-safe; the server serializes access.
+/// Writes require exclusive access; concurrent const reads are safe (the
+/// comparison counter is atomic). The engine enforces this with per-shard
+/// reader-writer locks.
 template <typename V>
 class BTreeMap {
  public:
@@ -36,8 +39,29 @@ class BTreeMap {
 
   BTreeMap(const BTreeMap&) = delete;
   BTreeMap& operator=(const BTreeMap&) = delete;
-  BTreeMap(BTreeMap&&) noexcept = default;
-  BTreeMap& operator=(BTreeMap&&) noexcept = default;
+  // Moves are hand-written because the atomic counter is not movable.
+  // Moving concurrently with readers is not supported (the engine swaps
+  // trees only under an exclusive shard lock).
+  BTreeMap(BTreeMap&& other) noexcept
+      : order_(other.order_),
+        root_(std::move(other.root_)),
+        size_(other.size_),
+        comparisons_(other.comparisons_.load(std::memory_order_relaxed)) {
+    other.root_ = std::make_unique<Node>(/*leaf=*/true);
+    other.size_ = 0;
+  }
+  BTreeMap& operator=(BTreeMap&& other) noexcept {
+    if (this != &other) {
+      order_ = other.order_;
+      root_ = std::move(other.root_);
+      size_ = other.size_;
+      comparisons_.store(other.comparisons_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      other.root_ = std::make_unique<Node>(/*leaf=*/true);
+      other.size_ = 0;
+    }
+    return *this;
+  }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -134,8 +158,10 @@ class BTreeMap {
   }
 
   /// Key comparisons performed since the last ResetStats().
-  uint64_t comparisons() const { return comparisons_; }
-  void ResetStats() { comparisons_ = 0; }
+  uint64_t comparisons() const {
+    return comparisons_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() { comparisons_.store(0, std::memory_order_relaxed); }
 
  private:
   struct Node {
@@ -157,7 +183,7 @@ class BTreeMap {
   };
 
   bool Equal(const Bytes& a, BytesView b) const {
-    ++comparisons_;
+    BumpComparisons();
     return Compare(a, b) == 0;
   }
 
@@ -167,7 +193,7 @@ class BTreeMap {
     size_t hi = node->keys.size();
     while (lo < hi) {
       const size_t mid = (lo + hi) / 2;
-      ++comparisons_;
+      BumpComparisons();
       if (Compare(node->keys[mid], key) < 0) {
         lo = mid + 1;
       } else {
@@ -184,7 +210,7 @@ class BTreeMap {
     size_t hi = node->keys.size();
     while (lo < hi) {
       const size_t mid = (lo + hi) / 2;
-      ++comparisons_;
+      BumpComparisons();
       if (Compare(key, node->keys[mid]) < 0) {
         hi = mid;
       } else {
@@ -268,7 +294,14 @@ class BTreeMap {
   size_t order_;
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
-  mutable uint64_t comparisons_ = 0;
+  // Atomic so concurrent readers (const Get under a shared lock in the
+  // engine) can keep counting without a data race; relaxed is enough for a
+  // statistics counter.
+  void BumpComparisons() const {
+    comparisons_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mutable std::atomic<uint64_t> comparisons_{0};
 };
 
 }  // namespace sse::index

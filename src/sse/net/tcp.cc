@@ -79,11 +79,21 @@ Result<Bytes> ReadFrame(int fd, bool eof_ok_at_start) {
 
 // ---------------------------------------------------------------- server --
 
-TcpServer::TcpServer(MessageHandler* handler, int listen_fd, uint16_t port)
-    : handler_(handler), listen_fd_(listen_fd), port_(port) {}
+TcpServer::TcpServer(MessageHandler* handler, int listen_fd, uint16_t port,
+                     Options options)
+    : handler_(handler),
+      listen_fd_(listen_fd),
+      port_(port),
+      options_(options) {}
 
 Result<std::unique_ptr<TcpServer>> TcpServer::Start(MessageHandler* handler,
                                                     uint16_t port) {
+  return Start(handler, port, Options{});
+}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(MessageHandler* handler,
+                                                    uint16_t port,
+                                                    Options options) {
   if (handler == nullptr) {
     return Status::InvalidArgument("handler must be non-null");
   }
@@ -100,7 +110,7 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(MessageHandler* handler,
     ::close(fd);
     return Status::IoError("bind failed: " + std::string(std::strerror(errno)));
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, options.listen_backlog) != 0) {
     ::close(fd);
     return Status::IoError("listen failed");
   }
@@ -110,7 +120,7 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(MessageHandler* handler,
     return Status::IoError("getsockname failed");
   }
   auto server = std::unique_ptr<TcpServer>(
-      new TcpServer(handler, fd, ntohs(addr.sin_port)));
+      new TcpServer(handler, fd, ntohs(addr.sin_port), options));
   server->thread_ = std::thread([raw = server.get()] { raw->Serve(); });
   return server;
 }
@@ -142,6 +152,7 @@ void TcpServer::Serve() {
       if (errno == EINTR) continue;
       break;  // listening socket gone
     }
+    connections_accepted_.fetch_add(1);
     {
       std::lock_guard<std::mutex> lock(conns_mutex_);
       open_conns_.insert(conn);
@@ -172,7 +183,12 @@ void TcpServer::ServeConnection(int fd) {
     Result<Message> request = Message::Decode(*frame);
     Result<Message> reply = [&]() -> Result<Message> {
       if (!request.ok()) return request.status();
-      std::lock_guard<std::mutex> lock(handler_mutex_);
+      if (options_.serialize_handler) {
+        std::lock_guard<std::mutex> lock(handler_mutex_);
+        return handler_->Handle(*request);
+      }
+      // Thread-safe handler (e.g. the sharded engine): let connections
+      // dispatch concurrently.
       return handler_->Handle(*request);
     }();
     if (!reply.ok()) reply = MakeErrorMessage(reply.status());

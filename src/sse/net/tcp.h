@@ -20,12 +20,23 @@ namespace sse::net {
 /// little-endian u32 length prefix around `Message::Encode()` bytes — the
 /// same bytes the in-process channel counts, so measurements transfer.
 ///
-/// Connections are served concurrently (thread per connection); the
-/// handler — a single-writer state machine in this library — is protected
-/// by a per-server mutex, so requests from different clients serialize at
-/// the dispatch point.
+/// Connections are served concurrently (thread per connection). By default
+/// the handler — a single-writer state machine for the plain scheme
+/// servers — is protected by a per-server mutex, so requests from
+/// different clients serialize at the dispatch point. A thread-safe
+/// handler (engine::ServerEngine) opts out via
+/// Options::serialize_handler=false, and concurrent connections then reach
+/// the handler in parallel.
 class TcpServer {
  public:
+  struct Options {
+    /// Serialize all Handle() calls on one mutex. Leave on for handlers
+    /// that are not internally synchronized.
+    bool serialize_handler = true;
+    /// listen(2) backlog.
+    int listen_backlog = 64;
+  };
+
   ~TcpServer();
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
@@ -34,6 +45,9 @@ class TcpServer {
   /// on a background thread. `handler` must outlive the server.
   static Result<std::unique_ptr<TcpServer>> Start(MessageHandler* handler,
                                                   uint16_t port = 0);
+  static Result<std::unique_ptr<TcpServer>> Start(MessageHandler* handler,
+                                                  uint16_t port,
+                                                  Options options);
 
   /// The actually bound port.
   uint16_t port() const { return port_; }
@@ -43,17 +57,23 @@ class TcpServer {
   void Stop();
 
   uint64_t requests_served() const { return requests_served_.load(); }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load();
+  }
 
  private:
-  TcpServer(MessageHandler* handler, int listen_fd, uint16_t port);
+  TcpServer(MessageHandler* handler, int listen_fd, uint16_t port,
+            Options options);
   void Serve();
   void ServeConnection(int fd);
 
   MessageHandler* handler_;
   int listen_fd_;
   uint16_t port_;
+  Options options_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
   std::thread thread_;
   std::mutex handler_mutex_;
   std::mutex workers_mutex_;
