@@ -7,6 +7,13 @@
 // picks the shard count; it must stay the same across sessions of one
 // vault because snapshots are partition-dependent.
 //
+// Delivery-semantics knobs (see DESIGN.md "Delivery semantics"):
+//   SSE_RETRY_ATTEMPTS   total tries per call, default 5; 1 disables retries
+//                        (calls are session-stamped either way)
+//   SSE_RETRY_DEADLINE_MS  per-call deadline across attempts, default 0 (none)
+//   SSE_REPLY_CACHE      1 (default) dedups stamped calls server-side so a
+//                        retried update applies at most once; 0 disables
+//
 // Usage:
 //   sse_cli <dir> put <id> <content...> --kw <k1,k2,...>
 //   sse_cli <dir> search <keyword>
@@ -27,6 +34,7 @@
 #include "sse/core/scheme2_client.h"
 #include "sse/engine/scheme2_adapter.h"
 #include "sse/engine/server_engine.h"
+#include "sse/net/retry.h"
 #include "sse/util/serde.h"
 
 namespace {
@@ -62,6 +70,11 @@ std::vector<std::string> SplitCommas(const std::string& s) {
 // real deployments keep it on the client device.
 std::string StatePath(const std::string& dir) { return dir + "/client.state"; }
 
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
 Bytes LoadStateBytes(const std::string& dir) {
   Bytes raw;
   std::FILE* f = std::fopen(StatePath(dir).c_str(), "rb");
@@ -95,10 +108,13 @@ int main(int argc, char** argv) {
   options.max_documents = 1 << 16;
   options.chain_length = 1 << 14;
 
+  const bool reply_cache = EnvU64("SSE_REPLY_CACHE", 1) != 0;
+
   engine::EngineOptions engine_options;
-  const char* shards_env = std::getenv("SSE_ENGINE_SHARDS");
-  engine_options.num_shards =
-      shards_env != nullptr ? std::strtoull(shards_env, nullptr, 10) : 4;
+  engine_options.num_shards = EnvU64("SSE_ENGINE_SHARDS", 4);
+  // The durable shell's cache (which survives restarts) does the dedup;
+  // the engine's in-memory one would only duplicate it.
+  engine_options.enable_reply_cache = false;
   auto server = engine::ServerEngine::Create(
       std::make_unique<engine::Scheme2Adapter>(options), engine_options);
   if (!server.ok()) {
@@ -106,7 +122,9 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
-  auto durable = core::DurableServer::Open(dir, server->get());
+  core::DurableServer::Options durable_options;
+  durable_options.enable_reply_cache = reply_cache;
+  auto durable = core::DurableServer::Open(dir, server->get(), durable_options);
   if (!durable.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  durable.status().ToString().c_str());
@@ -114,11 +132,21 @@ int main(int argc, char** argv) {
   }
   net::InProcessChannel channel(durable->get());
 
+  // Exactly-once calls: session-stamped, retried with backoff, deduped by
+  // the server's reply cache (in-process the link cannot actually fail,
+  // but the vault accepts stamped traffic from any transport).
+  net::RetryOptions retry_options;
+  retry_options.max_attempts =
+      static_cast<int>(EnvU64("SSE_RETRY_ATTEMPTS", 5));
+  retry_options.call_deadline_ms =
+      static_cast<double>(EnvU64("SSE_RETRY_DEADLINE_MS", 0));
+  SystemRandom& rng = SystemRandom::Instance();
+  net::RetryingChannel retry(&channel, retry_options, &rng);
+
   auto key = crypto::MasterKey::FromPassphrase(passphrase);
   if (!key.ok()) return 1;
-  SystemRandom& rng = SystemRandom::Instance();
   auto client =
-      core::Scheme2Client::Create(*key, options, &channel, &rng);
+      core::Scheme2Client::Create(*key, options, &retry, &rng);
   if (!client.ok()) {
     std::fprintf(stderr, "client failed: %s\n",
                  client.status().ToString().c_str());

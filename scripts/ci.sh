@@ -22,7 +22,7 @@ if [[ "$SKIP_TSAN" == "1" ]]; then
   exit 0
 fi
 
-echo "==> tsan: concurrency tests under ThreadSanitizer"
+echo "==> tsan: concurrency + chaos tests under ThreadSanitizer"
 cmake -B build-tsan -S . \
   -DSSE_TSAN=ON \
   -DSSE_BUILD_BENCHMARKS=OFF \
@@ -30,8 +30,8 @@ cmake -B build-tsan -S . \
 # Only the labeled test targets need to exist; building them (plus their
 # libsse dependency) is much faster than a full TSan build.
 cmake --build build-tsan -j "$(nproc)" \
-  --target engine_concurrency_test tcp_test
+  --target engine_concurrency_test tcp_test chaos_test
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir build-tsan -L concurrency --output-on-failure
+  ctest --test-dir build-tsan -L "concurrency|chaos" --output-on-failure
 
 echo "==> ci.sh: all green"

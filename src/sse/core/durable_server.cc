@@ -1,10 +1,17 @@
 #include "sse/core/durable_server.h"
 
+#include "sse/util/serde.h"
+
 namespace sse::core {
 
 namespace {
 std::string SnapshotPath(const std::string& dir) { return dir + "/state.snap"; }
 std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+/// Snapshot wrapper magic, "SDRS": the blob is [magic ‖ bytes(inner state)
+/// ‖ bytes(reply cache)]. Snapshots written before the reply cache existed
+/// are the bare inner state and restore with an empty cache.
+constexpr uint32_t kDurableSnapshotMagic = 0x53445253;
 }  // namespace
 
 Result<std::unique_ptr<DurableServer>> DurableServer::Open(
@@ -17,20 +24,49 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
   if (inner == nullptr) {
     return Status::InvalidArgument("inner handler must be non-null");
   }
+  std::unique_ptr<ReplyCache> cache;
+  if (options.enable_reply_cache) {
+    cache = std::make_unique<ReplyCache>(options.reply_cache);
+  }
   // 1. Restore the last checkpoint, if any.
   if (storage::Snapshot::Exists(SnapshotPath(dir))) {
-    Bytes state;
-    SSE_ASSIGN_OR_RETURN(state, storage::Snapshot::Read(SnapshotPath(dir)));
-    SSE_RETURN_IF_ERROR(inner->RestoreState(state));
+    Bytes blob;
+    SSE_ASSIGN_OR_RETURN(blob, storage::Snapshot::Read(SnapshotPath(dir)));
+    BufferReader r(blob);
+    bool wrapped = false;
+    if (blob.size() >= 4) {
+      uint32_t magic = 0;
+      SSE_ASSIGN_OR_RETURN(magic, r.GetU32());
+      wrapped = magic == kDurableSnapshotMagic;
+    }
+    if (wrapped) {
+      Bytes state;
+      SSE_ASSIGN_OR_RETURN(state, r.GetBytes());
+      Bytes cache_bytes;
+      SSE_ASSIGN_OR_RETURN(cache_bytes, r.GetBytes());
+      SSE_RETURN_IF_ERROR(r.ExpectEnd());
+      SSE_RETURN_IF_ERROR(inner->RestoreState(state));
+      if (cache != nullptr && !cache_bytes.empty()) {
+        SSE_RETURN_IF_ERROR(cache->Restore(cache_bytes));
+      }
+    } else {
+      SSE_RETURN_IF_ERROR(inner->RestoreState(blob));
+    }
   }
-  // 2. Replay journaled requests on top. Replies are discarded — they were
-  // already delivered before the crash.
+  // 2. Replay journaled requests on top. Client-facing replies were already
+  // delivered before the crash, but session-stamped ones are re-committed
+  // into the reply cache so a post-recovery retry still dedups instead of
+  // re-applying.
   Status replay = storage::WriteAheadLog::Replay(
       WalPath(dir), [&](BytesView record) -> Status {
         Result<net::Message> msg = net::Message::Decode(record);
         if (!msg.ok()) return msg.status();
         Result<net::Message> reply = inner->Handle(msg.value());
         if (!reply.ok()) return reply.status();
+        if (cache != nullptr && msg->has_session) {
+          reply->EchoSession(*msg);
+          cache->Commit(msg->client_id, msg->seq, *reply);
+        }
         return Status::OK();
       });
   SSE_RETURN_IF_ERROR(replay);
@@ -39,15 +75,68 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
       storage::WriteAheadLog::Open(WalPath(dir));
   if (!wal.ok()) return wal.status();
   return std::unique_ptr<DurableServer>(
-      new DurableServer(dir, inner, std::move(wal).value(), options));
+      new DurableServer(dir, inner, std::move(wal).value(), options,
+                        std::move(cache)));
 }
 
 Result<net::Message> DurableServer::Handle(const net::Message& request) {
-  if (!inner_->IsMutating(request.type)) {
-    return inner_->Handle(request);
+  const bool mutating = inner_->IsMutating(request.type);
+  // Only mutations go through the dedup table: re-executing a read-only
+  // retry is harmless, and not recording search results keeps the cache
+  // small and the fault-free overhead low.
+  const bool dedup =
+      mutating && reply_cache_ != nullptr && request.has_session;
+
+  if (dedup) {
+    net::Message cached;
+    const ReplyCache::Outcome outcome =
+        reply_cache_->Begin(request.client_id, request.seq, &cached);
+    switch (outcome) {
+      case ReplyCache::Outcome::kCached:
+        // Retry of an answered call: serve the recorded reply; never
+        // re-apply (nor re-journal) the request.
+        cached.EchoSession(request);
+        return cached;
+      case ReplyCache::Outcome::kInFlight:
+      case ReplyCache::Outcome::kTooOld:
+        return ReplyCache::RefusalStatus(outcome);
+      case ReplyCache::Outcome::kNew:
+        break;
+    }
   }
-  // Mutations hold the commit lock shared so Checkpoint() can quiesce them.
-  std::shared_lock<std::shared_mutex> commit_lock(commit_mutex_);
+
+  if (mutating) {
+    // The commit lock spans apply, journal AND the cache commit: a
+    // checkpoint can then never capture the applied state without the
+    // matching dedup entry (which would let a post-recovery retry
+    // double-apply).
+    std::shared_lock<std::shared_mutex> commit_lock(commit_mutex_);
+    Result<net::Message> reply = HandleNew(request);
+    if (dedup) {
+      if (reply.ok()) {
+        // Runs after the WAL record is durable (HandleNew returns
+        // post-sync), so a cache entry never promises a lost update.
+        reply->EchoSession(request);
+        reply_cache_->Commit(request.client_id, request.seq, *reply);
+      } else {
+        reply_cache_->Abort(request.client_id, request.seq);
+      }
+    }
+    return reply;
+  }
+
+  Result<net::Message> reply = inner_->Handle(request);
+  // Stamped read-only calls still get their session echoed (the client
+  // matches replies to calls by it) unless the inner handler — e.g. an
+  // engine with its own cache — already did.
+  if (reply.ok() && request.has_session && !reply->has_session) {
+    reply->EchoSession(request);
+  }
+  return reply;
+}
+
+/// Precondition for mutating requests: caller holds commit_mutex_ shared.
+Result<net::Message> DurableServer::HandleNew(const net::Message& request) {
   // Apply first, journal second, reply last. Journaling a request the
   // handler would reject poisons the log (replay re-runs the rejection and
   // recovery fails), so only *accepted* mutations are written; because the
@@ -114,7 +203,12 @@ Status DurableServer::Checkpoint() {
   std::unique_lock<std::shared_mutex> commit_lock(commit_mutex_);
   Bytes state;
   SSE_ASSIGN_OR_RETURN(state, inner_->SerializeState());
-  SSE_RETURN_IF_ERROR(storage::Snapshot::Write(SnapshotPath(dir_), state));
+  BufferWriter w;
+  w.PutU32(kDurableSnapshotMagic);
+  w.PutBytes(state);
+  w.PutBytes(reply_cache_ != nullptr ? reply_cache_->Serialize() : Bytes{});
+  SSE_RETURN_IF_ERROR(
+      storage::Snapshot::Write(SnapshotPath(dir_), w.TakeData()));
   std::lock_guard<std::mutex> lock(wal_mutex_);
   return wal_->Reset();
 }

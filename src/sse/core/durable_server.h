@@ -9,6 +9,7 @@
 #include <string>
 
 #include "sse/core/persistable.h"
+#include "sse/core/reply_cache.h"
 #include "sse/storage/snapshot.h"
 #include "sse/storage/wal.h"
 
@@ -33,6 +34,18 @@ namespace sse::core {
 /// while each reply still waits for its own record to be durable.
 /// Checkpoint() quiesces mutating requests (a commit rw-lock) so the
 /// snapshot and the truncated WAL stay consistent.
+///
+/// At-most-once: session-stamped requests (see net::Message::StampSession)
+/// are deduped through a ReplyCache *before* the apply+journal path, so a
+/// client retry of an already-applied mutation is served the recorded
+/// reply instead of being re-applied. The cache is part of the checkpoint
+/// snapshot and is rebuilt for journaled mutations during WAL replay —
+/// dedup therefore survives crash recovery, closing the window where a
+/// crash between apply and reply would otherwise let a retry double-apply
+/// a non-idempotent Scheme 1 update. Mutations only enter the cache after
+/// their WAL record is durable; non-mutating requests bypass the cache
+/// entirely (re-executing a search is harmless, and not recording search
+/// results keeps the table small) but still have their session echoed.
 class DurableServer : public net::MessageHandler {
  public:
   struct Options {
@@ -42,6 +55,9 @@ class DurableServer : public net::MessageHandler {
     /// single client this degenerates to one fsync per append; turn it off
     /// only to benchmark the per-append-fsync baseline.
     bool group_commit = true;
+    /// Dedup session-stamped requests through a crash-surviving ReplyCache.
+    bool enable_reply_cache = true;
+    ReplyCache::Options reply_cache;
   };
 
   /// Opens (and recovers) a durable server over `inner` in directory `dir`,
@@ -64,13 +80,20 @@ class DurableServer : public net::MessageHandler {
   uint64_t wal_syncs() const;
   const std::string& directory() const { return dir_; }
 
+  /// Dedup table for session-stamped requests; null when disabled.
+  const ReplyCache* reply_cache() const { return reply_cache_.get(); }
+
  private:
   DurableServer(std::string dir, PersistableHandler* inner,
-                storage::WriteAheadLog wal, Options options)
+                storage::WriteAheadLog wal, Options options,
+                std::unique_ptr<ReplyCache> reply_cache)
       : dir_(std::move(dir)),
         inner_(inner),
         wal_(std::make_unique<storage::WriteAheadLog>(std::move(wal))),
-        options_(options) {}
+        options_(options),
+        reply_cache_(std::move(reply_cache)) {}
+
+  Result<net::Message> HandleNew(const net::Message& request);
 
   /// Blocks until every append up to `seq` is fsynced, electing the caller
   /// as the sync leader if none is running.
@@ -80,6 +103,7 @@ class DurableServer : public net::MessageHandler {
   PersistableHandler* inner_;
   std::unique_ptr<storage::WriteAheadLog> wal_;
   Options options_;
+  std::unique_ptr<ReplyCache> reply_cache_;
 
   /// Held shared by mutating requests for their whole apply+journal span,
   /// exclusively by Checkpoint(): the snapshot sees no half-committed

@@ -29,6 +29,7 @@ Result<std::unique_ptr<PersistableHandler>> CreateEngineServer(
   opts.num_shards = config.engine_shards;
   opts.worker_threads = config.engine_workers;
   opts.document_log_path = config.scheme.document_log_path;
+  opts.enable_reply_cache = config.engine_reply_cache;
   Result<std::unique_ptr<engine::ServerEngine>> eng =
       engine::ServerEngine::Create(std::move(adapter), opts);
   if (!eng.ok()) return eng.status();
@@ -108,39 +109,46 @@ Result<SseSystem> CreateSystem(SystemKind kind, const crypto::MasterKey& key,
   }
   sys.channel = std::make_unique<net::InProcessChannel>(sys.server.get(),
                                                         config.channel);
+  net::Channel* client_channel = sys.channel.get();
+  if (config.with_retry) {
+    sys.retry =
+        std::make_unique<net::RetryingChannel>(sys.channel.get(), config.retry,
+                                               rng);
+    client_channel = sys.retry.get();
+  }
 
   switch (kind) {
     case SystemKind::kScheme1: {
       Result<std::unique_ptr<Scheme1Client>> client =
-          Scheme1Client::Create(key, config.scheme, sys.channel.get(), rng);
+          Scheme1Client::Create(key, config.scheme, client_channel, rng);
       if (!client.ok()) return client.status();
       sys.client = std::move(client).value();
       break;
     }
     case SystemKind::kScheme2: {
       Result<std::unique_ptr<Scheme2Client>> client =
-          Scheme2Client::Create(key, config.scheme, sys.channel.get(), rng);
+          Scheme2Client::Create(key, config.scheme, client_channel, rng);
       if (!client.ok()) return client.status();
       sys.client = std::move(client).value();
       break;
     }
     case SystemKind::kSwp: {
       Result<std::unique_ptr<baselines::SwpClient>> client =
-          baselines::SwpClient::Create(key, sys.channel.get(), rng);
+          baselines::SwpClient::Create(key, client_channel, rng);
       if (!client.ok()) return client.status();
       sys.client = std::move(client).value();
       break;
     }
     case SystemKind::kGohZidx: {
       Result<std::unique_ptr<baselines::GohClient>> client =
-          baselines::GohClient::Create(key, config.goh, sys.channel.get(), rng);
+          baselines::GohClient::Create(key, config.goh, client_channel, rng);
       if (!client.ok()) return client.status();
       sys.client = std::move(client).value();
       break;
     }
     case SystemKind::kCgkoSse1: {
       Result<std::unique_ptr<baselines::CgkoClient>> client =
-          baselines::CgkoClient::Create(key, sys.channel.get(), rng);
+          baselines::CgkoClient::Create(key, client_channel, rng);
       if (!client.ok()) return client.status();
       sys.client = std::move(client).value();
       break;

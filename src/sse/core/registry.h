@@ -12,6 +12,7 @@
 #include "sse/core/types.h"
 #include "sse/crypto/keys.h"
 #include "sse/net/channel.h"
+#include "sse/net/retry.h"
 #include "sse/util/random.h"
 
 namespace sse::core {
@@ -31,10 +32,13 @@ std::vector<SystemKind> AllSystemKinds();
 
 /// A fully wired client/channel/server triple for one system. The channel
 /// is the instrumented in-process link; benches read its stats for the
-/// round/byte numbers.
+/// round/byte numbers. With SystemConfig::with_retry the client talks
+/// through `retry` (session-stamped exactly-once calls) instead of the
+/// bare channel.
 struct SseSystem {
   std::unique_ptr<PersistableHandler> server;
   std::unique_ptr<net::InProcessChannel> channel;
+  std::unique_ptr<net::RetryingChannel> retry;  // null unless with_retry
   std::unique_ptr<SseClientInterface> client;
 
   net::ChannelStats& stats() { return const_cast<net::ChannelStats&>(channel->stats()); }
@@ -52,6 +56,16 @@ struct SystemConfig {
   size_t engine_shards = 0;
   /// Worker threads for the engine's scatter pool (0 = one per shard).
   size_t engine_workers = 0;
+
+  /// Wrap the client side in a net::RetryingChannel: every call is
+  /// session-stamped and transparently retried with backoff under a
+  /// deadline. Pair with a server-side reply cache for exactly-once.
+  bool with_retry = false;
+  net::RetryOptions retry;
+
+  /// At-most-once dedup on engine-backed servers (ignored for the classic
+  /// single-threaded servers, which have no reply cache).
+  bool engine_reply_cache = true;
 };
 
 /// Builds a ready-to-use system of the given kind. `rng` must outlive the

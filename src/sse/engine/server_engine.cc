@@ -35,6 +35,10 @@ Result<std::unique_ptr<ServerEngine>> ServerEngine::Create(
   }
   auto engine = std::unique_ptr<ServerEngine>(
       new ServerEngine(std::move(adapter), options));
+  if (options.enable_reply_cache) {
+    engine->reply_cache_ =
+        std::make_unique<core::ReplyCache>(options.reply_cache);
+  }
   engine->slots_.reserve(options.num_shards);
   for (size_t i = 0; i < options.num_shards; ++i) {
     auto slot = std::make_unique<Slot>();
@@ -56,8 +60,48 @@ Result<std::unique_ptr<ServerEngine>> ServerEngine::Create(
 Result<net::Message> ServerEngine::Handle(const net::Message& request) {
   metrics_.AddRequest();
   const Clock::time_point t0 = Clock::now();
-  Result<net::Message> reply = HandleInternal(request);
+  Result<net::Message> reply = HandleDeduped(request);
   metrics_.handle_latency().Record(NanosSince(t0));
+  return reply;
+}
+
+Result<net::Message> ServerEngine::HandleDeduped(const net::Message& request) {
+  if (reply_cache_ == nullptr || !request.has_session) {
+    return HandleInternal(request);
+  }
+  if (!IsMutating(request.type)) {
+    // Read-only calls are idempotent: re-executing a retry is harmless and
+    // cheaper than recording multi-KB search results in the cache. Echo
+    // the stamp so the client can still match the reply to its call.
+    Result<net::Message> reply = HandleInternal(request);
+    if (reply.ok()) reply->EchoSession(request);
+    return reply;
+  }
+  net::Message cached;
+  const core::ReplyCache::Outcome outcome =
+      reply_cache_->Begin(request.client_id, request.seq, &cached);
+  switch (outcome) {
+    case core::ReplyCache::Outcome::kCached:
+      // A retry of an answered call: serve the recorded reply without
+      // touching the shards (re-applying a Scheme 1 XOR update would
+      // corrupt postings).
+      cached.EchoSession(request);
+      return cached;
+    case core::ReplyCache::Outcome::kInFlight:
+    case core::ReplyCache::Outcome::kTooOld:
+      return core::ReplyCache::RefusalStatus(outcome);
+    case core::ReplyCache::Outcome::kNew:
+      break;
+  }
+  Result<net::Message> reply = HandleInternal(request);
+  if (reply.ok()) {
+    reply->EchoSession(request);
+    reply_cache_->Commit(request.client_id, request.seq, *reply);
+  } else {
+    // The handler rejected the request without changing state; a retry may
+    // re-execute it.
+    reply_cache_->Abort(request.client_id, request.seq);
+  }
   return reply;
 }
 
@@ -195,6 +239,11 @@ Result<Bytes> ServerEngine::SerializeState() const {
     SSE_ASSIGN_OR_RETURN(state, slot->shard->SerializeState());
     w.PutBytes(state);
   }
+  if (reply_cache_ != nullptr) {
+    // Optional trailing section (absent in pre-dedup snapshots): the reply
+    // cache, so at-most-once state survives checkpoint/restore.
+    w.PutBytes(reply_cache_->Serialize());
+  }
   return w.TakeData();
 }
 
@@ -239,7 +288,20 @@ Status ServerEngine::RestoreState(BytesView data) {
     SSE_RETURN_IF_ERROR(shard->RestoreState(state));
     shards.push_back(std::move(shard));
   }
+  // Trailing reply-cache section; absent in snapshots taken before dedup
+  // existed, in which case the cache starts empty.
+  Bytes cache_bytes;
+  if (!r.AtEnd()) {
+    SSE_ASSIGN_OR_RETURN(cache_bytes, r.GetBytes());
+  }
   SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  if (reply_cache_ != nullptr) {
+    if (cache_bytes.empty()) {
+      reply_cache_->Clear();
+    } else {
+      SSE_RETURN_IF_ERROR(reply_cache_->Restore(cache_bytes));
+    }
+  }
 
   // Swap in under every lock, shards in index order.
   std::unique_lock<std::shared_mutex> docs_lock(docs_mutex_);

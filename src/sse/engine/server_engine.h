@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sse/core/persistable.h"
+#include "sse/core/reply_cache.h"
 #include "sse/engine/metrics.h"
 #include "sse/engine/scheme_shard.h"
 #include "sse/engine/worker_pool.h"
@@ -31,6 +32,13 @@ struct EngineOptions {
   /// When non-empty, the engine's shared document store is log-backed at
   /// this path (same semantics as SchemeOptions::document_log_path).
   std::string document_log_path;
+
+  /// At-most-once dedup of session-stamped requests (see core::ReplyCache):
+  /// a retried call is served its cached reply instead of being re-applied,
+  /// which is what keeps Scheme 1's XOR updates safe under retries. The
+  /// cache rides along in SerializeState so dedup survives checkpoints.
+  bool enable_reply_cache = true;
+  core::ReplyCache::Options reply_cache;
 };
 
 /// Thread-safe sharded server: owns N SchemeShard instances behind
@@ -74,6 +82,9 @@ class ServerEngine : public core::PersistableHandler {
 
   MetricsSnapshot Metrics() const { return metrics_.Snap(); }
 
+  /// Dedup table for session-stamped requests; null when disabled.
+  const core::ReplyCache* reply_cache() const { return reply_cache_.get(); }
+
   /// Direct shard access for tests and stats; the caller must not race
   /// with concurrent Handle() calls that write the shard.
   SchemeShard* shard(size_t i) { return slots_[i]->shard.get(); }
@@ -87,12 +98,14 @@ class ServerEngine : public core::PersistableHandler {
 
   ServerEngine(std::unique_ptr<SchemeAdapter> adapter, EngineOptions options);
 
+  Result<net::Message> HandleDeduped(const net::Message& request);
   Result<net::Message> HandleInternal(const net::Message& request);
   Result<net::Message> HandleFetchDocuments(const net::Message& request);
   Result<net::Message> DispatchSub(const SubRequest& sub);
 
   std::unique_ptr<SchemeAdapter> adapter_;
   EngineOptions options_;
+  std::unique_ptr<core::ReplyCache> reply_cache_;
   std::vector<std::unique_ptr<Slot>> slots_;
   mutable std::shared_mutex docs_mutex_;
   storage::DocumentStore docs_;

@@ -5,14 +5,20 @@
 namespace sse::net {
 
 std::string ChannelStats::ToString() const {
-  char buf[128];
+  char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "rounds=%llu sent=%lluB recv=%lluB total=%lluB",
                 static_cast<unsigned long long>(rounds),
                 static_cast<unsigned long long>(bytes_sent),
                 static_cast<unsigned long long>(bytes_received),
                 static_cast<unsigned long long>(TotalBytes()));
-  return buf;
+  std::string out = buf;
+  if (injected_faults > 0) {
+    std::snprintf(buf, sizeof(buf), " faults=%llu",
+                  static_cast<unsigned long long>(injected_faults));
+    out += buf;
+  }
+  return out;
 }
 
 InProcessChannel::InProcessChannel(MessageHandler* handler, Options options)

@@ -28,6 +28,9 @@ struct ChannelStats {
   uint64_t bytes_sent = 0;      // client -> server, framed
   uint64_t bytes_received = 0;  // server -> client, framed
   std::map<uint16_t, uint64_t> calls_by_type;
+  /// Faults deliberately injected by a testing decorator (fault.h, chaos.h)
+  /// at or below this channel. Zero on real transports.
+  uint64_t injected_faults = 0;
 
   void Clear() { *this = ChannelStats{}; }
   uint64_t TotalBytes() const { return bytes_sent + bytes_received; }
@@ -52,6 +55,13 @@ class Channel {
   /// back as statuses; an application-level kMsgError reply is surfaced as
   /// its embedded status.
   virtual Result<Message> Call(const Message& request) = 0;
+
+  /// Discards any transport state that could deliver a stale reply — a TCP
+  /// channel drops and re-establishes its connection, a fault/chaos
+  /// decorator flushes its simulated in-flight queue. Retry layers call
+  /// this before re-sending after an ambiguous failure. No-op by default
+  /// (an in-process call cannot leave residue).
+  virtual void Reset() {}
 
   virtual const ChannelStats& stats() const = 0;
   virtual void ResetStats() = 0;

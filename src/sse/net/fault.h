@@ -2,25 +2,32 @@
 #define SSE_NET_FAULT_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 
 #include "sse/net/channel.h"
 
 namespace sse::net {
 
-/// Fault-injecting decorator over any Channel, for testing client behavior
-/// under transport failures. Two failure points matter and behave
-/// differently for the protocols:
+/// Deterministic fault-injecting decorator over any Channel, for testing
+/// client behavior under transport failures at exact call indices (the
+/// probabilistic counterpart is ChaosChannel). Three failure points matter
+/// and behave differently for the protocols:
 ///
-///  * kRequestLost  — the request never reaches the server (server state
+///  * kRequestLost     — the request never reaches the server (server state
 ///    unchanged); the client sees an IO error.
-///  * kReplyLost    — the server processed the request but the reply was
+///  * kReplyLost       — the server processed the request but the reply was
 ///    dropped; the client sees the same IO error, yet server-side effects
 ///    (an applied update!) persist. This is the classic at-most-once vs
 ///    at-least-once ambiguity clients must tolerate.
+///  * kReplyDuplicated — the reply arrives AND a copy of it stays buffered
+///    in the stream, so every subsequent Call is answered with the buffered
+///    stale reply while its own fresh reply queues behind (a pipelined
+///    stream knocked off by one). Only Reset() — a reconnect — clears the
+///    backlog. Exercises stale-reply detection in the retry layer.
 class FaultInjectionChannel : public Channel {
  public:
-  enum class FaultPoint { kRequestLost, kReplyLost };
+  enum class FaultPoint { kRequestLost, kReplyLost, kReplyDuplicated };
 
   /// `inner` must outlive this wrapper.
   explicit FaultInjectionChannel(Channel* inner) : inner_(inner) {}
@@ -33,20 +40,52 @@ class FaultInjectionChannel : public Channel {
 
   Result<Message> Call(const Message& request) override {
     const uint64_t index = calls_made_++;
+    stats_.rounds += 1;
+    stats_.calls_by_type[request.type] += 1;
+    stats_.bytes_sent += request.WireSize();
+
     auto it = faults_.find(index);
-    if (it == faults_.end()) return inner_->Call(request);
-    const FaultPoint point = it->second;
-    ++faults_injected_;
-    if (point == FaultPoint::kRequestLost) {
+    const bool armed = it != faults_.end();
+    if (armed && it->second == FaultPoint::kRequestLost) {
+      ++faults_injected_;
+      stats_.injected_faults += 1;
       return Status::IoError("injected fault: request lost");
     }
-    // Reply lost: the server still handles the request.
-    (void)inner_->Call(request);
-    return Status::IoError("injected fault: reply lost");
+
+    Result<Message> fresh = inner_->Call(request);
+    if (!fresh.ok()) return fresh.status();
+    stats_.bytes_received += fresh->WireSize();
+
+    if (armed && it->second == FaultPoint::kReplyLost) {
+      ++faults_injected_;
+      stats_.injected_faults += 1;
+      return Status::IoError("injected fault: reply lost");
+    }
+    if (armed && it->second == FaultPoint::kReplyDuplicated) {
+      ++faults_injected_;
+      stats_.injected_faults += 1;
+      stale_replies_.push_back(*fresh);
+    }
+    if (!stale_replies_.empty()) {
+      Message stale = std::move(stale_replies_.front());
+      stale_replies_.pop_front();
+      stale_replies_.push_back(std::move(fresh).value());
+      return stale;
+    }
+    return fresh;
   }
 
-  const ChannelStats& stats() const override { return inner_->stats(); }
-  void ResetStats() override { inner_->ResetStats(); }
+  /// Drops the buffered stale replies, like the reconnect it models.
+  void Reset() override {
+    stale_replies_.clear();
+    inner_->Reset();
+  }
+
+  const ChannelStats& stats() const override { return stats_; }
+  void ResetStats() override {
+    stats_.Clear();
+    inner_->ResetStats();
+  }
 
   uint64_t calls_made() const { return calls_made_; }
   uint64_t faults_injected() const { return faults_injected_; }
@@ -54,6 +93,8 @@ class FaultInjectionChannel : public Channel {
  private:
   Channel* inner_;
   std::map<uint64_t, FaultPoint> faults_;
+  std::deque<Message> stale_replies_;
+  ChannelStats stats_;
   uint64_t calls_made_ = 0;
   uint64_t faults_injected_ = 0;
 };

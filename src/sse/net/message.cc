@@ -1,13 +1,32 @@
 #include "sse/net/message.h"
 
+#include "sse/util/crc32.h"
 #include "sse/util/serde.h"
 
 namespace sse::net {
 
+void Message::StampSession(uint64_t client, uint64_t sequence) {
+  has_session = true;
+  client_id = client;
+  seq = sequence;
+  payload_crc = Crc32c(payload);
+}
+
+void Message::EchoSession(const Message& request) {
+  if (!request.has_session) return;
+  StampSession(request.client_id, request.seq);
+}
+
 Bytes Message::Encode() const {
   BufferWriter w;
-  w.PutU16(type);
-  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU16(has_session ? static_cast<uint16_t>(type | kMsgFlagSession) : type);
+  const size_t body = payload.size() + (has_session ? kSessionHeaderSize : 0);
+  w.PutU32(static_cast<uint32_t>(body));
+  if (has_session) {
+    w.PutU64(client_id);
+    w.PutU64(seq);
+    w.PutU32(payload_crc);
+  }
   w.PutRaw(payload);
   return w.TakeData();
 }
@@ -21,7 +40,21 @@ Result<Message> Message::Decode(BytesView data) {
   if (len != r.remaining()) {
     return Status::ProtocolError("message length field mismatch");
   }
+  if ((msg.type & kMsgFlagSession) != 0) {
+    msg.type &= static_cast<uint16_t>(~kMsgFlagSession);
+    msg.has_session = true;
+    if (len < kSessionHeaderSize) {
+      return Status::ProtocolError("session header truncated");
+    }
+    SSE_ASSIGN_OR_RETURN(msg.client_id, r.GetU64());
+    SSE_ASSIGN_OR_RETURN(msg.seq, r.GetU64());
+    SSE_ASSIGN_OR_RETURN(msg.payload_crc, r.GetU32());
+    len -= static_cast<uint32_t>(kSessionHeaderSize);
+  }
   SSE_ASSIGN_OR_RETURN(msg.payload, r.GetRaw(len));
+  if (msg.has_session && Crc32c(msg.payload) != msg.payload_crc) {
+    return Status::Corruption("message payload fails its session checksum");
+  }
   return msg;
 }
 

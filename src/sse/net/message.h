@@ -9,21 +9,59 @@
 
 namespace sse::net {
 
+/// High bit of the type tag: the payload is preceded by a session header
+/// (client_id ‖ seq ‖ payload CRC-32C). Messages without the flag encode
+/// exactly as they always did, so the framing stays backward compatible;
+/// the flag is stripped during Decode and `type` is always the clean tag.
+inline constexpr uint16_t kMsgFlagSession = 0x8000;
+
 /// Wire message: a 16-bit type tag plus an opaque payload. Each scheme
 /// defines its own type constants (see sse/core/*_messages.h); the channel
 /// layer only needs the envelope to frame, count and transcribe traffic.
+///
+/// An optional *session header* supports exactly-once RPC: the client
+/// stamps each logical call with its (client_id, seq) identity plus a
+/// payload checksum, every retry of that call reuses the stamp, and the
+/// server's reply cache dedups on it (see core::ReplyCache). The checksum
+/// lets both ends reject corrupted frames with a retryable verdict instead
+/// of feeding garbage to the protocol parsers.
 struct Message {
   uint16_t type = 0;
   Bytes payload;
 
-  /// Envelope size on the wire: type(2) ‖ u32 length ‖ payload.
-  size_t WireSize() const { return 2 + 4 + payload.size(); }
+  /// Session header (present when has_session). client_id identifies one
+  /// retrying client instance, seq its logical call number; payload_crc is
+  /// CRC-32C of `payload` at stamping time.
+  bool has_session = false;
+  uint64_t client_id = 0;
+  uint64_t seq = 0;
+  uint32_t payload_crc = 0;
+
+  /// Envelope size on the wire: type(2) ‖ u32 length ‖ [session(20)] ‖
+  /// payload.
+  size_t WireSize() const {
+    return 2 + 4 + (has_session ? kSessionHeaderSize : 0) + payload.size();
+  }
+
+  /// Fills the session header for this payload (computes the CRC). Use on
+  /// fully built messages only: mutating `payload` afterwards invalidates
+  /// the checksum, which Decode will then reject.
+  void StampSession(uint64_t client, uint64_t sequence);
+
+  /// Copies `request`'s session stamp onto this reply so the client can
+  /// match it to the call it made (and detect stale replies from a
+  /// duplicated or reordered stream). Recomputes the CRC for this payload.
+  void EchoSession(const Message& request);
 
   /// Serializes to the framed wire form.
   Bytes Encode() const;
 
-  /// Parses a framed message; rejects trailing bytes.
+  /// Parses a framed message; rejects trailing bytes. A session-stamped
+  /// message whose payload fails its checksum comes back as CORRUPTION —
+  /// the transport delivered damaged bytes and the sender should retry.
   static Result<Message> Decode(BytesView data);
+
+  static constexpr size_t kSessionHeaderSize = 8 + 8 + 4;
 };
 
 /// Message type ranges. Keeping ranges disjoint per scheme makes

@@ -1,0 +1,120 @@
+#include "sse/net/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "sse/util/crc32.h"
+
+namespace sse::net {
+
+RetryingChannel::RetryingChannel(Channel* inner, RetryOptions options,
+                                 RandomSource* rng)
+    : inner_(inner), options_(options), rng_(rng) {
+  client_id_ = options_.client_id;
+  if (client_id_ == 0) {
+    if (rng_ != nullptr) {
+      Result<uint64_t> id = rng_->NextU64();
+      if (id.ok()) client_id_ = *id;
+    }
+    if (client_id_ == 0) client_id_ = 0x5353452d636c6974;  // arbitrary nonzero
+  }
+}
+
+double RetryingChannel::NowMs() const {
+  if (clock_fn_) return clock_fn_();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RetryingChannel::SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  if (sleep_fn_) {
+    sleep_fn_(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+double RetryingChannel::NextBackoff(double prev_ms) {
+  // Decorrelated jitter: sleep = min(cap, uniform(base, 3 * prev)). The
+  // first attempt passes prev == 0, drawing from [0, base].
+  const double base = options_.initial_backoff_ms;
+  double lo = prev_ms <= 0.0 ? 0.0 : base;
+  double hi = prev_ms <= 0.0 ? base : 3.0 * prev_ms;
+  if (hi < lo) hi = lo;
+  double u = 0.5;
+  if (rng_ != nullptr) {
+    Result<uint64_t> raw = rng_->NextU64();
+    if (raw.ok()) {
+      u = static_cast<double>(*raw >> 11) * (1.0 / 9007199254740992.0);
+    }
+  }
+  return std::min(options_.max_backoff_ms, lo + u * (hi - lo));
+}
+
+bool RetryingChannel::ShouldRetry(const Status& status) const {
+  if (status.IsRetryable()) return true;
+  return options_.retry_corrupt_replies &&
+         status.code() == StatusCode::kCorruption;
+}
+
+Result<Message> RetryingChannel::Call(const Message& request) {
+  retry_stats_.calls += 1;
+  Message stamped = request;
+  if (options_.stamp_sessions) {
+    stamped.StampSession(client_id_, next_seq_++);
+  }
+
+  const double start_ms = NowMs();
+  double backoff_ms = 0.0;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // An ambiguous failure may have left a half-written request or a
+      // buffered stale reply in the transport; flush before re-sending.
+      inner_->Reset();
+      retry_stats_.resets += 1;
+      backoff_ms = NextBackoff(backoff_ms);
+      SleepMs(backoff_ms);
+      retry_stats_.retries += 1;
+    }
+    if (options_.call_deadline_ms > 0.0 &&
+        NowMs() - start_ms >= options_.call_deadline_ms) {
+      retry_stats_.deadline_exceeded += 1;
+      return Status::DeadlineExceeded(
+          "call deadline exceeded after " + std::to_string(attempt) +
+          " attempt(s)" + (last.ok() ? "" : "; last: " + last.ToString()));
+    }
+
+    retry_stats_.attempts += 1;
+    Result<Message> reply = inner_->Call(stamped);
+    if (reply.ok()) {
+      if (stamped.has_session && reply->has_session) {
+        if (reply->client_id != client_id_ || reply->seq != stamped.seq) {
+          // Stale reply from a duplicated/reordered stream: never hand it
+          // to the protocol layer; flush and re-ask for ours.
+          retry_stats_.stale_replies += 1;
+          last = Status::Unavailable("stale reply (stream out of sync)");
+          continue;
+        }
+        if (Crc32c(reply->payload) != reply->payload_crc) {
+          retry_stats_.corrupt_replies += 1;
+          last = Status::Corruption("reply payload fails its checksum");
+          if (!options_.retry_corrupt_replies) return last;
+          continue;
+        }
+      }
+      return reply;
+    }
+    last = reply.status();
+    if (!ShouldRetry(last)) return last;
+  }
+  retry_stats_.exhausted += 1;
+  return Status(last.code(), "retries exhausted after " +
+                                 std::to_string(options_.max_attempts) +
+                                 " attempts; last: " + last.ToString());
+}
+
+}  // namespace sse::net

@@ -1,0 +1,113 @@
+#ifndef SSE_NET_RETRY_H_
+#define SSE_NET_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sse/net/channel.h"
+#include "sse/util/random.h"
+
+namespace sse::net {
+
+/// Policy knobs for RetryingChannel. Defaults suit an interactive client on
+/// a flaky LAN; benches and the chaos suite override them.
+struct RetryOptions {
+  /// Total tries per Call, including the first. 1 disables retries.
+  int max_attempts = 5;
+
+  /// Backoff between attempts: decorrelated jitter. The first sleep is
+  /// drawn from [0, initial_backoff_ms]; each later sleep from
+  /// [initial_backoff_ms, 3 * previous], capped at max_backoff_ms.
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+
+  /// Per-Call deadline across all attempts and backoff sleeps; 0 = none.
+  /// Exceeding it surfaces DEADLINE_EXCEEDED with the last failure attached.
+  double call_deadline_ms = 0.0;
+
+  /// Stamp every request with a session header (client_id, per-call seq,
+  /// payload CRC). All attempts of one Call share the seq, which is what
+  /// lets an at-most-once server (core::ReplyCache) collapse retries of a
+  /// non-idempotent update into a single application. Turn off only when
+  /// talking to a pre-session peer.
+  bool stamp_sessions = true;
+
+  /// Treat CORRUPTION from the transport as retryable. At this layer a
+  /// checksum failure means the link damaged a frame — re-sending the
+  /// intact copy is exactly the fix. (Status::IsRetryable itself excludes
+  /// CORRUPTION because storage-level corruption is not transient.)
+  bool retry_corrupt_replies = true;
+
+  /// Session identity; 0 draws a random id at construction.
+  uint64_t client_id = 0;
+};
+
+/// Client-visible retry accounting, separate from the byte-level
+/// ChannelStats (which the inner transport keeps, retries included).
+struct RetryStats {
+  uint64_t calls = 0;
+  uint64_t attempts = 0;          // inner Call invocations
+  uint64_t retries = 0;           // attempts beyond the first
+  uint64_t resets = 0;            // inner Reset() before a retry
+  uint64_t stale_replies = 0;     // session echo mismatched our seq
+  uint64_t corrupt_replies = 0;   // reply failed its checksum client-side
+  uint64_t deadline_exceeded = 0; // calls abandoned on the deadline
+  uint64_t exhausted = 0;         // calls abandoned after max_attempts
+};
+
+/// Decorator that turns any Channel into a reliable, exactly-once call
+/// layer: it classifies failures, re-sends retryable ones under a deadline
+/// with decorrelated-jitter backoff, resets the inner transport before
+/// every retry (flushing half-read streams), and stamps each logical call
+/// with a session header so the server can dedup the re-sends. A reply
+/// whose session echo does not match the in-flight call (a duplicated or
+/// reordered stream) is discarded and the call retried rather than handed
+/// to the protocol layer.
+class RetryingChannel : public Channel {
+ public:
+  /// `inner` must outlive this wrapper. `rng` (nullable) seeds the jitter
+  /// and the random client id; without it a fixed id and mid-range jitter
+  /// are used.
+  RetryingChannel(Channel* inner, RetryOptions options,
+                  RandomSource* rng = nullptr);
+
+  Result<Message> Call(const Message& request) override;
+  void Reset() override { inner_->Reset(); }
+
+  const ChannelStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+  const RetryStats& retry_stats() const { return retry_stats_; }
+  uint64_t client_id() const { return client_id_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Test hooks: replace wall-clock sleeping and time reading. The clock
+  /// returns milliseconds on any monotonic scale; the sleeper receives the
+  /// backoff in ms and may advance a virtual clock instead of blocking.
+  void set_sleep_fn(std::function<void(double)> fn) {
+    sleep_fn_ = std::move(fn);
+  }
+  void set_clock_fn(std::function<double()> fn) { clock_fn_ = std::move(fn); }
+
+ private:
+  /// True if `status` is worth another attempt at this layer.
+  bool ShouldRetry(const Status& status) const;
+  double NowMs() const;
+  void SleepMs(double ms);
+  /// Next decorrelated-jitter sleep given the previous one.
+  double NextBackoff(double prev_ms);
+
+  Channel* inner_;
+  RetryOptions options_;
+  RandomSource* rng_;
+  uint64_t client_id_ = 0;
+  uint64_t next_seq_ = 0;
+  RetryStats retry_stats_;
+  std::function<void(double)> sleep_fn_;
+  std::function<double()> clock_fn_;
+};
+
+}  // namespace sse::net
+
+#endif  // SSE_NET_RETRY_H_

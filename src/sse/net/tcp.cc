@@ -1,9 +1,12 @@
 #include "sse/net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -21,6 +24,9 @@ Status WriteAll(int fd, const uint8_t* data, size_t len) {
     const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return Status::DeadlineExceeded("socket send timed out");
+      }
       return Status::IoError("socket send failed: " +
                              std::string(std::strerror(errno)));
     }
@@ -30,7 +36,8 @@ Status WriteAll(int fd, const uint8_t* data, size_t len) {
 }
 
 /// Reads exactly `len` bytes; NOT_FOUND signals a clean EOF at a frame
-/// boundary (start of a frame), IO_ERROR anything else.
+/// boundary (start of a frame), DEADLINE_EXCEEDED an expired SO_RCVTIMEO,
+/// IO_ERROR anything else.
 Status ReadAll(int fd, uint8_t* data, size_t len, bool eof_ok_at_start) {
   size_t got = 0;
   while (got < len) {
@@ -43,12 +50,35 @@ Status ReadAll(int fd, uint8_t* data, size_t len, bool eof_ok_at_start) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket recv timed out");
+      }
       return Status::IoError("socket recv failed: " +
                              std::string(std::strerror(errno)));
     }
     got += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+/// Applies SO_SNDTIMEO / SO_RCVTIMEO (0 = unbounded) to `fd`.
+void ApplyIoTimeouts(int fd, double send_ms, double recv_ms) {
+  auto to_timeval = [](double ms) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec =
+        static_cast<suseconds_t>((ms - 1000.0 * static_cast<double>(tv.tv_sec)) * 1000.0);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;  // min 1ms
+    return tv;
+  };
+  if (send_ms > 0.0) {
+    timeval tv = to_timeval(send_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (recv_ms > 0.0) {
+    timeval tv = to_timeval(recv_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
 }
 
 Status WriteFrame(int fd, const Bytes& payload) {
@@ -199,8 +229,8 @@ void TcpServer::ServeConnection(int fd) {
 
 // ---------------------------------------------------------------- client --
 
-Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
-    uint16_t port, const std::string& host) {
+Result<int> TcpChannel::Dial(const std::string& host, uint16_t port,
+                             const Options& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IoError("socket() failed");
   sockaddr_in addr{};
@@ -210,29 +240,114 @@ Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
     ::close(fd);
     return Status::InvalidArgument("invalid host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+
+  if (options.connect_timeout_ms > 0.0) {
+    // Bounded connect: dial non-blocking, wait for writability with poll.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int timeout_ms =
+          options.connect_timeout_ms > 1.0
+              ? static_cast<int>(options.connect_timeout_ms)
+              : 1;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        ::close(fd);
+        return Status::DeadlineExceeded("connect timed out");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (rc < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        const int err = so_error != 0 ? so_error : errno;
+        ::close(fd);
+        return Status::IoError("connect failed: " +
+                               std::string(std::strerror(err)));
+      }
+    } else if (rc != 0) {
+      ::close(fd);
+      return Status::IoError("connect failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+             0) {
     ::close(fd);
     return Status::IoError("connect failed: " +
                            std::string(std::strerror(errno)));
   }
+
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+  ApplyIoTimeouts(fd, options.send_timeout_ms, options.recv_timeout_ms);
+  return fd;
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
+    uint16_t port, const std::string& host) {
+  return Connect(port, host, Options{});
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(uint16_t port,
+                                                        const std::string& host,
+                                                        Options options) {
+  Result<int> fd = Dial(host, port, options);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<TcpChannel>(
+      new TcpChannel(*fd, host, port, options));
 }
 
 TcpChannel::~TcpChannel() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void TcpChannel::MarkBroken() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpChannel::Reset() { MarkBroken(); }
+
+Status TcpChannel::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  if (!options_.auto_reconnect) {
+    return Status::Unavailable("connection closed and reconnects disabled");
+  }
+  Result<int> fd = Dial(host_, port_, options_);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  reconnects_ += 1;
+  return Status::OK();
+}
+
 Result<Message> TcpChannel::Call(const Message& request) {
+  SSE_RETURN_IF_ERROR(EnsureConnected());
   Bytes wire = request.Encode();
-  SSE_RETURN_IF_ERROR(WriteFrame(fd_, wire));
+  Status sent = WriteFrame(fd_, wire);
+  if (!sent.ok()) {
+    MarkBroken();
+    return sent;
+  }
   stats_.rounds += 1;
   stats_.bytes_sent += wire.size();
   stats_.calls_by_type[request.type] += 1;
 
   Result<Bytes> frame = ReadFrame(fd_, /*eof_ok_at_start=*/false);
-  if (!frame.ok()) return frame.status();
+  if (!frame.ok()) {
+    // The stream may be mid-frame (e.g. a recv timeout); it cannot be
+    // reused without risking a stale reply. Force a redial on next use.
+    MarkBroken();
+    return frame.status();
+  }
   stats_.bytes_received += frame->size();
   Result<Message> reply = Message::Decode(*frame);
   if (!reply.ok()) return reply.status();

@@ -84,8 +84,26 @@ class TcpServer {
 
 /// Client channel over a TCP connection. One `Call` = one request/response
 /// round trip on the persistent connection.
+///
+/// Every blocking step is bounded: connect uses a non-blocking dial with a
+/// poll(2) deadline, send/recv carry SO_SNDTIMEO/SO_RCVTIMEO. An expired
+/// timeout surfaces as DEADLINE_EXCEEDED, other socket failures as
+/// IO_ERROR — both retryable. After any failure the connection is in an
+/// unknown mid-frame state, so the channel marks it broken and (with
+/// auto_reconnect, the default) transparently dials a fresh one on the
+/// next Call; Reset() forces the same teardown, which is how the retry
+/// layer flushes a stream that may hold a stale reply.
 class TcpChannel : public Channel {
  public:
+  struct Options {
+    /// Per-step deadlines in milliseconds; 0 = unbounded (old behavior).
+    double connect_timeout_ms = 5000.0;
+    double send_timeout_ms = 5000.0;
+    double recv_timeout_ms = 5000.0;
+    /// Redial automatically on the first Call after a failure or Reset().
+    bool auto_reconnect = true;
+  };
+
   ~TcpChannel() override;
   TcpChannel(const TcpChannel&) = delete;
   TcpChannel& operator=(const TcpChannel&) = delete;
@@ -93,14 +111,39 @@ class TcpChannel : public Channel {
   /// Connects to 127.0.0.1:`port` (or `host`).
   static Result<std::unique_ptr<TcpChannel>> Connect(
       uint16_t port, const std::string& host = "127.0.0.1");
+  static Result<std::unique_ptr<TcpChannel>> Connect(uint16_t port,
+                                                     const std::string& host,
+                                                     Options options);
 
   Result<Message> Call(const Message& request) override;
+
+  /// Tears the connection down; with auto_reconnect the next Call redials.
+  void Reset() override;
+
   const ChannelStats& stats() const override { return stats_; }
   void ResetStats() override { stats_.Clear(); }
 
+  bool connected() const { return fd_ >= 0; }
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
-  explicit TcpChannel(int fd) : fd_(fd) {}
+  TcpChannel(int fd, std::string host, uint16_t port, Options options)
+      : fd_(fd), host_(std::move(host)), port_(port), options_(options) {}
+
+  /// Dials host_:port_ under connect_timeout_ms and applies the IO
+  /// timeouts to the new socket.
+  static Result<int> Dial(const std::string& host, uint16_t port,
+                          const Options& options);
+  /// Redials if the connection is broken (or fails if reconnects are off).
+  Status EnsureConnected();
+  /// Closes the socket and marks the channel broken.
+  void MarkBroken();
+
   int fd_;
+  std::string host_;
+  uint16_t port_;
+  Options options_;
+  uint64_t reconnects_ = 0;
   ChannelStats stats_;
 };
 

@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kResourceExhausted = 10,
   kUnimplemented = 11,
   kInternal = 12,
+  kUnavailable = 13,
+  kDeadlineExceeded = 14,
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "CRYPTO_ERROR").
@@ -86,10 +88,28 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True for transient transport-level failures a caller may safely retry
+  /// against an at-most-once server: the peer was unreachable or overloaded
+  /// (UNAVAILABLE), the call timed out (DEADLINE_EXCEEDED), or the socket
+  /// failed mid-exchange (IO_ERROR). Application verdicts (protocol, crypto,
+  /// argument errors) are deliberately excluded — re-sending the same bytes
+  /// cannot fix them.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kIoError;
+  }
 
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;

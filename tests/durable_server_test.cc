@@ -7,6 +7,7 @@
 #include "sse/core/scheme2_server.h"
 #include "sse/core/scheme1_client.h"
 #include "sse/core/scheme2_client.h"
+#include "sse/net/retry.h"
 #include "test_util.h"
 
 namespace sse::core {
@@ -185,6 +186,73 @@ TEST(DurableServerTest, TornWalTailRecoversPrefix) {
   SSE_ASSERT_OK_RESULT(durable);
   // The first update survived; the torn second one is gone.
   EXPECT_EQ(inner.document_count(), 1u);
+}
+
+TEST(DurableServerTest, TornTailRetryAppliesOnceAndSurvivorsDedup) {
+  // Crash tears the WAL mid-way through Scheme 1 update #2. After replay
+  // the reply cache and the index must agree: a client retry of the TORN
+  // update (never durable, so never acked) executes exactly once, while a
+  // retry of the SURVIVING update is served from the recovered cache
+  // instead of re-toggling its XOR delta.
+  TempDir dir;
+  DeterministicRandom rng(9);
+  const SchemeOptions options = FastTestConfig().scheme;
+  std::vector<net::Message> updates;  // stamped requests, as a client retries
+  {
+    Scheme1Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel::Options record;
+    record.record_transcript = true;
+    net::InProcessChannel channel(durable->get(), record);
+    net::RetryingChannel retry(&channel, net::RetryOptions{}, &rng);
+    auto client = Scheme1Client::Create(TestMasterKey(), options, &retry, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"k"})}));
+    SSE_ASSERT_OK((*client)->Store({Document::Make(1, "b", {"k"})}));
+    for (const net::Exchange& ex : channel.transcript()) {
+      if (ex.request.type == kMsgS1UpdateRequest) updates.push_back(ex.request);
+    }
+  }
+  ASSERT_EQ(updates.size(), 2u);
+  ASSERT_TRUE(updates[0].has_session);
+
+  // Tear into the tail record (update #2) as a mid-append crash would.
+  const std::string wal_path = dir.path() + "/wal.log";
+  std::FILE* f = std::fopen(wal_path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size - 7), 0);
+  std::fclose(f);
+
+  Scheme1Server inner(options);
+  auto durable = DurableServer::Open(dir.path(), &inner);
+  SSE_ASSERT_OK_RESULT(durable);
+  EXPECT_EQ(inner.document_count(), 1u);  // update #2 was torn away
+  net::InProcessChannel channel(durable->get());
+
+  // Retry of the surviving update: deduped, not re-applied.
+  auto cached = channel.Call(updates[0]);
+  SSE_ASSERT_OK_RESULT(cached);
+  EXPECT_EQ(inner.document_count(), 1u);
+  ASSERT_NE((*durable)->reply_cache(), nullptr);
+  EXPECT_GE((*durable)->reply_cache()->hits(), 1u);
+
+  // Retry of the torn update: executes exactly once...
+  SSE_ASSERT_OK_RESULT(channel.Call(updates[1]));
+  EXPECT_EQ(inner.document_count(), 2u);
+  // ...and a second retry of it is now deduped too.
+  SSE_ASSERT_OK_RESULT(channel.Call(updates[1]));
+  EXPECT_EQ(inner.document_count(), 2u);
+
+  // The index agrees with what an honest client believes it stored.
+  DeterministicRandom rng2(10);
+  auto client = Scheme1Client::Create(TestMasterKey(), options, &channel, &rng2);
+  SSE_ASSERT_OK_RESULT(client);
+  auto outcome = (*client)->Search("k");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1}));
 }
 
 TEST(DurableServerTest, NullInnerRejected) {

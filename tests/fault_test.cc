@@ -110,5 +110,52 @@ TEST(FaultTest, SearchFailuresAreTransient) {
   EXPECT_EQ(h.faulty.faults_injected(), 1u);
 }
 
+TEST(FaultTest, ReplyDuplicatedShiftsTheStreamOffByOne) {
+  // After a duplicated reply, every later call is answered with the
+  // buffered stale reply while its own queues behind — the protocol layer
+  // receives answers to the WRONG questions until the stream is flushed.
+  Harness<core::Scheme2Client> h(SystemKind::kScheme2);
+  SSE_ASSERT_OK(h.client->Store({Document::Make(0, "a", {"kw"})}));
+  SSE_ASSERT_OK(h.client->Store({Document::Make(1, "b", {"other"})}));
+  h.faulty.FailCall(2, FaultInjectionChannel::FaultPoint::kReplyDuplicated);
+  // Call 2: the search gets its own reply (plus a buffered duplicate), so
+  // it still succeeds.
+  auto first = h.client->Search("kw");
+  SSE_ASSERT_OK_RESULT(first);
+  EXPECT_EQ(first->ids, std::vector<uint64_t>{0});
+  // Call 3: answered with the stale duplicate of call 2 — a search for
+  // "other" sees "kw"'s hits. Without session stamps this corruption is
+  // silent, which is exactly what RetryingChannel's echo check prevents.
+  auto second = h.client->Search("other");
+  if (second.ok()) {
+    EXPECT_EQ(second->ids, std::vector<uint64_t>{0});  // wrong answer!
+  }
+  // A reconnect (Reset) flushes the backlog and resynchronizes.
+  h.faulty.Reset();
+  auto third = h.client->Search("other");
+  SSE_ASSERT_OK_RESULT(third);
+  EXPECT_EQ(third->ids, std::vector<uint64_t>{1});
+  EXPECT_EQ(h.faulty.faults_injected(), 1u);
+}
+
+TEST(FaultTest, WrapperKeepsItsOwnStats) {
+  // The injector counts traffic (and faults) itself rather than delegating
+  // to the inner channel: a dropped request is a round the client paid for
+  // even though the server never saw it.
+  Harness<core::Scheme2Client> h(SystemKind::kScheme2);
+  h.faulty.FailCall(0, FaultInjectionChannel::FaultPoint::kRequestLost);
+  EXPECT_FALSE(h.client->Store({Document::Make(0, "a", {"kw"})}).ok());
+  EXPECT_EQ(h.faulty.stats().rounds, 1u);
+  EXPECT_EQ(h.faulty.stats().injected_faults, 1u);
+  EXPECT_GT(h.faulty.stats().bytes_sent, 0u);
+  EXPECT_EQ(h.faulty.stats().bytes_received, 0u);  // nothing came back
+  // The inner channel never carried the dropped round.
+  EXPECT_EQ(h.sys.channel->stats().rounds, 0u);
+
+  SSE_ASSERT_OK(h.client->Store({Document::Make(0, "a", {"kw"})}));
+  EXPECT_GT(h.faulty.stats().bytes_received, 0u);
+  EXPECT_NE(h.faulty.stats().ToString().find("faults=1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sse

@@ -1,0 +1,188 @@
+// Server-side at-most-once dedup: retries of an answered call are served
+// the recorded reply, racing duplicates are refused, and the table
+// round-trips through Serialize/Restore so dedup survives recovery.
+
+#include "sse/core/reply_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+
+namespace sse::core {
+namespace {
+
+using Outcome = ReplyCache::Outcome;
+
+net::Message MakeReply(uint16_t type, uint8_t tag) {
+  net::Message reply;
+  reply.type = type;
+  reply.payload = Bytes{tag, 1, 2, 3};
+  return reply;
+}
+
+TEST(ReplyCacheTest, FirstClaimIsNewRetryIsCached) {
+  ReplyCache cache;
+  net::Message cached;
+  EXPECT_EQ(cache.Begin(1, 0, &cached), Outcome::kNew);
+  cache.Commit(1, 0, MakeReply(0x0104, 9));
+
+  EXPECT_EQ(cache.Begin(1, 0, &cached), Outcome::kCached);
+  EXPECT_EQ(cached.type, 0x0104);
+  EXPECT_EQ(cached.payload, (Bytes{9, 1, 2, 3}));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ReplyCacheTest, DuplicateWhileExecutingIsRefusedRetryably) {
+  ReplyCache cache;
+  net::Message cached;
+  EXPECT_EQ(cache.Begin(1, 5, &cached), Outcome::kNew);
+  // The duplicate arrives while the original is still executing.
+  EXPECT_EQ(cache.Begin(1, 5, &cached), Outcome::kInFlight);
+  EXPECT_TRUE(ReplyCache::RefusalStatus(Outcome::kInFlight).IsRetryable());
+  // After the original commits, the retry is served from cache.
+  cache.Commit(1, 5, MakeReply(2, 1));
+  EXPECT_EQ(cache.Begin(1, 5, &cached), Outcome::kCached);
+}
+
+TEST(ReplyCacheTest, AbortAllowsReexecution) {
+  ReplyCache cache;
+  net::Message cached;
+  EXPECT_EQ(cache.Begin(3, 0, &cached), Outcome::kNew);
+  cache.Abort(3, 0);  // handler rejected it; no state changed
+  EXPECT_EQ(cache.Begin(3, 0, &cached), Outcome::kNew);
+}
+
+TEST(ReplyCacheTest, ClientsAreIndependent) {
+  ReplyCache cache;
+  net::Message cached;
+  EXPECT_EQ(cache.Begin(1, 0, &cached), Outcome::kNew);
+  cache.Commit(1, 0, MakeReply(2, 1));
+  // Same seq from a different client is a different call.
+  EXPECT_EQ(cache.Begin(2, 0, &cached), Outcome::kNew);
+}
+
+TEST(ReplyCacheTest, PerClientWindowEvictsOldestAndRefusesBelowIt) {
+  ReplyCache::Options opts;
+  opts.per_client_entries = 4;
+  ReplyCache cache(opts);
+  net::Message cached;
+  for (uint64_t seq = 0; seq < 8; ++seq) {
+    EXPECT_EQ(cache.Begin(1, seq, &cached), Outcome::kNew);
+    cache.Commit(1, seq, MakeReply(2, static_cast<uint8_t>(seq)));
+  }
+  EXPECT_EQ(cache.entry_count(), 4u);
+  // Recent seqs still dedup.
+  EXPECT_EQ(cache.Begin(1, 7, &cached), Outcome::kCached);
+  // A retry below the retained window could be a second application of a
+  // non-idempotent update; the cache refuses non-retryably.
+  EXPECT_EQ(cache.Begin(1, 0, &cached), Outcome::kTooOld);
+  const Status refusal = ReplyCache::RefusalStatus(Outcome::kTooOld);
+  EXPECT_EQ(refusal.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(refusal.IsRetryable());
+  EXPECT_GE(cache.refusals(), 1u);
+}
+
+TEST(ReplyCacheTest, LruClientEvictionKeepsActiveClients) {
+  ReplyCache::Options opts;
+  opts.max_clients = 2;
+  ReplyCache cache(opts);
+  net::Message cached;
+  for (uint64_t client = 1; client <= 3; ++client) {
+    EXPECT_EQ(cache.Begin(client, 0, &cached), Outcome::kNew);
+    cache.Commit(client, 0, MakeReply(2, 1));
+  }
+  EXPECT_EQ(cache.client_count(), 2u);
+  // Client 1 was least recently used and got evicted; its history is gone,
+  // so the same stamp reads as new again.
+  EXPECT_EQ(cache.Begin(1, 0, &cached), Outcome::kNew);
+}
+
+TEST(ReplyCacheTest, SerializeRestoreRoundTripsEntries) {
+  ReplyCache cache;
+  net::Message cached;
+  for (uint64_t client = 1; client <= 3; ++client) {
+    for (uint64_t seq = 0; seq < 5; ++seq) {
+      ASSERT_EQ(cache.Begin(client, seq, &cached), Outcome::kNew);
+      cache.Commit(client, seq,
+                   MakeReply(0x0104, static_cast<uint8_t>(client * 10 + seq)));
+    }
+  }
+  const Bytes blob = cache.Serialize();
+
+  ReplyCache restored;
+  SSE_ASSERT_OK(restored.Restore(blob));
+  EXPECT_EQ(restored.client_count(), 3u);
+  EXPECT_EQ(restored.entry_count(), 15u);
+  EXPECT_EQ(restored.Begin(2, 3, &cached), Outcome::kCached);
+  EXPECT_EQ(cached.payload, (Bytes{23, 1, 2, 3}));
+  EXPECT_EQ(restored.Begin(2, 5, &cached), Outcome::kNew);
+}
+
+TEST(ReplyCacheTest, SerializeExcludesInFlightClaims) {
+  ReplyCache cache;
+  net::Message cached;
+  EXPECT_EQ(cache.Begin(1, 0, &cached), Outcome::kNew);  // never commits
+  ReplyCache restored;
+  SSE_ASSERT_OK(restored.Restore(cache.Serialize()));
+  // In-flight claims are transient (the call died with the process); after
+  // restore the stamp executes as new.
+  EXPECT_EQ(restored.Begin(1, 0, &cached), Outcome::kNew);
+}
+
+TEST(ReplyCacheTest, EvictionWindowSurvivesRestore) {
+  ReplyCache::Options opts;
+  opts.per_client_entries = 2;
+  ReplyCache cache(opts);
+  net::Message cached;
+  for (uint64_t seq = 0; seq < 6; ++seq) {
+    EXPECT_EQ(cache.Begin(1, seq, &cached), Outcome::kNew);
+    cache.Commit(1, seq, MakeReply(2, static_cast<uint8_t>(seq)));
+  }
+  ReplyCache restored(opts);
+  SSE_ASSERT_OK(restored.Restore(cache.Serialize()));
+  // The too-old boundary (low_water) is part of the snapshot: seq 0 must
+  // still be refused, not re-executed.
+  EXPECT_EQ(restored.Begin(1, 0, &cached), Outcome::kTooOld);
+  EXPECT_EQ(restored.Begin(1, 5, &cached), Outcome::kCached);
+}
+
+TEST(ReplyCacheTest, RestoreRejectsGarbage) {
+  ReplyCache cache;
+  EXPECT_FALSE(cache.Restore(Bytes{1, 2, 3}).ok());
+  EXPECT_FALSE(cache.Restore(Bytes{}).ok());
+}
+
+TEST(ReplyCacheTest, ConcurrentClientsDedupExactlyOnce) {
+  ReplyCache cache;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kCallsPerClient = 200;
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> news(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &news, t] {
+      net::Message cached;
+      for (uint64_t seq = 0; seq < kCallsPerClient; ++seq) {
+        // Each call arrives twice (a retry racing the original).
+        for (int attempt = 0; attempt < 2; ++attempt) {
+          const Outcome o =
+              cache.Begin(static_cast<uint64_t>(t) + 1, seq, &cached);
+          if (o == Outcome::kNew) {
+            news[t] += 1;
+            cache.Commit(static_cast<uint64_t>(t) + 1, seq, MakeReply(2, 1));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    // Exactly one execution per logical call despite the duplicates.
+    EXPECT_EQ(news[t], kCallsPerClient);
+  }
+}
+
+}  // namespace
+}  // namespace sse::core

@@ -1,0 +1,291 @@
+// RetryingChannel policy: classification, decorrelated-jitter backoff,
+// deadlines, session stamping (seq reuse across attempts), and client-side
+// stale/corrupt reply detection.
+
+#include "sse/net/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sse/util/crc32.h"
+#include "test_util.h"
+
+namespace sse::net {
+namespace {
+
+/// Channel whose next Calls run scripted behaviors (then echo by default).
+class ScriptedChannel : public Channel {
+ public:
+  using Behavior = std::function<Result<Message>(const Message&)>;
+
+  void Push(Behavior b) { script_.push_back(std::move(b)); }
+
+  Result<Message> Call(const Message& request) override {
+    stats_.rounds += 1;
+    seen_.push_back(request);
+    if (!script_.empty()) {
+      Behavior b = std::move(script_.front());
+      script_.pop_front();
+      return b(request);
+    }
+    return Echo(request);
+  }
+
+  void Reset() override { resets_ += 1; }
+  const ChannelStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Clear(); }
+
+  /// Well-formed reply: echoes the request's session stamp.
+  static Result<Message> Echo(const Message& request) {
+    Message reply;
+    reply.type = static_cast<uint16_t>(request.type + 1);
+    reply.payload = request.payload;
+    reply.EchoSession(request);
+    return reply;
+  }
+
+  const std::vector<Message>& seen() const { return seen_; }
+  uint64_t resets() const { return resets_; }
+
+ private:
+  std::deque<Behavior> script_;
+  std::vector<Message> seen_;
+  ChannelStats stats_;
+  uint64_t resets_ = 0;
+};
+
+RetryOptions FastOptions() {
+  RetryOptions opts;
+  opts.max_attempts = 5;
+  opts.initial_backoff_ms = 10.0;
+  opts.max_backoff_ms = 100.0;
+  return opts;
+}
+
+/// Retry harness with virtual time: sleeps advance the clock instantly.
+struct Harness {
+  explicit Harness(RetryOptions opts) : rng(7), retry(&inner, opts, &rng) {
+    retry.set_clock_fn([this] { return now_ms; });
+    retry.set_sleep_fn([this](double ms) {
+      now_ms += ms;
+      sleeps.push_back(ms);
+    });
+  }
+  ScriptedChannel inner;
+  DeterministicRandom rng;
+  RetryingChannel retry;
+  double now_ms = 0.0;
+  std::vector<double> sleeps;
+};
+
+Message Request(uint16_t type = 0x0101) {
+  Message m;
+  m.type = type;
+  m.payload = Bytes{1, 2, 3};
+  return m;
+}
+
+TEST(RetryTest, FirstAttemptSuccessMakesOneInnerCall) {
+  Harness h(FastOptions());
+  auto reply = h.retry.Call(Request());
+  SSE_ASSERT_OK_RESULT(reply);
+  EXPECT_EQ(h.retry.retry_stats().calls, 1u);
+  EXPECT_EQ(h.retry.retry_stats().attempts, 1u);
+  EXPECT_EQ(h.retry.retry_stats().retries, 0u);
+  EXPECT_TRUE(h.sleeps.empty());
+}
+
+TEST(RetryTest, StampsSessionsWithMonotonicSeq) {
+  Harness h(FastOptions());
+  SSE_ASSERT_OK_RESULT(h.retry.Call(Request()));
+  SSE_ASSERT_OK_RESULT(h.retry.Call(Request()));
+  ASSERT_EQ(h.inner.seen().size(), 2u);
+  EXPECT_TRUE(h.inner.seen()[0].has_session);
+  EXPECT_EQ(h.inner.seen()[0].client_id, h.retry.client_id());
+  EXPECT_EQ(h.inner.seen()[0].seq + 1, h.inner.seen()[1].seq);
+  EXPECT_EQ(h.inner.seen()[0].payload_crc, Crc32c(Bytes{1, 2, 3}));
+}
+
+TEST(RetryTest, RetryableFailuresAreRetriedWithResetUntilSuccess) {
+  Harness h(FastOptions());
+  h.inner.Push([](const Message&) -> Result<Message> {
+    return Status::IoError("boom");
+  });
+  h.inner.Push([](const Message&) -> Result<Message> {
+    return Status::Unavailable("still down");
+  });
+  auto reply = h.retry.Call(Request());
+  SSE_ASSERT_OK_RESULT(reply);
+  EXPECT_EQ(h.retry.retry_stats().attempts, 3u);
+  EXPECT_EQ(h.retry.retry_stats().retries, 2u);
+  // The transport is flushed before every re-send.
+  EXPECT_EQ(h.inner.resets(), 2u);
+  EXPECT_EQ(h.sleeps.size(), 2u);
+}
+
+TEST(RetryTest, AllAttemptsOfOneCallShareTheSeq) {
+  // Seq reuse is the heart of exactly-once: the server dedups retries of
+  // one logical call only because they carry the same stamp.
+  Harness h(FastOptions());
+  for (int i = 0; i < 3; ++i) {
+    h.inner.Push([](const Message&) -> Result<Message> {
+      return Status::IoError("flaky");
+    });
+  }
+  SSE_ASSERT_OK_RESULT(h.retry.Call(Request()));
+  ASSERT_EQ(h.inner.seen().size(), 4u);
+  for (const Message& m : h.inner.seen()) {
+    EXPECT_EQ(m.seq, h.inner.seen()[0].seq);
+    EXPECT_EQ(m.client_id, h.retry.client_id());
+  }
+  // The next logical call advances.
+  SSE_ASSERT_OK_RESULT(h.retry.Call(Request()));
+  EXPECT_EQ(h.inner.seen().back().seq, h.inner.seen()[0].seq + 1);
+}
+
+TEST(RetryTest, NonRetryableErrorSurfacesImmediately) {
+  Harness h(FastOptions());
+  h.inner.Push([](const Message&) -> Result<Message> {
+    return Status::InvalidArgument("bad token");
+  });
+  auto reply = h.retry.Call(Request());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(h.retry.retry_stats().attempts, 1u);
+  EXPECT_EQ(h.retry.retry_stats().retries, 0u);
+}
+
+TEST(RetryTest, BackoffFollowsDecorrelatedJitterBounds) {
+  RetryOptions opts = FastOptions();
+  opts.max_attempts = 6;
+  opts.initial_backoff_ms = 8.0;
+  opts.max_backoff_ms = 50.0;
+  Harness h(opts);
+  for (int i = 0; i < 6; ++i) {
+    h.inner.Push([](const Message&) -> Result<Message> {
+      return Status::IoError("down");
+    });
+  }
+  auto reply = h.retry.Call(Request());
+  ASSERT_FALSE(reply.ok());
+  ASSERT_EQ(h.sleeps.size(), 5u);
+  // First sleep drawn from [0, base]; later from [base, 3*prev], capped.
+  EXPECT_GE(h.sleeps[0], 0.0);
+  EXPECT_LE(h.sleeps[0], opts.initial_backoff_ms);
+  for (size_t i = 1; i < h.sleeps.size(); ++i) {
+    EXPECT_LE(h.sleeps[i], opts.max_backoff_ms);
+    const double hi = 3.0 * h.sleeps[i - 1];
+    if (hi >= opts.initial_backoff_ms) {
+      EXPECT_GE(h.sleeps[i],
+                std::min(opts.initial_backoff_ms, opts.max_backoff_ms));
+      EXPECT_LE(h.sleeps[i], std::max(hi, opts.initial_backoff_ms));
+    }
+  }
+}
+
+TEST(RetryTest, DeadlineBoundsTheWholeCall) {
+  RetryOptions opts = FastOptions();
+  opts.max_attempts = 100;
+  opts.initial_backoff_ms = 40.0;
+  opts.max_backoff_ms = 40.0;
+  opts.call_deadline_ms = 100.0;
+  Harness h(opts);
+  for (int i = 0; i < 100; ++i) {
+    h.inner.Push([](const Message&) -> Result<Message> {
+      return Status::IoError("down");
+    });
+  }
+  auto reply = h.retry.Call(Request());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(h.retry.retry_stats().deadline_exceeded, 1u);
+  // Far fewer than max_attempts ran before the budget expired.
+  EXPECT_LT(h.retry.retry_stats().attempts, 10u);
+  // The deadline error carries the underlying failure for diagnosis.
+  EXPECT_NE(reply.status().message().find("IO_ERROR"), std::string::npos);
+}
+
+TEST(RetryTest, StaleReplyIsDiscardedAndCallRetried) {
+  Harness h(FastOptions());
+  h.inner.Push([](const Message& request) -> Result<Message> {
+    // A reply for some OTHER call (stream off by one): wrong seq echo.
+    Message stale;
+    stale.type = static_cast<uint16_t>(request.type + 1);
+    stale.payload = Bytes{0xde, 0xad};
+    stale.StampSession(request.client_id, request.seq + 1000);
+    return stale;
+  });
+  auto reply = h.retry.Call(Request());
+  SSE_ASSERT_OK_RESULT(reply);
+  EXPECT_EQ(reply->payload, (Bytes{1, 2, 3}));  // the genuine echo
+  EXPECT_EQ(h.retry.retry_stats().stale_replies, 1u);
+  EXPECT_EQ(h.inner.resets(), 1u);  // flushed the desynced stream
+}
+
+TEST(RetryTest, CorruptReplyIsDetectedByChecksumAndRetried) {
+  Harness h(FastOptions());
+  h.inner.Push([](const Message& request) -> Result<Message> {
+    Result<Message> reply = ScriptedChannel::Echo(request);
+    reply->payload[0] ^= 0xff;  // damage after the CRC was computed
+    return reply;
+  });
+  auto reply = h.retry.Call(Request());
+  SSE_ASSERT_OK_RESULT(reply);
+  EXPECT_EQ(h.retry.retry_stats().corrupt_replies, 1u);
+  EXPECT_EQ(h.retry.retry_stats().attempts, 2u);
+}
+
+TEST(RetryTest, CorruptReplySurfacesWhenCorruptRetryDisabled) {
+  RetryOptions opts = FastOptions();
+  opts.retry_corrupt_replies = false;
+  Harness h(opts);
+  h.inner.Push([](const Message& request) -> Result<Message> {
+    Result<Message> reply = ScriptedChannel::Echo(request);
+    reply->payload[0] ^= 0xff;
+    return reply;
+  });
+  auto reply = h.retry.Call(Request());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RetryTest, ExhaustionReportsTheLastError) {
+  RetryOptions opts = FastOptions();
+  opts.max_attempts = 3;
+  Harness h(opts);
+  for (int i = 0; i < 3; ++i) {
+    h.inner.Push([](const Message&) -> Result<Message> {
+      return Status::Unavailable("overloaded");
+    });
+  }
+  auto reply = h.retry.Call(Request());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(reply.status().message().find("retries exhausted"),
+            std::string::npos);
+  EXPECT_EQ(h.retry.retry_stats().exhausted, 1u);
+}
+
+TEST(RetryTest, UnstampedModePassesMessagesThroughBare) {
+  RetryOptions opts = FastOptions();
+  opts.stamp_sessions = false;
+  Harness h(opts);
+  SSE_ASSERT_OK_RESULT(h.retry.Call(Request()));
+  ASSERT_EQ(h.inner.seen().size(), 1u);
+  EXPECT_FALSE(h.inner.seen()[0].has_session);
+}
+
+TEST(RetryTest, DistinctChannelsDrawDistinctClientIds) {
+  DeterministicRandom rng(3);
+  ScriptedChannel inner;
+  RetryingChannel a(&inner, FastOptions(), &rng);
+  RetryingChannel b(&inner, FastOptions(), &rng);
+  EXPECT_NE(a.client_id(), 0u);
+  EXPECT_NE(a.client_id(), b.client_id());
+}
+
+}  // namespace
+}  // namespace sse::net

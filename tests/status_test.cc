@@ -41,6 +41,9 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
       {Status::Unimplemented("k"), StatusCode::kUnimplemented,
        "UNIMPLEMENTED"},
       {Status::Internal("l"), StatusCode::kInternal, "INTERNAL"},
+      {Status::Unavailable("m"), StatusCode::kUnavailable, "UNAVAILABLE"},
+      {Status::DeadlineExceeded("n"), StatusCode::kDeadlineExceeded,
+       "DEADLINE_EXCEEDED"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -66,6 +69,26 @@ TEST(StatusTest, StreamOperatorMatchesToString) {
   std::ostringstream os;
   os << Status::IoError("disk gone");
   EXPECT_EQ(os.str(), "IO_ERROR: disk gone");
+}
+
+TEST(StatusTest, IsRetryableCoversTransientTransportFailures) {
+  EXPECT_TRUE(Status::Unavailable("peer down").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("too slow").IsRetryable());
+  EXPECT_TRUE(Status::IoError("socket reset").IsRetryable());
+}
+
+TEST(StatusTest, IsRetryableExcludesApplicationVerdicts) {
+  // Re-sending identical bytes cannot fix any of these; a retry layer must
+  // surface them instead of burning attempts.
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsRetryable());
+  EXPECT_FALSE(Status::CryptoError("x").IsRetryable());
+  EXPECT_FALSE(Status::ProtocolError("x").IsRetryable());
+  EXPECT_FALSE(Status::Corruption("x").IsRetryable());
+  EXPECT_FALSE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
 }
 
 TEST(StatusTest, ReturnIfErrorPropagates) {

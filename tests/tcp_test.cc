@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "sse/core/registry.h"
 #include "sse/core/scheme2_client.h"
 #include "sse/core/scheme2_server.h"
@@ -136,6 +140,91 @@ TEST(TcpTest, StopIsIdempotent) {
   ASSERT_TRUE(server.ok());
   (*server)->Stop();
   (*server)->Stop();
+}
+
+class SlowHandler : public MessageHandler {
+ public:
+  Result<Message> Handle(const Message& request) override {
+    if (slow_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+    return Message{static_cast<uint16_t>(request.type + 1), request.payload};
+  }
+  std::atomic<bool> slow_{true};
+};
+
+TEST(TcpTest, RecvTimeoutSurfacesDeadlineExceeded) {
+  SlowHandler handler;
+  // Serve connections truly concurrently so the reconnect after the timeout
+  // is not stuck behind the still-sleeping first request.
+  TcpServer::Options server_opts;
+  server_opts.serialize_handler = false;
+  auto server = TcpServer::Start(&handler, 0, server_opts);
+  ASSERT_TRUE(server.ok());
+  TcpChannel::Options opts;
+  opts.recv_timeout_ms = 50.0;
+  auto channel = TcpChannel::Connect((*server)->port(), "127.0.0.1", opts);
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+
+  auto reply = (*channel)->Call(Message{1, Bytes{1}});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(reply.status().IsRetryable());
+  // The timed-out connection is torn down: the late reply can never be
+  // mistaken for an answer to a later call.
+  EXPECT_FALSE((*channel)->connected());
+
+  // With the handler fast again, the next Call transparently redials.
+  handler.slow_.store(false);
+  auto retry = (*channel)->Call(Message{1, Bytes{2}});
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->payload, Bytes{2});
+  EXPECT_EQ((*channel)->reconnects(), 1u);
+}
+
+TEST(TcpTest, ResetForcesReconnectOnNextCall) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE((*channel)->Call(Message{1, Bytes{1}}).ok());
+
+  (*channel)->Reset();
+  EXPECT_FALSE((*channel)->connected());
+  auto reply = (*channel)->Call(Message{1, Bytes{2}});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ((*channel)->reconnects(), 1u);
+  EXPECT_EQ((*server)->connections_accepted(), 2u);
+}
+
+TEST(TcpTest, ReconnectDisabledFailsFastAfterReset) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  TcpChannel::Options opts;
+  opts.auto_reconnect = false;
+  auto channel = TcpChannel::Connect((*server)->port(), "127.0.0.1", opts);
+  ASSERT_TRUE(channel.ok());
+  (*channel)->Reset();
+  auto reply = (*channel)->Call(Message{1, {}});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(TcpTest, SessionStampSurvivesTheWire) {
+  EchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+  Message request{7, Bytes{1, 2, 3}};
+  request.StampSession(1234, 56);
+  auto reply = (*channel)->Call(request);
+  // EchoHandler copies type+payload but not the stamp; what matters here
+  // is that a stamped request framed over a real socket decodes cleanly.
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->payload, request.payload);
 }
 
 TEST(TcpTest, FullSchemeOverTcp) {
