@@ -13,6 +13,12 @@
 //   SSE_RETRY_DEADLINE_MS  per-call deadline across attempts, default 0 (none)
 //   SSE_REPLY_CACHE      1 (default) dedups stamped calls server-side so a
 //                        retried update applies at most once; 0 disables
+//   SSE_BATCH_SIZE       ops per kMsgBatch envelope for multi-keyword
+//                        rounds, default 64; 0 disables batching entirely
+//                        (monolithic per-round messages, the paper's wire
+//                        format), 1 pipelines unbatched per-keyword ops
+//   SSE_MAX_INFLIGHT     envelopes in flight before awaiting a reply,
+//                        default 4
 //
 // Usage:
 //   sse_cli <dir> put <id> <content...> --kw <k1,k2,...>
@@ -107,6 +113,8 @@ int main(int argc, char** argv) {
   core::SchemeOptions options;
   options.max_documents = 1 << 16;
   options.chain_length = 1 << 14;
+  const uint64_t batch_size = EnvU64("SSE_BATCH_SIZE", 64);
+  options.batch_ops = batch_size > 0;
 
   const bool reply_cache = EnvU64("SSE_REPLY_CACHE", 1) != 0;
 
@@ -140,6 +148,8 @@ int main(int argc, char** argv) {
       static_cast<int>(EnvU64("SSE_RETRY_ATTEMPTS", 5));
   retry_options.call_deadline_ms =
       static_cast<double>(EnvU64("SSE_RETRY_DEADLINE_MS", 0));
+  retry_options.batch_size = static_cast<int>(batch_size);
+  retry_options.max_inflight = static_cast<int>(EnvU64("SSE_MAX_INFLIGHT", 4));
   SystemRandom& rng = SystemRandom::Instance();
   net::RetryingChannel retry(&channel, retry_options, &rng);
 

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the concurrency
-# tests. Usage: scripts/ci.sh [--skip-tsan]
+# Tier-1 verification plus sanitizer passes. Usage:
+#   scripts/ci.sh [--skip-tsan] [--skip-asan]
 #
 # 1. Configure + build everything, run the full ctest suite (the repo's
 #    tier-1 gate from ROADMAP.md).
 # 2. Rebuild the engine/concurrency test targets with -fsanitize=thread in
-#    a separate build dir and run only the "concurrency" ctest label.
+#    a separate build dir and run only the "concurrency"/"chaos" labels.
+# 3. Rebuild the net/engine test targets with -fsanitize=address,undefined
+#    and run the same labels (memory errors in the pipelined frame paths).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_ASAN=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
+  [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
+done
 
 echo "==> tier-1: build + full test suite"
 cmake -B build -S . >/dev/null
@@ -19,19 +25,36 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> skipping TSan pass (--skip-tsan)"
-  exit 0
+else
+  echo "==> tsan: concurrency + chaos tests under ThreadSanitizer"
+  cmake -B build-tsan -S . \
+    -DSSE_TSAN=ON \
+    -DSSE_BUILD_BENCHMARKS=OFF \
+    -DSSE_BUILD_EXAMPLES=OFF >/dev/null
+  # Only the labeled test targets need to exist; building them (plus their
+  # libsse dependency) is much faster than a full TSan build.
+  cmake --build build-tsan -j "$(nproc)" \
+    --target engine_concurrency_test tcp_test chaos_test
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan -L "concurrency|chaos" --output-on-failure
 fi
 
-echo "==> tsan: concurrency + chaos tests under ThreadSanitizer"
-cmake -B build-tsan -S . \
-  -DSSE_TSAN=ON \
-  -DSSE_BUILD_BENCHMARKS=OFF \
-  -DSSE_BUILD_EXAMPLES=OFF >/dev/null
-# Only the labeled test targets need to exist; building them (plus their
-# libsse dependency) is much faster than a full TSan build.
-cmake --build build-tsan -j "$(nproc)" \
-  --target engine_concurrency_test tcp_test chaos_test
-TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir build-tsan -L "concurrency|chaos" --output-on-failure
+if [[ "$SKIP_ASAN" == "1" ]]; then
+  echo "==> skipping ASan pass (--skip-asan)"
+else
+  echo "==> asan: concurrency + chaos tests under Address/UBSanitizer"
+  cmake -B build-asan -S . \
+    -DSSE_ASAN=ON \
+    -DSSE_BUILD_BENCHMARKS=OFF \
+    -DSSE_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan -j "$(nproc)" \
+    --target engine_concurrency_test tcp_test chaos_test batch_test
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan -L "concurrency|chaos" --output-on-failure
+  # batch_test carries no ctest label; run the binary directly so the
+  # envelope codecs get their sanitizer pass too.
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/batch_test
+fi
 
 echo "==> ci.sh: all green"

@@ -1,5 +1,9 @@
 #include "sse/core/durable_server.h"
 
+#include <utility>
+#include <vector>
+
+#include "sse/net/batch.h"
 #include "sse/util/serde.h"
 
 namespace sse::core {
@@ -80,6 +84,7 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
 }
 
 Result<net::Message> DurableServer::Handle(const net::Message& request) {
+  if (request.type == net::kMsgBatch) return HandleBatch(request);
   const bool mutating = inner_->IsMutating(request.type);
   // Only mutations go through the dedup table: re-executing a read-only
   // retry is harmless, and not recording search results keeps the cache
@@ -161,6 +166,114 @@ Result<net::Message> DurableServer::HandleNew(const net::Message& request) {
   if (options_.sync_every_append) {
     SSE_RETURN_IF_ERROR(SyncUpTo(my_seq));
   }
+  return reply;
+}
+
+Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
+  net::BatchRequest batch;
+  SSE_ASSIGN_OR_RETURN(batch, net::BatchRequest::FromMessage(request));
+  const size_t n = batch.ops.size();
+
+  // One shared commit-lock span for the whole envelope: a checkpoint can
+  // never slice between a sub-op's apply and its journal record.
+  std::shared_lock<std::shared_mutex> commit_lock(commit_mutex_);
+
+  // Sub-ops whose cache commit is deferred until the group sync lands.
+  struct PendingCommit {
+    size_t index;
+    uint64_t seq;
+  };
+  std::vector<net::Message> outs(n);
+  std::vector<PendingCommit> pending;
+  uint64_t max_wal_seq = 0;
+  bool need_sync = false;
+
+  for (size_t i = 0; i < n; ++i) {
+    net::Message sub;
+    sub.type = batch.ops[i].type;
+    sub.payload = std::move(batch.ops[i].payload);
+    if (request.has_session) {
+      // (envelope client, op seq) is the op's dedup identity; it is stable
+      // across retried envelopes, which is what makes a partial batch
+      // retry apply each sub-op exactly once.
+      sub.StampSession(request.client_id, batch.ops[i].seq);
+    }
+    if (sub.type == net::kMsgBatch) {
+      outs[i] = net::MakeErrorMessage(
+          Status::InvalidArgument("batch envelopes cannot nest"));
+      continue;
+    }
+
+    const bool mutating = inner_->IsMutating(sub.type);
+    const bool dedup =
+        mutating && reply_cache_ != nullptr && sub.has_session;
+    if (dedup) {
+      net::Message cached;
+      const ReplyCache::Outcome outcome =
+          reply_cache_->Begin(sub.client_id, sub.seq, &cached);
+      if (outcome == ReplyCache::Outcome::kCached) {
+        cached.EchoSession(sub);
+        outs[i] = std::move(cached);
+        continue;
+      }
+      if (outcome != ReplyCache::Outcome::kNew) {
+        outs[i] = net::MakeErrorMessage(ReplyCache::RefusalStatus(outcome));
+        continue;
+      }
+    }
+
+    Result<net::Message> reply = inner_->Handle(sub);
+    if (!reply.ok()) {
+      // Rejected without a state change; a retried envelope may re-run it.
+      if (dedup) reply_cache_->Abort(sub.client_id, sub.seq);
+      outs[i] = net::MakeErrorMessage(reply.status());
+      continue;
+    }
+    if (mutating) {
+      // Journal the accepted sub-op as its own stamped record — replay
+      // cannot tell it from a standalone request — but defer the fsync to
+      // one group sync after the loop.
+      std::lock_guard<std::mutex> lock(wal_mutex_);
+      Status appended = wal_->Append(sub.Encode());
+      if (!appended.ok()) {
+        if (dedup) reply_cache_->Abort(sub.client_id, sub.seq);
+        outs[i] = net::MakeErrorMessage(appended);
+        continue;
+      }
+      max_wal_seq = ++appended_seq_;
+      need_sync = true;
+    }
+    if (sub.has_session && !reply->has_session) reply->EchoSession(sub);
+    outs[i] = std::move(reply).value();
+    if (dedup) pending.push_back(PendingCommit{i, batch.ops[i].seq});
+  }
+
+  if (need_sync && options_.sync_every_append) {
+    // Even with group_commit off, a batch pays one fsync — amortizing the
+    // sync across the envelope is the point of the batch path.
+    Status synced = SyncUpTo(max_wal_seq);
+    if (!synced.ok()) {
+      // Durability is unknown: withdraw the claims so retries re-resolve
+      // against whatever state recovery reconstructs.
+      for (const PendingCommit& p : pending) {
+        reply_cache_->Abort(request.client_id, p.seq);
+        outs[p.index] = net::MakeErrorMessage(synced);
+      }
+      pending.clear();
+    }
+  }
+  for (const PendingCommit& p : pending) {
+    reply_cache_->Commit(request.client_id, p.seq, outs[p.index]);
+  }
+
+  net::BatchReply breply;
+  breply.entries.reserve(n);
+  for (net::Message& out : outs) {
+    breply.entries.push_back(
+        net::BatchReply::Entry{out.type, std::move(out.payload)});
+  }
+  net::Message reply = breply.ToMessage();
+  reply.EchoSession(request);
   return reply;
 }
 

@@ -95,6 +95,15 @@ class DurableServer : public net::MessageHandler {
 
   Result<net::Message> HandleNew(const net::Message& request);
 
+  /// Unpacks a kMsgBatch envelope, running each sub-op through the same
+  /// dedup + apply + journal path as a standalone request but with ONE
+  /// group fsync covering every accepted mutation in the envelope. Sub-ops
+  /// are journaled as individual stamped messages, so WAL replay is
+  /// byte-identical to the unbatched case and needs no changes. Cache
+  /// commits happen only after the group sync succeeds — a reply entry
+  /// never promises a lost update even when the batch is cut short.
+  Result<net::Message> HandleBatch(const net::Message& request);
+
   /// Blocks until every append up to `seq` is fsynced, electing the caller
   /// as the sync leader if none is running.
   Status SyncUpTo(uint64_t seq);

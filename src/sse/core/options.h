@@ -45,6 +45,16 @@ struct SchemeOptions {
   /// can exceed RAM (paper schemes only; the searchable index stays in
   /// memory either way).
   std::string document_log_path;
+
+  /// Route multi-keyword protocol rounds (Store's per-keyword updates,
+  /// MultiSearch) through the channel's MultiCall as independent per-keyword
+  /// ops instead of one monolithic message per round. Over a
+  /// RetryingChannel the ops are packed into pipelined kMsgBatch envelopes
+  /// — a K-keyword round then costs ~1 frame instead of K round trips —
+  /// and retain per-op exactly-once dedup. Off by default: the monolithic
+  /// path is the paper's wire format and what the Table 1 byte counts
+  /// measure.
+  bool batch_ops = false;
 };
 
 }  // namespace sse::core

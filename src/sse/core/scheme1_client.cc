@@ -121,29 +121,60 @@ Status Scheme1Client::RunUpdateProtocol(
     const std::vector<PendingUpdate>& updates,
     const std::vector<Document>& documents) {
   const size_t bitmap_bits = options_.max_documents;
+  // Batched mode sends each keyword as its own op through MultiCall (a
+  // RetryingChannel packs the ops into pipelined kMsgBatch envelopes, so a
+  // K-keyword round costs ~1 frame instead of K round trips). A run with
+  // no keywords still needs a message to carry documents, so it always
+  // takes the monolithic path.
+  const bool batched = options_.batch_ops && !updates.empty();
 
   // Round 1 (Fig. 1, first exchange): request F(r) for every keyword.
-  S1NonceRequest nonce_req;
-  nonce_req.tokens.reserve(updates.size());
+  std::vector<Bytes> tokens;
+  tokens.reserve(updates.size());
   for (const PendingUpdate& u : updates) {
     Bytes token;
     SSE_ASSIGN_OR_RETURN(token, Trapdoor(u.keyword));
-    nonce_req.tokens.push_back(std::move(token));
+    tokens.push_back(std::move(token));
   }
-  net::Message reply_msg;
-  SSE_ASSIGN_OR_RETURN(reply_msg, channel_->Call(nonce_req.ToMessage()));
-  S1NonceReply nonce_reply;
-  SSE_ASSIGN_OR_RETURN(nonce_reply, S1NonceReply::FromMessage(reply_msg));
-  if (nonce_reply.entries.size() != updates.size()) {
-    return Status::ProtocolError("nonce reply entry count mismatch");
+  std::vector<S1NonceEntry> nonce_entries;
+  nonce_entries.reserve(updates.size());
+  if (batched) {
+    std::vector<net::Message> round1;
+    round1.reserve(updates.size());
+    for (const Bytes& token : tokens) {
+      S1NonceRequest one;
+      one.tokens.push_back(token);
+      round1.push_back(one.ToMessage());
+    }
+    std::vector<Result<net::Message>> replies = channel_->MultiCall(round1);
+    for (Result<net::Message>& reply_msg : replies) {
+      if (!reply_msg.ok()) return reply_msg.status();
+      S1NonceReply one;
+      SSE_ASSIGN_OR_RETURN(one, S1NonceReply::FromMessage(*reply_msg));
+      if (one.entries.size() != 1) {
+        return Status::ProtocolError("nonce reply entry count mismatch");
+      }
+      nonce_entries.push_back(std::move(one.entries[0]));
+    }
+  } else {
+    S1NonceRequest nonce_req;
+    nonce_req.tokens = tokens;
+    net::Message reply_msg;
+    SSE_ASSIGN_OR_RETURN(reply_msg, channel_->Call(nonce_req.ToMessage()));
+    S1NonceReply nonce_reply;
+    SSE_ASSIGN_OR_RETURN(nonce_reply, S1NonceReply::FromMessage(reply_msg));
+    if (nonce_reply.entries.size() != updates.size()) {
+      return Status::ProtocolError("nonce reply entry count mismatch");
+    }
+    nonce_entries = std::move(nonce_reply.entries);
   }
 
   // Round 2: build the masked deltas.
-  S1UpdateRequest update_req;
-  update_req.entries.reserve(updates.size());
+  std::vector<S1UpdateEntry> entries;
+  entries.reserve(updates.size());
   for (size_t i = 0; i < updates.size(); ++i) {
     const PendingUpdate& u = updates[i];
-    const S1NonceEntry& nonce_entry = nonce_reply.entries[i];
+    const S1NonceEntry& nonce_entry = nonce_entries[i];
 
     BitVec delta;
     SSE_ASSIGN_OR_RETURN(delta, BitVec::FromPositions(bitmap_bits, u.ids));
@@ -158,7 +189,7 @@ Status Scheme1Client::RunUpdateProtocol(
     SSE_RETURN_IF_ERROR(XorInPlace(payload, new_mask));  // U ⊕ G(r')
 
     S1UpdateEntry entry;
-    entry.token = nonce_req.tokens[i];
+    entry.token = tokens[i];
     entry.is_new = !nonce_entry.present;
     if (nonce_entry.present) {
       // Recover r and add G(r): the delta becomes U ⊕ G(r) ⊕ G(r').
@@ -172,20 +203,48 @@ Status Scheme1Client::RunUpdateProtocol(
     entry.masked_delta = std::move(payload);
     SSE_ASSIGN_OR_RETURN(entry.new_enc_nonce,
                          elgamal_.Encrypt(new_nonce, *rng_));
-    update_req.entries.push_back(std::move(entry));
+    entries.push_back(std::move(entry));
   }
 
   // Encrypted data items ride along in the same round.
-  update_req.documents.reserve(documents.size());
+  std::vector<WireDocument> wire_docs;
+  wire_docs.reserve(documents.size());
   for (const Document& doc : documents) {
     WireDocument wire;
     wire.id = doc.id;
     SSE_ASSIGN_OR_RETURN(
         wire.ciphertext,
         aead_.Seal(doc.content, EncodeDocId(doc.id), *rng_));
-    update_req.documents.push_back(std::move(wire));
+    wire_docs.push_back(std::move(wire));
   }
 
+  if (batched) {
+    // One op per keyword; the document payload rides with the first op
+    // (the server extracts documents before routing, so placement within
+    // the round is arbitrary).
+    std::vector<net::Message> round2;
+    round2.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      S1UpdateRequest one;
+      one.entries.push_back(std::move(entries[i]));
+      if (i == 0) one.documents = std::move(wire_docs);
+      round2.push_back(one.ToMessage());
+    }
+    std::vector<Result<net::Message>> replies = channel_->MultiCall(round2);
+    for (Result<net::Message>& ack_msg : replies) {
+      if (!ack_msg.ok()) return ack_msg.status();
+      S1UpdateAck ack;
+      SSE_ASSIGN_OR_RETURN(ack, S1UpdateAck::FromMessage(*ack_msg));
+      if (ack.keywords_updated != 1) {
+        return Status::ProtocolError("server acknowledged wrong keyword count");
+      }
+    }
+    return Status::OK();
+  }
+
+  S1UpdateRequest update_req;
+  update_req.entries = std::move(entries);
+  update_req.documents = std::move(wire_docs);
   net::Message ack_msg;
   SSE_ASSIGN_OR_RETURN(ack_msg, channel_->Call(update_req.ToMessage()));
   S1UpdateAck ack;
@@ -240,9 +299,13 @@ Result<SearchOutcome> Scheme1Client::Search(std::string_view keyword) {
   SSE_ASSIGN_OR_RETURN(finish.nonce, elgamal_.Decrypt(nonce_reply.enc_nonce));
   net::Message result_msg;
   SSE_ASSIGN_OR_RETURN(result_msg, channel_->Call(finish.ToMessage()));
-  S1SearchResult result;
-  SSE_ASSIGN_OR_RETURN(result, S1SearchResult::FromMessage(result_msg));
+  return ParseSearchResult(result_msg);
+}
 
+Result<SearchOutcome> Scheme1Client::ParseSearchResult(
+    const net::Message& msg) {
+  S1SearchResult result;
+  SSE_ASSIGN_OR_RETURN(result, S1SearchResult::FromMessage(msg));
   SearchOutcome outcome;
   outcome.ids = result.ids;
   std::sort(outcome.ids.begin(), outcome.ids.end());
@@ -254,6 +317,49 @@ Result<SearchOutcome> Scheme1Client::Search(std::string_view keyword) {
     outcome.documents.emplace_back(wire.id, std::move(plain));
   }
   return outcome;
+}
+
+Result<std::vector<SearchOutcome>> Scheme1Client::MultiSearch(
+    const std::vector<std::string>& keywords) {
+  if (!options_.batch_ops) return SseClientInterface::MultiSearch(keywords);
+  const size_t n = keywords.size();
+  std::vector<SearchOutcome> outcomes(n);
+  if (n == 0) return outcomes;
+
+  // Round 1 (Fig. 2): all K trapdoors pipelined in one MultiCall.
+  std::vector<Bytes> tokens(n);
+  std::vector<net::Message> round1;
+  round1.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SSE_ASSIGN_OR_RETURN(tokens[i], Trapdoor(keywords[i]));
+    S1SearchRequest req;
+    req.token = tokens[i];
+    round1.push_back(req.ToMessage());
+  }
+  std::vector<Result<net::Message>> replies = channel_->MultiCall(round1);
+
+  // Round 2 only for the keywords the server knows: release each r.
+  std::vector<size_t> found;
+  std::vector<net::Message> round2;
+  for (size_t i = 0; i < n; ++i) {
+    if (!replies[i].ok()) return replies[i].status();
+    S1SearchNonceReply nonce_reply;
+    SSE_ASSIGN_OR_RETURN(nonce_reply,
+                         S1SearchNonceReply::FromMessage(*replies[i]));
+    if (!nonce_reply.found) continue;  // never stored: empty outcome
+    S1SearchFinish finish;
+    finish.token = tokens[i];
+    SSE_ASSIGN_OR_RETURN(finish.nonce,
+                         elgamal_.Decrypt(nonce_reply.enc_nonce));
+    found.push_back(i);
+    round2.push_back(finish.ToMessage());
+  }
+  std::vector<Result<net::Message>> results = channel_->MultiCall(round2);
+  for (size_t k = 0; k < found.size(); ++k) {
+    if (!results[k].ok()) return results[k].status();
+    SSE_ASSIGN_OR_RETURN(outcomes[found[k]], ParseSearchResult(*results[k]));
+  }
+  return outcomes;
 }
 
 }  // namespace sse::core

@@ -35,6 +35,11 @@ class Scheme1Client : public SseClientInterface {
 
   Status Store(const std::vector<Document>& docs) override;
   Result<SearchOutcome> Search(std::string_view keyword) override;
+  /// With SchemeOptions::batch_ops, runs all K two-round searches as two
+  /// pipelined MultiCall rounds (round 2 only for found keywords) instead
+  /// of 2·K sequential round trips. Without it, falls back to the loop.
+  Result<std::vector<SearchOutcome>> MultiSearch(
+      const std::vector<std::string>& keywords) override;
   Status FakeUpdate(const std::vector<std::string>& keywords) override;
   std::string name() const override { return "scheme1"; }
 
@@ -69,8 +74,14 @@ class Scheme1Client : public SseClientInterface {
   };
 
   /// Runs the two-round Fig. 1 protocol for `updates` plus `documents`.
+  /// With SchemeOptions::batch_ops each round is K per-keyword ops through
+  /// the channel's MultiCall (batched + pipelined over a RetryingChannel);
+  /// otherwise each round is one monolithic message.
   Status RunUpdateProtocol(const std::vector<PendingUpdate>& updates,
                            const std::vector<Document>& documents);
+
+  /// Decodes an S1SearchResult message into ids + decrypted documents.
+  Result<SearchOutcome> ParseSearchResult(const net::Message& msg);
 
   crypto::Prf prf_;
   crypto::ElGamal elgamal_;

@@ -162,9 +162,10 @@ Status Scheme2Client::RunUpdateProtocol(
     const std::vector<Document>& documents) {
   uint32_t update_ctr = 0;
   SSE_ASSIGN_OR_RETURN(update_ctr, NextUpdateCounter());
+  const bool batched = options_.batch_ops && !updates.empty();
 
-  S2UpdateRequest req;
-  req.entries.reserve(updates.size());
+  std::vector<S2UpdateEntry> entries;
+  entries.reserve(updates.size());
   for (const PendingUpdate& u : updates) {
     S2UpdateEntry entry;
     SSE_ASSIGN_OR_RETURN(entry.token, Token(u.keyword));
@@ -178,18 +179,45 @@ Status Scheme2Client::RunUpdateProtocol(
     SSE_ASSIGN_OR_RETURN(entry.segment.ciphertext,
                          cipher->Encrypt(plain, *rng_));
     SSE_ASSIGN_OR_RETURN(entry.segment.tag, crypto::HashChain::Tag(key));
-    req.entries.push_back(std::move(entry));
+    entries.push_back(std::move(entry));
   }
 
-  req.documents.reserve(documents.size());
+  std::vector<WireDocument> wire_docs;
+  wire_docs.reserve(documents.size());
   for (const Document& doc : documents) {
     WireDocument wire;
     wire.id = doc.id;
     SSE_ASSIGN_OR_RETURN(wire.ciphertext,
                          aead_.Seal(doc.content, EncodeDocId(doc.id), *rng_));
-    req.documents.push_back(std::move(wire));
+    wire_docs.push_back(std::move(wire));
   }
 
+  if (batched) {
+    // One op per keyword, pipelined through MultiCall; documents ride with
+    // the first op (the server extracts them before routing).
+    std::vector<net::Message> round;
+    round.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      S2UpdateRequest one;
+      one.entries.push_back(std::move(entries[i]));
+      if (i == 0) one.documents = std::move(wire_docs);
+      round.push_back(one.ToMessage());
+    }
+    std::vector<Result<net::Message>> replies = channel_->MultiCall(round);
+    for (Result<net::Message>& ack_msg : replies) {
+      if (!ack_msg.ok()) return ack_msg.status();
+      S2UpdateAck ack;
+      SSE_ASSIGN_OR_RETURN(ack, S2UpdateAck::FromMessage(*ack_msg));
+      if (ack.keywords_updated != 1) {
+        return Status::ProtocolError("server acknowledged wrong keyword count");
+      }
+    }
+    return Status::OK();
+  }
+
+  S2UpdateRequest req;
+  req.entries = std::move(entries);
+  req.documents = std::move(wire_docs);
   net::Message ack_msg;
   SSE_ASSIGN_OR_RETURN(ack_msg, channel_->Call(req.ToMessage()));
   S2UpdateAck ack;
@@ -209,9 +237,14 @@ Result<SearchOutcome> Scheme2Client::Search(std::string_view keyword) {
 
   net::Message reply_msg;
   SSE_ASSIGN_OR_RETURN(reply_msg, channel_->Call(req.ToMessage()));
-  S2SearchResult result;
-  SSE_ASSIGN_OR_RETURN(result, S2SearchResult::FromMessage(reply_msg));
   searched_since_update_ = true;
+  return ParseSearchResult(reply_msg);
+}
+
+Result<SearchOutcome> Scheme2Client::ParseSearchResult(
+    const net::Message& msg) {
+  S2SearchResult result;
+  SSE_ASSIGN_OR_RETURN(result, S2SearchResult::FromMessage(msg));
   last_chain_steps_ = result.chain_steps;
   last_segments_ = result.segments_decrypted;
 
@@ -227,6 +260,33 @@ Result<SearchOutcome> Scheme2Client::Search(std::string_view keyword) {
     outcome.documents.emplace_back(wire.id, std::move(plain));
   }
   return outcome;
+}
+
+Result<std::vector<SearchOutcome>> Scheme2Client::MultiSearch(
+    const std::vector<std::string>& keywords) {
+  if (!options_.batch_ops) return SseClientInterface::MultiSearch(keywords);
+  const size_t n = keywords.size();
+  std::vector<SearchOutcome> outcomes(n);
+  if (n == 0) return outcomes;
+
+  // Scheme 2 searches are one round, so all K fit in a single MultiCall.
+  std::vector<net::Message> round;
+  round.reserve(n);
+  for (const std::string& keyword : keywords) {
+    Trapdoor trapdoor;
+    SSE_ASSIGN_OR_RETURN(trapdoor, MakeTrapdoor(keyword));
+    S2SearchRequest req;
+    req.token = std::move(trapdoor.token);
+    req.chain_element = std::move(trapdoor.chain_element);
+    round.push_back(req.ToMessage());
+  }
+  std::vector<Result<net::Message>> replies = channel_->MultiCall(round);
+  searched_since_update_ = true;
+  for (size_t i = 0; i < n; ++i) {
+    if (!replies[i].ok()) return replies[i].status();
+    SSE_ASSIGN_OR_RETURN(outcomes[i], ParseSearchResult(*replies[i]));
+  }
+  return outcomes;
 }
 
 Bytes Scheme2Client::SerializeState() const {

@@ -39,6 +39,10 @@ class Scheme2Client : public SseClientInterface {
 
   Status Store(const std::vector<Document>& docs) override;
   Result<SearchOutcome> Search(std::string_view keyword) override;
+  /// With SchemeOptions::batch_ops, runs all K one-round searches as one
+  /// pipelined MultiCall round instead of K sequential round trips.
+  Result<std::vector<SearchOutcome>> MultiSearch(
+      const std::vector<std::string>& keywords) override;
   Status FakeUpdate(const std::vector<std::string>& keywords) override;
   std::string name() const override { return "scheme2"; }
 
@@ -102,8 +106,15 @@ class Scheme2Client : public SseClientInterface {
   /// when the chain is spent.
   Result<uint32_t> NextUpdateCounter();
 
+  /// With SchemeOptions::batch_ops the round is K per-keyword ops through
+  /// MultiCall; otherwise one monolithic message. The counter policy is
+  /// identical either way: the whole run shares one update counter.
   Status RunUpdateProtocol(const std::vector<PendingUpdate>& updates,
                            const std::vector<Document>& documents);
+
+  /// Decodes an S2SearchResult into ids + decrypted documents, updating
+  /// the diagnostic counters.
+  Result<SearchOutcome> ParseSearchResult(const net::Message& msg);
 
   crypto::Prf prf_;
   crypto::Aead aead_;

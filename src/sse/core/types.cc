@@ -11,6 +11,18 @@ Document Document::Make(uint64_t id, std::string_view content,
   return d;
 }
 
+Result<std::vector<SearchOutcome>> SseClientInterface::MultiSearch(
+    const std::vector<std::string>& keywords) {
+  std::vector<SearchOutcome> outcomes;
+  outcomes.reserve(keywords.size());
+  for (const std::string& keyword : keywords) {
+    Result<SearchOutcome> one = Search(keyword);
+    if (!one.ok()) return one.status();
+    outcomes.push_back(std::move(one).value());
+  }
+  return outcomes;
+}
+
 Bytes EncodeDocId(uint64_t id) {
   Bytes out(8);
   for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(id >> (8 * i));

@@ -46,6 +46,14 @@ class SseClientInterface {
   /// `keyword`.
   virtual Result<SearchOutcome> Search(std::string_view keyword) = 0;
 
+  /// Searches many keywords in one protocol run, returning outcomes
+  /// aligned with `keywords`. The default loops Search sequentially (K
+  /// round trips); scheme clients with SchemeOptions::batch_ops pipeline
+  /// all K searches into ~one batched frame per protocol round. Any
+  /// per-keyword failure fails the whole call.
+  virtual Result<std::vector<SearchOutcome>> MultiSearch(
+      const std::vector<std::string>& keywords);
+
   /// A "fake update" (§5.7): runs the update protocol for `keywords`
   /// without changing any posting, hiding real update sizes from the
   /// server. Baselines that cannot express this return UNIMPLEMENTED.

@@ -77,6 +77,13 @@ std::string MetricsSnapshot::ToString() const {
                 static_cast<unsigned long long>(doc_puts),
                 static_cast<unsigned long long>(doc_fetches));
   out += buf;
+  if (batches > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "batches: %llu envelopes carrying %llu ops\n",
+                  static_cast<unsigned long long>(batches),
+                  static_cast<unsigned long long>(batch_ops));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "handle latency: mean %.1f us, p50 %.1f us, p99 %.1f us\n",
                 handle_latency.mean_micros(),
@@ -114,6 +121,8 @@ MetricsSnapshot EngineMetrics::Snap() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.scatters = scatters_.load(std::memory_order_relaxed);
   s.broadcasts = broadcasts_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_ops = batch_ops_.load(std::memory_order_relaxed);
   s.doc_puts = doc_puts_.load(std::memory_order_relaxed);
   s.doc_fetches = doc_fetches_.load(std::memory_order_relaxed);
   return s;

@@ -56,6 +56,8 @@ struct MetricsSnapshot {
   uint64_t requests = 0;
   uint64_t scatters = 0;    // requests split across >1 shard
   uint64_t broadcasts = 0;  // requests sent to every shard
+  uint64_t batches = 0;     // kMsgBatch envelopes unpacked
+  uint64_t batch_ops = 0;   // sub-ops carried inside those envelopes
   uint64_t doc_puts = 0;
   uint64_t doc_fetches = 0;
 
@@ -78,6 +80,10 @@ class EngineMetrics {
   void AddRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
   void AddScatter() { scatters_.fetch_add(1, std::memory_order_relaxed); }
   void AddBroadcast() { broadcasts_.fetch_add(1, std::memory_order_relaxed); }
+  void AddBatch(uint64_t ops) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_ops_.fetch_add(ops, std::memory_order_relaxed);
+  }
   void AddDocPuts(uint64_t n) {
     doc_puts_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -94,6 +100,8 @@ class EngineMetrics {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> scatters_{0};
   std::atomic<uint64_t> broadcasts_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_ops_{0};
   std::atomic<uint64_t> doc_puts_{0};
   std::atomic<uint64_t> doc_fetches_{0};
 };

@@ -1,8 +1,10 @@
 #include "sse/engine/server_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
+#include "sse/net/batch.h"
 #include "sse/util/serde.h"
 
 namespace sse::engine {
@@ -60,20 +62,92 @@ Result<std::unique_ptr<ServerEngine>> ServerEngine::Create(
 Result<net::Message> ServerEngine::Handle(const net::Message& request) {
   metrics_.AddRequest();
   const Clock::time_point t0 = Clock::now();
-  Result<net::Message> reply = HandleDeduped(request);
+  Result<net::Message> reply = request.type == net::kMsgBatch
+                                   ? HandleBatch(request)
+                                   : HandleDeduped(request, /*allow_pool=*/true);
   metrics_.handle_latency().Record(NanosSince(t0));
   return reply;
 }
 
-Result<net::Message> ServerEngine::HandleDeduped(const net::Message& request) {
+Result<net::Message> ServerEngine::HandleBatch(const net::Message& request) {
+  net::BatchRequest batch;
+  SSE_ASSIGN_OR_RETURN(batch, net::BatchRequest::FromMessage(request));
+  const size_t n = batch.ops.size();
+  metrics_.AddBatch(n);
+
+  // Rebuild each sub-op as a standalone message. A stamped envelope stamps
+  // each sub with (envelope client_id, op seq) — the op's dedup identity,
+  // stable across retried envelopes — via full StampSession so the sub
+  // round-trips WAL journaling (DurableServer encodes and replays it).
+  std::vector<net::Message> subs(n);
+  for (size_t i = 0; i < n; ++i) {
+    subs[i].type = batch.ops[i].type;
+    subs[i].payload = std::move(batch.ops[i].payload);
+    if (request.has_session) {
+      subs[i].StampSession(request.client_id, batch.ops[i].seq);
+    }
+  }
+
+  // Fan the sub-ops across the worker pool; each travels the normal
+  // single-op path (dedup, routing, shard locks) and so cannot be told
+  // apart from a client that sent it alone. Sub-ops running as pool tasks
+  // must not re-enter the pool for their own scatters (allow_pool=false).
+  const bool use_pool = options_.parallel_scatter && n > 1;
+  auto run_one = [this, &subs, use_pool](size_t i) -> net::Message {
+    if (subs[i].type == net::kMsgBatch) {
+      return net::MakeErrorMessage(
+          Status::InvalidArgument("batch envelopes cannot nest"));
+    }
+    Result<net::Message> r = HandleDeduped(subs[i], /*allow_pool=*/!use_pool);
+    if (!r.ok()) return net::MakeErrorMessage(r.status());
+    return std::move(r).value();
+  };
+  std::vector<net::Message> outs(n);
+  if (use_pool) {
+    // One pool task per contiguous chunk of sub-ops, not one per sub-op:
+    // a small sub-op finishes faster than a queue handoff costs, so
+    // per-op tasks would spend more time in the pool mutex than in the
+    // index. Chunking bounds handoffs at the worker count.
+    const size_t chunks =
+        std::max<size_t>(1, std::min(pool_->thread_count(), n));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * n / chunks;
+      const size_t end = (c + 1) * n / chunks;
+      tasks.push_back([&outs, &run_one, begin, end] {
+        for (size_t i = begin; i < end; ++i) outs[i] = run_one(i);
+      });
+    }
+    pool_->RunBatch(std::move(tasks));
+  } else {
+    for (size_t i = 0; i < n; ++i) outs[i] = run_one(i);
+  }
+
+  // Reply entries are (type, payload) only: the sub replies' individual
+  // session stamps are redundant inside the envelope, whose own echoed
+  // stamp and CRC cover the assembled reply end to end.
+  net::BatchReply breply;
+  breply.entries.reserve(n);
+  for (net::Message& out : outs) {
+    breply.entries.push_back(
+        net::BatchReply::Entry{out.type, std::move(out.payload)});
+  }
+  net::Message reply = breply.ToMessage();
+  reply.EchoSession(request);
+  return reply;
+}
+
+Result<net::Message> ServerEngine::HandleDeduped(const net::Message& request,
+                                                 bool allow_pool) {
   if (reply_cache_ == nullptr || !request.has_session) {
-    return HandleInternal(request);
+    return HandleInternal(request, allow_pool);
   }
   if (!IsMutating(request.type)) {
     // Read-only calls are idempotent: re-executing a retry is harmless and
     // cheaper than recording multi-KB search results in the cache. Echo
     // the stamp so the client can still match the reply to its call.
-    Result<net::Message> reply = HandleInternal(request);
+    Result<net::Message> reply = HandleInternal(request, allow_pool);
     if (reply.ok()) reply->EchoSession(request);
     return reply;
   }
@@ -93,7 +167,7 @@ Result<net::Message> ServerEngine::HandleDeduped(const net::Message& request) {
     case core::ReplyCache::Outcome::kNew:
       break;
   }
-  Result<net::Message> reply = HandleInternal(request);
+  Result<net::Message> reply = HandleInternal(request, allow_pool);
   if (reply.ok()) {
     reply->EchoSession(request);
     reply_cache_->Commit(request.client_id, request.seq, *reply);
@@ -105,7 +179,8 @@ Result<net::Message> ServerEngine::HandleDeduped(const net::Message& request) {
   return reply;
 }
 
-Result<net::Message> ServerEngine::HandleInternal(const net::Message& request) {
+Result<net::Message> ServerEngine::HandleInternal(const net::Message& request,
+                                                  bool allow_pool) {
   if (request.type == net::kMsgFetchDocuments) {
     return HandleFetchDocuments(request);
   }
@@ -140,7 +215,7 @@ Result<net::Message> ServerEngine::HandleInternal(const net::Message& request) {
         }
       });
     }
-    if (options_.parallel_scatter) {
+    if (options_.parallel_scatter && allow_pool) {
       pool_->RunBatch(std::move(tasks));
     } else {
       for (auto& task : tasks) task();
@@ -217,6 +292,9 @@ Result<net::Message> ServerEngine::DispatchSub(const SubRequest& sub) {
 }
 
 bool ServerEngine::IsMutating(uint16_t msg_type) const {
+  // A batch envelope may carry mutating sub-ops; callers that cannot see
+  // inside it (WAL policy, serialization guards) must assume it does.
+  if (msg_type == net::kMsgBatch) return true;
   return adapter_->IsMutating(msg_type);
 }
 

@@ -98,8 +98,18 @@ class ServerEngine : public core::PersistableHandler {
 
   ServerEngine(std::unique_ptr<SchemeAdapter> adapter, EngineOptions options);
 
-  Result<net::Message> HandleDeduped(const net::Message& request);
-  Result<net::Message> HandleInternal(const net::Message& request);
+  /// Unpacks a kMsgBatch envelope and runs each sub-op through the normal
+  /// dedup + routing path, fanning sub-ops across the worker pool. Per-op
+  /// failures come back as kMsgError entries in the BatchReply; the
+  /// envelope itself only fails on a malformed envelope.
+  Result<net::Message> HandleBatch(const net::Message& request);
+  /// `allow_pool` is false when the caller is itself a pool task (batch
+  /// sub-ops): a nested scatter then runs sequentially, since the worker
+  /// pool must never block a worker on work queued behind it.
+  Result<net::Message> HandleDeduped(const net::Message& request,
+                                     bool allow_pool);
+  Result<net::Message> HandleInternal(const net::Message& request,
+                                      bool allow_pool);
   Result<net::Message> HandleFetchDocuments(const net::Message& request);
   Result<net::Message> DispatchSub(const SubRequest& sub);
 

@@ -21,6 +21,30 @@ std::string ChannelStats::ToString() const {
   return out;
 }
 
+Channel::CallId Channel::Submit(const Message& request) {
+  const CallId id = next_call_id_++;
+  buffered_.emplace(id, Call(request));
+  return id;
+}
+
+Result<Message> Channel::Await(CallId id) {
+  auto it = buffered_.find(id);
+  if (it == buffered_.end()) {
+    return Status::InvalidArgument("unknown or already-awaited call ticket");
+  }
+  Result<Message> result = std::move(it->second);
+  buffered_.erase(it);
+  return result;
+}
+
+std::vector<Result<Message>> Channel::MultiCall(
+    const std::vector<Message>& requests) {
+  std::vector<Result<Message>> results;
+  results.reserve(requests.size());
+  for (const Message& request : requests) results.push_back(Call(request));
+  return results;
+}
+
 InProcessChannel::InProcessChannel(MessageHandler* handler, Options options)
     : handler_(handler), options_(options) {}
 
@@ -29,6 +53,7 @@ Result<Message> InProcessChannel::Call(const Message& request) {
   // transport would carry, and so the server never aliases client memory.
   Bytes wire = request.Encode();
   stats_.rounds += 1;
+  stats_.frames_sent += 1;
   stats_.bytes_sent += wire.size();
   stats_.calls_by_type[request.type] += 1;
 
@@ -41,6 +66,7 @@ Result<Message> InProcessChannel::Call(const Message& request) {
     reply = MakeErrorMessage(reply.status());
   }
   Bytes reply_wire = reply->Encode();
+  stats_.frames_received += 1;
   stats_.bytes_received += reply_wire.size();
 
   if (options_.rtt_ms > 0.0) virtual_time_ms_ += options_.rtt_ms;

@@ -27,6 +27,11 @@ struct ChannelStats {
   uint64_t rounds = 0;
   uint64_t bytes_sent = 0;      // client -> server, framed
   uint64_t bytes_received = 0;  // server -> client, framed
+  /// Physical frames on the wire. One Call is one frame each way, but a
+  /// pipelined batch envelope carries many logical ops per frame — these
+  /// counters are what the "K-keyword Store in ≤4 frames" claims measure.
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
   std::map<uint16_t, uint64_t> calls_by_type;
   /// Faults deliberately injected by a testing decorator (fault.h, chaos.h)
   /// at or below this channel. Zero on real transports.
@@ -47,8 +52,26 @@ struct Exchange {
 
 /// Client-side connection abstraction: one `Call` is one communication
 /// round.
+///
+/// Channels also expose an *asynchronous* form of the same exchange:
+/// `Submit` hands a request to the transport and returns a ticket,
+/// `Await` blocks for that request's reply. A true pipelined transport
+/// (TcpChannel) writes the frame immediately and keeps reading frames
+/// until the awaited reply arrives, correlating replies to in-flight
+/// submissions by their (client_id, seq) session echo — so many calls can
+/// be on the wire at once. The base implementation degrades gracefully:
+/// Submit executes the call synchronously and buffers the result, which
+/// keeps every decorator (fault injection, chaos, in-process) correct
+/// without changes, just without wire-level overlap.
+///
+/// Channels are single-caller objects: Submit/Await/Call must not race
+/// from multiple threads (use one channel per client thread, as the rest
+/// of the stack already does).
 class Channel {
  public:
+  /// Ticket for a submitted-but-not-awaited call, unique per channel.
+  using CallId = uint64_t;
+
   virtual ~Channel() = default;
 
   /// Sends `request`, waits for the reply. Transport-level failures come
@@ -56,15 +79,40 @@ class Channel {
   /// its embedded status.
   virtual Result<Message> Call(const Message& request) = 0;
 
+  /// Starts a call without waiting for its reply. The default executes
+  /// eagerly via Call and buffers the outcome for Await.
+  virtual CallId Submit(const Message& request);
+
+  /// Blocks until the reply for `id` is available and returns it. Each
+  /// ticket can be awaited exactly once; awaiting an unknown ticket is an
+  /// INVALID_ARGUMENT.
+  virtual Result<Message> Await(CallId id);
+
+  /// Submitted calls whose replies have not been awaited yet.
+  virtual size_t pending_calls() const { return buffered_.size(); }
+
+  /// Executes many logical calls, returning per-op outcomes aligned with
+  /// `requests`. The default loops Call sequentially; a RetryingChannel
+  /// overrides this to pack the ops into pipelined batch envelopes with
+  /// per-op retry (see net/retry.h).
+  virtual std::vector<Result<Message>> MultiCall(
+      const std::vector<Message>& requests);
+
   /// Discards any transport state that could deliver a stale reply — a TCP
   /// channel drops and re-establishes its connection, a fault/chaos
   /// decorator flushes its simulated in-flight queue. Retry layers call
   /// this before re-sending after an ambiguous failure. No-op by default
-  /// (an in-process call cannot leave residue).
+  /// (an in-process call cannot leave residue). Pipelined transports fail
+  /// any still-pending submissions.
   virtual void Reset() {}
 
   virtual const ChannelStats& stats() const = 0;
   virtual void ResetStats() = 0;
+
+ protected:
+  /// Buffered results for the default (synchronous) Submit/Await pair.
+  std::map<CallId, Result<Message>> buffered_;
+  CallId next_call_id_ = 1;
 };
 
 /// In-process channel: dispatches directly to a `MessageHandler`, counting

@@ -58,6 +58,20 @@ Result<Message> Message::Decode(BytesView data) {
   return msg;
 }
 
+bool Message::PeekSession(BytesView data, uint64_t* client_id, uint64_t* seq) {
+  BufferReader r(data);
+  auto type = r.GetU16();
+  if (!type.ok() || (*type & kMsgFlagSession) == 0) return false;
+  auto len = r.GetU32();
+  if (!len.ok()) return false;
+  auto client = r.GetU64();
+  auto sequence = r.GetU64();
+  if (!client.ok() || !sequence.ok()) return false;
+  *client_id = *client;
+  *seq = *sequence;
+  return true;
+}
+
 std::string MessageTypeName(uint16_t type) {
   switch (type) {
     case kMsgError:
@@ -70,6 +84,10 @@ std::string MessageTypeName(uint16_t type) {
       return "FetchDocuments";
     case kMsgFetchDocumentsResult:
       return "FetchDocumentsResult";
+    case kMsgBatch:
+      return "Batch";
+    case kMsgBatchReply:
+      return "BatchReply";
     default:
       break;
   }

@@ -61,6 +61,13 @@ struct Message {
   /// the transport delivered damaged bytes and the sender should retry.
   static Result<Message> Decode(BytesView data);
 
+  /// Best-effort parse of just the session stamp of a frame whose full
+  /// Decode failed (e.g. a corrupt payload). Lets a pipelined server
+  /// address its error reply to the right in-flight call: the stamp fields
+  /// sit before the payload, so they usually survive payload damage. False
+  /// when the header itself is unreadable or unstamped.
+  static bool PeekSession(BytesView data, uint64_t* client_id, uint64_t* seq);
+
   static constexpr size_t kSessionHeaderSize = 8 + 8 + 4;
 };
 
@@ -77,6 +84,9 @@ inline constexpr uint16_t kMsgPutDocument = kMsgRangeCommon + 2;
 inline constexpr uint16_t kMsgPutDocumentAck = kMsgRangeCommon + 3;
 inline constexpr uint16_t kMsgFetchDocuments = kMsgRangeCommon + 4;
 inline constexpr uint16_t kMsgFetchDocumentsResult = kMsgRangeCommon + 5;
+/// Batch envelope: N logical sub-ops in one frame (see sse/net/batch.h).
+inline constexpr uint16_t kMsgBatch = kMsgRangeCommon + 6;
+inline constexpr uint16_t kMsgBatchReply = kMsgRangeCommon + 7;
 
 /// Human-readable name for a message type (for transcripts and benches).
 std::string MessageTypeName(uint16_t type);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <thread>
+#include <utility>
 
+#include "sse/net/batch.h"
 #include "sse/util/crc32.h"
 
 namespace sse::net {
@@ -115,6 +118,195 @@ Result<Message> RetryingChannel::Call(const Message& request) {
   return Status(last.code(), "retries exhausted after " +
                                  std::to_string(options_.max_attempts) +
                                  " attempts; last: " + last.ToString());
+}
+
+std::vector<Result<Message>> RetryingChannel::MultiCall(
+    const std::vector<Message>& requests) {
+  const size_t n = requests.size();
+  if (n == 0) return {};
+  // Without session stamps there is no per-op dedup identity, so batching
+  // retried sub-ops would be at-least-once; fall back to sequential calls.
+  if (!options_.stamp_sessions) return Channel::MultiCall(requests);
+
+  retry_stats_.calls += n;
+  // One seq per logical op, fixed for its lifetime: this is the dedup key
+  // the server's ReplyCache sees, no matter which envelope carries the op.
+  std::vector<uint64_t> seqs(n);
+  for (size_t i = 0; i < n; ++i) seqs[i] = next_seq_++;
+
+  std::vector<Result<Message>> results(
+      n, Status::Internal("multicall op never settled"));
+  std::vector<bool> settled(n, false);
+  std::vector<int> attempts(n, 0);
+  size_t remaining = n;
+  auto settle = [&](size_t i, Result<Message> r) {
+    if (settled[i]) return;
+    settled[i] = true;
+    results[i] = std::move(r);
+    remaining -= 1;
+  };
+
+  const double start_ms = NowMs();
+  double backoff_ms = 0.0;
+  Status last = Status::OK();
+  const int max_attempts = std::max(1, options_.max_attempts);
+
+  /// One wire frame of the current round: either a kMsgBatch envelope of
+  /// several ops or a single stamped op.
+  struct Group {
+    std::vector<size_t> ops;  // indices into `requests`
+    Message envelope;
+    bool is_batch = false;
+  };
+
+  // Classify one group's reply, settling ops that finished (successfully
+  // or with a permanent error) and leaving retryable ones for next round.
+  auto absorb = [&](const Group& g, Result<Message> reply) {
+    if (!reply.ok()) {
+      last = reply.status();
+      if (!ShouldRetry(last)) {
+        for (size_t i : g.ops) settle(i, last);
+      }
+      return;
+    }
+    if (reply->has_session) {
+      if (reply->client_id != client_id_ || reply->seq != g.envelope.seq) {
+        // Echo of some superseded attempt: drop the frame, retry the group.
+        retry_stats_.stale_replies += 1;
+        last = Status::Unavailable("stale reply (stream out of sync)");
+        return;
+      }
+      if (Crc32c(reply->payload) != reply->payload_crc) {
+        retry_stats_.corrupt_replies += 1;
+        last = Status::Corruption("reply payload fails its checksum");
+        if (!options_.retry_corrupt_replies) {
+          for (size_t i : g.ops) settle(i, last);
+        }
+        return;
+      }
+    }
+    if (!g.is_batch) {
+      settle(g.ops[0], std::move(*reply));
+      return;
+    }
+    Result<BatchReply> decoded = BatchReply::FromMessage(*reply);
+    if (!decoded.ok() || decoded->entries.size() != g.ops.size()) {
+      retry_stats_.corrupt_replies += 1;
+      last = decoded.ok()
+                 ? Status::ProtocolError("batch reply entry count mismatch")
+                 : decoded.status();
+      return;
+    }
+    for (size_t k = 0; k < g.ops.size(); ++k) {
+      const size_t i = g.ops[k];
+      BatchReply::Entry& e = decoded->entries[k];
+      Message op_reply{e.type, std::move(e.payload)};
+      Status app_error = DecodeErrorMessage(op_reply);
+      if (!app_error.ok()) {
+        last = app_error;
+        // A retryable sub-op failure (e.g. one shard timing out) keeps
+        // only THAT op unsettled; its neighbors' outcomes stand.
+        if (!ShouldRetry(app_error)) settle(i, app_error);
+      } else {
+        settle(i, std::move(op_reply));
+      }
+    }
+  };
+
+  bool first_round = true;
+  while (remaining > 0) {
+    if (!first_round) {
+      inner_->Reset();
+      retry_stats_.resets += 1;
+      backoff_ms = NextBackoff(backoff_ms);
+      SleepMs(backoff_ms);
+    }
+    if (options_.call_deadline_ms > 0.0 &&
+        NowMs() - start_ms >= options_.call_deadline_ms) {
+      const Status expired = Status::DeadlineExceeded(
+          "multicall deadline exceeded" +
+          std::string(last.ok() ? "" : "; last: " + last.ToString()));
+      for (size_t i = 0; i < n; ++i) {
+        if (settled[i]) continue;
+        retry_stats_.deadline_exceeded += 1;
+        settle(i, expired);
+      }
+      break;
+    }
+
+    std::vector<size_t> round;
+    for (size_t i = 0; i < n; ++i) {
+      if (settled[i]) continue;
+      if (attempts[i] >= max_attempts) {
+        retry_stats_.exhausted += 1;
+        settle(i, Status(last.ok() ? StatusCode::kUnavailable : last.code(),
+                         "retries exhausted after " +
+                             std::to_string(max_attempts) +
+                             " attempts; last: " + last.ToString()));
+        continue;
+      }
+      round.push_back(i);
+    }
+    if (round.empty()) break;
+    for (size_t i : round) {
+      attempts[i] += 1;
+      retry_stats_.attempts += 1;
+      if (attempts[i] > 1) retry_stats_.retries += 1;
+    }
+
+    const size_t group_size =
+        options_.batch_size <= 1 ? 1
+                                 : static_cast<size_t>(options_.batch_size);
+    std::vector<Group> groups;
+    for (size_t off = 0; off < round.size(); off += group_size) {
+      Group g;
+      const size_t end = std::min(off + group_size, round.size());
+      for (size_t k = off; k < end; ++k) g.ops.push_back(round[k]);
+      g.is_batch = group_size > 1;
+      if (g.is_batch) {
+        BatchRequest batch;
+        batch.ops.reserve(g.ops.size());
+        for (size_t i : g.ops) {
+          batch.ops.push_back(
+              BatchRequest::Op{seqs[i], requests[i].type,
+                               requests[i].payload});
+        }
+        g.envelope = batch.ToMessage();
+        // Fresh envelope seq per attempt: a retried envelope is a NEW
+        // frame to the transport/dedup layers; only its sub-op seqs (the
+        // real dedup identities) are stable across retries.
+        g.envelope.StampSession(client_id_, next_seq_++);
+        retry_stats_.batches += 1;
+      } else {
+        const size_t i = g.ops[0];
+        g.envelope = requests[i];
+        g.envelope.StampSession(client_id_, seqs[i]);
+      }
+      groups.push_back(std::move(g));
+    }
+
+    // Slide up to max_inflight envelopes through the wire at once,
+    // awaiting replies in submission order.
+    const size_t window =
+        options_.max_inflight < 1 ? 1
+                                  : static_cast<size_t>(options_.max_inflight);
+    std::deque<std::pair<CallId, size_t>> pending;  // (ticket, group index)
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      while (pending.size() >= window) {
+        auto [ticket, done_gi] = pending.front();
+        pending.pop_front();
+        absorb(groups[done_gi], inner_->Await(ticket));
+      }
+      pending.emplace_back(inner_->Submit(groups[gi].envelope), gi);
+    }
+    while (!pending.empty()) {
+      auto [ticket, done_gi] = pending.front();
+      pending.pop_front();
+      absorb(groups[done_gi], inner_->Await(ticket));
+    }
+    first_round = false;
+  }
+  return results;
 }
 
 }  // namespace sse::net

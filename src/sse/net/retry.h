@@ -41,6 +41,13 @@ struct RetryOptions {
 
   /// Session identity; 0 draws a random id at construction.
   uint64_t client_id = 0;
+
+  /// MultiCall packing: ops per kMsgBatch envelope. <= 1 sends each op as
+  /// its own stamped frame (pipelined but unbatched).
+  int batch_size = 64;
+  /// MultiCall pipelining: envelopes submitted before awaiting the first
+  /// reply. 1 restores lockstep one-envelope-at-a-time behavior.
+  int max_inflight = 4;
 };
 
 /// Client-visible retry accounting, separate from the byte-level
@@ -54,6 +61,7 @@ struct RetryStats {
   uint64_t corrupt_replies = 0;   // reply failed its checksum client-side
   uint64_t deadline_exceeded = 0; // calls abandoned on the deadline
   uint64_t exhausted = 0;         // calls abandoned after max_attempts
+  uint64_t batches = 0;           // kMsgBatch envelopes sent by MultiCall
 };
 
 /// Decorator that turns any Channel into a reliable, exactly-once call
@@ -73,6 +81,19 @@ class RetryingChannel : public Channel {
                   RandomSource* rng = nullptr);
 
   Result<Message> Call(const Message& request) override;
+
+  /// Executes many logical ops with per-op exactly-once semantics. Ops are
+  /// packed into kMsgBatch envelopes of `batch_size` and up to
+  /// `max_inflight` envelopes are pipelined through the inner channel's
+  /// Submit/Await at once. Each op keeps ONE session seq across every
+  /// retry (that seq is its dedup identity at the server's ReplyCache),
+  /// while each envelope gets a FRESH seq per attempt — so a retried
+  /// envelope is a new frame but its sub-ops still dedup individually, and
+  /// a partially-failed batch retries only the ops that failed.
+  /// Requires stamp_sessions; without it this degrades to sequential Call.
+  std::vector<Result<Message>> MultiCall(
+      const std::vector<Message>& requests) override;
+
   void Reset() override { inner_->Reset(); }
 
   const ChannelStats& stats() const override { return inner_->stats(); }

@@ -9,6 +9,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <condition_variable>
 #include <cstring>
 #include <mutex>
 
@@ -204,27 +205,108 @@ void TcpServer::Serve() {
   }
 }
 
+Message TcpServer::HandleFrame(const Bytes& frame) {
+  Result<Message> request = Message::Decode(frame);
+  Result<Message> reply = [&]() -> Result<Message> {
+    if (!request.ok()) return request.status();
+    if (options_.serialize_handler) {
+      std::lock_guard<std::mutex> lock(handler_mutex_);
+      return handler_->Handle(*request);
+    }
+    // Thread-safe handler (e.g. the sharded engine): let connections
+    // dispatch concurrently.
+    return handler_->Handle(*request);
+  }();
+  requests_served_.fetch_add(1);
+  if (reply.ok()) return std::move(*reply);
+  Message error = MakeErrorMessage(reply.status());
+  // Address the error to the call it answers, so a pipelined client can
+  // correlate it. When the request itself would not decode, salvage the
+  // stamp from the raw frame (it precedes the damaged payload).
+  if (request.ok()) {
+    error.EchoSession(*request);
+  } else {
+    uint64_t client_id = 0;
+    uint64_t seq = 0;
+    if (Message::PeekSession(frame, &client_id, &seq)) {
+      error.StampSession(client_id, seq);
+    }
+  }
+  return error;
+}
+
 void TcpServer::ServeConnection(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.pipelined && options_.pipeline_workers > 0) {
+    ServeConnectionPipelined(fd);
+    return;
+  }
   while (!stopping_.load()) {
     Result<Bytes> frame = ReadFrame(fd, /*eof_ok_at_start=*/true);
     if (!frame.ok()) return;  // clean close or broken peer: drop connection
-    Result<Message> request = Message::Decode(*frame);
-    Result<Message> reply = [&]() -> Result<Message> {
-      if (!request.ok()) return request.status();
-      if (options_.serialize_handler) {
-        std::lock_guard<std::mutex> lock(handler_mutex_);
-        return handler_->Handle(*request);
-      }
-      // Thread-safe handler (e.g. the sharded engine): let connections
-      // dispatch concurrently.
-      return handler_->Handle(*request);
-    }();
-    if (!reply.ok()) reply = MakeErrorMessage(reply.status());
-    requests_served_.fetch_add(1);
-    if (!WriteFrame(fd, reply->Encode()).ok()) return;
+    Message reply = HandleFrame(*frame);
+    if (!WriteFrame(fd, reply.Encode()).ok()) return;
   }
+}
+
+void TcpServer::ServeConnectionPipelined(int fd) {
+  // Reader (this thread) pulls frames continuously and feeds a bounded
+  // queue; a small dispatch pool handles requests and writes each reply as
+  // it completes under a shared write lock. The handler keeps working
+  // while the next frames are already being read off the socket.
+  struct ConnQueue {
+    std::mutex mu;
+    std::condition_variable can_push;
+    std::condition_variable can_pop;
+    std::deque<Bytes> frames;
+    bool closed = false;
+  } queue;
+  std::mutex write_mu;
+  std::atomic<bool> broken{false};
+
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(options_.pipeline_workers);
+  for (size_t i = 0; i < options_.pipeline_workers; ++i) {
+    dispatchers.emplace_back([this, fd, &queue, &write_mu, &broken] {
+      for (;;) {
+        Bytes frame;
+        {
+          std::unique_lock<std::mutex> lock(queue.mu);
+          queue.can_pop.wait(lock, [&queue] {
+            return queue.closed || !queue.frames.empty();
+          });
+          if (queue.frames.empty()) return;  // closed and drained
+          frame = std::move(queue.frames.front());
+          queue.frames.pop_front();
+        }
+        queue.can_push.notify_one();
+        Message reply = HandleFrame(frame);
+        std::lock_guard<std::mutex> lock(write_mu);
+        if (!broken.load() && !WriteFrame(fd, reply.Encode()).ok()) {
+          broken.store(true);
+        }
+      }
+    });
+  }
+
+  while (!stopping_.load() && !broken.load()) {
+    Result<Bytes> frame = ReadFrame(fd, /*eof_ok_at_start=*/true);
+    if (!frame.ok()) break;  // clean close or broken peer
+    std::unique_lock<std::mutex> lock(queue.mu);
+    queue.can_push.wait(lock, [this, &queue] {
+      return queue.frames.size() < options_.pipeline_queue;
+    });
+    queue.frames.push_back(std::move(*frame));
+    lock.unlock();
+    queue.can_pop.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue.mu);
+    queue.closed = true;
+  }
+  queue.can_pop.notify_all();
+  for (std::thread& t : dispatchers) t.join();
 }
 
 // ---------------------------------------------------------------- client --
@@ -315,7 +397,18 @@ void TcpChannel::MarkBroken() {
   }
 }
 
-void TcpChannel::Reset() { MarkBroken(); }
+void TcpChannel::FailInflight(const Status& status) {
+  for (const CallId id : inflight_order_) {
+    if (inflight_.count(id) > 0) buffered_.emplace(id, status);
+  }
+  inflight_.clear();
+  inflight_order_.clear();
+}
+
+void TcpChannel::Reset() {
+  MarkBroken();
+  FailInflight(Status::Unavailable("connection reset with calls in flight"));
+}
 
 Status TcpChannel::EnsureConnected() {
   if (fd_ >= 0) return Status::OK();
@@ -329,31 +422,118 @@ Status TcpChannel::EnsureConnected() {
   return Status::OK();
 }
 
-Result<Message> TcpChannel::Call(const Message& request) {
-  SSE_RETURN_IF_ERROR(EnsureConnected());
-  Bytes wire = request.Encode();
-  Status sent = WriteFrame(fd_, wire);
-  if (!sent.ok()) {
-    MarkBroken();
-    return sent;
+void TcpChannel::Complete(CallId id, Result<Message> reply) {
+  if (reply.ok()) {
+    // Surface an application-level error reply as its embedded status,
+    // exactly as the synchronous Call path does.
+    Status app_error = DecodeErrorMessage(*reply);
+    if (!app_error.ok()) reply = app_error;
   }
-  stats_.rounds += 1;
-  stats_.bytes_sent += wire.size();
-  stats_.calls_by_type[request.type] += 1;
+  inflight_.erase(id);
+  for (auto it = inflight_order_.begin(); it != inflight_order_.end(); ++it) {
+    if (*it == id) {
+      inflight_order_.erase(it);
+      break;
+    }
+  }
+  buffered_.emplace(id, std::move(reply));
+}
 
-  Result<Bytes> frame = ReadFrame(fd_, /*eof_ok_at_start=*/false);
-  if (!frame.ok()) {
-    // The stream may be mid-frame (e.g. a recv timeout); it cannot be
-    // reused without risking a stale reply. Force a redial on next use.
-    MarkBroken();
-    return frame.status();
+Channel::CallId TcpChannel::MatchReply(const Message& reply) const {
+  if (reply.has_session) {
+    for (const auto& [id, call] : inflight_) {
+      if (call.has_session && call.client_id == reply.client_id &&
+          call.seq == reply.seq) {
+        return id;
+      }
+    }
+    return 0;  // stale or unknown: not ours to deliver
   }
-  stats_.bytes_received += frame->size();
-  Result<Message> reply = Message::Decode(*frame);
-  if (!reply.ok()) return reply.status();
-  Status app_error = DecodeErrorMessage(*reply);
-  if (!app_error.ok()) return app_error;
-  return reply;
+  // Un-stamped reply: a lockstep server answers in order, so it belongs to
+  // the oldest in-flight call.
+  return inflight_order_.empty() ? 0 : inflight_order_.front();
+}
+
+Channel::CallId TcpChannel::Submit(const Message& request) {
+  const CallId id = next_call_id_++;
+  Status status = EnsureConnected();
+  if (status.ok()) {
+    Bytes wire = request.Encode();
+    status = WriteFrame(fd_, wire);
+    if (status.ok()) {
+      stats_.rounds += 1;
+      stats_.frames_sent += 1;
+      stats_.bytes_sent += wire.size();
+      stats_.calls_by_type[request.type] += 1;
+    } else {
+      MarkBroken();
+      FailInflight(status);
+    }
+  }
+  if (!status.ok()) {
+    buffered_.emplace(id, status);
+    return id;
+  }
+  inflight_.emplace(
+      id, Inflight{request.has_session, request.client_id, request.seq});
+  inflight_order_.push_back(id);
+  return id;
+}
+
+Result<Message> TcpChannel::Await(CallId id) {
+  while (buffered_.count(id) == 0) {
+    if (inflight_.count(id) == 0) {
+      return Status::InvalidArgument("unknown or already-awaited call ticket");
+    }
+    Result<Bytes> frame = ReadFrame(fd_, /*eof_ok_at_start=*/false);
+    if (!frame.ok()) {
+      // The stream may be mid-frame (e.g. a recv timeout); nothing after
+      // this point can be trusted, so every in-flight call fails and the
+      // next use redials.
+      MarkBroken();
+      FailInflight(frame.status());
+      break;
+    }
+    stats_.frames_received += 1;
+    stats_.bytes_received += frame->size();
+    Result<Message> reply = Message::Decode(*frame);
+    if (!reply.ok()) {
+      // A frame that does not parse still answers *some* call. Attribute
+      // it by its salvaged session stamp if possible, else to the oldest
+      // in-flight call; the retry layer treats the status as retryable.
+      uint64_t client_id = 0;
+      uint64_t seq = 0;
+      CallId target = 0;
+      if (Message::PeekSession(*frame, &client_id, &seq)) {
+        for (const auto& [cand, call] : inflight_) {
+          if (call.has_session && call.client_id == client_id &&
+              call.seq == seq) {
+            target = cand;
+            break;
+          }
+        }
+      }
+      if (target == 0 && !inflight_order_.empty()) {
+        target = inflight_order_.front();
+      }
+      if (target != 0) Complete(target, reply.status());
+      continue;
+    }
+    const CallId target = MatchReply(*reply);
+    if (target == 0) continue;  // stale reply from a superseded call: drop
+    Complete(target, std::move(*reply));
+  }
+  auto it = buffered_.find(id);
+  if (it == buffered_.end()) {
+    return Status::Internal("await terminated without a result");
+  }
+  Result<Message> result = std::move(it->second);
+  buffered_.erase(it);
+  return result;
+}
+
+Result<Message> TcpChannel::Call(const Message& request) {
+  return Await(Submit(request));
 }
 
 }  // namespace sse::net

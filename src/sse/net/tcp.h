@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sse/net/channel.h"
@@ -27,14 +30,35 @@ namespace sse::net {
 /// handler (engine::ServerEngine) opts out via
 /// Options::serialize_handler=false, and concurrent connections then reach
 /// the handler in parallel.
+///
+/// Each connection is served *pipelined* (Options::pipelined, default on):
+/// a reader thread decodes frames continuously and hands them to a small
+/// per-connection dispatch pool, replies are written as each completes
+/// under a per-connection write lock — so a client with many in-flight
+/// submissions keeps the wire and the handler busy at the same time,
+/// instead of the old strict request→reply lockstep. Error replies echo
+/// the request's session stamp (when one can be recovered) so a pipelined
+/// client can correlate them with the call they answer. With a concurrent
+/// handler, replies to *different* requests may be written out of
+/// submission order; session-stamped clients match by (client_id, seq),
+/// and un-stamped clients should keep at most one call in flight.
 class TcpServer {
  public:
   struct Options {
     /// Serialize all Handle() calls on one mutex. Leave on for handlers
-    /// that are not internally synchronized.
+    /// that are not internally synchronized. (Pipelining still overlaps
+    /// socket reads/writes with handling even when serialized.)
     bool serialize_handler = true;
     /// listen(2) backlog.
     int listen_backlog = 64;
+    /// Serve each connection with a continuous reader + dispatch pool.
+    /// Off restores the one-request-at-a-time lockstep loop.
+    bool pipelined = true;
+    /// Dispatch threads per connection (only with pipelined).
+    size_t pipeline_workers = 4;
+    /// Max decoded requests queued per connection before the reader stops
+    /// pulling frames off the socket (backpressure via TCP flow control).
+    size_t pipeline_queue = 64;
   };
 
   ~TcpServer();
@@ -66,6 +90,10 @@ class TcpServer {
             Options options);
   void Serve();
   void ServeConnection(int fd);
+  void ServeConnectionPipelined(int fd);
+  /// Decode + handle one frame, producing the reply frame to write. Error
+  /// replies are addressed with the request's session stamp when possible.
+  Message HandleFrame(const Bytes& frame);
 
   MessageHandler* handler_;
   int listen_fd_;
@@ -83,7 +111,16 @@ class TcpServer {
 };
 
 /// Client channel over a TCP connection. One `Call` = one request/response
-/// round trip on the persistent connection.
+/// round trip on the persistent connection; `Submit`/`Await` pipeline many
+/// calls over it at once. Submit writes the request frame immediately and
+/// records the call as in flight; Await reads frames until the awaited
+/// reply arrives, matching session-stamped replies to their submission by
+/// the (client_id, seq) echo and buffering out-of-order arrivals.
+/// Un-stamped replies are matched to the oldest in-flight call (FIFO),
+/// which is only reliable against servers that reply in order — stamp
+/// sessions (net::RetryingChannel does) for real pipelining. A transport
+/// failure mid-pipeline fails every in-flight call, since frames after the
+/// failure point cannot be trusted.
 ///
 /// Every blocking step is bounded: connect uses a non-blocking dial with a
 /// poll(2) deadline, send/recv carry SO_SNDTIMEO/SO_RCVTIMEO. An expired
@@ -116,8 +153,14 @@ class TcpChannel : public Channel {
                                                      Options options);
 
   Result<Message> Call(const Message& request) override;
+  CallId Submit(const Message& request) override;
+  Result<Message> Await(CallId id) override;
+  size_t pending_calls() const override {
+    return inflight_.size() + buffered_.size();
+  }
 
   /// Tears the connection down; with auto_reconnect the next Call redials.
+  /// In-flight submissions fail with UNAVAILABLE.
   void Reset() override;
 
   const ChannelStats& stats() const override { return stats_; }
@@ -127,6 +170,13 @@ class TcpChannel : public Channel {
   uint64_t reconnects() const { return reconnects_; }
 
  private:
+  /// A submitted call awaiting its reply.
+  struct Inflight {
+    bool has_session = false;
+    uint64_t client_id = 0;
+    uint64_t seq = 0;
+  };
+
   TcpChannel(int fd, std::string host, uint16_t port, Options options)
       : fd_(fd), host_(std::move(host)), port_(port), options_(options) {}
 
@@ -138,6 +188,13 @@ class TcpChannel : public Channel {
   Status EnsureConnected();
   /// Closes the socket and marks the channel broken.
   void MarkBroken();
+  /// Fails every in-flight submission with `status` (the stream is gone).
+  void FailInflight(const Status& status);
+  /// Buffers `reply` as the completed result for call `id`, converting an
+  /// application-level kMsgError into its embedded status (as Call does).
+  void Complete(CallId id, Result<Message> reply);
+  /// The in-flight call a decoded (or undecodable) frame answers, or 0.
+  CallId MatchReply(const Message& reply) const;
 
   int fd_;
   std::string host_;
@@ -145,6 +202,8 @@ class TcpChannel : public Channel {
   Options options_;
   uint64_t reconnects_ = 0;
   ChannelStats stats_;
+  std::map<CallId, Inflight> inflight_;
+  std::deque<CallId> inflight_order_;  // submission order, for FIFO matching
 };
 
 }  // namespace sse::net

@@ -72,11 +72,33 @@ Bytes Concat(BytesView a, BytesView b, BytesView c) {
   return out;
 }
 
+namespace {
+
+/// XOR `n` bytes of `src` into `dst`, a machine word at a time. memcpy in
+/// and out keeps the word loads/stores alignment-safe and free of aliasing
+/// UB; compilers reduce each round trip to a single 8-byte load/xor/store.
+/// Scheme 1 masks whole posting bitmaps (max_documents/8 bytes per
+/// keyword), so this runs on every update and search.
+void XorWords(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + sizeof(uint64_t) <= n; i += sizeof(uint64_t)) {
+    uint64_t d = 0;
+    uint64_t s = 0;
+    std::memcpy(&d, dst + i, sizeof(d));
+    std::memcpy(&s, src + i, sizeof(s));
+    d ^= s;
+    std::memcpy(dst + i, &d, sizeof(d));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
 Status XorInPlace(Bytes& dst, BytesView src) {
   if (dst.size() != src.size()) {
     return Status::InvalidArgument("XOR operands differ in size");
   }
-  for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+  XorWords(dst.data(), src.data(), dst.size());
   return Status::OK();
 }
 
@@ -84,8 +106,8 @@ Result<Bytes> Xor(BytesView a, BytesView b) {
   if (a.size() != b.size()) {
     return Status::InvalidArgument("XOR operands differ in size");
   }
-  Bytes out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  Bytes out(a.begin(), a.end());
+  XorWords(out.data(), b.data(), out.size());
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -27,6 +28,7 @@
 #include "sse/core/scheme1_client.h"
 #include "sse/core/scheme1_messages.h"
 #include "sse/core/scheme2_client.h"
+#include "sse/net/batch.h"
 #include "sse/net/retry.h"
 #include "sse/net/tcp.h"
 #include "test_util.h"
@@ -101,6 +103,15 @@ RetryOptions ChaosRetryOptions() {
   return opts;
 }
 
+/// Same retry budget, but multi-op rounds ride kMsgBatch envelopes with a
+/// pipelined in-flight window — the configuration the batched clients use.
+RetryOptions BatchedChaosRetryOptions() {
+  RetryOptions opts = ChaosRetryOptions();
+  opts.batch_size = 8;
+  opts.max_inflight = 4;
+  return opts;
+}
+
 /// Runs `ops` mixed operations (stores of fresh docs + searches) against
 /// `client`, mirroring every successful store into `oracle` and checking
 /// every search against it. Returns the number of divergent searches —
@@ -156,11 +167,12 @@ size_t RunMixedOps(core::SseClientInterface* client, DeterministicRandom* rng,
 template <typename ClientT>
 struct ChaosRig {
   ChaosRig(SystemKind kind, const core::SystemConfig& config,
-           const ChaosOptions& chaos_opts, uint64_t seed)
+           const ChaosOptions& chaos_opts, uint64_t seed,
+           const RetryOptions& retry_opts = ChaosRetryOptions())
       : rng(seed),
         sys(sse::testing::MakeTestSystem(kind, &rng, config)),
         chaos(sys.channel.get(), chaos_opts),
-        retry(&chaos, ChaosRetryOptions(), &rng) {
+        retry(&chaos, retry_opts, &rng) {
     chaos.set_sleep_fn([](double) {});  // virtual delays: no wall-clock cost
     retry.set_sleep_fn([](double) {});
     auto created =
@@ -208,6 +220,55 @@ TEST(ChaosTest, Scheme2SurvivesHeavyChaosWithZeroDivergence) {
       RunMixedOps(rig.client.get(), &workload, &oracle, &next_id,
                   /*ops=*/1000, config.scheme.max_documents);
   EXPECT_EQ(divergences, 0u);
+  EXPECT_GT(rig.chaos.chaos_stats().total_injected(), 100u);
+}
+
+TEST(ChaosTest, Scheme1BatchedPipelineSurvivesHeavyChaos) {
+  // Same 20% fault pressure, but with batch_ops on: multi-keyword rounds
+  // travel as kMsgBatch envelopes through MultiCall's pipelined window, so
+  // chaos now hits envelopes (retried per sub-op with stable seqs) instead
+  // of monolithic frames. Exactly-once must hold at sub-op granularity.
+  core::SystemConfig config = ChaosConfig();
+  config.scheme.batch_ops = true;
+  ChaosRig<core::Scheme1Client> rig(SystemKind::kScheme1, config,
+                                    SymmetricChaos(/*seed=*/23, 0.20),
+                                    /*seed=*/23, BatchedChaosRetryOptions());
+  Oracle oracle;
+  uint64_t next_id = 0;
+  DeterministicRandom workload(46);
+  const size_t divergences =
+      RunMixedOps(rig.client.get(), &workload, &oracle, &next_id,
+                  /*ops=*/600, config.scheme.max_documents);
+  EXPECT_EQ(divergences, 0u);
+  // The batch path actually carried the run.
+  EXPECT_GT(rig.retry.retry_stats().batches, 0u);
+  EXPECT_GT(rig.chaos.chaos_stats().total_injected(), 100u);
+  // A pipelined multi-keyword search over the chaotic link agrees with the
+  // oracle keyword by keyword.
+  std::vector<std::string> kws;
+  for (uint64_t i = 0; i < 8; ++i) kws.push_back("kw" + std::to_string(i));
+  auto multi = rig.client->MultiSearch(kws);
+  SSE_ASSERT_OK_RESULT(multi);
+  ASSERT_EQ(multi->size(), kws.size());
+  for (size_t i = 0; i < kws.size(); ++i) {
+    EXPECT_EQ((*multi)[i].ids, oracle.Expected(kws[i])) << kws[i];
+  }
+}
+
+TEST(ChaosTest, Scheme2BatchedPipelineSurvivesHeavyChaos) {
+  core::SystemConfig config = ChaosConfig();
+  config.scheme.batch_ops = true;
+  ChaosRig<core::Scheme2Client> rig(SystemKind::kScheme2, config,
+                                    SymmetricChaos(/*seed=*/27, 0.20),
+                                    /*seed=*/27, BatchedChaosRetryOptions());
+  Oracle oracle;
+  uint64_t next_id = 0;
+  DeterministicRandom workload(47);
+  const size_t divergences =
+      RunMixedOps(rig.client.get(), &workload, &oracle, &next_id,
+                  /*ops=*/600, config.scheme.max_documents);
+  EXPECT_EQ(divergences, 0u);
+  EXPECT_GT(rig.retry.retry_stats().batches, 0u);
   EXPECT_GT(rig.chaos.chaos_stats().total_injected(), 100u);
 }
 
@@ -308,10 +369,19 @@ class CrashAfterApplyChannel : public net::Channel {
 
   void ArmForType(uint16_t type) { armed_type_ = type; }
 
+  /// Arms on the first request matching `pred` — for targeting a batch
+  /// envelope by its sub-op contents rather than the envelope type alone.
+  void ArmWhen(std::function<bool(const net::Message&)> pred) {
+    armed_pred_ = std::move(pred);
+  }
+
   Result<net::Message> Call(const net::Message& request) override {
     Result<net::Message> reply = inner_->Call(request);
-    if (armed_type_ != 0 && request.type == armed_type_) {
+    const bool hit = (armed_type_ != 0 && request.type == armed_type_) ||
+                     (armed_pred_ && armed_pred_(request));
+    if (hit) {
       armed_type_ = 0;
+      armed_pred_ = nullptr;
       server_->Crash();
       return Status::IoError("crash: server failed over before the reply");
     }
@@ -326,6 +396,7 @@ class CrashAfterApplyChannel : public net::Channel {
   net::Channel* inner_;
   CrashableServer* server_;
   uint16_t armed_type_ = 0;
+  std::function<bool(const net::Message&)> armed_pred_;
 };
 
 TEST(ChaosTest, CrashRecoveryMidUpdateDedupsTheRetry) {
@@ -355,6 +426,50 @@ TEST(ChaosTest, CrashRecoveryMidUpdateDedupsTheRetry) {
   // The recovered cache, not a fresh execution, answered the retry.
   ASSERT_NE(server.durable->reply_cache(), nullptr);
   EXPECT_GE(server.durable->reply_cache()->hits(), 1u);
+}
+
+TEST(ChaosTest, CrashRecoveryMidBatchDedupsEverySubOp) {
+  // Crash-mid-batch: the server applies and journals every sub-op of a
+  // multi-keyword update envelope, dies before replying, and the client's
+  // retry re-sends the same op seqs in a fresh envelope against the
+  // recovered server. WAL replay rebuilt the reply cache per sub-op, so
+  // each retried op is served its recorded reply — applied exactly once,
+  // no XOR delta toggled back off.
+  core::SystemConfig config = ChaosConfig();
+  config.scheme.batch_ops = true;
+  CrashableServer server(config);
+  RedirectingHandler redirect(&server);
+  net::InProcessChannel base(&redirect);
+  CrashAfterApplyChannel crasher(&base, &server);
+  DeterministicRandom rng(5);
+  RetryingChannel retry(&crasher, BatchedChaosRetryOptions(), &rng);
+  retry.set_sleep_fn([](double) {});
+  auto client =
+      core::Scheme1Client::Create(TestMasterKey(), config.scheme, &retry, &rng);
+  SSE_ASSERT_OK_RESULT(client);
+
+  // Target the update-round envelope (mutating sub-ops), not the read-only
+  // nonce round that precedes it.
+  crasher.ArmWhen([](const net::Message& request) {
+    if (request.type != net::kMsgBatch) return false;
+    auto batch = net::BatchRequest::FromMessage(request);
+    return batch.ok() && !batch->ops.empty() &&
+           batch->ops[0].type == core::kMsgS1UpdateRequest;
+  });
+  SSE_ASSERT_OK((*client)->Store(
+      {Document::Make(0, "batch-survivor", {"ka", "kb", "kc"})}));
+  // Every posting present exactly once across all three sub-ops.
+  for (const char* kw : {"ka", "kb", "kc"}) {
+    auto outcome = (*client)->Search(kw);
+    SSE_ASSERT_OK_RESULT(outcome);
+    EXPECT_EQ(outcome->ids, std::vector<uint64_t>{0}) << kw;
+  }
+  EXPECT_EQ(BytesToString((*client)->Search("ka")->documents[0].second),
+            "batch-survivor");
+  // The recovered cache — not a fresh execution — answered each retried
+  // sub-op in the envelope.
+  ASSERT_NE(server.durable->reply_cache(), nullptr);
+  EXPECT_GE(server.durable->reply_cache()->hits(), 3u);
 }
 
 TEST(ChaosTest, ChaosWithPeriodicCrashRecoveryStaysConsistent) {

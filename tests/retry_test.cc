@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "sse/net/batch.h"
 #include "sse/util/crc32.h"
 #include "test_util.h"
 
@@ -38,11 +39,27 @@ class ScriptedChannel : public Channel {
   const ChannelStats& stats() const override { return stats_; }
   void ResetStats() override { stats_.Clear(); }
 
-  /// Well-formed reply: echoes the request's session stamp.
+  /// Well-formed reply: echoes the request's session stamp. A kMsgBatch
+  /// envelope is served per-op (each entry echoes its op with type + 1),
+  /// the way a real server engine unpacks it.
   static Result<Message> Echo(const Message& request) {
+    if (request.type == kMsgBatch) return EchoBatch(request);
     Message reply;
     reply.type = static_cast<uint16_t>(request.type + 1);
     reply.payload = request.payload;
+    reply.EchoSession(request);
+    return reply;
+  }
+
+  static Result<Message> EchoBatch(const Message& request) {
+    Result<BatchRequest> batch = BatchRequest::FromMessage(request);
+    if (!batch.ok()) return batch.status();
+    BatchReply out;
+    for (const BatchRequest::Op& op : batch->ops) {
+      out.entries.push_back(
+          {static_cast<uint16_t>(op.type + 1), op.payload});
+    }
+    Message reply = out.ToMessage();
     reply.EchoSession(request);
     return reply;
   }
@@ -276,6 +293,240 @@ TEST(RetryTest, UnstampedModePassesMessagesThroughBare) {
   SSE_ASSERT_OK_RESULT(h.retry.Call(Request()));
   ASSERT_EQ(h.inner.seen().size(), 1u);
   EXPECT_FALSE(h.inner.seen()[0].has_session);
+}
+
+std::vector<Message> Requests(size_t n) {
+  std::vector<Message> out;
+  for (size_t i = 0; i < n; ++i) {
+    Message m;
+    m.type = static_cast<uint16_t>(0x0101 + 2 * i);
+    m.payload = Bytes{static_cast<uint8_t>(i), 7};
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+TEST(MultiCallTest, PacksOpsIntoOneBatchEnvelope) {
+  Harness h(FastOptions());
+  const std::vector<Message> requests = Requests(5);
+  auto results = h.retry.MultiCall(requests);
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    SSE_ASSERT_OK_RESULT(results[i]);
+    EXPECT_EQ(results[i]->type, requests[i].type + 1);
+    EXPECT_EQ(results[i]->payload, requests[i].payload);
+  }
+  // One wire frame carried all five logical ops.
+  ASSERT_EQ(h.inner.seen().size(), 1u);
+  const Message& envelope = h.inner.seen()[0];
+  EXPECT_EQ(envelope.type, kMsgBatch);
+  EXPECT_TRUE(envelope.has_session);
+  auto batch = BatchRequest::FromMessage(envelope);
+  SSE_ASSERT_OK_RESULT(batch);
+  ASSERT_EQ(batch->ops.size(), 5u);
+  for (size_t i = 1; i < 5; ++i) {
+    // Op seqs are consecutive draws from the session seq space.
+    EXPECT_EQ(batch->ops[i].seq, batch->ops[0].seq + i);
+  }
+  // The envelope's own seq is a separate, later draw.
+  EXPECT_GT(envelope.seq, batch->ops[4].seq);
+  EXPECT_EQ(h.retry.retry_stats().batches, 1u);
+  EXPECT_EQ(h.retry.retry_stats().calls, 5u);
+}
+
+TEST(MultiCallTest, RetriesOnlyFailedSubOpsWithStableSeqs) {
+  Harness h(FastOptions());
+  h.inner.Push([](const Message& request) -> Result<Message> {
+    auto batch = BatchRequest::FromMessage(request);
+    BatchReply out;
+    for (size_t k = 0; k < batch->ops.size(); ++k) {
+      if (k == 1) {
+        const Message err =
+            MakeErrorMessage(Status::Unavailable("shard busy"));
+        out.entries.push_back({err.type, err.payload});
+      } else {
+        const BatchRequest::Op& op = batch->ops[k];
+        out.entries.push_back(
+            {static_cast<uint16_t>(op.type + 1), op.payload});
+      }
+    }
+    Message reply = out.ToMessage();
+    reply.EchoSession(request);
+    return reply;
+  });
+  auto results = h.retry.MultiCall(Requests(3));
+  for (auto& r : results) SSE_ASSERT_OK_RESULT(r);
+  // Round 2 re-sent ONLY the failed op, under the same op seq (the dedup
+  // identity) inside a fresh envelope.
+  ASSERT_EQ(h.inner.seen().size(), 2u);
+  auto first = BatchRequest::FromMessage(h.inner.seen()[0]);
+  auto second = BatchRequest::FromMessage(h.inner.seen()[1]);
+  ASSERT_EQ(second->ops.size(), 1u);
+  EXPECT_EQ(second->ops[0].seq, first->ops[1].seq);
+  EXPECT_NE(h.inner.seen()[1].seq, h.inner.seen()[0].seq);
+  EXPECT_EQ(h.retry.retry_stats().retries, 1u);
+}
+
+TEST(MultiCallTest, NonRetryablePerOpErrorSettlesThatOpOnly) {
+  Harness h(FastOptions());
+  h.inner.Push([](const Message& request) -> Result<Message> {
+    auto batch = BatchRequest::FromMessage(request);
+    BatchReply out;
+    for (size_t k = 0; k < batch->ops.size(); ++k) {
+      if (k == 1) {
+        const Message err =
+            MakeErrorMessage(Status::InvalidArgument("bad token"));
+        out.entries.push_back({err.type, err.payload});
+      } else {
+        const BatchRequest::Op& op = batch->ops[k];
+        out.entries.push_back(
+            {static_cast<uint16_t>(op.type + 1), op.payload});
+      }
+    }
+    Message reply = out.ToMessage();
+    reply.EchoSession(request);
+    return reply;
+  });
+  auto results = h.retry.MultiCall(Requests(3));
+  SSE_ASSERT_OK_RESULT(results[0]);
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  SSE_ASSERT_OK_RESULT(results[2]);
+  // A permanent per-op error does not trigger a second round.
+  EXPECT_EQ(h.inner.seen().size(), 1u);
+}
+
+TEST(MultiCallTest, StaleEnvelopeEchoRetriesGroup) {
+  Harness h(FastOptions());
+  h.inner.Push([](const Message& request) -> Result<Message> {
+    Result<Message> reply = ScriptedChannel::EchoBatch(request);
+    // Echo of some superseded attempt: wrong envelope seq.
+    reply->StampSession(request.client_id, request.seq + 999);
+    return reply;
+  });
+  auto results = h.retry.MultiCall(Requests(4));
+  for (auto& r : results) SSE_ASSERT_OK_RESULT(r);
+  EXPECT_EQ(h.retry.retry_stats().stale_replies, 1u);
+  EXPECT_EQ(h.inner.resets(), 1u);  // flushed the desynced stream
+  ASSERT_EQ(h.inner.seen().size(), 2u);
+  // The whole group was retried (no per-op outcome is trustworthy when the
+  // envelope echo itself is stale).
+  auto second = BatchRequest::FromMessage(h.inner.seen()[1]);
+  EXPECT_EQ(second->ops.size(), 4u);
+}
+
+TEST(MultiCallTest, CorruptEnvelopeReplyIsRetried) {
+  Harness h(FastOptions());
+  h.inner.Push([](const Message& request) -> Result<Message> {
+    Result<Message> reply = ScriptedChannel::EchoBatch(request);
+    reply->payload[0] ^= 0xff;  // damage after the CRC was computed
+    return reply;
+  });
+  auto results = h.retry.MultiCall(Requests(2));
+  for (auto& r : results) SSE_ASSERT_OK_RESULT(r);
+  EXPECT_EQ(h.retry.retry_stats().corrupt_replies, 1u);
+  EXPECT_EQ(h.inner.seen().size(), 2u);
+}
+
+TEST(MultiCallTest, BatchSizeOnePipelinesIndividualStampedOps) {
+  RetryOptions opts = FastOptions();
+  opts.batch_size = 1;
+  Harness h(opts);
+  auto results = h.retry.MultiCall(Requests(3));
+  for (auto& r : results) SSE_ASSERT_OK_RESULT(r);
+  ASSERT_EQ(h.inner.seen().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NE(h.inner.seen()[i].type, kMsgBatch);
+    EXPECT_TRUE(h.inner.seen()[i].has_session);
+  }
+  EXPECT_EQ(h.inner.seen()[1].seq, h.inner.seen()[0].seq + 1);
+  EXPECT_EQ(h.retry.retry_stats().batches, 0u);
+}
+
+TEST(MultiCallTest, BatchSizeSplitsOpsAcrossEnvelopes) {
+  RetryOptions opts = FastOptions();
+  opts.batch_size = 2;
+  opts.max_inflight = 2;
+  Harness h(opts);
+  auto results = h.retry.MultiCall(Requests(5));
+  for (auto& r : results) SSE_ASSERT_OK_RESULT(r);
+  // ceil(5 / 2) envelopes, the last carrying a single op.
+  ASSERT_EQ(h.inner.seen().size(), 3u);
+  for (const Message& m : h.inner.seen()) EXPECT_EQ(m.type, kMsgBatch);
+  EXPECT_EQ(h.retry.retry_stats().batches, 3u);
+}
+
+TEST(MultiCallTest, UnstampedModeFallsBackToSequentialCalls) {
+  RetryOptions opts = FastOptions();
+  opts.stamp_sessions = false;
+  Harness h(opts);
+  auto results = h.retry.MultiCall(Requests(3));
+  for (auto& r : results) SSE_ASSERT_OK_RESULT(r);
+  ASSERT_EQ(h.inner.seen().size(), 3u);
+  for (const Message& m : h.inner.seen()) {
+    EXPECT_NE(m.type, kMsgBatch);
+    EXPECT_FALSE(m.has_session);
+  }
+}
+
+TEST(MultiCallTest, ExhaustionSettlesFailingOpWithoutStallingOthers) {
+  RetryOptions opts = FastOptions();
+  opts.max_attempts = 2;
+  Harness h(opts);
+  auto fail_op_zero = [](const Message& request) -> Result<Message> {
+    auto batch = BatchRequest::FromMessage(request);
+    BatchReply out;
+    for (size_t k = 0; k < batch->ops.size(); ++k) {
+      if (batch->ops[k].type == 0x0101) {
+        const Message err =
+            MakeErrorMessage(Status::Unavailable("shard down"));
+        out.entries.push_back({err.type, err.payload});
+      } else {
+        const BatchRequest::Op& op = batch->ops[k];
+        out.entries.push_back(
+            {static_cast<uint16_t>(op.type + 1), op.payload});
+      }
+    }
+    Message reply = out.ToMessage();
+    reply.EchoSession(request);
+    return reply;
+  };
+  h.inner.Push(fail_op_zero);
+  h.inner.Push(fail_op_zero);
+  auto results = h.retry.MultiCall(Requests(3));
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(results[0].status().message().find("retries exhausted"),
+            std::string::npos);
+  SSE_ASSERT_OK_RESULT(results[1]);
+  SSE_ASSERT_OK_RESULT(results[2]);
+  EXPECT_EQ(h.retry.retry_stats().exhausted, 1u);
+}
+
+TEST(MultiCallTest, DeadlineSettlesAllRemainingOps) {
+  RetryOptions opts = FastOptions();
+  opts.max_attempts = 100;
+  opts.initial_backoff_ms = 40.0;
+  opts.max_backoff_ms = 40.0;
+  opts.call_deadline_ms = 100.0;
+  Harness h(opts);
+  for (int i = 0; i < 100; ++i) {
+    h.inner.Push([](const Message&) -> Result<Message> {
+      return Status::IoError("link down");
+    });
+  }
+  auto results = h.retry.MultiCall(Requests(3));
+  for (auto& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(h.retry.retry_stats().deadline_exceeded, 3u);
+}
+
+TEST(MultiCallTest, EmptyRequestListIsANoOp) {
+  Harness h(FastOptions());
+  EXPECT_TRUE(h.retry.MultiCall({}).empty());
+  EXPECT_TRUE(h.inner.seen().empty());
 }
 
 TEST(RetryTest, DistinctChannelsDrawDistinctClientIds) {

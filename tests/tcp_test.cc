@@ -7,8 +7,12 @@
 #include <thread>
 
 #include "sse/core/registry.h"
+#include "sse/core/scheme1_client.h"
 #include "sse/core/scheme2_client.h"
 #include "sse/core/scheme2_server.h"
+#include "sse/engine/scheme1_adapter.h"
+#include "sse/engine/server_engine.h"
+#include "sse/net/retry.h"
 #include "test_util.h"
 
 namespace sse::net {
@@ -225,6 +229,210 @@ TEST(TcpTest, SessionStampSurvivesTheWire) {
   // is that a stamped request framed over a real socket decodes cleanly.
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
   EXPECT_EQ(reply->payload, request.payload);
+}
+
+/// Echoes type + 1 and the request's session stamp, the way the real
+/// server stacks do — which is what pipelined correlation relies on.
+class SessionEchoHandler : public MessageHandler {
+ public:
+  Result<Message> Handle(const Message& request) override {
+    Message reply{static_cast<uint16_t>(request.type + 1), request.payload};
+    reply.EchoSession(request);
+    return reply;
+  }
+};
+
+TEST(TcpPipelineTest, SubmitManyAwaitInReverseOrder) {
+  SessionEchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+
+  constexpr int kInflight = 8;
+  std::vector<Channel::CallId> ids;
+  for (int i = 0; i < kInflight; ++i) {
+    Message request{7, Bytes{static_cast<uint8_t>(i)}};
+    request.StampSession(42, 100 + static_cast<uint64_t>(i));
+    ids.push_back((*channel)->Submit(request));
+  }
+  EXPECT_EQ((*channel)->pending_calls(), static_cast<size_t>(kInflight));
+  // All eight frames hit the wire before the first Await.
+  EXPECT_EQ((*channel)->stats().frames_sent,
+            static_cast<uint64_t>(kInflight));
+
+  // Awaiting in reverse forces the channel to buffer earlier replies and
+  // correlate each frame by its (client_id, seq) echo.
+  for (int i = kInflight - 1; i >= 0; --i) {
+    auto reply = (*channel)->Await(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->payload, Bytes{static_cast<uint8_t>(i)});
+    EXPECT_EQ(reply->seq, 100 + static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ((*channel)->pending_calls(), 0u);
+  EXPECT_EQ((*channel)->stats().frames_received,
+            static_cast<uint64_t>(kInflight));
+}
+
+/// Sleeps on requests whose first payload byte is 1, so a later fast
+/// request's reply overtakes it on the wire.
+class StallMarkedHandler : public MessageHandler {
+ public:
+  Result<Message> Handle(const Message& request) override {
+    if (!request.payload.empty() && request.payload[0] == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    Message reply{static_cast<uint16_t>(request.type + 1), request.payload};
+    reply.EchoSession(request);
+    return reply;
+  }
+};
+
+TEST(TcpPipelineTest, OutOfOrderRepliesCorrelateBySessionEcho) {
+  StallMarkedHandler handler;
+  TcpServer::Options server_opts;
+  server_opts.serialize_handler = false;  // let the fast request overtake
+  auto server = TcpServer::Start(&handler, 0, server_opts);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+
+  Message slow{7, Bytes{1}};
+  slow.StampSession(9, 1);
+  Message fast{7, Bytes{0}};
+  fast.StampSession(9, 2);
+  const Channel::CallId slow_id = (*channel)->Submit(slow);
+  const Channel::CallId fast_id = (*channel)->Submit(fast);
+
+  // The slow reply is awaited first even though the fast one reaches the
+  // socket first: the channel must buffer the overtaking frame for its own
+  // call instead of handing it to the wrong one.
+  auto slow_reply = (*channel)->Await(slow_id);
+  ASSERT_TRUE(slow_reply.ok()) << slow_reply.status().ToString();
+  EXPECT_EQ(slow_reply->payload, Bytes{1});
+  EXPECT_EQ(slow_reply->seq, 1u);
+
+  auto fast_reply = (*channel)->Await(fast_id);
+  ASSERT_TRUE(fast_reply.ok()) << fast_reply.status().ToString();
+  EXPECT_EQ(fast_reply->payload, Bytes{0});
+  EXPECT_EQ(fast_reply->seq, 2u);
+}
+
+TEST(TcpPipelineTest, UnstampedSubmissionsMatchFifo) {
+  SessionEchoHandler handler;
+  TcpServer::Options server_opts;
+  server_opts.pipeline_workers = 1;  // strict reply order for FIFO matching
+  auto server = TcpServer::Start(&handler, 0, server_opts);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+
+  const Channel::CallId a = (*channel)->Submit(Message{7, Bytes{10}});
+  const Channel::CallId b = (*channel)->Submit(Message{7, Bytes{11}});
+  auto reply_a = (*channel)->Await(a);
+  ASSERT_TRUE(reply_a.ok()) << reply_a.status().ToString();
+  EXPECT_EQ(reply_a->payload, Bytes{10});
+  auto reply_b = (*channel)->Await(b);
+  ASSERT_TRUE(reply_b.ok()) << reply_b.status().ToString();
+  EXPECT_EQ(reply_b->payload, Bytes{11});
+}
+
+TEST(TcpPipelineTest, TransportFailureFailsEveryInflightCall) {
+  SlowHandler handler;  // keeps both requests unanswered while we kill it
+  TcpServer::Options server_opts;
+  server_opts.serialize_handler = false;
+  auto server = TcpServer::Start(&handler, 0, server_opts);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+
+  Message first{7, Bytes{1}};
+  first.StampSession(5, 1);
+  Message second{7, Bytes{2}};
+  second.StampSession(5, 2);
+  const Channel::CallId id1 = (*channel)->Submit(first);
+  const Channel::CallId id2 = (*channel)->Submit(second);
+  (*server)->Stop();
+
+  // Frames after the failure point cannot be trusted: both in-flight calls
+  // fail rather than hang or read a torn stream.
+  EXPECT_FALSE((*channel)->Await(id1).ok());
+  EXPECT_FALSE((*channel)->Await(id2).ok());
+  EXPECT_EQ((*channel)->pending_calls(), 0u);
+  EXPECT_FALSE((*channel)->connected());
+}
+
+TEST(TcpPipelineTest, ResetFailsInflightWithUnavailable) {
+  SlowHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+  Message request{7, Bytes{1}};
+  request.StampSession(5, 1);
+  const Channel::CallId id = (*channel)->Submit(request);
+  (*channel)->Reset();
+  auto reply = (*channel)->Await(id);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(TcpPipelineTest, AwaitRejectsUnknownAndSpentTickets) {
+  SessionEchoHandler handler;
+  auto server = TcpServer::Start(&handler);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+
+  EXPECT_EQ((*channel)->Await(9999).status().code(),
+            StatusCode::kInvalidArgument);
+  const Channel::CallId id = (*channel)->Submit(Message{7, Bytes{1}});
+  ASSERT_TRUE((*channel)->Await(id).ok());
+  // A ticket can be awaited exactly once.
+  EXPECT_EQ((*channel)->Await(id).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TcpPipelineTest, BatchedStoreOverTcpCostsFewFrames) {
+  // The acceptance shape of the pipelined refactor: a K-keyword Store is
+  // two pipelined batch envelopes — nonce round + update round — not 2·K
+  // lockstep round trips. Measured in physical frames on a real socket.
+  core::SchemeOptions options = FastTestConfig().scheme;
+  options.batch_ops = true;
+  auto engine = engine::ServerEngine::Create(
+      std::make_unique<engine::Scheme1Adapter>(options),
+      engine::EngineOptions{});
+  SSE_ASSERT_OK_RESULT(engine);
+  TcpServer::Options server_opts;
+  server_opts.serialize_handler = false;  // the engine is thread-safe
+  auto server = TcpServer::Start(engine->get(), 0, server_opts);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+
+  DeterministicRandom rng(3);
+  RetryOptions retry_opts;
+  retry_opts.batch_size = 64;
+  retry_opts.max_inflight = 8;
+  RetryingChannel retry(channel->get(), retry_opts, &rng);
+  auto client =
+      core::Scheme1Client::Create(TestMasterKey(), options, &retry, &rng);
+  SSE_ASSERT_OK_RESULT(client);
+
+  std::vector<std::string> keywords;
+  for (int i = 0; i < 16; ++i) keywords.push_back("kw" + std::to_string(i));
+  SSE_ASSERT_OK(
+      (*client)->Store({core::Document::Make(1, "many keywords", keywords)}));
+  EXPECT_LE((*channel)->stats().frames_sent, 4u);
+  EXPECT_LE((*channel)->stats().frames_received, 4u);
+
+  // And the pipelined MultiSearch answers every keyword correctly.
+  auto outcomes = (*client)->MultiSearch(keywords);
+  SSE_ASSERT_OK_RESULT(outcomes);
+  ASSERT_EQ(outcomes->size(), keywords.size());
+  for (const auto& outcome : *outcomes) {
+    EXPECT_EQ(outcome.ids, (std::vector<uint64_t>{1}));
+  }
 }
 
 TEST(TcpTest, FullSchemeOverTcp) {
