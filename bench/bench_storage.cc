@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/stat.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "sse/storage/log_store.h"
@@ -21,9 +24,20 @@ std::string TempPath(const char* name) {
          std::to_string(::getpid());
 }
 
+// The WAL is a directory of segment files.
+std::string TempWalDir(const char* name) {
+  const std::string dir = TempPath(name);
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void RemoveTree(const std::string& dir) {
+  (void)std::system(("rm -rf " + dir).c_str());
+}
+
 void BM_WalAppend(benchmark::State& state) {
-  const std::string path = TempPath("wal");
-  auto wal = WriteAheadLog::Open(path).value();
+  const std::string dir = TempWalDir("wal");
+  auto wal = WriteAheadLog::Open(dir).value();
   DeterministicRandom rng(1);
   Bytes record(static_cast<size_t>(state.range(0)));
   (void)rng.Fill(record);
@@ -32,19 +46,19 @@ void BM_WalAppend(benchmark::State& state) {
   }
   (void)wal.Sync();
   state.SetBytesProcessed(state.iterations() * state.range(0));
-  std::remove(path.c_str());
+  RemoveTree(dir);
 }
 BENCHMARK(BM_WalAppend)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_WalAppendSync(benchmark::State& state) {
-  const std::string path = TempPath("wal_sync");
-  auto wal = WriteAheadLog::Open(path).value();
+  const std::string dir = TempWalDir("wal_sync");
+  auto wal = WriteAheadLog::Open(dir).value();
   Bytes record(1024, 0x5a);
   for (auto _ : state) {
     benchmark::DoNotOptimize(wal.Append(record));
     benchmark::DoNotOptimize(wal.Sync());
   }
-  std::remove(path.c_str());
+  RemoveTree(dir);
 }
 BENCHMARK(BM_WalAppendSync);
 

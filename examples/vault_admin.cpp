@@ -4,7 +4,7 @@
 //
 // Usage:
 //   vault_admin <dir> status            # snapshot/WAL/doc-log overview
-//   vault_admin <dir> checkpoint s1|s2  # load, checkpoint, truncate WAL
+//   vault_admin <dir> checkpoint s1|s2  # load, checkpoint, compact WAL
 //   vault_admin <dir> compact           # compact the document log, if any
 //
 // Example (after using sse_cli):
@@ -52,22 +52,44 @@ int main(int argc, char** argv) {
   const std::string command = argv[2];
 
   if (command == "status") {
-    PrintFileSize("snapshot:", dir + "/state.snap");
-    uint64_t records = 0;
+    storage::SnapshotSet snapshots(dir);
+    auto gens = snapshots.List();
+    if (!gens.ok()) {
+      std::printf("%-14s %s\n", "snapshots:",
+                  gens.status().ToString().c_str());
+    } else if (gens->empty()) {
+      std::printf("%-14s absent\n", "snapshots:");
+    } else {
+      for (uint64_t gen : *gens) {
+        auto verify = storage::Snapshot::Read(snapshots.PathFor(gen));
+        char label[32];
+        std::snprintf(label, sizeof(label), "snapshot g%llu:",
+                      (unsigned long long)gen);
+        PrintFileSize(label, snapshots.PathFor(gen));
+        if (!verify.ok()) {
+          std::printf("%-14s   ^ %s\n", "",
+                      verify.status().ToString().c_str());
+        }
+      }
+    }
     uint64_t bytes = 0;
-    uint64_t torn = 0;
+    storage::WalReplayReport report;
     Status replay = storage::WriteAheadLog::Replay(
-        dir + "/wal.log",
-        [&](BytesView record) {
-          ++records;
+        dir, storage::WalOptions{}, /*min_seq=*/0,
+        [&](uint64_t, BytesView record) {
           bytes += record.size();
           return Status::OK();
         },
-        &torn);
+        &report);
     if (replay.ok()) {
-      std::printf("%-14s %llu record(s), %llu payload bytes%s\n", "wal:",
-                  (unsigned long long)records, (unsigned long long)bytes,
-                  torn > 0 ? " (torn tail dropped)" : "");
+      std::printf("%-14s %llu record(s) in %llu segment(s), "
+                  "%llu payload bytes, seqs [%llu, %llu)%s\n",
+                  "wal:", (unsigned long long)report.records,
+                  (unsigned long long)report.segments,
+                  (unsigned long long)bytes,
+                  (unsigned long long)report.lowest_seq,
+                  (unsigned long long)report.next_seq,
+                  report.torn_bytes > 0 ? " (torn tail dropped)" : "");
     } else {
       std::printf("%-14s CORRUPT: %s\n", "wal:", replay.ToString().c_str());
     }
@@ -115,7 +137,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("checkpoint written; WAL truncated\n");
+    std::printf("checkpoint written; old WAL segments compacted\n");
     return 0;
   }
 

@@ -9,13 +9,33 @@
 namespace sse::core {
 
 namespace {
-std::string SnapshotPath(const std::string& dir) { return dir + "/state.snap"; }
-std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+/// Snapshot wrapper magic, "SDR2": the blob is [magic ‖ u64 wal_seq ‖
+/// bytes(inner state) ‖ bytes(reply cache)]. `wal_seq` is the WAL sequence
+/// the checkpoint was cut at — recovery replays records with seq >= it, so
+/// a snapshot generation plus the retained WAL segments always form a
+/// consistent pair, whichever generation recovery ends up restoring.
+constexpr uint32_t kDurableSnapshotMagic = 0x53445232;
 
-/// Snapshot wrapper magic, "SDRS": the blob is [magic ‖ bytes(inner state)
-/// ‖ bytes(reply cache)]. Snapshots written before the reply cache existed
-/// are the bare inner state and restore with an empty cache.
-constexpr uint32_t kDurableSnapshotMagic = 0x53445253;
+struct SnapshotContents {
+  uint64_t wal_seq = 1;
+  Bytes state;
+  Bytes cache;
+};
+
+Result<SnapshotContents> ParseSnapshot(BytesView blob) {
+  BufferReader r(blob);
+  uint32_t magic = 0;
+  SSE_ASSIGN_OR_RETURN(magic, r.GetU32());
+  if (magic != kDurableSnapshotMagic) {
+    return Status::Corruption("durable snapshot magic mismatch");
+  }
+  SnapshotContents out;
+  SSE_ASSIGN_OR_RETURN(out.wal_seq, r.GetU64());
+  SSE_ASSIGN_OR_RETURN(out.state, r.GetBytes());
+  SSE_ASSIGN_OR_RETURN(out.cache, r.GetBytes());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
 }  // namespace
 
 Result<std::unique_ptr<DurableServer>> DurableServer::Open(
@@ -32,37 +52,58 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
   if (options.enable_reply_cache) {
     cache = std::make_unique<ReplyCache>(options.reply_cache);
   }
-  // 1. Restore the last checkpoint, if any.
-  if (storage::Snapshot::Exists(SnapshotPath(dir))) {
-    Bytes blob;
-    SSE_ASSIGN_OR_RETURN(blob, storage::Snapshot::Read(SnapshotPath(dir)));
-    BufferReader r(blob);
-    bool wrapped = false;
-    if (blob.size() >= 4) {
-      uint32_t magic = 0;
-      SSE_ASSIGN_OR_RETURN(magic, r.GetU32());
-      wrapped = magic == kDurableSnapshotMagic;
+  const storage::WalOptions wal_options{options.env, options.wal_segment_bytes,
+                                        options.wal_salvage};
+
+  // 1. Restore the newest snapshot generation that verifies AND restores,
+  // falling back generation by generation. The WAL is compacted only up to
+  // the older retained generation's cut, so whichever generation survives,
+  // the log still covers everything after it.
+  storage::SnapshotSet snapshots(dir, options.env);
+  std::vector<uint64_t> generations;
+  SSE_ASSIGN_OR_RETURN(generations, snapshots.List());
+  uint64_t min_seq = 1;
+  bool restored = false;
+  Status snapshot_error = Status::OK();
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    Result<Bytes> blob =
+        storage::Snapshot::Read(snapshots.PathFor(*it), options.env);
+    if (!blob.ok()) {
+      snapshot_error = blob.status();
+      continue;
     }
-    if (wrapped) {
-      Bytes state;
-      SSE_ASSIGN_OR_RETURN(state, r.GetBytes());
-      Bytes cache_bytes;
-      SSE_ASSIGN_OR_RETURN(cache_bytes, r.GetBytes());
-      SSE_RETURN_IF_ERROR(r.ExpectEnd());
-      SSE_RETURN_IF_ERROR(inner->RestoreState(state));
-      if (cache != nullptr && !cache_bytes.empty()) {
-        SSE_RETURN_IF_ERROR(cache->Restore(cache_bytes));
-      }
-    } else {
-      SSE_RETURN_IF_ERROR(inner->RestoreState(blob));
+    Result<SnapshotContents> contents = ParseSnapshot(*blob);
+    if (!contents.ok()) {
+      snapshot_error = contents.status();
+      continue;
     }
+    const Status restore = inner->RestoreState(contents->state);
+    if (!restore.ok()) {
+      snapshot_error = restore;
+      continue;
+    }
+    if (cache != nullptr && !contents->cache.empty()) {
+      SSE_RETURN_IF_ERROR(cache->Restore(contents->cache));
+    }
+    min_seq = contents->wal_seq;
+    restored = true;
+    break;
   }
+  if (!generations.empty() && !restored) {
+    // Every generation is damaged. WAL-only replay is sound only when the
+    // log still reaches back to sequence 1; the check below (lowest_seq)
+    // enforces that, so fall through with min_seq = 1.
+    min_seq = 1;
+  }
+
   // 2. Replay journaled requests on top. Client-facing replies were already
   // delivered before the crash, but session-stamped ones are re-committed
   // into the reply cache so a post-recovery retry still dedups instead of
   // re-applying.
+  storage::WalReplayReport report;
   Status replay = storage::WriteAheadLog::Replay(
-      WalPath(dir), [&](BytesView record) -> Status {
+      dir, wal_options, min_seq,
+      [&](uint64_t /*seq*/, BytesView record) -> Status {
         Result<net::Message> msg = net::Message::Decode(record);
         if (!msg.ok()) return msg.status();
         Result<net::Message> reply = inner->Handle(msg.value());
@@ -72,20 +113,69 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
           cache->Commit(msg->client_id, msg->seq, *reply);
         }
         return Status::OK();
-      });
+      },
+      &report);
   SSE_RETURN_IF_ERROR(replay);
+  if (report.lowest_seq != 0 && report.lowest_seq > min_seq) {
+    // Records in [min_seq, lowest_seq) are gone; acknowledged updates
+    // would be silently lost.
+    return Status::Corruption(
+        "WAL does not cover history since the restored snapshot (needs seq " +
+        std::to_string(min_seq) + ", oldest segment starts at " +
+        std::to_string(report.lowest_seq) +
+        (restored ? ")" : "; no snapshot generation verified: " +
+                              snapshot_error.ToString() + ")"));
+  }
 
   Result<storage::WriteAheadLog> wal =
-      storage::WriteAheadLog::Open(WalPath(dir));
+      storage::WriteAheadLog::Open(dir, wal_options);
   if (!wal.ok()) return wal.status();
+  if (wal->next_seq() < min_seq) {
+    // A snapshot from the "future" of this WAL: appends would reuse
+    // sequence numbers below the checkpoint cut and be skipped by the
+    // next recovery.
+    return Status::Corruption("WAL is behind the restored snapshot (next seq " +
+                              std::to_string(wal->next_seq()) +
+                              " < checkpoint cut " + std::to_string(min_seq) +
+                              ")");
+  }
   return std::unique_ptr<DurableServer>(
       new DurableServer(dir, inner, std::move(wal).value(), options,
-                        std::move(cache)));
+                        std::move(cache), min_seq));
+}
+
+Status DurableServer::DegradedStatus() const {
+  std::lock_guard<std::mutex> lock(degraded_mutex_);
+  return Status::Unavailable("storage degraded (read-only): " +
+                             degraded_cause_.ToString());
+}
+
+Status DurableServer::EnterDegraded(const Status& cause) {
+  bool expected = false;
+  if (degraded_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> lock(degraded_mutex_);
+      degraded_cause_ = cause;
+    }
+    inner_->OnStorageDegraded(cause);
+  }
+  return DegradedStatus();
+}
+
+Status DurableServer::degraded_cause() const {
+  std::lock_guard<std::mutex> lock(degraded_mutex_);
+  return degraded_cause_;
 }
 
 Result<net::Message> DurableServer::Handle(const net::Message& request) {
   if (request.type == net::kMsgBatch) return HandleBatch(request);
   const bool mutating = inner_->IsMutating(request.type);
+  // Fail-stop: once a storage fault has been observed, no further mutation
+  // may touch the inner state (it could never be journaled, so it would
+  // diverge from what recovery reconstructs). UNAVAILABLE is retryable —
+  // a client can fail over or wait for the operator to restart us.
+  if (mutating && degraded()) return DegradedStatus();
   // Only mutations go through the dedup table: re-executing a read-only
   // retry is harmless, and not recording search results keeps the cache
   // small and the fault-free overhead low.
@@ -153,18 +243,21 @@ Result<net::Message> DurableServer::HandleNew(const net::Message& request) {
   uint64_t my_seq = 0;
   {
     std::lock_guard<std::mutex> lock(wal_mutex_);
-    SSE_RETURN_IF_ERROR(wal_->Append(request.Encode()));
+    const Status appended = wal_->Append(request.Encode());
+    if (!appended.ok()) return EnterDegraded(appended);
     my_seq = ++appended_seq_;
     if (options_.sync_every_append && !options_.group_commit) {
       // Per-append-fsync baseline: sync inline under the WAL mutex.
-      SSE_RETURN_IF_ERROR(wal_->Sync());
+      const Status synced = wal_->Sync();
+      if (!synced.ok()) return EnterDegraded(synced);
       synced_seq_ = appended_seq_;
       ++syncs_performed_;
       return reply;
     }
   }
   if (options_.sync_every_append) {
-    SSE_RETURN_IF_ERROR(SyncUpTo(my_seq));
+    const Status synced = SyncUpTo(my_seq);
+    if (!synced.ok()) return EnterDegraded(synced);
   }
   return reply;
 }
@@ -205,6 +298,12 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
     }
 
     const bool mutating = inner_->IsMutating(sub.type);
+    if (mutating && degraded()) {
+      // Fail-stop mid-envelope too: earlier sub-ops may have committed,
+      // but from the first storage fault on, nothing touches the state.
+      outs[i] = net::MakeErrorMessage(DegradedStatus());
+      continue;
+    }
     const bool dedup =
         mutating && reply_cache_ != nullptr && sub.has_session;
     if (dedup) {
@@ -237,7 +336,7 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
       Status appended = wal_->Append(sub.Encode());
       if (!appended.ok()) {
         if (dedup) reply_cache_->Abort(sub.client_id, sub.seq);
-        outs[i] = net::MakeErrorMessage(appended);
+        outs[i] = net::MakeErrorMessage(EnterDegraded(appended));
         continue;
       }
       max_wal_seq = ++appended_seq_;
@@ -255,9 +354,10 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
     if (!synced.ok()) {
       // Durability is unknown: withdraw the claims so retries re-resolve
       // against whatever state recovery reconstructs.
+      const Status refusal = EnterDegraded(synced);
       for (const PendingCommit& p : pending) {
         reply_cache_->Abort(request.client_id, p.seq);
-        outs[p.index] = net::MakeErrorMessage(synced);
+        outs[p.index] = net::MakeErrorMessage(refusal);
       }
       pending.clear();
     }
@@ -285,9 +385,7 @@ Status DurableServer::SyncUpTo(uint64_t seq) {
       // including those of the followers waiting behind us.
       sync_in_progress_ = true;
       const uint64_t target = appended_seq_;
-      lock.unlock();
-      Status s = wal_->Sync();  // stdio FILE* calls are internally locked
-      lock.lock();
+      Status s = wal_->Sync();
       sync_in_progress_ = false;
       if (!s.ok()) {
         sync_cv_.notify_all();
@@ -310,20 +408,42 @@ uint64_t DurableServer::wal_syncs() const {
   return syncs_performed_;
 }
 
+uint64_t DurableServer::wal_records() const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  const uint64_t next = wal_->next_seq();
+  return next > last_checkpoint_seq_ ? next - last_checkpoint_seq_ : 0;
+}
+
 Status DurableServer::Checkpoint() {
   // Exclusive commit lock: no mutation is between apply and journal while
-  // the snapshot is cut, so snapshot + truncated WAL is a consistent pair.
+  // the snapshot is cut, so snapshot + compacted WAL is a consistent pair.
   std::unique_lock<std::shared_mutex> commit_lock(commit_mutex_);
+  if (degraded()) return DegradedStatus();
   Bytes state;
   SSE_ASSIGN_OR_RETURN(state, inner_->SerializeState());
+  uint64_t cut_seq = 0;
+  uint64_t previous_cut = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    cut_seq = wal_->next_seq();
+    previous_cut = last_checkpoint_seq_;
+  }
   BufferWriter w;
   w.PutU32(kDurableSnapshotMagic);
+  w.PutU64(cut_seq);
   w.PutBytes(state);
   w.PutBytes(reply_cache_ != nullptr ? reply_cache_->Serialize() : Bytes{});
-  SSE_RETURN_IF_ERROR(
-      storage::Snapshot::Write(SnapshotPath(dir_), w.TakeData()));
+  const Status written = snapshots_.WriteNext(w.TakeData());
+  // A failed snapshot write (or its fsync) is a storage fault like any
+  // other: fail-stop rather than risk pruning state we could not persist.
+  if (!written.ok()) return EnterDegraded(written);
   std::lock_guard<std::mutex> lock(wal_mutex_);
-  return wal_->Reset();
+  // Segments below the *previous* cut are no longer needed even by the
+  // older retained generation; the new cut's segments must stay until the
+  // next checkpoint makes this one the fallback.
+  SSE_RETURN_IF_ERROR(wal_->CompactBefore(previous_cut));
+  last_checkpoint_seq_ = cut_seq;
+  return Status::OK();
 }
 
 }  // namespace sse::core

@@ -1,6 +1,7 @@
 #ifndef SSE_CORE_DURABLE_SERVER_H_
 #define SSE_CORE_DURABLE_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -10,6 +11,7 @@
 
 #include "sse/core/persistable.h"
 #include "sse/core/reply_cache.h"
+#include "sse/storage/env.h"
 #include "sse/storage/snapshot.h"
 #include "sse/storage/wal.h"
 
@@ -17,14 +19,30 @@ namespace sse::core {
 
 /// Crash-safe shell around any PersistableHandler.
 ///
-/// Layout in `dir`: `state.snap` (last checkpoint) and `wal.log` (mutating
-/// request messages journaled since). Recovery = restore snapshot (if any)
-/// + re-handle every journaled request; because server handling is
-/// deterministic given requests, replay reconstructs the exact state. Only
-/// *successfully applied* mutations are journaled, and the reply is
-/// withheld until the journal entry is durable — so acknowledged updates
-/// survive crashes and rejected requests can never poison recovery. Call
-/// Checkpoint() periodically to bound the log.
+/// Layout in `dir`: generational checkpoints `state.snap.<gen>` (the last
+/// two are retained) and segmented WAL files `wal.<number>.log` holding the
+/// mutating request messages journaled since. Each checkpoint records the
+/// WAL sequence it was cut at; recovery restores the newest generation that
+/// verifies — falling back to the previous generation, then to WAL-only
+/// replay when the log still covers history from sequence 1 — and
+/// re-handles every journaled request past the restored cut. Because
+/// server handling is deterministic given requests, replay reconstructs
+/// the exact state. Only *successfully applied* mutations are journaled,
+/// and the reply is withheld until the journal entry is durable — so
+/// acknowledged updates survive crashes and rejected requests can never
+/// poison recovery. Call Checkpoint() periodically to bound the log; old
+/// segments are deleted only once they are no longer needed by the oldest
+/// retained snapshot generation.
+///
+/// Storage faults are fail-stop: a failed WAL append, fsync, rotation or
+/// snapshot write permanently degrades the server to read-only (a failed
+/// fsync is never retried — the kernel may have dropped the dirty pages
+/// while reporting the error only once). Degraded mode rejects mutations
+/// with UNAVAILABLE (retryable, so clients fail over cleanly), keeps
+/// serving searches, and notifies the inner handler once via
+/// PersistableHandler::OnStorageDegraded so engines can expose the state
+/// in their metrics. Recovery from a degraded server is a restart: the
+/// on-disk image is intact up to the last durable record.
 ///
 /// Concurrency: Handle() is safe to call from many threads when the inner
 /// handler is itself thread-safe (e.g. an engine::ServerEngine). Appends
@@ -33,7 +51,7 @@ namespace sse::core {
 /// sync started, so N concurrent mutations cost far fewer than N fsyncs
 /// while each reply still waits for its own record to be durable.
 /// Checkpoint() quiesces mutating requests (a commit rw-lock) so the
-/// snapshot and the truncated WAL stay consistent.
+/// snapshot and the compacted WAL stay consistent.
 ///
 /// At-most-once: session-stamped requests (see net::Message::StampSession)
 /// are deduped through a ReplyCache *before* the apply+journal path, so a
@@ -58,6 +76,14 @@ class DurableServer : public net::MessageHandler {
     /// Dedup session-stamped requests through a crash-surviving ReplyCache.
     bool enable_reply_cache = true;
     ReplyCache::Options reply_cache;
+    /// Filesystem the WAL and snapshots live on; tests inject a FaultyEnv.
+    storage::Env* env = storage::Env::Default();
+    /// WAL segment rotation threshold.
+    uint64_t wal_segment_bytes = 8ull << 20;
+    /// Quarantine corrupt mid-segment WAL ranges during recovery instead
+    /// of failing with CORRUPTION (see WalOptions::salvage). Strict by
+    /// default: silent data loss must be opted into.
+    bool wal_salvage = false;
   };
 
   /// Opens (and recovers) a durable server over `inner` in directory `dir`,
@@ -69,16 +95,24 @@ class DurableServer : public net::MessageHandler {
 
   Result<net::Message> Handle(const net::Message& request) override;
 
-  /// Writes a snapshot of the inner state and truncates the WAL. Blocks
-  /// until in-flight mutating requests have committed, and blocks new ones
-  /// while the snapshot is cut.
+  /// Writes a snapshot of the inner state as a new generation, prunes old
+  /// generations and compacts WAL segments no longer needed by the oldest
+  /// retained generation. Blocks until in-flight mutating requests have
+  /// committed, and blocks new ones while the snapshot is cut. Refused in
+  /// degraded mode.
   Status Checkpoint();
 
-  uint64_t wal_records() const { return wal_->appended_records(); }
+  /// Journaled records not yet subsumed by the newest checkpoint.
+  uint64_t wal_records() const;
   /// fsyncs actually issued; under concurrent load with group commit this
   /// grows slower than wal_records().
   uint64_t wal_syncs() const;
   const std::string& directory() const { return dir_; }
+
+  /// True once a storage fault has fail-stopped this server to read-only.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  /// The fault that caused degradation (OK while healthy).
+  Status degraded_cause() const;
 
   /// Dedup table for session-stamped requests; null when disabled.
   const ReplyCache* reply_cache() const { return reply_cache_.get(); }
@@ -86,12 +120,15 @@ class DurableServer : public net::MessageHandler {
  private:
   DurableServer(std::string dir, PersistableHandler* inner,
                 storage::WriteAheadLog wal, Options options,
-                std::unique_ptr<ReplyCache> reply_cache)
+                std::unique_ptr<ReplyCache> reply_cache,
+                uint64_t last_checkpoint_seq)
       : dir_(std::move(dir)),
         inner_(inner),
         wal_(std::make_unique<storage::WriteAheadLog>(std::move(wal))),
         options_(options),
-        reply_cache_(std::move(reply_cache)) {}
+        snapshots_(dir_, options.env),
+        reply_cache_(std::move(reply_cache)),
+        last_checkpoint_seq_(last_checkpoint_seq) {}
 
   Result<net::Message> HandleNew(const net::Message& request);
 
@@ -108,15 +145,22 @@ class DurableServer : public net::MessageHandler {
   /// as the sync leader if none is running.
   Status SyncUpTo(uint64_t seq);
 
+  /// Fail-stop: records the cause, flips the degraded flag and notifies
+  /// the inner handler exactly once. Returns the UNAVAILABLE status
+  /// mutations are answered with from now on.
+  Status EnterDegraded(const Status& cause);
+  Status DegradedStatus() const;
+
   std::string dir_;
   PersistableHandler* inner_;
   std::unique_ptr<storage::WriteAheadLog> wal_;
   Options options_;
+  storage::SnapshotSet snapshots_;
   std::unique_ptr<ReplyCache> reply_cache_;
 
   /// Held shared by mutating requests for their whole apply+journal span,
   /// exclusively by Checkpoint(): the snapshot sees no half-committed
-  /// mutation and no applied-but-unjournaled request can be truncated.
+  /// mutation and no applied-but-unjournaled request can be compacted away.
   std::shared_mutex commit_mutex_;
 
   mutable std::mutex wal_mutex_;  // guards wal_ appends and the fields below
@@ -125,6 +169,11 @@ class DurableServer : public net::MessageHandler {
   uint64_t synced_seq_ = 0;
   bool sync_in_progress_ = false;
   uint64_t syncs_performed_ = 0;
+  uint64_t last_checkpoint_seq_ = 1;  // WAL seq the newest snapshot was cut at
+
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex degraded_mutex_;  // guards degraded_cause_
+  Status degraded_cause_;
 };
 
 }  // namespace sse::core

@@ -26,6 +26,12 @@ class PersistableHandler : public net::MessageHandler {
   /// True if handling a message of this type changes durable state.
   /// (Optimization-1 plaintext caches are soft state and do not count.)
   virtual bool IsMutating(uint16_t msg_type) const = 0;
+
+  /// Called at most once when the DurableServer wrapping this handler
+  /// fail-stops into read-only degraded mode after a storage fault (failed
+  /// append or fsync). Handlers may surface the state in their metrics and
+  /// start refusing mutations themselves; they must keep serving reads.
+  virtual void OnStorageDegraded(const Status& cause) { (void)cause; }
 };
 
 }  // namespace sse::core

@@ -77,6 +77,12 @@ std::string MetricsSnapshot::ToString() const {
                 static_cast<unsigned long long>(doc_puts),
                 static_cast<unsigned long long>(doc_fetches));
   out += buf;
+  if (degraded || storage_faults > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "storage: DEGRADED (read-only), %llu fault(s)\n",
+                  static_cast<unsigned long long>(storage_faults));
+    out += buf;
+  }
   if (batches > 0) {
     std::snprintf(buf, sizeof(buf),
                   "batches: %llu envelopes carrying %llu ops\n",
@@ -125,6 +131,8 @@ MetricsSnapshot EngineMetrics::Snap() const {
   s.batch_ops = batch_ops_.load(std::memory_order_relaxed);
   s.doc_puts = doc_puts_.load(std::memory_order_relaxed);
   s.doc_fetches = doc_fetches_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_acquire);
+  s.storage_faults = storage_faults_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -60,6 +60,10 @@ struct MetricsSnapshot {
   uint64_t batch_ops = 0;   // sub-ops carried inside those envelopes
   uint64_t doc_puts = 0;
   uint64_t doc_fetches = 0;
+  /// True once the storage layer fail-stopped this engine to read-only.
+  bool degraded = false;
+  /// Storage faults observed (currently 0 or 1: the fault that degraded us).
+  uint64_t storage_faults = 0;
 
   uint64_t total_reads() const;
   uint64_t total_writes() const;
@@ -90,6 +94,11 @@ class EngineMetrics {
   void AddDocFetches(uint64_t n) {
     doc_fetches_.fetch_add(n, std::memory_order_relaxed);
   }
+  void SetDegraded() {
+    storage_faults_.fetch_add(1, std::memory_order_relaxed);
+    degraded_.store(true, std::memory_order_release);
+  }
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
 
   MetricsSnapshot Snap() const;
 
@@ -104,6 +113,8 @@ class EngineMetrics {
   std::atomic<uint64_t> batch_ops_{0};
   std::atomic<uint64_t> doc_puts_{0};
   std::atomic<uint64_t> doc_fetches_{0};
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> storage_faults_{0};
 };
 
 }  // namespace sse::engine

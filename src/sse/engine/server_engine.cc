@@ -140,6 +140,14 @@ Result<net::Message> ServerEngine::HandleBatch(const net::Message& request) {
 
 Result<net::Message> ServerEngine::HandleDeduped(const net::Message& request,
                                                  bool allow_pool) {
+  if (metrics_.degraded() && IsMutating(request.type) &&
+      request.type != net::kMsgBatch) {
+    // Read-only after a storage fault: the DurableServer in front of us
+    // already rejects mutations, but a bare engine (or a bug above) must
+    // not mutate state that can no longer be journaled. Batch envelopes
+    // pass through — their sub-ops are classified individually here.
+    return Status::Unavailable("engine degraded after storage fault");
+  }
   if (reply_cache_ == nullptr || !request.has_session) {
     return HandleInternal(request, allow_pool);
   }
@@ -289,6 +297,11 @@ Result<net::Message> ServerEngine::DispatchSub(const SubRequest& sub) {
   }();
   if (!reply.ok()) counters.errors.fetch_add(1, std::memory_order_relaxed);
   return reply;
+}
+
+void ServerEngine::OnStorageDegraded(const Status& cause) {
+  (void)cause;
+  metrics_.SetDegraded();
 }
 
 bool ServerEngine::IsMutating(uint16_t msg_type) const {

@@ -70,6 +70,13 @@ class ServerEngine : public core::PersistableHandler {
   Status RestoreState(BytesView data) override;
   bool IsMutating(uint16_t msg_type) const override;
 
+  /// Storage fail-stop notification (see PersistableHandler): flips the
+  /// engine read-only and surfaces the state in Metrics(). Mutations are
+  /// rejected with UNAVAILABLE from then on — defense in depth behind the
+  /// DurableServer's own rejection — while searches keep serving.
+  void OnStorageDegraded(const Status& cause) override;
+  bool degraded() const { return metrics_.degraded(); }
+
   size_t num_shards() const { return slots_.size(); }
   size_t worker_threads() const { return pool_->thread_count(); }
   const SchemeAdapter& adapter() const { return *adapter_; }

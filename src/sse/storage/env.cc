@@ -1,0 +1,174 @@
+#include "sse/storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sse::storage {
+
+namespace {
+
+std::string Errno() { return std::strerror(errno); }
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, std::FILE* file, uint64_t size)
+      : path_(std::move(path)), file_(file), size_(size) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(BytesView data) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (!data.empty() &&
+        std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IoError("short write to " + path_ + ": " + Errno());
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fflush(file_) != 0) {
+      return Status::IoError("fflush failed for " + path_ + ": " + Errno());
+    }
+    if (fsync(fileno(file_)) != 0) {
+      return Status::IoError("fsync failed for " + path_ + ": " + Errno());
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IoError("close failed for " + path_);
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+  uint64_t size_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (file == nullptr) {
+      return Status::IoError("cannot open " + path + ": " + Errno());
+    }
+    uint64_t size = 0;
+    if (!truncate) {
+      // "ab" positions writes at EOF but ftell may report 0 before the
+      // first write; seek explicitly to learn the current size.
+      if (std::fseek(file, 0, SEEK_END) != 0) {
+        std::fclose(file);
+        return Status::IoError("cannot seek " + path + ": " + Errno());
+      }
+      const long pos = std::ftell(file);
+      if (pos < 0) {
+        std::fclose(file);
+        return Status::IoError("cannot tell " + path + ": " + Errno());
+      }
+      size = static_cast<uint64_t>(pos);
+    }
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(path, file, size));
+  }
+
+  Result<Bytes> ReadFile(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      if (errno == ENOENT) return Status::NotFound("no file at " + path);
+      return Status::IoError("cannot open " + path + ": " + Errno());
+    }
+    std::fseek(file, 0, SEEK_END);
+    const long file_size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    if (file_size < 0) {
+      std::fclose(file);
+      return Status::IoError("cannot stat " + path);
+    }
+    Bytes raw(static_cast<size_t>(file_size));
+    const size_t got =
+        raw.empty() ? 0 : std::fread(raw.data(), 1, raw.size(), file);
+    std::fclose(file);
+    if (got != raw.size()) return Status::IoError("short read on " + path);
+    return raw;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return Status::IoError("cannot open dir " + dir + ": " + Errno());
+    }
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError("rename " + from + " -> " + to + ": " + Errno());
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::IoError("remove " + path + ": " + Errno());
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      return Status::IoError("cannot open dir " + dir + ": " + Errno());
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return Status::IoError("fsync dir " + dir + ": " + Errno());
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no file at " + path);
+      return Status::IoError("stat " + path + ": " + Errno());
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace sse::storage

@@ -1,0 +1,85 @@
+#ifndef SSE_STORAGE_ENV_H_
+#define SSE_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::storage {
+
+/// Append-only writable file handle produced by an `Env`.
+///
+/// All durable state in the storage layer (WAL segments, snapshot staging
+/// files) is written through this interface so that tests can substitute a
+/// fault-injecting implementation. `Append` either writes every byte or
+/// fails; a failed `Sync` must be treated as fail-stop by callers (the
+/// kernel may have dropped the dirty pages, so retrying the fsync can
+/// silently "succeed" without persisting anything — fsyncgate semantics).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file. Partial writes are reported as
+  /// errors; the file contents past the last successful Append are
+  /// unspecified after a failure.
+  virtual Status Append(BytesView data) = 0;
+
+  /// Flushes application and OS buffers to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Idempotent; the destructor closes implicitly but
+  /// swallows errors, so callers that care should Close explicitly.
+  virtual Status Close() = 0;
+
+  /// Logical file size in bytes, including unsynced appends.
+  virtual uint64_t size() const = 0;
+};
+
+/// Filesystem abstraction (LevelDB-style) scoped to what the storage layer
+/// needs: whole-file reads, append-only writes, directory listing, rename,
+/// remove, and the two fsync flavours (file data vs. directory entries).
+///
+/// `SyncDir` exists because POSIX rename is only durable once the parent
+/// directory's entries reach disk; creating or renaming a file and then
+/// crashing before `SyncDir(parent)` may resurrect the old name (or no
+/// file at all) after restart. `FaultyEnv` models exactly that hole.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+
+  /// Opens `path` for appending, creating it if absent. With `truncate`
+  /// the existing contents are discarded first.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the entire file. NotFound if it does not exist.
+  virtual Result<Bytes> ReadFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries in `dir`, unsorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  /// Atomically renames `from` to `to`, replacing any existing `to`.
+  /// Durable only after `SyncDir` on the parent directory.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Fsyncs the directory itself, making entry creations, renames and
+  /// removals in it durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+};
+
+}  // namespace sse::storage
+
+#endif  // SSE_STORAGE_ENV_H_

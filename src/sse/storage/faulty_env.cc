@@ -1,0 +1,270 @@
+#include "sse/storage/faulty_env.h"
+
+#include <algorithm>
+
+namespace sse::storage {
+
+namespace {
+
+std::string StripTrailingSlash(const std::string& dir) {
+  if (dir.size() > 1 && dir.back() == '/') return dir.substr(0, dir.size() - 1);
+  return dir;
+}
+
+// True if `path` names an immediate child of `dir`.
+bool IsChildOf(const std::string& dir, const std::string& path) {
+  if (path.size() <= dir.size() + 1) return false;
+  if (path.compare(0, dir.size(), dir) != 0) return false;
+  if (path[dir.size()] != '/') return false;
+  return path.find('/', dir.size() + 1) == std::string::npos;
+}
+
+}  // namespace
+
+class FaultyEnv::FaultyWritableFile final : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyEnv* env, std::string path,
+                     std::shared_ptr<Inode> inode, uint64_t epoch)
+      : env_(env),
+        path_(std::move(path)),
+        inode_(std::move(inode)),
+        epoch_(epoch) {}
+
+  Status Append(BytesView data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    SSE_RETURN_IF_ERROR(CheckEpochLocked());
+    bool short_write = false;
+    SSE_RETURN_IF_ERROR(env_->Account("append " + path_, &short_write));
+    const size_t take = short_write ? data.size() / 2 : data.size();
+    inode_->live.insert(inode_->live.end(), data.begin(), data.begin() + take);
+    if (short_write) {
+      return Status::IoError("faulty env: short write to " + path_ + " (" +
+                             std::to_string(take) + "/" +
+                             std::to_string(data.size()) + " bytes)");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    SSE_RETURN_IF_ERROR(CheckEpochLocked());
+    SSE_RETURN_IF_ERROR(env_->Account("sync " + path_, nullptr));
+    inode_->durable = inode_->live;
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+  uint64_t size() const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return inode_->live.size();
+  }
+
+ private:
+  // A handle that survived a crash points at an inode the restarted
+  // process could never have opened; fail it permanently.
+  Status CheckEpochLocked() const {
+    if (epoch_ != env_->crash_epoch_) {
+      return Status::IoError("faulty env: stale handle for " + path_ +
+                             " after crash");
+    }
+    return Status::OK();
+  }
+
+  FaultyEnv* env_;
+  std::string path_;
+  std::shared_ptr<Inode> inode_;
+  uint64_t epoch_;
+};
+
+Status FaultyEnv::Account(const std::string& what, bool* short_write) {
+  if (crashed_) {
+    return Status::IoError("faulty env: crashed (" + what + ")");
+  }
+  const uint64_t idx = op_counter_++;
+  op_log_.push_back(what);
+  const auto it = schedule_.find(idx);
+  if (it == schedule_.end()) return Status::OK();
+  switch (it->second) {
+    case FaultKind::kCrash:
+      CrashLocked();
+      return Status::IoError("faulty env: simulated crash at op " +
+                             std::to_string(idx) + " (" + what + ")");
+    case FaultKind::kShortWrite:
+      if (short_write != nullptr) {
+        *short_write = true;
+        return Status::OK();
+      }
+      [[fallthrough]];
+    case FaultKind::kEio:
+    case FaultKind::kSyncFail:
+      return Status::IoError("faulty env: injected fault at op " +
+                             std::to_string(idx) + " (" + what + ")");
+  }
+  return Status::OK();
+}
+
+void FaultyEnv::CrashLocked() {
+  crashed_ = true;
+  ++crash_epoch_;
+  for (auto& [path, inode] : durable_ns_) {
+    Bytes& durable = inode->durable;
+    const Bytes& live = inode->live;
+    // Torn write-back: when the unsynced delta is a pure append, a real
+    // page cache may have flushed an arbitrary prefix of it before the
+    // crash. Pick that prefix length deterministically from the seed,
+    // path and crash ordinal so sweeps are reproducible.
+    if (live.size() > durable.size() &&
+        std::equal(durable.begin(), durable.end(), live.begin())) {
+      uint64_t h = torn_write_seed_ ^ (crash_epoch_ * 0x9e3779b97f4a7c15ULL);
+      for (const char c : path) {
+        h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+      }
+      h ^= h >> 31;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      const uint64_t extra = h % (live.size() - durable.size() + 1);
+      durable.insert(durable.end(), live.begin() + durable.size(),
+                     live.begin() + durable.size() + extra);
+    }
+    inode->live = durable;
+  }
+  // Entries never promoted by SyncDir vanish; removed-but-unsynced entries
+  // resurrect. Open handles are invalidated via crash_epoch_.
+  live_ns_ = durable_ns_;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_ns_.find(path);
+  const bool creating = it == live_ns_.end();
+  SSE_RETURN_IF_ERROR(
+      Account((creating || truncate ? "create " : "open ") + path, nullptr));
+  std::shared_ptr<Inode> inode;
+  if (creating) {
+    inode = std::make_shared<Inode>();
+    live_ns_[path] = inode;  // durable only after SyncDir(parent)
+  } else {
+    inode = it->second;
+    if (truncate) inode->live.clear();  // durable bytes survive a crash
+  }
+  return std::unique_ptr<WritableFile>(
+      new FaultyWritableFile(this, path, std::move(inode), crash_epoch_));
+}
+
+Result<Bytes> FaultyEnv::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SSE_RETURN_IF_ERROR(Account("read " + path, nullptr));
+  const auto it = live_ns_.find(path);
+  if (it == live_ns_.end()) return Status::NotFound("no file at " + path);
+  return it->second->live;
+}
+
+bool FaultyEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_ns_.count(path) != 0;
+}
+
+Result<std::vector<std::string>> FaultyEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string d = StripTrailingSlash(dir);
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : live_ns_) {
+    if (IsChildOf(d, path)) names.push_back(path.substr(d.size() + 1));
+  }
+  return names;
+}
+
+Status FaultyEnv::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SSE_RETURN_IF_ERROR(Account("rename " + from, nullptr));
+  const auto it = live_ns_.find(from);
+  if (it == live_ns_.end()) return Status::NotFound("no file at " + from);
+  live_ns_[to] = it->second;  // replaces any existing `to`
+  live_ns_.erase(it);
+  return Status::OK();
+}
+
+Status FaultyEnv::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SSE_RETURN_IF_ERROR(Account("remove " + path, nullptr));
+  if (live_ns_.erase(path) == 0) {
+    return Status::NotFound("no file at " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultyEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SSE_RETURN_IF_ERROR(Account("syncdir " + dir, nullptr));
+  const std::string d = StripTrailingSlash(dir);
+  for (const auto& [path, inode] : live_ns_) {
+    if (IsChildOf(d, path)) durable_ns_[path] = inode;
+  }
+  for (auto it = durable_ns_.begin(); it != durable_ns_.end();) {
+    if (IsChildOf(d, it->first) && live_ns_.count(it->first) == 0) {
+      it = durable_ns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FaultyEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_ns_.find(path);
+  if (it == live_ns_.end()) return Status::NotFound("no file at " + path);
+  return static_cast<uint64_t>(it->second->live.size());
+}
+
+void FaultyEnv::FailAt(uint64_t op_index, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_[op_index] = kind;
+}
+
+void FaultyEnv::ClearSchedule() {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_.clear();
+}
+
+void FaultyEnv::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!crashed_) CrashLocked();
+}
+
+void FaultyEnv::Restart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+}
+
+uint64_t FaultyEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counter_;
+}
+
+bool FaultyEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::vector<std::string> FaultyEnv::op_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_log_;
+}
+
+Status FaultyEnv::CorruptByte(const std::string& path, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_ns_.find(path);
+  if (it == live_ns_.end()) return Status::NotFound("no file at " + path);
+  Inode& inode = *it->second;
+  if (offset >= inode.live.size()) {
+    return Status::OutOfRange("corrupt offset beyond file size");
+  }
+  inode.live[offset] ^= 0xFF;
+  if (offset < inode.durable.size()) inode.durable[offset] ^= 0xFF;
+  return Status::OK();
+}
+
+}  // namespace sse::storage

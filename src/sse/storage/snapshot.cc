@@ -1,8 +1,7 @@
 #include "sse/storage/snapshot.h"
 
-#include <unistd.h>
-
-#include <cstdio>
+#include <algorithm>
+#include <cctype>
 #include <cstring>
 
 #include "sse/util/crc32.h"
@@ -11,11 +10,36 @@
 namespace sse::storage {
 
 namespace {
+
 constexpr char kMagic[8] = {'S', 'S', 'E', 'S', 'N', 'A', 'P', '1'};
 constexpr uint32_t kVersion = 1;
+constexpr char kGenPrefix[] = "state.snap.";
+
+// Splits "<dir>/<name>" so the parent directory can be fsynced after the
+// rename. A bare filename stages and syncs in ".".
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool ParseGenName(const std::string& name, uint64_t* gen) {
+  constexpr size_t kPrefixLen = sizeof(kGenPrefix) - 1;
+  if (name.size() <= kPrefixLen) return false;
+  if (name.compare(0, kPrefixLen, kGenPrefix) != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = kPrefixLen; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *gen = v;
+  return true;
+}
+
 }  // namespace
 
-Status Snapshot::Write(const std::string& path, BytesView payload) {
+Status Snapshot::Write(const std::string& path, BytesView payload, Env* env) {
   BufferWriter w;
   w.PutRaw(BytesView(reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic)));
   w.PutU32(kVersion);
@@ -25,43 +49,32 @@ Status Snapshot::Write(const std::string& path, BytesView payload) {
   const Bytes& framed = w.data();
 
   const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot create " + tmp + ": " + std::strerror(errno));
+  auto file_r = env->NewWritableFile(tmp, true);
+  if (!file_r.ok()) return file_r.status();
+  std::unique_ptr<WritableFile> file = std::move(file_r).value();
+  Status status = file->Append(framed);
+  if (status.ok()) status = file->Sync();
+  if (status.ok()) status = file->Close();
+  if (!status.ok()) {
+    (void)env->Remove(tmp);
+    return status;
   }
-  const bool wrote =
-      std::fwrite(framed.data(), 1, framed.size(), file) == framed.size();
-  const bool flushed = std::fflush(file) == 0 && fsync(fileno(file)) == 0;
-  std::fclose(file);
-  if (!wrote || !flushed) {
-    std::remove(tmp.c_str());
-    return Status::IoError("snapshot write failed for " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("snapshot rename failed: " +
-                           std::string(std::strerror(errno)));
-  }
-  return Status::OK();
+  SSE_RETURN_IF_ERROR(env->Rename(tmp, path));
+  // The rename is only durable once the directory entry reaches disk; a
+  // crash before this fsync can resurrect the previous snapshot.
+  return env->SyncDir(ParentDir(path));
 }
 
-Result<Bytes> Snapshot::Read(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::NotFound("no snapshot at " + path);
+Result<Bytes> Snapshot::Read(const std::string& path, Env* env) {
+  Bytes raw;
+  SSE_ASSIGN_OR_RETURN(raw, env->ReadFile(path));
+  // Truncated envelopes — including a zero-byte file left by a torn
+  // creation — are corruption, not a reason to misbehave.
+  constexpr size_t kEnvelopeMin = sizeof(kMagic) + 4 + 8 + 4;
+  if (raw.size() < kEnvelopeMin) {
+    return Status::Corruption("snapshot truncated (" +
+                              std::to_string(raw.size()) + " bytes): " + path);
   }
-  std::fseek(file, 0, SEEK_END);
-  const long file_size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  if (file_size < 0) {
-    std::fclose(file);
-    return Status::IoError("cannot stat snapshot " + path);
-  }
-  Bytes raw(static_cast<size_t>(file_size));
-  const size_t got = raw.empty() ? 0 : std::fread(raw.data(), 1, raw.size(), file);
-  std::fclose(file);
-  if (got != raw.size()) return Status::IoError("short read on snapshot");
-
   BufferReader r(raw);
   Bytes magic;
   SSE_ASSIGN_OR_RETURN(magic, r.GetRaw(sizeof(kMagic)));
@@ -89,11 +102,55 @@ Result<Bytes> Snapshot::Read(const std::string& path) {
   return payload;
 }
 
-bool Snapshot::Exists(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return false;
-  std::fclose(file);
-  return true;
+bool Snapshot::Exists(const std::string& path, Env* env) {
+  return env->FileExists(path);
+}
+
+std::string SnapshotSet::PathFor(uint64_t gen) const {
+  return dir_ + "/" + kGenPrefix + std::to_string(gen);
+}
+
+Result<std::vector<uint64_t>> SnapshotSet::List() const {
+  std::vector<std::string> names;
+  SSE_ASSIGN_OR_RETURN(names, env_->ListDir(dir_));
+  std::vector<uint64_t> gens;
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    if (ParseGenName(name, &gen)) gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+Status SnapshotSet::WriteNext(BytesView payload) {
+  std::vector<uint64_t> gens;
+  SSE_ASSIGN_OR_RETURN(gens, List());
+  const uint64_t next = gens.empty() ? 1 : gens.back() + 1;
+  SSE_RETURN_IF_ERROR(Snapshot::Write(PathFor(next), payload, env_));
+  // Prune only after the new generation is durable. A failed prune is not
+  // a durability problem — at worst an extra generation lingers.
+  while (gens.size() + 1 > static_cast<size_t>(kKeepGenerations)) {
+    SSE_RETURN_IF_ERROR(env_->Remove(PathFor(gens.front())));
+    gens.erase(gens.begin());
+  }
+  return env_->SyncDir(dir_);
+}
+
+Result<Bytes> SnapshotSet::ReadNewestValid(uint64_t* gen) const {
+  std::vector<uint64_t> gens;
+  SSE_ASSIGN_OR_RETURN(gens, List());
+  if (gens.empty()) return Status::NotFound("no snapshot in " + dir_);
+  Status last_error = Status::OK();
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    auto read = Snapshot::Read(PathFor(*it), env_);
+    if (read.ok()) {
+      if (gen != nullptr) *gen = *it;
+      return read;
+    }
+    last_error = read.status();
+  }
+  return Status::Corruption("no snapshot generation verifies in " + dir_ +
+                            " (last error: " + last_error.ToString() + ")");
 }
 
 }  // namespace sse::storage

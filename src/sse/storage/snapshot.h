@@ -1,8 +1,11 @@
 #ifndef SSE_STORAGE_SNAPSHOT_H_
 #define SSE_STORAGE_SNAPSHOT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sse/storage/env.h"
 #include "sse/util/bytes.h"
 #include "sse/util/result.h"
 
@@ -12,19 +15,56 @@ namespace sse::storage {
 ///
 /// A snapshot is an opaque byte blob (the serialized server state) wrapped
 /// in a small integrity envelope: magic ‖ version ‖ u64 length ‖ u32 CRC-32C
-/// ‖ payload. `Write` stages into `<path>.tmp` and renames, so readers
-/// never observe a half-written snapshot; `Read` verifies the envelope and
-/// fails with CORRUPTION on any mismatch.
+/// ‖ payload. `Write` stages into `<path>.tmp`, fsyncs it, renames it into
+/// place, and fsyncs the parent directory — without that last step a crash
+/// can resurrect the old snapshot (or none at all) even though the rename
+/// "succeeded". `Read` verifies the envelope and fails with CORRUPTION on
+/// any mismatch, including truncated and zero-byte files.
 class Snapshot {
  public:
-  /// Writes `payload` atomically to `path`.
-  static Status Write(const std::string& path, BytesView payload);
+  /// Writes `payload` atomically and durably to `path`.
+  static Status Write(const std::string& path, BytesView payload,
+                      Env* env = Env::Default());
 
   /// Reads and verifies the snapshot at `path`.
-  static Result<Bytes> Read(const std::string& path);
+  static Result<Bytes> Read(const std::string& path, Env* env = Env::Default());
 
   /// True if a snapshot file exists at `path`.
-  static bool Exists(const std::string& path);
+  static bool Exists(const std::string& path, Env* env = Env::Default());
+};
+
+/// Generational snapshots: `state.snap.<gen>` files in a directory, the
+/// last `kKeepGenerations` retained. A new checkpoint writes generation
+/// `newest+1` and prunes older files only after the write is fully durable,
+/// so a corrupt or torn newest generation can always fall back to its
+/// predecessor (the WAL keeps enough history to catch up from either; see
+/// WriteAheadLog::CompactBefore).
+class SnapshotSet {
+ public:
+  static constexpr int kKeepGenerations = 2;
+
+  SnapshotSet(std::string dir, Env* env = Env::Default())
+      : dir_(std::move(dir)), env_(env) {}
+
+  /// Generation numbers present on disk, ascending. Non-snapshot files are
+  /// ignored.
+  Result<std::vector<uint64_t>> List() const;
+
+  /// Writes `payload` as the next generation and prunes all but the newest
+  /// `kKeepGenerations` generations.
+  Status WriteNext(BytesView payload);
+
+  /// Reads the newest generation that verifies, trying older generations
+  /// when the newest is corrupt. NotFound when no snapshot file exists at
+  /// all; CORRUPTION when files exist but none verifies. `gen` (optional)
+  /// receives the generation that was read.
+  Result<Bytes> ReadNewestValid(uint64_t* gen = nullptr) const;
+
+  std::string PathFor(uint64_t gen) const;
+
+ private:
+  std::string dir_;
+  Env* env_;
 };
 
 }  // namespace sse::storage

@@ -1,7 +1,8 @@
 #include "sse/storage/wal.h"
 
-#include <unistd.h>
-
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <cstring>
 
 #include "sse/util/crc32.h"
@@ -10,8 +11,20 @@ namespace sse::storage {
 
 namespace {
 
+constexpr char kSegmentMagic[8] = {'S', 'S', 'E', 'W', 'A', 'L', 'S', '1'};
+constexpr size_t kSegmentHeaderSize = 16;  // magic ‖ u64 first_seq
+constexpr size_t kRecordHeaderSize = 16;   // u32 len ‖ u32 crc ‖ u64 seq
+constexpr uint32_t kMaxRecordSize = 1u << 30;
+// A resync candidate whose seq jumps further than this past the expected
+// seq is treated as a coincidental bit pattern, not a real record.
+constexpr uint64_t kMaxSeqGap = 1u << 24;
+
 void PutU32(uint8_t* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void PutU64(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
 }
 
 uint32_t GetU32(const uint8_t* in) {
@@ -20,122 +33,387 @@ uint32_t GetU32(const uint8_t* in) {
   return v;
 }
 
-constexpr size_t kHeaderSize = 8;
-constexpr uint32_t kMaxRecordSize = 1u << 30;
+uint64_t GetU64(const uint8_t* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+// The CRC covers the sequence number as well as the payload, so a record
+// copied (or coincidentally repeated) at the wrong position cannot verify.
+uint32_t RecordCrc(uint64_t seq, BytesView payload) {
+  uint8_t seq_le[8];
+  PutU64(seq_le, seq);
+  return Crc32cExtend(Crc32c(BytesView(seq_le, sizeof(seq_le))), payload);
+}
+
+bool ParseSegmentName(const std::string& name, uint64_t* number) {
+  // wal.<digits>.log
+  if (name.size() < 9) return false;
+  if (name.compare(0, 4, "wal.") != 0) return false;
+  if (name.compare(name.size() - 4, 4, ".log") != 0) return false;
+  uint64_t v = 0;
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) return false;
+  for (const char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *number = v;
+  return true;
+}
+
+bool HeaderLooksValid(BytesView data) {
+  return data.size() >= kSegmentHeaderSize &&
+         std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) == 0;
+}
+
+// Per-segment scan result; `next_seq` is the seq the segment hands to its
+// successor (first_seq + intact records + quarantined records).
+struct SegmentScan {
+  bool header_valid = false;
+  uint64_t first_seq = 0;
+  uint64_t next_seq = 0;
+  uint64_t records = 0;  // intact records with seq >= min_seq
+  uint64_t torn_bytes = 0;
+  uint64_t quarantined_records = 0;
+  std::vector<std::pair<size_t, size_t>> quarantined;  // byte ranges
+};
+
+// Parses one segment. Damage handling: from the first unparseable byte we
+// search forward for a provably-real record (plausible length, CRC over
+// seq ‖ payload verifies, seq strictly beyond the expected one). If none
+// exists the damage is a torn tail — unsynced, therefore unacknowledged,
+// bytes a crash legitimately dropped. If one exists, acknowledged records
+// were damaged: strict mode reports CORRUPTION, salvage mode records the
+// byte range for quarantine and resumes at the resync point.
+Status ScanSegment(BytesView data, bool salvage, uint64_t min_seq,
+                   const std::function<Status(uint64_t, BytesView)>* fn,
+                   SegmentScan* out) {
+  if (!HeaderLooksValid(data)) return Status::OK();  // header_valid = false
+  out->header_valid = true;
+  out->first_seq = GetU64(data.data() + 8);
+  uint64_t expected = out->first_seq;
+  size_t offset = kSegmentHeaderSize;
+  while (offset < data.size()) {
+    const size_t rem = data.size() - offset;
+    bool intact = false;
+    uint32_t len = 0;
+    if (rem >= kRecordHeaderSize) {
+      len = GetU32(data.data() + offset);
+      const uint32_t crc = GetU32(data.data() + offset + 4);
+      const uint64_t seq = GetU64(data.data() + offset + 8);
+      if (len <= kMaxRecordSize && kRecordHeaderSize + len <= rem &&
+          seq == expected) {
+        const BytesView payload = data.subspan(offset + kRecordHeaderSize, len);
+        if (RecordCrc(seq, payload) == crc) {
+          intact = true;
+          if (seq >= min_seq) {
+            ++out->records;
+            if (fn != nullptr) SSE_RETURN_IF_ERROR((*fn)(seq, payload));
+          }
+        }
+      }
+    }
+    if (intact) {
+      ++expected;
+      offset += kRecordHeaderSize + len;
+      continue;
+    }
+    // Damage at `offset`: hunt for a resync point.
+    size_t resync = 0;
+    uint64_t resync_seq = 0;
+    bool found = false;
+    for (size_t p = offset + 1; p + kRecordHeaderSize <= data.size(); ++p) {
+      const uint32_t l = GetU32(data.data() + p);
+      if (l > kMaxRecordSize) continue;
+      if (p + kRecordHeaderSize + l > data.size()) continue;
+      const uint64_t s = GetU64(data.data() + p + 8);
+      if (s <= expected || s - expected > kMaxSeqGap) continue;
+      const BytesView payload = data.subspan(p + kRecordHeaderSize, l);
+      if (RecordCrc(s, payload) != GetU32(data.data() + p + 4)) continue;
+      resync = p;
+      resync_seq = s;
+      found = true;
+      break;
+    }
+    if (!found) {
+      out->torn_bytes = data.size() - offset;
+      break;
+    }
+    if (!salvage) {
+      return Status::Corruption("WAL record corrupt mid-segment at offset " +
+                                std::to_string(offset));
+    }
+    out->quarantined.emplace_back(offset, resync);
+    out->quarantined_records += resync_seq - expected;
+    expected = resync_seq;
+    offset = resync;
+  }
+  out->next_seq = expected;
+  return Status::OK();
+}
+
+// Copies damaged byte ranges into `<segment>.quarantine` for forensics.
+// Best-effort: a failure here must not turn a successful salvage into a
+// recovery failure, but the byte count is reported either way.
+void QuarantineRanges(Env* env, const std::string& dir,
+                      const std::string& segment_path, BytesView data,
+                      const std::vector<std::pair<size_t, size_t>>& ranges,
+                      WalReplayReport* report) {
+  uint64_t bytes = 0;
+  for (const auto& [begin, end] : ranges) bytes += end - begin;
+  report->quarantined_bytes += bytes;
+  auto file_r = env->NewWritableFile(segment_path + ".quarantine", true);
+  if (!file_r.ok()) return;
+  std::unique_ptr<WritableFile> file = std::move(file_r).value();
+  for (const auto& [begin, end] : ranges) {
+    if (!file->Append(data.subspan(begin, end - begin)).ok()) return;
+  }
+  (void)file->Sync();
+  (void)file->Close();
+  (void)env->SyncDir(dir);
+}
 
 }  // namespace
 
-WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
-    : path_(std::move(other.path_)),
-      file_(other.file_),
-      appended_records_(other.appended_records_) {
-  other.file_ = nullptr;
+std::string WriteAheadLog::SegmentPath(uint64_t number) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal.%06llu.log",
+                static_cast<unsigned long long>(number));
+  return dir_ + "/" + name;
 }
 
-WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
-  if (this != &other) {
-    if (file_ != nullptr) std::fclose(file_);
-    path_ = std::move(other.path_);
-    file_ = other.file_;
-    appended_records_ = other.appended_records_;
-    other.file_ = nullptr;
+Status WriteAheadLog::Poison(Status cause) {
+  if (poison_.ok()) poison_ = cause;
+  return poison_;
+}
+
+Status WriteAheadLog::CreateSegment(uint64_t number, uint64_t first_seq) {
+  auto file_r = options_.env->NewWritableFile(SegmentPath(number), true);
+  if (!file_r.ok()) return file_r.status();
+  std::unique_ptr<WritableFile> file = std::move(file_r).value();
+  uint8_t header[kSegmentHeaderSize];
+  std::memcpy(header, kSegmentMagic, sizeof(kSegmentMagic));
+  PutU64(header + 8, first_seq);
+  SSE_RETURN_IF_ERROR(file->Append(BytesView(header, sizeof(header))));
+  SSE_RETURN_IF_ERROR(file->Sync());
+  // Make the new entry durable before any record lands in it, so replay
+  // never sees acknowledged records in a segment that "does not exist".
+  SSE_RETURN_IF_ERROR(options_.env->SyncDir(dir_));
+  file_ = std::move(file);
+  segments_.push_back(SegmentInfo{number, first_seq});
+  return Status::OK();
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
+                                          WalOptions options) {
+  Env* env = options.env;
+  WriteAheadLog wal(dir, options);
+  std::vector<std::string> names;
+  SSE_ASSIGN_OR_RETURN(names, env->ListDir(dir));
+  std::vector<uint64_t> numbers;
+  for (const std::string& name : names) {
+    uint64_t number = 0;
+    if (ParseSegmentName(name, &number)) numbers.push_back(number);
   }
-  return *this;
-}
+  std::sort(numbers.begin(), numbers.end());
+  const uint64_t fresh_number = numbers.empty() ? 1 : numbers.back() + 1;
 
-WriteAheadLog::~WriteAheadLog() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::IoError("cannot open WAL at " + path + ": " +
-                           std::strerror(errno));
+  // A trailing segment whose header never became durable cannot contain
+  // acknowledged records (the header is written and fsynced before the
+  // first append returns), so it is safe to discard.
+  Bytes last_data;
+  while (!numbers.empty()) {
+    SSE_ASSIGN_OR_RETURN(last_data, env->ReadFile(wal.SegmentPath(numbers.back())));
+    if (HeaderLooksValid(last_data)) break;
+    SSE_RETURN_IF_ERROR(env->Remove(wal.SegmentPath(numbers.back())));
+    SSE_RETURN_IF_ERROR(env->SyncDir(dir));
+    numbers.pop_back();
   }
-  return WriteAheadLog(path, file);
+  if (numbers.empty()) {
+    SSE_RETURN_IF_ERROR(wal.CreateSegment(fresh_number, 1));
+    return wal;
+  }
+
+  // Record the first_seq of every retained segment (CompactBefore needs
+  // them) and refuse non-tail segments with unreadable headers: in strict
+  // mode that is unrecoverable damage; in salvage mode Replay has already
+  // quarantined their bytes, so they are dropped here.
+  for (size_t i = 0; i + 1 < numbers.size();) {
+    Bytes data;
+    SSE_ASSIGN_OR_RETURN(data, env->ReadFile(wal.SegmentPath(numbers[i])));
+    if (HeaderLooksValid(data)) {
+      wal.segments_.push_back(SegmentInfo{numbers[i], GetU64(data.data() + 8)});
+      ++i;
+      continue;
+    }
+    if (!options.salvage) {
+      return Status::Corruption("WAL segment header invalid: " +
+                                wal.SegmentPath(numbers[i]));
+    }
+    SSE_RETURN_IF_ERROR(env->Remove(wal.SegmentPath(numbers[i])));
+    SSE_RETURN_IF_ERROR(env->SyncDir(dir));
+    numbers.erase(numbers.begin() + static_cast<long>(i));
+  }
+
+  SegmentScan scan;
+  SSE_RETURN_IF_ERROR(
+      ScanSegment(last_data, options.salvage, 0, nullptr, &scan));
+  wal.next_seq_ = scan.next_seq;
+  const bool seal = scan.torn_bytes > 0 || !scan.quarantined.empty() ||
+                    last_data.size() >= options.segment_bytes;
+  if (seal) {
+    wal.segments_.push_back(SegmentInfo{numbers.back(), scan.first_seq});
+    SSE_RETURN_IF_ERROR(wal.CreateSegment(fresh_number, wal.next_seq_));
+  } else {
+    auto file_r = env->NewWritableFile(wal.SegmentPath(numbers.back()), false);
+    if (!file_r.ok()) return file_r.status();
+    wal.file_ = std::move(file_r).value();
+    wal.segments_.push_back(SegmentInfo{numbers.back(), scan.first_seq});
+  }
+  return wal;
 }
 
 Status WriteAheadLog::Append(BytesView payload) {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
+  if (poisoned()) return poison_;
   if (payload.size() > kMaxRecordSize) {
     return Status::InvalidArgument("WAL record exceeds 1 GiB");
   }
-  uint8_t header[kHeaderSize];
-  PutU32(header, static_cast<uint32_t>(payload.size()));
-  PutU32(header + 4, Crc32c(payload));
-  if (std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
-    return Status::IoError("WAL header write failed");
+  if (file_->size() >= options_.segment_bytes) {
+    SSE_RETURN_IF_ERROR(Rotate());
   }
-  if (!payload.empty() &&
-      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
-    return Status::IoError("WAL payload write failed");
-  }
+  Bytes frame(kRecordHeaderSize + payload.size());
+  PutU32(frame.data(), static_cast<uint32_t>(payload.size()));
+  PutU32(frame.data() + 4, RecordCrc(next_seq_, payload));
+  PutU64(frame.data() + 8, next_seq_);
+  std::copy(payload.begin(), payload.end(), frame.begin() + kRecordHeaderSize);
+  const Status status = file_->Append(frame);
+  // A failed or short append leaves an undefined tail in the segment; the
+  // seq was not consumed, so after restart the sealed segment's successor
+  // starts at the same seq and replay proves the tear benign.
+  if (!status.ok()) return Poison(status);
+  ++next_seq_;
   ++appended_records_;
   return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
-  if (std::fflush(file_) != 0) return Status::IoError("WAL fflush failed");
-  if (fsync(fileno(file_)) != 0) return Status::IoError("WAL fsync failed");
+  if (poisoned()) return poison_;
+  const Status status = file_->Sync();
+  // fsyncgate: after a failed fsync the kernel may have dropped the dirty
+  // pages while clearing the error, so a retry could "succeed" without
+  // persisting anything. Never retry; fail-stop instead.
+  if (!status.ok()) return Poison(status);
   return Status::OK();
 }
 
-Status WriteAheadLog::Replay(const std::string& path,
-                             const std::function<Status(BytesView)>& fn,
-                             uint64_t* torn_bytes) {
-  if (torn_bytes != nullptr) *torn_bytes = 0;
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    // A missing log is an empty log.
-    return Status::OK();
+Status WriteAheadLog::Rotate() {
+  if (poisoned()) return poison_;
+  Status status = file_->Sync();
+  if (!status.ok()) return Poison(status);
+  (void)file_->Close();
+  status = CreateSegment(segments_.back().number + 1, next_seq_);
+  if (!status.ok()) return Poison(status);
+  return Status::OK();
+}
+
+Status WriteAheadLog::CompactBefore(uint64_t seq) {
+  if (poisoned()) return poison_;
+  bool removed = false;
+  while (segments_.size() >= 2 && segments_[1].first_seq <= seq) {
+    const std::string path = SegmentPath(segments_.front().number);
+    SSE_RETURN_IF_ERROR(options_.env->Remove(path));
+    (void)options_.env->Remove(path + ".quarantine");  // may not exist
+    segments_.erase(segments_.begin());
+    removed = true;
   }
-  Status status = Status::OK();
-  while (true) {
-    uint8_t header[kHeaderSize];
-    const size_t got = std::fread(header, 1, kHeaderSize, file);
-    if (got == 0) break;  // clean EOF
-    if (got < kHeaderSize) {
-      if (torn_bytes != nullptr) *torn_bytes = got;
-      break;  // torn header at tail
-    }
-    const uint32_t len = GetU32(header);
-    const uint32_t crc = GetU32(header + 4);
-    if (len > kMaxRecordSize) {
-      status = Status::Corruption("WAL record length implausible");
-      break;
-    }
-    Bytes payload(len);
-    const size_t body = std::fread(payload.data(), 1, len, file);
-    if (body < len) {
-      if (torn_bytes != nullptr) *torn_bytes = kHeaderSize + body;
-      break;  // torn payload at tail
-    }
-    if (Crc32c(payload) != crc) {
-      // If this is the final record it is a torn write; if more data
-      // follows it is corruption. Peek one byte to distinguish.
-      const int next = std::fgetc(file);
-      if (next == EOF) {
-        if (torn_bytes != nullptr) *torn_bytes = kHeaderSize + len;
-        break;
-      }
-      status = Status::Corruption("WAL record CRC mismatch mid-log");
-      break;
-    }
-    status = fn(payload);
-    if (!status.ok()) break;
-  }
-  std::fclose(file);
-  return status;
+  if (removed) SSE_RETURN_IF_ERROR(options_.env->SyncDir(dir_));
+  return Status::OK();
 }
 
 Status WriteAheadLog::Reset() {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) return Status::IoError("WAL reopen failed");
-  appended_records_ = 0;
+  if (poisoned()) return poison_;
+  (void)file_->Close();
+  file_.reset();
+  const uint64_t fresh_number = segments_.back().number + 1;
+  for (const SegmentInfo& segment : segments_) {
+    const std::string path = SegmentPath(segment.number);
+    const Status status = options_.env->Remove(path);
+    if (!status.ok()) return Poison(status);
+    (void)options_.env->Remove(path + ".quarantine");
+  }
+  segments_.clear();
+  // CreateSegment's SyncDir also makes the removals durable.
+  const Status status = CreateSegment(fresh_number, next_seq_);
+  if (!status.ok()) return Poison(status);
+  return Status::OK();
+}
+
+Status WriteAheadLog::Replay(const std::string& dir, const WalOptions& options,
+                             uint64_t min_seq,
+                             const std::function<Status(uint64_t, BytesView)>& fn,
+                             WalReplayReport* report) {
+  WalReplayReport local;
+  WalReplayReport* rep = report != nullptr ? report : &local;
+  *rep = WalReplayReport{};
+  Env* env = options.env;
+
+  std::vector<std::string> names;
+  SSE_ASSIGN_OR_RETURN(names, env->ListDir(dir));
+  std::vector<uint64_t> numbers;
+  for (const std::string& name : names) {
+    uint64_t number = 0;
+    if (ParseSegmentName(name, &number)) numbers.push_back(number);
+  }
+  std::sort(numbers.begin(), numbers.end());
+
+  uint64_t expected = 0;        // 0 = no valid segment header seen yet
+  bool expected_known = false;  // false after a fully-quarantined segment
+  for (size_t i = 0; i < numbers.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "wal.%06llu.log",
+                  static_cast<unsigned long long>(numbers[i]));
+    const std::string path = dir + "/" + name;
+    Bytes data;
+    SSE_ASSIGN_OR_RETURN(data, env->ReadFile(path));
+    ++rep->segments;
+
+    if (!HeaderLooksValid(data)) {
+      if (!options.salvage) {
+        return Status::Corruption("WAL segment header invalid: " + path);
+      }
+      QuarantineRanges(env, dir, path, data, {{0, data.size()}}, rep);
+      expected_known = false;  // lost count; trust the next header
+      continue;
+    }
+    const uint64_t first_seq = GetU64(data.data() + 8);
+    if (expected_known && first_seq != expected) {
+      // A torn tail in the previous segment is benign exactly when this
+      // header picks up at the expected seq (the failed append consumed
+      // no seq); any other gap means acknowledged records are missing.
+      if (!options.salvage || first_seq < expected) {
+        return Status::Corruption("WAL segment sequence discontinuity at " +
+                                  path + ": expected " +
+                                  std::to_string(expected) + ", found " +
+                                  std::to_string(first_seq));
+      }
+      rep->quarantined_records += first_seq - expected;
+    }
+    if (rep->lowest_seq == 0) rep->lowest_seq = first_seq;
+
+    SegmentScan scan;
+    SSE_RETURN_IF_ERROR(ScanSegment(data, options.salvage, min_seq, &fn, &scan));
+    if (!scan.quarantined.empty()) {
+      QuarantineRanges(env, dir, path, data, scan.quarantined, rep);
+    }
+    rep->records += scan.records;
+    rep->torn_bytes += scan.torn_bytes;
+    rep->quarantined_records += scan.quarantined_records;
+    expected = scan.next_seq;
+    expected_known = true;
+  }
+  rep->next_seq = expected > 0 ? expected : 1;
   return Status::OK();
 }
 

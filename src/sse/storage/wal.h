@@ -2,60 +2,140 @@
 #define SSE_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "sse/storage/env.h"
 #include "sse/util/bytes.h"
 #include "sse/util/result.h"
 
 namespace sse::storage {
 
-/// Append-only write-ahead log.
+/// Tuning and behaviour knobs for the write-ahead log.
+struct WalOptions {
+  /// Filesystem to operate on; tests substitute a FaultyEnv.
+  Env* env = Env::Default();
+  /// Rotate to a new segment once the current one reaches this size.
+  uint64_t segment_bytes = 8ull << 20;
+  /// When true, Replay quarantines corrupt mid-segment record ranges into
+  /// `<segment>.quarantine` and keeps every intact record after the damage
+  /// instead of aborting with CORRUPTION (the strict default).
+  bool salvage = false;
+};
+
+/// What Replay saw. `lowest_seq` lets a caller decide whether WAL-only
+/// recovery covers history from the beginning (lowest_seq == 1) or whether
+/// a snapshot below `lowest_seq` is required.
+struct WalReplayReport {
+  uint64_t records = 0;             // records delivered to the callback
+  uint64_t segments = 0;            // segment files scanned
+  uint64_t torn_bytes = 0;          // trailing bytes dropped as torn writes
+  uint64_t quarantined_records = 0; // records lost to salvaged corruption
+  uint64_t quarantined_bytes = 0;   // bytes copied into *.quarantine files
+  uint64_t lowest_seq = 0;          // first seq of oldest segment (0 = empty)
+  uint64_t next_seq = 1;            // seq the next append will receive
+};
+
+/// Segmented, sequence-stamped append-only write-ahead log.
 ///
-/// The SSE server journals every mutation (document put, searchable
-/// representation change) before applying it, so a crash between a client
-/// update and the next snapshot cannot lose acknowledged writes. Record
-/// framing: u32 payload length ‖ u32 CRC-32C(payload) ‖ payload, all
-/// little-endian. Replay stops cleanly at a torn tail (truncated or
-/// CRC-failing final record) and reports genuine corruption elsewhere.
+/// The SSE server journals every mutation before applying it, so a crash
+/// between a client update and the next snapshot cannot lose acknowledged
+/// writes. The log lives in a directory as numbered segment files
+/// `wal.<number>.log`, each starting with a 16-byte header
+/// (magic "SSEWALS1" ‖ u64 first record sequence) followed by records
+/// framed as: u32 payload length ‖ u32 CRC-32C(seq ‖ payload) ‖ u64 seq ‖
+/// payload, all little-endian. Sequence numbers are global, monotonic,
+/// start at 1 and are never reused — a failed append does not consume its
+/// sequence, and each segment header pins the sequence its records start
+/// at, so replay can prove continuity across segment boundaries and tell a
+/// benign torn tail (unsynced, therefore unacknowledged, bytes dropped by
+/// a crash) from real corruption of acknowledged records.
+///
+/// Failure model: any append, sync, rotation or reset failure poisons the
+/// log object — every later mutation attempt returns the original cause.
+/// In particular a failed fsync is never retried (the kernel may have
+/// discarded the dirty pages while reporting the error only once —
+/// fsyncgate), so the owning server must fail-stop to read-only and let
+/// recovery re-establish a consistent image from disk.
 class WriteAheadLog {
  public:
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
-  WriteAheadLog(WriteAheadLog&& other) noexcept;
-  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
-  ~WriteAheadLog();
+  WriteAheadLog(WriteAheadLog&&) noexcept = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) noexcept = default;
+  ~WriteAheadLog() = default;
 
-  /// Opens (creating if absent) the log at `path` for appending.
-  static Result<WriteAheadLog> Open(const std::string& path);
+  /// Opens the log in directory `dir` (which must exist), creating the
+  /// first segment if the log is empty. A last segment with a torn or
+  /// invalid header is deleted (it cannot contain acknowledged records); a
+  /// last segment with a torn tail is sealed and appends continue in a
+  /// fresh segment, so torn bytes are never buried under new records.
+  static Result<WriteAheadLog> Open(const std::string& dir,
+                                    WalOptions options = {});
 
-  /// Appends one record. The payload may be empty.
+  /// Appends one record, stamping it with the next sequence number. The
+  /// payload may be empty. On failure the log is poisoned (fail-stop).
   Status Append(BytesView payload);
 
-  /// Flushes buffered writes to the OS and fsyncs.
+  /// Fsyncs the current segment. On failure the log is poisoned.
   Status Sync();
 
-  /// Reads every intact record from `path` in order. A torn final record is
-  /// tolerated (returns OK and reports how many bytes were dropped via
-  /// `torn_bytes` if non-null); corruption elsewhere returns CORRUPTION.
-  static Status Replay(const std::string& path,
-                       const std::function<Status(BytesView)>& fn,
-                       uint64_t* torn_bytes = nullptr);
+  /// Seals the current segment and starts a new one. Called automatically
+  /// by Append when the segment exceeds `segment_bytes`.
+  Status Rotate();
 
-  /// Truncates the log to zero length (after a snapshot subsumes it).
+  /// Deletes every segment whose records all have sequence < `seq` (never
+  /// the segment currently open for appends). Called after a checkpoint;
+  /// keeping `seq` at the previous retained snapshot's cut keeps enough
+  /// history to recover from the older snapshot generation as well.
+  Status CompactBefore(uint64_t seq);
+
+  /// Deletes all segments and starts a fresh one. Sequence numbers are NOT
+  /// reset — they stay unique across the log's whole lifetime.
   Status Reset();
 
+  /// Replays every intact record with seq >= `min_seq`, oldest first, as
+  /// fn(seq, payload). Strict mode fails with CORRUPTION on any damage to
+  /// non-tail bytes; salvage mode quarantines the damaged range and
+  /// continues with the next provably-intact record (see WalOptions).
+  static Status Replay(const std::string& dir, const WalOptions& options,
+                       uint64_t min_seq,
+                       const std::function<Status(uint64_t, BytesView)>& fn,
+                       WalReplayReport* report = nullptr);
+
+  /// Sequence number the next successful Append will use.
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Records appended through this object since Open (diagnostic).
   uint64_t appended_records() const { return appended_records_; }
-  const std::string& path() const { return path_; }
+
+  bool poisoned() const { return !poison_.ok(); }
+  const Status& poison_cause() const { return poison_; }
+
+  const std::string& dir() const { return dir_; }
 
  private:
-  WriteAheadLog(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  struct SegmentInfo {
+    uint64_t number = 0;
+    uint64_t first_seq = 0;
+  };
 
-  std::string path_;
-  std::FILE* file_ = nullptr;
+  WriteAheadLog(std::string dir, WalOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string SegmentPath(uint64_t number) const;
+  Status CreateSegment(uint64_t number, uint64_t first_seq);
+  Status Poison(Status cause);
+
+  std::string dir_;
+  WalOptions options_;
+  std::vector<SegmentInfo> segments_;  // oldest first; back() is live
+  std::unique_ptr<WritableFile> file_; // live segment
+  uint64_t next_seq_ = 1;
   uint64_t appended_records_ = 0;
+  Status poison_ = Status::OK();
 };
 
 }  // namespace sse::storage

@@ -476,7 +476,7 @@ TEST(DurableBatchTest, TornBatchRetryAppliesEachSubOpExactlyOnce) {
       RecordUpdateEnvelope(dir.path(), &inner, options);
 
   // Tear into the tail record, as a crash mid-append would.
-  const std::string wal_path = dir.path() + "/wal.log";
+  const std::string wal_path = dir.path() + "/wal.000001.log";
   std::FILE* f = std::fopen(wal_path.c_str(), "rb+");
   ASSERT_NE(f, nullptr);
   std::fseek(f, 0, SEEK_END);

@@ -8,6 +8,8 @@
 #include "sse/core/scheme1_client.h"
 #include "sse/core/scheme2_client.h"
 #include "sse/net/retry.h"
+#include "sse/storage/faulty_env.h"
+#include "sse/storage/snapshot.h"
 #include "test_util.h"
 
 namespace sse::core {
@@ -141,13 +143,14 @@ TEST(DurableServerTest, CorruptedWalDetectedOnRecovery) {
     SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"k"})}));
     SSE_ASSERT_OK((*client)->Store({Document::Make(1, "b", {"k"})}));
   }
-  // Flip a byte inside the FIRST journaled record's payload.
-  const std::string wal_path = dir.path() + "/wal.log";
+  // Flip a byte inside the FIRST journaled record's payload (16-byte
+  // segment header + 16-byte record header put it at offset 32).
+  const std::string wal_path = dir.path() + "/wal.000001.log";
   std::FILE* f = std::fopen(wal_path.c_str(), "rb+");
   ASSERT_NE(f, nullptr);
-  std::fseek(f, 12, SEEK_SET);
+  std::fseek(f, 36, SEEK_SET);
   const int c = std::fgetc(f);
-  std::fseek(f, 12, SEEK_SET);
+  std::fseek(f, 36, SEEK_SET);
   std::fputc(c ^ 0x55, f);
   std::fclose(f);
 
@@ -173,7 +176,7 @@ TEST(DurableServerTest, TornWalTailRecoversPrefix) {
     SSE_ASSERT_OK((*client)->Store({Document::Make(1, "b", {"k"})}));
   }
   // Simulate a crash mid-append: chop bytes off the log tail.
-  const std::string wal_path = dir.path() + "/wal.log";
+  const std::string wal_path = dir.path() + "/wal.000001.log";
   std::FILE* f = std::fopen(wal_path.c_str(), "rb+");
   ASSERT_NE(f, nullptr);
   std::fseek(f, 0, SEEK_END);
@@ -218,7 +221,7 @@ TEST(DurableServerTest, TornTailRetryAppliesOnceAndSurvivorsDedup) {
   ASSERT_TRUE(updates[0].has_session);
 
   // Tear into the tail record (update #2) as a mid-append crash would.
-  const std::string wal_path = dir.path() + "/wal.log";
+  const std::string wal_path = dir.path() + "/wal.000001.log";
   std::FILE* f = std::fopen(wal_path.c_str(), "rb+");
   ASSERT_NE(f, nullptr);
   std::fseek(f, 0, SEEK_END);
@@ -253,6 +256,103 @@ TEST(DurableServerTest, TornTailRetryAppliesOnceAndSurvivorsDedup) {
   auto outcome = (*client)->Search("k");
   SSE_ASSERT_OK_RESULT(outcome);
   EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(DurableServerTest, FallsBackToOlderSnapshotGeneration) {
+  TempDir dir;
+  DeterministicRandom rng(11);
+  const SchemeOptions options = FastTestConfig().scheme;
+  {
+    Scheme1Server inner(options);
+    auto durable = DurableServer::Open(dir.path(), &inner);
+    SSE_ASSERT_OK_RESULT(durable);
+    net::InProcessChannel channel(durable->get());
+    auto client =
+        Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"k"})}));
+    SSE_ASSERT_OK((*durable)->Checkpoint());  // generation 1
+    SSE_ASSERT_OK((*client)->Store({Document::Make(1, "b", {"k"})}));
+    SSE_ASSERT_OK((*durable)->Checkpoint());  // generation 2
+    SSE_ASSERT_OK((*client)->Store({Document::Make(2, "c", {"k"})}));  // WAL
+  }
+  // Damage the newest generation's payload. Recovery must fall back to
+  // generation 1 and catch up from the WAL, which checkpointing retains
+  // back to the OLDER generation's cut for exactly this reason.
+  storage::SnapshotSet snapshots(dir.path());
+  std::FILE* f = std::fopen(snapshots.PathFor(2).c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 30, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, 30, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+
+  Scheme1Server inner(options);
+  auto durable = DurableServer::Open(dir.path(), &inner);
+  SSE_ASSERT_OK_RESULT(durable);
+  EXPECT_EQ(inner.document_count(), 3u);
+  net::InProcessChannel channel(durable->get());
+  DeterministicRandom rng2(12);
+  auto client = Scheme1Client::Create(TestMasterKey(), options, &channel, &rng2);
+  SSE_ASSERT_OK_RESULT(client);
+  auto outcome = (*client)->Search("k");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(DurableServerTest, FailedFsyncDegradesToReadOnly) {
+  storage::FaultyEnv env;
+  DeterministicRandom rng(13);
+  const SchemeOptions options = FastTestConfig().scheme;
+  DurableServer::Options dopts;
+  dopts.env = &env;
+  Scheme1Server inner(options);
+  auto durable = DurableServer::Open("/vault", &inner, dopts);
+  SSE_ASSERT_OK_RESULT(durable);
+  net::InProcessChannel channel(durable->get());
+  auto client = Scheme1Client::Create(TestMasterKey(), options, &channel, &rng);
+  SSE_ASSERT_OK_RESULT(client);
+  SSE_ASSERT_OK((*client)->Store({Document::Make(0, "a", {"k"})}));
+  EXPECT_FALSE((*durable)->degraded());
+
+  // The next mutation appends (op `ops()`) then fsyncs (op `ops()+1`):
+  // fail the fsync. fsyncgate rule: the sync is never retried.
+  env.FailAt(env.ops() + 1, storage::FaultyEnv::FaultKind::kSyncFail);
+  EXPECT_FALSE((*client)->Store({Document::Make(1, "b", {"k"})}).ok());
+  EXPECT_TRUE((*durable)->degraded());
+  EXPECT_FALSE((*durable)->degraded_cause().ok());
+
+  // Mutations are now refused up front with UNAVAILABLE...
+  auto refused = (*client)->Store({Document::Make(2, "c", {"k"})});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*durable)->Checkpoint().code(), StatusCode::kUnavailable);
+
+  // ...while searches keep serving (read-only, possibly ahead of disk:
+  // the failed store WAS applied in memory before its journal sync).
+  auto outcome = (*client)->Search("k");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_FALSE(outcome->ids.empty());
+  EXPECT_EQ(outcome->ids.front(), 0u);
+
+  // Restart against the surviving image: every acked write is there. The
+  // unacked one may or may not be, depending on how much of the unsynced
+  // WAL tail the simulated page cache wrote back — both are correct.
+  env.Restart();
+  Scheme1Server inner2(options);
+  auto reopened = DurableServer::Open("/vault", &inner2, dopts);
+  SSE_ASSERT_OK_RESULT(reopened);
+  EXPECT_GE(inner2.document_count(), 1u);
+  net::InProcessChannel channel2(reopened->get());
+  DeterministicRandom rng2(14);
+  auto client2 =
+      Scheme1Client::Create(TestMasterKey(), options, &channel2, &rng2);
+  SSE_ASSERT_OK_RESULT(client2);
+  auto recovered = (*client2)->Search("k");
+  SSE_ASSERT_OK_RESULT(recovered);
+  ASSERT_FALSE(recovered->ids.empty());
+  EXPECT_EQ(recovered->ids.front(), 0u);
 }
 
 TEST(DurableServerTest, NullInnerRejected) {

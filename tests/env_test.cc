@@ -1,0 +1,334 @@
+// The storage Env abstraction: POSIX basics, plus the FaultyEnv crash
+// semantics every durability test in the repo leans on — sync promotion,
+// the rename-without-parent-fsync hole, torn write-back, and exact-index
+// fault scheduling.
+
+#include "sse/storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sse/storage/faulty_env.h"
+#include "test_util.h"
+
+namespace sse::storage {
+namespace {
+
+using sse::testing::TempDir;
+
+Bytes B(const char* s) { return StringToBytes(s); }
+
+// --- PosixEnv ---------------------------------------------------------------
+
+TEST(PosixEnvTest, WriteReadRoundTrip) {
+  TempDir dir;
+  Env* env = Env::Default();
+  const std::string path = dir.path() + "/file";
+  auto file = env->NewWritableFile(path, true);
+  SSE_ASSERT_OK_RESULT(file);
+  SSE_ASSERT_OK((*file)->Append(B("hello ")));
+  SSE_ASSERT_OK((*file)->Append(B("world")));
+  EXPECT_EQ((*file)->size(), 11u);
+  SSE_ASSERT_OK((*file)->Sync());
+  SSE_ASSERT_OK((*file)->Close());
+
+  auto read = env->ReadFile(path);
+  SSE_ASSERT_OK_RESULT(read);
+  EXPECT_EQ(BytesToString(*read), "hello world");
+  auto size = env->FileSize(path);
+  SSE_ASSERT_OK_RESULT(size);
+  EXPECT_EQ(*size, 11u);
+}
+
+TEST(PosixEnvTest, ReopenWithoutTruncateAppends) {
+  TempDir dir;
+  Env* env = Env::Default();
+  const std::string path = dir.path() + "/file";
+  {
+    auto file = env->NewWritableFile(path, true);
+    SSE_ASSERT_OK_RESULT(file);
+    SSE_ASSERT_OK((*file)->Append(B("one")));
+    SSE_ASSERT_OK((*file)->Close());
+  }
+  {
+    auto file = env->NewWritableFile(path, false);
+    SSE_ASSERT_OK_RESULT(file);
+    EXPECT_EQ((*file)->size(), 3u);  // initial size reflects existing bytes
+    SSE_ASSERT_OK((*file)->Append(B("two")));
+    SSE_ASSERT_OK((*file)->Close());
+  }
+  auto read = env->ReadFile(path);
+  SSE_ASSERT_OK_RESULT(read);
+  EXPECT_EQ(BytesToString(*read), "onetwo");
+}
+
+TEST(PosixEnvTest, TruncateDiscardsExistingContents) {
+  TempDir dir;
+  Env* env = Env::Default();
+  const std::string path = dir.path() + "/file";
+  { SSE_ASSERT_OK((*env->NewWritableFile(path, true))->Append(B("old"))); }
+  {
+    auto file = env->NewWritableFile(path, true);
+    SSE_ASSERT_OK_RESULT(file);
+    SSE_ASSERT_OK((*file)->Append(B("new")));
+    SSE_ASSERT_OK((*file)->Close());
+  }
+  EXPECT_EQ(BytesToString(*env->ReadFile(path)), "new");
+}
+
+TEST(PosixEnvTest, ReadMissingFileIsNotFound) {
+  TempDir dir;
+  auto read = Env::Default()->ReadFile(dir.path() + "/absent");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(Env::Default()->FileExists(dir.path() + "/absent"));
+}
+
+TEST(PosixEnvTest, ListDirReturnsNames) {
+  TempDir dir;
+  Env* env = Env::Default();
+  SSE_ASSERT_OK((*env->NewWritableFile(dir.path() + "/a", true))->Close());
+  SSE_ASSERT_OK((*env->NewWritableFile(dir.path() + "/b", true))->Close());
+  auto names = env->ListDir(dir.path());
+  SSE_ASSERT_OK_RESULT(names);
+  std::sort(names->begin(), names->end());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PosixEnvTest, RenameReplacesAndRemoveDeletes) {
+  TempDir dir;
+  Env* env = Env::Default();
+  SSE_ASSERT_OK((*env->NewWritableFile(dir.path() + "/from", true))
+                    ->Append(B("payload")));
+  SSE_ASSERT_OK((*env->NewWritableFile(dir.path() + "/to", true))
+                    ->Append(B("stale")));
+  SSE_ASSERT_OK(env->Rename(dir.path() + "/from", dir.path() + "/to"));
+  EXPECT_FALSE(env->FileExists(dir.path() + "/from"));
+  EXPECT_EQ(BytesToString(*env->ReadFile(dir.path() + "/to")), "payload");
+  SSE_ASSERT_OK(env->SyncDir(dir.path()));
+  SSE_ASSERT_OK(env->Remove(dir.path() + "/to"));
+  EXPECT_FALSE(env->FileExists(dir.path() + "/to"));
+}
+
+// --- FaultyEnv: the two-world crash model -----------------------------------
+
+TEST(FaultyEnvTest, UnsyncedAppendsDoNotSurviveCrash) {
+  FaultyEnv env;
+  auto file = env.NewWritableFile("/d/f", true);
+  SSE_ASSERT_OK_RESULT(file);
+  SSE_ASSERT_OK((*file)->Append(B("synced")));
+  SSE_ASSERT_OK((*file)->Sync());
+  SSE_ASSERT_OK(env.SyncDir("/d"));  // the entry itself must be durable too
+  SSE_ASSERT_OK((*file)->Append(B("-unsynced-tail")));
+
+  env.Crash();
+  env.Restart();
+  auto read = env.ReadFile("/d/f");
+  SSE_ASSERT_OK_RESULT(read);
+  // The synced prefix survives; the unsynced suffix survives only as a
+  // (possibly empty) torn write-back prefix.
+  ASSERT_GE(read->size(), 6u);
+  EXPECT_EQ(BytesToString(Bytes(read->begin(), read->begin() + 6)), "synced");
+  EXPECT_LE(read->size(), 6u + 14u);
+}
+
+TEST(FaultyEnvTest, TornWriteBackIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FaultyEnv env(seed);
+    auto file = env.NewWritableFile("/d/f", true);
+    EXPECT_TRUE(file.ok());
+    EXPECT_TRUE((*file)->Append(B("base")).ok());
+    EXPECT_TRUE((*file)->Sync().ok());
+    EXPECT_TRUE(env.SyncDir("/d").ok());
+    EXPECT_TRUE((*file)->Append(Bytes(64, 0xab)).ok());
+    env.Crash();
+    env.Restart();
+    return env.ReadFile("/d/f").value();
+  };
+  EXPECT_EQ(run(1), run(1));  // reproducible sweeps
+  // Different seeds eventually produce different tear lengths (one fixed
+  // pair would be flaky to assert on, so compare a small family).
+  bool any_difference = false;
+  for (uint64_t seed = 2; seed < 10; ++seed) {
+    if (run(seed) != run(seed + 100)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultyEnvTest, FileCreationNeedsSyncDirToSurviveCrash) {
+  FaultyEnv env;
+  auto file = env.NewWritableFile("/d/f", true);
+  SSE_ASSERT_OK_RESULT(file);
+  SSE_ASSERT_OK((*file)->Append(B("content")));
+  SSE_ASSERT_OK((*file)->Sync());  // content durable, entry not
+  env.Crash();
+  env.Restart();
+  EXPECT_FALSE(env.FileExists("/d/f"));
+}
+
+TEST(FaultyEnvTest, RenameWithoutSyncDirResurrectsOldFile) {
+  FaultyEnv env;
+  // Durable original.
+  {
+    auto file = env.NewWritableFile("/d/snap", true);
+    SSE_ASSERT_OK_RESULT(file);
+    SSE_ASSERT_OK((*file)->Append(B("v1")));
+    SSE_ASSERT_OK((*file)->Sync());
+    SSE_ASSERT_OK(env.SyncDir("/d"));
+  }
+  // Staged replacement, renamed into place, parent never fsynced.
+  {
+    auto file = env.NewWritableFile("/d/snap.tmp", true);
+    SSE_ASSERT_OK_RESULT(file);
+    SSE_ASSERT_OK((*file)->Append(B("v2")));
+    SSE_ASSERT_OK((*file)->Sync());
+  }
+  SSE_ASSERT_OK(env.Rename("/d/snap.tmp", "/d/snap"));
+  EXPECT_EQ(BytesToString(*env.ReadFile("/d/snap")), "v2");  // live view
+
+  env.Crash();
+  env.Restart();
+  // The classic hole: the rename "succeeded" but v1 is back.
+  EXPECT_EQ(BytesToString(*env.ReadFile("/d/snap")), "v1");
+  EXPECT_FALSE(env.FileExists("/d/snap.tmp"));
+
+  // With the parent fsync the replacement sticks.
+  {
+    auto file = env.NewWritableFile("/d/snap.tmp", true);
+    SSE_ASSERT_OK_RESULT(file);
+    SSE_ASSERT_OK((*file)->Append(B("v3")));
+    SSE_ASSERT_OK((*file)->Sync());
+  }
+  SSE_ASSERT_OK(env.Rename("/d/snap.tmp", "/d/snap"));
+  SSE_ASSERT_OK(env.SyncDir("/d"));
+  env.Crash();
+  env.Restart();
+  EXPECT_EQ(BytesToString(*env.ReadFile("/d/snap")), "v3");
+}
+
+TEST(FaultyEnvTest, RemoveWithoutSyncDirResurrectsOnCrash) {
+  FaultyEnv env;
+  {
+    auto file = env.NewWritableFile("/d/f", true);
+    SSE_ASSERT_OK_RESULT(file);
+    SSE_ASSERT_OK((*file)->Append(B("keep")));
+    SSE_ASSERT_OK((*file)->Sync());
+    SSE_ASSERT_OK(env.SyncDir("/d"));
+  }
+  SSE_ASSERT_OK(env.Remove("/d/f"));
+  EXPECT_FALSE(env.FileExists("/d/f"));
+  env.Crash();
+  env.Restart();
+  EXPECT_TRUE(env.FileExists("/d/f"));  // removal was never made durable
+
+  SSE_ASSERT_OK(env.Remove("/d/f"));
+  SSE_ASSERT_OK(env.SyncDir("/d"));
+  env.Crash();
+  env.Restart();
+  EXPECT_FALSE(env.FileExists("/d/f"));
+}
+
+// --- FaultyEnv: scheduled faults --------------------------------------------
+
+TEST(FaultyEnvTest, ScheduledEioFailsExactlyThatOperation) {
+  FaultyEnv env;
+  auto file = env.NewWritableFile("/d/f", true);
+  SSE_ASSERT_OK_RESULT(file);
+  SSE_ASSERT_OK((*file)->Append(B("aa")));
+  env.FailAt(env.ops(), FaultyEnv::FaultKind::kEio);  // the NEXT append
+  const Status failed = (*file)->Append(B("bb"));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  SSE_ASSERT_OK((*file)->Append(B("cc")));  // one-shot fault
+  EXPECT_EQ(BytesToString(*env.ReadFile("/d/f")), "aacc");
+}
+
+TEST(FaultyEnvTest, ShortWritePersistsHalfThenFails) {
+  FaultyEnv env;
+  auto file = env.NewWritableFile("/d/f", true);
+  SSE_ASSERT_OK_RESULT(file);
+  env.FailAt(env.ops(), FaultyEnv::FaultKind::kShortWrite);
+  const Status failed = (*file)->Append(B("12345678"));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(BytesToString(*env.ReadFile("/d/f")), "1234");
+}
+
+TEST(FaultyEnvTest, SyncFailurePromotesNothing) {
+  FaultyEnv env;
+  auto file = env.NewWritableFile("/d/f", true);
+  SSE_ASSERT_OK_RESULT(file);
+  SSE_ASSERT_OK((*file)->Append(B("data")));
+  SSE_ASSERT_OK(env.SyncDir("/d"));  // entry durable, content not yet
+  env.FailAt(env.ops(), FaultyEnv::FaultKind::kSyncFail);
+  EXPECT_FALSE((*file)->Sync().ok());
+  env.Crash();
+  env.Restart();
+  auto read = env.ReadFile("/d/f");
+  SSE_ASSERT_OK_RESULT(read);
+  // Nothing was promoted by the failed sync; whatever survives is torn
+  // write-back, i.e. some prefix of the unsynced bytes.
+  EXPECT_LE(read->size(), 4u);
+  EXPECT_TRUE(std::equal(read->begin(), read->end(), B("data").begin()));
+}
+
+TEST(FaultyEnvTest, ScheduledCrashStopsTheWorldUntilRestart) {
+  FaultyEnv env;
+  auto file = env.NewWritableFile("/d/f", true);
+  SSE_ASSERT_OK_RESULT(file);
+  SSE_ASSERT_OK((*file)->Append(B("x")));
+  SSE_ASSERT_OK((*file)->Sync());
+  SSE_ASSERT_OK(env.SyncDir("/d"));
+  env.CrashAt(env.ops());
+  EXPECT_FALSE((*file)->Append(B("y")).ok());
+  EXPECT_TRUE(env.crashed());
+  // Everything fails while crashed, and failed ops are not counted.
+  const uint64_t ops_at_crash = env.ops();
+  EXPECT_FALSE(env.ReadFile("/d/f").ok());
+  EXPECT_FALSE(env.NewWritableFile("/d/g", true).ok());
+  EXPECT_EQ(env.ops(), ops_at_crash);
+
+  env.Restart();
+  EXPECT_FALSE(env.crashed());
+  EXPECT_EQ(BytesToString(*env.ReadFile("/d/f")), "x");
+  // The pre-crash handle is stale even after restart.
+  EXPECT_FALSE((*file)->Append(B("z")).ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+}
+
+TEST(FaultyEnvTest, OpLogNamesEveryCountedOperation) {
+  FaultyEnv env;
+  auto file = env.NewWritableFile("/d/f", true);
+  SSE_ASSERT_OK_RESULT(file);
+  SSE_ASSERT_OK((*file)->Append(B("x")));
+  SSE_ASSERT_OK((*file)->Sync());
+  SSE_ASSERT_OK(env.SyncDir("/d"));
+  const std::vector<std::string> log = env.op_log();
+  ASSERT_EQ(log.size(), env.ops());
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "create /d/f");
+  EXPECT_EQ(log[1], "append /d/f");
+  EXPECT_EQ(log[2], "sync /d/f");
+  EXPECT_EQ(log[3], "syncdir /d");
+}
+
+TEST(FaultyEnvTest, CorruptByteFlipsLiveAndDurable) {
+  FaultyEnv env;
+  auto file = env.NewWritableFile("/d/f", true);
+  SSE_ASSERT_OK_RESULT(file);
+  SSE_ASSERT_OK((*file)->Append(B("abc")));
+  SSE_ASSERT_OK((*file)->Sync());
+  SSE_ASSERT_OK(env.SyncDir("/d"));
+  SSE_ASSERT_OK(env.CorruptByte("/d/f", 1));
+  EXPECT_EQ((*env.ReadFile("/d/f"))[1], static_cast<uint8_t>('b' ^ 0xFF));
+  env.Crash();
+  env.Restart();
+  EXPECT_EQ((*env.ReadFile("/d/f"))[1], static_cast<uint8_t>('b' ^ 0xFF));
+  EXPECT_FALSE(env.CorruptByte("/d/f", 99).ok());
+  EXPECT_FALSE(env.CorruptByte("/d/missing", 0).ok());
+}
+
+}  // namespace
+}  // namespace sse::storage

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "sse/storage/faulty_env.h"
 #include "test_util.h"
 
 namespace sse::storage {
@@ -87,6 +88,20 @@ TEST(SnapshotTest, TruncatedFileDetected) {
   EXPECT_FALSE(Snapshot::Read(path).ok());
 }
 
+TEST(SnapshotTest, ZeroByteFileIsCorruption) {
+  // Regression: a crash can leave a zero-byte snapshot (entry durable,
+  // content not); that must read as CORRUPTION so recovery falls back to
+  // the previous generation instead of failing on a parse error.
+  TempDir dir;
+  const std::string path = dir.path() + "/state.snap";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  auto restored = Snapshot::Read(path);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
 TEST(SnapshotTest, LargePayload) {
   TempDir dir;
   const std::string path = dir.path() + "/big.snap";
@@ -97,6 +112,83 @@ TEST(SnapshotTest, LargePayload) {
   auto restored = Snapshot::Read(path);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(*restored, payload);
+}
+
+// --- SnapshotSet: generations ----------------------------------------------
+
+TEST(SnapshotSetTest, KeepsOnlyTheLastTwoGenerations) {
+  TempDir dir;
+  SnapshotSet snapshots(dir.path());
+  EXPECT_EQ(snapshots.ReadNewestValid().status().code(),
+            StatusCode::kNotFound);
+  SSE_ASSERT_OK(snapshots.WriteNext(StringToBytes("g1")));
+  SSE_ASSERT_OK(snapshots.WriteNext(StringToBytes("g2")));
+  SSE_ASSERT_OK(snapshots.WriteNext(StringToBytes("g3")));
+  auto gens = snapshots.List();
+  SSE_ASSERT_OK_RESULT(gens);
+  EXPECT_EQ(*gens, (std::vector<uint64_t>{2, 3}));  // g1 pruned
+  uint64_t gen = 0;
+  auto newest = snapshots.ReadNewestValid(&gen);
+  SSE_ASSERT_OK_RESULT(newest);
+  EXPECT_EQ(BytesToString(*newest), "g3");
+  EXPECT_EQ(gen, 3u);
+}
+
+TEST(SnapshotSetTest, FallsBackWhenNewestGenerationIsCorrupt) {
+  TempDir dir;
+  SnapshotSet snapshots(dir.path());
+  SSE_ASSERT_OK(snapshots.WriteNext(StringToBytes("older")));
+  SSE_ASSERT_OK(snapshots.WriteNext(StringToBytes("newest")));
+  // Damage the newest generation's payload.
+  std::FILE* f = std::fopen(snapshots.PathFor(2).c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 25, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, 25, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+
+  uint64_t gen = 0;
+  auto restored = snapshots.ReadNewestValid(&gen);
+  SSE_ASSERT_OK_RESULT(restored);
+  EXPECT_EQ(BytesToString(*restored), "older");
+  EXPECT_EQ(gen, 1u);
+}
+
+TEST(SnapshotSetTest, AllGenerationsCorruptIsCorruption) {
+  TempDir dir;
+  SnapshotSet snapshots(dir.path());
+  SSE_ASSERT_OK(snapshots.WriteNext(StringToBytes("a")));
+  SSE_ASSERT_OK(snapshots.WriteNext(StringToBytes("b")));
+  for (uint64_t gen : {1u, 2u}) {
+    std::FILE* f = std::fopen(snapshots.PathFor(gen).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("x", f);  // truncated garbage
+    std::fclose(f);
+  }
+  auto restored = snapshots.ReadNewestValid();
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotSetTest, CrashBeforeParentSyncKeepsPreviousGeneration) {
+  // The durability hole Snapshot::Write's final SyncDir exists to close:
+  // crash right before it and the freshly renamed generation vanishes, but
+  // the previous one is untouched and recovery falls back to it.
+  FaultyEnv env;
+  SnapshotSet snapshots("/vault", &env);
+  SSE_ASSERT_OK(snapshots.WriteNext(StringToBytes("durable")));
+  // WriteNext = List + [create tmp, append, sync, rename, syncdir(parent)]
+  // + prune + final syncdir; crash at the Write-internal syncdir.
+  env.CrashAt(env.ops() + 4);
+  EXPECT_FALSE(snapshots.WriteNext(StringToBytes("lost")).ok());
+  env.Restart();
+
+  uint64_t gen = 0;
+  auto restored = snapshots.ReadNewestValid(&gen);
+  SSE_ASSERT_OK_RESULT(restored);
+  EXPECT_EQ(BytesToString(*restored), "durable");
+  EXPECT_EQ(gen, 1u);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "sse/storage/faulty_env.h"
 #include "test_util.h"
 
 namespace sse::storage {
@@ -11,131 +14,405 @@ namespace {
 
 using sse::testing::TempDir;
 
-std::vector<Bytes> ReplayAll(const std::string& path,
-                             uint64_t* torn = nullptr) {
-  std::vector<Bytes> records;
+struct Rec {
+  uint64_t seq;
+  Bytes payload;
+};
+
+std::vector<Rec> ReplayAll(const std::string& dir, WalOptions options = {},
+                           WalReplayReport* report = nullptr) {
+  std::vector<Rec> records;
   Status s = WriteAheadLog::Replay(
-      path,
-      [&](BytesView record) {
-        records.push_back(ToBytes(record));
+      dir, options, /*min_seq=*/0,
+      [&](uint64_t seq, BytesView record) {
+        records.push_back(Rec{seq, ToBytes(record)});
         return Status::OK();
       },
-      torn);
+      report);
   EXPECT_TRUE(s.ok()) << s.ToString();
   return records;
 }
 
-TEST(WalTest, AppendAndReplay) {
-  TempDir dir;
-  const std::string path = dir.path() + "/wal.log";
-  {
-    auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
-    ASSERT_TRUE(wal->Append(StringToBytes("first")).ok());
-    ASSERT_TRUE(wal->Append(StringToBytes("second")).ok());
-    ASSERT_TRUE(wal->Append(Bytes{}).ok());  // empty record allowed
-    ASSERT_TRUE(wal->Sync().ok());
-    EXPECT_EQ(wal->appended_records(), 3u);
-  }
-  auto records = ReplayAll(path);
-  ASSERT_EQ(records.size(), 3u);
-  EXPECT_EQ(BytesToString(records[0]), "first");
-  EXPECT_EQ(BytesToString(records[1]), "second");
-  EXPECT_TRUE(records[2].empty());
+std::string FirstSegment(const std::string& dir) {
+  return dir + "/wal.000001.log";
 }
 
-TEST(WalTest, ReplayMissingFileIsEmpty) {
-  TempDir dir;
-  EXPECT_TRUE(ReplayAll(dir.path() + "/absent.log").empty());
+// Flips one byte of a file on the real filesystem.
+void FlipByte(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, offset, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, offset, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
 }
 
-TEST(WalTest, AppendAcrossReopens) {
-  TempDir dir;
-  const std::string path = dir.path() + "/wal.log";
-  for (int i = 0; i < 3; ++i) {
-    auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
-    ASSERT_TRUE(wal->Append(StringToBytes("rec" + std::to_string(i))).ok());
-    ASSERT_TRUE(wal->Sync().ok());
-  }
-  EXPECT_EQ(ReplayAll(path).size(), 3u);
-}
-
-TEST(WalTest, TornTailTolerated) {
-  TempDir dir;
-  const std::string path = dir.path() + "/wal.log";
-  {
-    auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
-    ASSERT_TRUE(wal->Append(StringToBytes("complete")).ok());
-    ASSERT_TRUE(wal->Append(StringToBytes("will be torn")).ok());
-    ASSERT_TRUE(wal->Sync().ok());
-  }
-  // Chop the last 5 bytes to simulate a crash mid-write.
+void Truncate(const std::string& path, long delta) {
   std::FILE* f = std::fopen(path.c_str(), "rb+");
   ASSERT_NE(f, nullptr);
   std::fseek(f, 0, SEEK_END);
   const long size = std::ftell(f);
-  ASSERT_EQ(ftruncate(fileno(f), size - 5), 0);
+  ASSERT_EQ(ftruncate(fileno(f), size - delta), 0);
   std::fclose(f);
-
-  uint64_t torn = 0;
-  auto records = ReplayAll(path, &torn);
-  ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(BytesToString(records[0]), "complete");
-  EXPECT_GT(torn, 0u);
 }
 
-TEST(WalTest, MidLogCorruptionDetected) {
+TEST(WalTest, AppendAndReplayWithSequences) {
   TempDir dir;
-  const std::string path = dir.path() + "/wal.log";
   {
-    auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
-    ASSERT_TRUE(wal->Append(StringToBytes("one")).ok());
-    ASSERT_TRUE(wal->Append(StringToBytes("two")).ok());
-    ASSERT_TRUE(wal->Sync().ok());
+    auto wal = WriteAheadLog::Open(dir.path());
+    SSE_ASSERT_OK_RESULT(wal);
+    EXPECT_EQ(wal->next_seq(), 1u);
+    SSE_ASSERT_OK(wal->Append(StringToBytes("first")));
+    SSE_ASSERT_OK(wal->Append(StringToBytes("second")));
+    SSE_ASSERT_OK(wal->Append(Bytes{}));  // empty record allowed
+    SSE_ASSERT_OK(wal->Sync());
+    EXPECT_EQ(wal->appended_records(), 3u);
+    EXPECT_EQ(wal->next_seq(), 4u);
   }
-  // Flip a payload byte of the FIRST record (not the tail).
-  std::FILE* f = std::fopen(path.c_str(), "rb+");
-  ASSERT_NE(f, nullptr);
-  std::fseek(f, 8, SEEK_SET);  // first payload byte
-  int c = std::fgetc(f);
-  std::fseek(f, 8, SEEK_SET);
-  std::fputc(c ^ 0xff, f);
-  std::fclose(f);
+  WalReplayReport report;
+  auto records = ReplayAll(dir.path(), {}, &report);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(BytesToString(records[0].payload), "first");
+  EXPECT_EQ(records[1].seq, 2u);
+  EXPECT_EQ(BytesToString(records[1].payload), "second");
+  EXPECT_EQ(records[2].seq, 3u);
+  EXPECT_TRUE(records[2].payload.empty());
+  EXPECT_EQ(report.segments, 1u);
+  EXPECT_EQ(report.lowest_seq, 1u);
+  EXPECT_EQ(report.next_seq, 4u);
+}
 
-  Status s = WriteAheadLog::Replay(
-      path, [](BytesView) { return Status::OK(); });
+TEST(WalTest, ReplayEmptyDirIsEmpty) {
+  TempDir dir;
+  WalReplayReport report;
+  EXPECT_TRUE(ReplayAll(dir.path(), {}, &report).empty());
+  EXPECT_EQ(report.lowest_seq, 0u);
+  EXPECT_EQ(report.next_seq, 1u);
+}
+
+TEST(WalTest, SequencesContinueAcrossReopens) {
+  TempDir dir;
+  for (int i = 0; i < 3; ++i) {
+    auto wal = WriteAheadLog::Open(dir.path());
+    SSE_ASSERT_OK_RESULT(wal);
+    EXPECT_EQ(wal->next_seq(), static_cast<uint64_t>(i + 1));
+    SSE_ASSERT_OK(wal->Append(StringToBytes("rec" + std::to_string(i))));
+    SSE_ASSERT_OK(wal->Sync());
+  }
+  auto records = ReplayAll(dir.path());
+  ASSERT_EQ(records.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) EXPECT_EQ(records[i].seq, i + 1);
+}
+
+TEST(WalTest, MinSeqFiltersReplay) {
+  TempDir dir;
+  {
+    auto wal = WriteAheadLog::Open(dir.path());
+    SSE_ASSERT_OK_RESULT(wal);
+    for (int i = 0; i < 5; ++i) {
+      SSE_ASSERT_OK(wal->Append(StringToBytes("r" + std::to_string(i))));
+    }
+    SSE_ASSERT_OK(wal->Sync());
+  }
+  std::vector<uint64_t> seqs;
+  SSE_ASSERT_OK(WriteAheadLog::Replay(
+      dir.path(), {}, /*min_seq=*/4,
+      [&](uint64_t seq, BytesView) {
+        seqs.push_back(seq);
+        return Status::OK();
+      }));
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{4, 5}));
+}
+
+TEST(WalTest, RotationSpreadsRecordsAcrossSegments) {
+  TempDir dir;
+  WalOptions options;
+  options.segment_bytes = 128;  // a few records per segment
+  {
+    auto wal = WriteAheadLog::Open(dir.path(), options);
+    SSE_ASSERT_OK_RESULT(wal);
+    for (int i = 0; i < 20; ++i) {
+      SSE_ASSERT_OK(wal->Append(Bytes(24, static_cast<uint8_t>(i))));
+    }
+    SSE_ASSERT_OK(wal->Sync());
+  }
+  WalReplayReport report;
+  auto records = ReplayAll(dir.path(), options, &report);
+  ASSERT_EQ(records.size(), 20u);
+  EXPECT_GT(report.segments, 2u);
+  for (uint64_t i = 0; i < 20; ++i) EXPECT_EQ(records[i].seq, i + 1);
+
+  // Reopening lands in the newest segment and keeps counting.
+  auto wal = WriteAheadLog::Open(dir.path(), options);
+  SSE_ASSERT_OK_RESULT(wal);
+  EXPECT_EQ(wal->next_seq(), 21u);
+  SSE_ASSERT_OK(wal->Append(StringToBytes("more")));
+  SSE_ASSERT_OK(wal->Sync());
+  EXPECT_EQ(ReplayAll(dir.path(), options).size(), 21u);
+}
+
+TEST(WalTest, ExplicitRotateSealsSegment) {
+  TempDir dir;
+  auto wal = WriteAheadLog::Open(dir.path());
+  SSE_ASSERT_OK_RESULT(wal);
+  SSE_ASSERT_OK(wal->Append(StringToBytes("in segment 1")));
+  SSE_ASSERT_OK(wal->Rotate());
+  SSE_ASSERT_OK(wal->Append(StringToBytes("in segment 2")));
+  SSE_ASSERT_OK(wal->Sync());
+  WalReplayReport report;
+  auto records = ReplayAll(dir.path(), {}, &report);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(report.segments, 2u);
+  EXPECT_TRUE(Env::Default()->FileExists(dir.path() + "/wal.000002.log"));
+}
+
+TEST(WalTest, TornTailTolerated) {
+  TempDir dir;
+  {
+    auto wal = WriteAheadLog::Open(dir.path());
+    SSE_ASSERT_OK_RESULT(wal);
+    SSE_ASSERT_OK(wal->Append(StringToBytes("complete")));
+    SSE_ASSERT_OK(wal->Append(StringToBytes("will be torn")));
+    SSE_ASSERT_OK(wal->Sync());
+  }
+  Truncate(FirstSegment(dir.path()), 5);  // crash mid-write
+  WalReplayReport report;
+  auto records = ReplayAll(dir.path(), {}, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(BytesToString(records[0].payload), "complete");
+  EXPECT_GT(report.torn_bytes, 0u);
+
+  // Reopen seals the torn segment; the tear is never buried under new
+  // records, and the new segment picks up the unconsumed sequence.
+  auto wal = WriteAheadLog::Open(dir.path());
+  SSE_ASSERT_OK_RESULT(wal);
+  EXPECT_EQ(wal->next_seq(), 2u);
+  SSE_ASSERT_OK(wal->Append(StringToBytes("after the tear")));
+  SSE_ASSERT_OK(wal->Sync());
+  records = ReplayAll(dir.path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].seq, 2u);
+  EXPECT_EQ(BytesToString(records[1].payload), "after the tear");
+}
+
+TEST(WalTest, MidSegmentCorruptionDetectedInStrictMode) {
+  TempDir dir;
+  {
+    auto wal = WriteAheadLog::Open(dir.path());
+    SSE_ASSERT_OK_RESULT(wal);
+    SSE_ASSERT_OK(wal->Append(StringToBytes("one")));
+    SSE_ASSERT_OK(wal->Append(StringToBytes("two")));
+    SSE_ASSERT_OK(wal->Sync());
+  }
+  // Flip a payload byte of the FIRST record: 16-byte segment header +
+  // 16-byte record header puts its payload at offset 32.
+  FlipByte(FirstSegment(dir.path()), 32);
+  Status s = WriteAheadLog::Replay(dir.path(), {}, 0,
+                                   [](uint64_t, BytesView) {
+                                     return Status::OK();
+                                   });
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kCorruption);
 }
 
-TEST(WalTest, ResetTruncates) {
+TEST(WalTest, SalvageQuarantinesMidSegmentCorruption) {
   TempDir dir;
-  const std::string path = dir.path() + "/wal.log";
-  auto wal = WriteAheadLog::Open(path);
-  ASSERT_TRUE(wal.ok());
-  ASSERT_TRUE(wal->Append(StringToBytes("old")).ok());
-  ASSERT_TRUE(wal->Sync().ok());
-  ASSERT_TRUE(wal->Reset().ok());
-  EXPECT_EQ(wal->appended_records(), 0u);
-  ASSERT_TRUE(wal->Append(StringToBytes("new")).ok());
-  ASSERT_TRUE(wal->Sync().ok());
-  auto records = ReplayAll(path);
+  {
+    auto wal = WriteAheadLog::Open(dir.path());
+    SSE_ASSERT_OK_RESULT(wal);
+    SSE_ASSERT_OK(wal->Append(StringToBytes("good-1")));
+    SSE_ASSERT_OK(wal->Append(StringToBytes("damaged")));
+    SSE_ASSERT_OK(wal->Append(StringToBytes("good-3")));
+    SSE_ASSERT_OK(wal->Sync());
+  }
+  // Record 2 starts at 32 + 6; flip a payload byte inside it.
+  FlipByte(FirstSegment(dir.path()), 32 + 6 + 16 + 2);
+  WalOptions salvage;
+  salvage.salvage = true;
+  WalReplayReport report;
+  auto records = ReplayAll(dir.path(), salvage, &report);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[1].seq, 3u);  // resynced past the damage
+  EXPECT_EQ(BytesToString(records[1].payload), "good-3");
+  EXPECT_EQ(report.quarantined_records, 1u);
+  EXPECT_GT(report.quarantined_bytes, 0u);
+  // The damaged range was preserved for forensics.
+  auto quarantine =
+      Env::Default()->ReadFile(FirstSegment(dir.path()) + ".quarantine");
+  SSE_ASSERT_OK_RESULT(quarantine);
+  EXPECT_EQ(quarantine->size(), report.quarantined_bytes);
+}
+
+TEST(WalTest, SegmentSequenceDiscontinuityDetected) {
+  TempDir dir;
+  WalOptions options;
+  options.segment_bytes = 64;  // force several segments
+  {
+    auto wal = WriteAheadLog::Open(dir.path(), options);
+    SSE_ASSERT_OK_RESULT(wal);
+    for (int i = 0; i < 8; ++i) {
+      SSE_ASSERT_OK(wal->Append(Bytes(24, static_cast<uint8_t>(i))));
+    }
+    SSE_ASSERT_OK(wal->Sync());
+  }
+  WalReplayReport probe;
+  ReplayAll(dir.path(), options, &probe);
+  ASSERT_GT(probe.segments, 2u);
+  // Deleting a MIDDLE segment removes acknowledged records; replay must
+  // refuse rather than silently skip them.
+  SSE_ASSERT_OK(Env::Default()->Remove(dir.path() + "/wal.000002.log"));
+  Status s = WriteAheadLog::Replay(dir.path(), options, 0,
+                                   [](uint64_t, BytesView) {
+                                     return Status::OK();
+                                   });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(WalTest, FailedAppendPoisonsAndTearIsBenign) {
+  FaultyEnv env;
+  WalOptions options;
+  options.env = &env;
+  const std::string dir = "/wal";
+  uint64_t failed_seq = 0;
+  {
+    auto wal = WriteAheadLog::Open(dir, options);
+    SSE_ASSERT_OK_RESULT(wal);
+    SSE_ASSERT_OK(wal->Append(StringToBytes("acked")));
+    SSE_ASSERT_OK(wal->Sync());
+    failed_seq = wal->next_seq();
+    // The next append is cut short mid-frame, as a full disk would.
+    env.FailAt(env.ops(), FaultyEnv::FaultKind::kShortWrite);
+    EXPECT_FALSE(wal->Append(StringToBytes("torn away")).ok());
+    EXPECT_TRUE(wal->poisoned());
+    // Fail-stop: every further mutation reports the original cause.
+    const Status again = wal->Append(StringToBytes("refused"));
+    EXPECT_FALSE(again.ok());
+    EXPECT_EQ(again.ToString(), wal->poison_cause().ToString());
+    EXPECT_FALSE(wal->Sync().ok());
+    EXPECT_EQ(wal->next_seq(), failed_seq);  // seq was not consumed
+  }
+  // Restart: the torn segment is sealed, its successor starts at the seq
+  // the failed append never consumed — replay proves the tear benign.
+  env.Crash();
+  env.Restart();
+  auto wal = WriteAheadLog::Open(dir, options);
+  SSE_ASSERT_OK_RESULT(wal);
+  EXPECT_EQ(wal->next_seq(), failed_seq);
+  SSE_ASSERT_OK(wal->Append(StringToBytes("recovered")));
+  SSE_ASSERT_OK(wal->Sync());
+  std::vector<uint64_t> seqs;
+  SSE_ASSERT_OK(WriteAheadLog::Replay(dir, options, 0,
+                                      [&](uint64_t seq, BytesView) {
+                                        seqs.push_back(seq);
+                                        return Status::OK();
+                                      }));
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{1, failed_seq}));
+}
+
+TEST(WalTest, FailedSyncPoisonsForever) {
+  FaultyEnv env;
+  WalOptions options;
+  options.env = &env;
+  auto wal = WriteAheadLog::Open("/wal", options);
+  SSE_ASSERT_OK_RESULT(wal);
+  SSE_ASSERT_OK(wal->Append(StringToBytes("x")));
+  env.FailAt(env.ops(), FaultyEnv::FaultKind::kSyncFail);
+  EXPECT_FALSE(wal->Sync().ok());
+  EXPECT_TRUE(wal->poisoned());
+  // fsyncgate: the sync is never retried, even though the fault was
+  // one-shot and a naive retry would "succeed".
+  EXPECT_FALSE(wal->Sync().ok());
+  EXPECT_FALSE(wal->Append(StringToBytes("y")).ok());
+  EXPECT_FALSE(wal->Rotate().ok());
+  EXPECT_FALSE(wal->Reset().ok());
+}
+
+TEST(WalTest, CompactBeforeDropsOnlyFullyCoveredSegments) {
+  TempDir dir;
+  WalOptions options;
+  options.segment_bytes = 64;
+  auto wal = WriteAheadLog::Open(dir.path(), options);
+  SSE_ASSERT_OK_RESULT(wal);
+  for (int i = 0; i < 8; ++i) {
+    SSE_ASSERT_OK(wal->Append(Bytes(24, static_cast<uint8_t>(i))));
+  }
+  SSE_ASSERT_OK(wal->Sync());
+  WalReplayReport before;
+  ReplayAll(dir.path(), options, &before);
+  ASSERT_GT(before.segments, 2u);
+
+  SSE_ASSERT_OK(wal->CompactBefore(5));
+  WalReplayReport after;
+  auto records = ReplayAll(dir.path(), options, &after);
+  EXPECT_LT(after.segments, before.segments);
+  // Everything from seq 5 on is still there (seq 5's segment may also hold
+  // earlier records; CompactBefore never cuts into a segment).
+  ASSERT_FALSE(records.empty());
+  EXPECT_LE(records.front().seq, 5u);
+  EXPECT_EQ(records.back().seq, 8u);
+  // Never deletes the live segment.
+  SSE_ASSERT_OK(wal->CompactBefore(1'000'000));
+  SSE_ASSERT_OK(wal->Append(StringToBytes("still writable")));
+  SSE_ASSERT_OK(wal->Sync());
+}
+
+TEST(WalTest, ResetStartsFreshWithoutReusingSequences) {
+  TempDir dir;
+  auto wal = WriteAheadLog::Open(dir.path());
+  SSE_ASSERT_OK_RESULT(wal);
+  SSE_ASSERT_OK(wal->Append(StringToBytes("old")));
+  SSE_ASSERT_OK(wal->Sync());
+  const uint64_t seq_before = wal->next_seq();
+  SSE_ASSERT_OK(wal->Reset());
+  EXPECT_EQ(wal->next_seq(), seq_before);  // seqs survive the reset
+  SSE_ASSERT_OK(wal->Append(StringToBytes("new")));
+  SSE_ASSERT_OK(wal->Sync());
+  auto records = ReplayAll(dir.path());
   ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(BytesToString(records[0]), "new");
+  EXPECT_EQ(BytesToString(records[0].payload), "new");
+  EXPECT_EQ(records[0].seq, seq_before);
+}
+
+TEST(WalTest, TrailingSegmentWithInvalidHeaderDiscardedOnOpen) {
+  TempDir dir;
+  {
+    auto wal = WriteAheadLog::Open(dir.path());
+    SSE_ASSERT_OK_RESULT(wal);
+    SSE_ASSERT_OK(wal->Append(StringToBytes("keep")));
+    SSE_ASSERT_OK(wal->Sync());
+  }
+  // A crash can leave the next segment as an empty or garbage file whose
+  // header never became durable; it cannot hold acknowledged records.
+  std::FILE* f = std::fopen((dir.path() + "/wal.000002.log").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage", f);
+  std::fclose(f);
+
+  auto wal = WriteAheadLog::Open(dir.path());
+  SSE_ASSERT_OK_RESULT(wal);
+  EXPECT_EQ(wal->next_seq(), 2u);
+  SSE_ASSERT_OK(wal->Append(StringToBytes("next")));
+  SSE_ASSERT_OK(wal->Sync());
+  auto records = ReplayAll(dir.path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(BytesToString(records[0].payload), "keep");
+  EXPECT_EQ(BytesToString(records[1].payload), "next");
 }
 
 TEST(WalTest, ReplayCallbackErrorPropagates) {
   TempDir dir;
-  const std::string path = dir.path() + "/wal.log";
-  auto wal = WriteAheadLog::Open(path);
-  ASSERT_TRUE(wal.ok());
-  ASSERT_TRUE(wal->Append(StringToBytes("x")).ok());
-  ASSERT_TRUE(wal->Sync().ok());
-  Status s = WriteAheadLog::Replay(
-      path, [](BytesView) { return Status::Internal("boom"); });
+  auto wal = WriteAheadLog::Open(dir.path());
+  SSE_ASSERT_OK_RESULT(wal);
+  SSE_ASSERT_OK(wal->Append(StringToBytes("x")));
+  SSE_ASSERT_OK(wal->Sync());
+  Status s = WriteAheadLog::Replay(dir.path(), {}, 0,
+                                   [](uint64_t, BytesView) {
+                                     return Status::Internal("boom");
+                                   });
   EXPECT_EQ(s.code(), StatusCode::kInternal);
 }
 
