@@ -17,6 +17,8 @@
 #include "sse/core/scheme2_client.h"
 #include "sse/core/scheme2_server.h"
 #include "sse/engine/server_engine.h"
+#include "sse/obs/histogram.h"
+#include "sse/obs/trace.h"
 
 namespace sse::bench {
 namespace {
@@ -245,13 +247,119 @@ void SweepEngineThreads() {
               eng->Metrics().ToString().c_str());
 }
 
+// T1-search (e): latency distribution + tracing overhead, emitted as
+// machine-readable BENCH_search.json so CI runs accumulate comparable
+// numbers. Quantiles come from obs::LatencyHistogram (interpolated), and
+// the same workload runs with span recording off and on to price the
+// observability layer: the off mode is the default production path (span
+// code compiled in, one thread-local check per instrumented site) and the
+// acceptance budget for it is <2% vs the pre-obs baseline, which the on/off
+// delta bounds from above since "off" only skips work the baseline also
+// lacked.
+void SweepLatencyProfile(const char* json_path) {
+  std::printf(
+      "T1-search (e): scheme 1 search latency profile on the sharded\n"
+      "engine, span recording off vs on. Written to %s.\n\n",
+      json_path);
+
+  // One preloaded scheme-1 engine, same shape as sweep (a)'s u=4096 point.
+  DeterministicRandom rng(7);
+  core::SystemConfig config = BenchConfig(/*max_documents=*/1 << 12,
+                                          /*chain_length=*/64);
+  config.engine_shards = 8;
+  core::SseSystem sys = MustCreate(core::SystemKind::kScheme1, config, &rng);
+  const size_t u = 4096;
+  const size_t docs_count = 256;
+  const size_t keywords_per_doc = u / docs_count;
+  std::vector<core::Document> docs;
+  size_t kw_rank = 0;
+  for (size_t i = 0; i < docs_count; ++i) {
+    std::vector<std::string> kws;
+    for (size_t k = 0; k < keywords_per_doc; ++k) {
+      kws.push_back(phr::SyntheticKeyword(kw_rank++));
+    }
+    docs.push_back(core::Document::Make(i, "content", kws));
+  }
+  MustOk(sys.client->Store(docs), "store");
+
+  struct Mode {
+    const char* name;
+    bool traced;
+    obs::LatencyHistogram::Snapshot snap;
+  };
+  Mode modes[] = {{"trace_off", false, {}}, {"trace_on", true, {}}};
+  const int warmup = 64;
+  const int probes = 1024;
+  TablePrinter table({"mode", "p50_us", "p95_us", "p99_us", "mean_us"});
+  table.PrintHeader();
+  for (Mode& mode : modes) {
+    DeterministicRandom probe_rng(8);
+    for (int i = 0; i < warmup; ++i) {
+      MustValue(
+          sys.client->Search(phr::SyntheticKeyword(probe_rng.Next() % u)),
+          "search");
+    }
+    obs::LatencyHistogram hist;
+    for (int i = 0; i < probes; ++i) {
+      const std::string kw = phr::SyntheticKeyword(probe_rng.Next() % u);
+      Timer timer;
+      if (mode.traced) {
+        obs::ScopedSpan root("bench.search", obs::StartTrace());
+        MustValue(sys.client->Search(kw), "search");
+      } else {
+        MustValue(sys.client->Search(kw), "search");
+      }
+      hist.Record(static_cast<uint64_t>(timer.ElapsedMicros() * 1000.0));
+    }
+    mode.snap = hist.Snap();
+    table.PrintRow({mode.name, Fmt("%.1f", mode.snap.quantile_micros(0.50)),
+                    Fmt("%.1f", mode.snap.quantile_micros(0.95)),
+                    Fmt("%.1f", mode.snap.quantile_micros(0.99)),
+                    Fmt("%.1f", mode.snap.mean_micros())});
+  }
+  table.PrintRule();
+  const double off_mean = modes[0].snap.mean_micros();
+  const double on_mean = modes[1].snap.mean_micros();
+  const double overhead_pct =
+      off_mean > 0 ? (on_mean - off_mean) / off_mean * 100.0 : 0.0;
+  std::printf("\nspan-recording overhead (on vs off means): %+.2f%%\n",
+              overhead_pct);
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"table1_search\",\n"
+               "  \"system\": \"scheme1\",\n"
+               "  \"unique_keywords\": %zu,\n"
+               "  \"engine_shards\": %zu,\n"
+               "  \"probes\": %d,\n",
+               u, config.engine_shards, probes);
+  for (const Mode& mode : modes) {
+    std::fprintf(out,
+                 "  \"%s\": {\"p50_us\": %.3f, \"p95_us\": %.3f, "
+                 "\"p99_us\": %.3f, \"mean_us\": %.3f, \"count\": %llu},\n",
+                 mode.name, mode.snap.quantile_micros(0.50),
+                 mode.snap.quantile_micros(0.95),
+                 mode.snap.quantile_micros(0.99), mode.snap.mean_micros(),
+                 static_cast<unsigned long long>(mode.snap.count));
+  }
+  std::fprintf(out, "  \"trace_overhead_pct\": %.3f\n}\n", overhead_pct);
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+}
+
 }  // namespace
 }  // namespace sse::bench
 
-int main() {
+int main(int argc, char** argv) {
   sse::bench::SweepUniqueKeywords();
   sse::bench::SweepUpdateSearchRatio();
   sse::bench::SweepChainLength();
   sse::bench::SweepEngineThreads();
+  sse::bench::SweepLatencyProfile(argc > 1 ? argv[1] : "BENCH_search.json");
   return 0;
 }

@@ -24,10 +24,13 @@
 //   sse_cli <dir> put <id> <content...> --kw <k1,k2,...>
 //   sse_cli <dir> search <keyword>
 //   sse_cli <dir> stats
+//   sse_cli <dir> serve [port]    # serve the vault over TCP until EOF
 //
 // Example:
 //   ./build/examples/sse_cli /tmp/vault put 1 "meeting notes" --kw work,notes
 //   ./build/examples/sse_cli /tmp/vault search notes
+//   ./build/examples/sse_cli /tmp/vault serve 7700 &
+//   ./build/examples/vault_admin stats 127.0.0.1:7700
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +44,8 @@
 #include "sse/engine/scheme2_adapter.h"
 #include "sse/engine/server_engine.h"
 #include "sse/net/retry.h"
+#include "sse/net/tcp.h"
+#include "sse/obs/stats_logger.h"
 #include "sse/util/serde.h"
 
 namespace {
@@ -51,7 +56,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sse_cli <dir> put <id> <content> --kw <k1,k2,...>\n"
                "       sse_cli <dir> search <keyword>\n"
-               "       sse_cli <dir> stats\n");
+               "       sse_cli <dir> stats\n"
+               "       sse_cli <dir> serve [port]\n");
   return 2;
 }
 
@@ -214,6 +220,28 @@ int main(int argc, char** argv) {
                 (*client)->counter(), options.chain_length,
                 (*server)->num_shards());
     std::printf("%s", (*server)->Metrics().ToString().c_str());
+  } else if (command == "serve") {
+    // Expose the durable vault over TCP. The engine is thread-safe and the
+    // durable shell group-commits concurrent appends, so connections are
+    // dispatched in parallel. kMsgStats is answered by the server itself —
+    // scrape it with `vault_admin stats 127.0.0.1:<port>`.
+    const uint16_t port = static_cast<uint16_t>(
+        argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 0);
+    net::TcpServer::Options server_options;
+    server_options.serialize_handler = false;
+    auto tcp = net::TcpServer::Start(durable->get(), port, server_options);
+    if (!tcp.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n",
+                   tcp.status().ToString().c_str());
+      return 1;
+    }
+    obs::StatsLogger stats_logger;  // periodic one-line metrics digest
+    std::printf("serving %s on 127.0.0.1:%u (EOF on stdin stops)\n",
+                dir.c_str(), (*tcp)->port());
+    std::fflush(stdout);
+    while (std::fgetc(stdin) != EOF) {
+    }
+    (*tcp)->Stop();
   } else {
     return Usage();
   }

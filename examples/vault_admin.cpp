@@ -6,17 +6,23 @@
 //   vault_admin <dir> status            # snapshot/WAL/doc-log overview
 //   vault_admin <dir> checkpoint s1|s2  # load, checkpoint, compact WAL
 //   vault_admin <dir> compact           # compact the document log, if any
+//   vault_admin stats <host:port> [--spans]   # scrape a running server
 //
 // Example (after using sse_cli):
 //   ./build/examples/vault_admin /tmp/vault status
+//   ./build/examples/vault_admin stats 127.0.0.1:7700
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "sse/core/durable_server.h"
 #include "sse/core/scheme1_server.h"
 #include "sse/core/scheme2_server.h"
+#include "sse/net/tcp.h"
+#include "sse/obs/stats_rpc.h"
 #include "sse/storage/log_store.h"
 #include "sse/storage/snapshot.h"
 #include "sse/storage/wal.h"
@@ -29,8 +35,94 @@ int Usage() {
   std::fprintf(stderr,
                "usage: vault_admin <dir> status\n"
                "       vault_admin <dir> checkpoint s1|s2\n"
-               "       vault_admin <dir> compact\n");
+               "       vault_admin <dir> compact\n"
+               "       vault_admin stats <host:port> [--spans]\n");
   return 2;
+}
+
+/// Scrapes a live server over the kMsgStats admin RPC and pretty-prints
+/// the Prometheus payload: metric families grouped with their HELP text,
+/// and the degraded-mode gauges called out up front so an operator sees
+/// storage faults before scrolling.
+int RunStats(const std::string& target, bool include_spans) {
+  std::string host = "127.0.0.1";
+  std::string port_str = target;
+  if (size_t colon = target.rfind(':'); colon != std::string::npos) {
+    host = target.substr(0, colon);
+    port_str = target.substr(colon + 1);
+  }
+  const long port = std::strtol(port_str.c_str(), nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port in %s\n", target.c_str());
+    return 2;
+  }
+
+  auto channel = net::TcpChannel::Connect(static_cast<uint16_t>(port), host);
+  if (!channel.ok()) {
+    std::fprintf(stderr, "connect %s failed: %s\n", target.c_str(),
+                 channel.status().ToString().c_str());
+    return 1;
+  }
+  obs::StatsRequest req;
+  req.include_spans = include_spans;
+  auto reply_msg = (*channel)->Call(req.ToMessage());
+  if (!reply_msg.ok()) {
+    std::fprintf(stderr, "stats RPC failed: %s\n",
+                 reply_msg.status().ToString().c_str());
+    return 1;
+  }
+  auto reply = obs::StatsReply::FromMessage(*reply_msg);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "bad stats reply: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+
+  // Health summary first: any *_degraded gauge that reads nonzero.
+  bool any_degraded = false;
+  std::vector<std::string> lines;
+  {
+    size_t start = 0;
+    const std::string& text = reply->prometheus_text;
+    while (start <= text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      lines.push_back(text.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  for (const std::string& line : lines) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::string name = line.substr(0, space);
+    if (name.find("_degraded") == std::string::npos) continue;
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    if (value != 0.0) {
+      std::printf("!! DEGRADED: %s = %g\n", name.c_str(), value);
+      any_degraded = true;
+    }
+  }
+  std::printf("health:        %s\n\n",
+              any_degraded ? "DEGRADED (see above)"
+                           : "ok (no degraded gauges)");
+
+  // Metric families, blank-line separated; HELP kept, TYPE dropped.
+  bool first = true;
+  for (const std::string& line : lines) {
+    if (line.rfind("# TYPE", 0) == 0) continue;
+    if (line.rfind("# HELP", 0) == 0) {
+      if (!first) std::printf("\n");
+      first = false;
+    }
+    if (!line.empty()) std::printf("%s\n", line.c_str());
+  }
+  if (include_spans) {
+    std::printf("\n# recent spans (Chrome trace-event JSON; load in "
+                "chrome://tracing or Perfetto)\n%s\n",
+                reply->spans_json.c_str());
+  }
+  return 0;
 }
 
 void PrintFileSize(const char* label, const std::string& path) {
@@ -47,6 +139,10 @@ void PrintFileSize(const char* label, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "stats") == 0) {
+    const bool spans = argc >= 4 && std::strcmp(argv[3], "--spans") == 0;
+    return RunStats(argv[2], spans);
+  }
   if (argc < 3) return Usage();
   const std::string dir = argv[1];
   const std::string command = argv[2];

@@ -23,10 +23,16 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "==> obs: observability suite + machine-readable search bench"
+ctest --test-dir build -L obs --output-on-failure
+# Emits p50/p95/p99 and the tracing-overhead delta for trend tracking.
+./build/bench/bench_table1_search BENCH_search.json >/dev/null
+echo "    wrote BENCH_search.json"
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> skipping TSan pass (--skip-tsan)"
 else
-  echo "==> tsan: concurrency + chaos tests under ThreadSanitizer"
+  echo "==> tsan: concurrency + chaos + obs tests under ThreadSanitizer"
   cmake -B build-tsan -S . \
     -DSSE_TSAN=ON \
     -DSSE_BUILD_BENCHMARKS=OFF \
@@ -34,9 +40,10 @@ else
   # Only the labeled test targets need to exist; building them (plus their
   # libsse dependency) is much faster than a full TSan build.
   cmake --build build-tsan -j "$(nproc)" \
-    --target engine_concurrency_test tcp_test chaos_test
+    --target engine_concurrency_test tcp_test chaos_test \
+             obs_trace_test obs_metrics_test obs_stats_rpc_test
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L "concurrency|chaos" --output-on-failure
+    ctest --test-dir build-tsan -L "concurrency|chaos|obs" --output-on-failure
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

@@ -1,14 +1,23 @@
 #include "sse/core/durable_server.h"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
 #include "sse/net/batch.h"
+#include "sse/obs/trace.h"
 #include "sse/util/serde.h"
 
 namespace sse::core {
 
 namespace {
+
+uint64_t NanosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 /// Snapshot wrapper magic, "SDR2": the blob is [magic ‖ u64 wal_seq ‖
 /// bytes(inner state) ‖ bytes(reply cache)]. `wal_seq` is the WAL sequence
 /// the checkpoint was cut at — recovery replays records with seq >= it, so
@@ -139,9 +148,26 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
                               " < checkpoint cut " + std::to_string(min_seq) +
                               ")");
   }
-  return std::unique_ptr<DurableServer>(
+  auto server = std::unique_ptr<DurableServer>(
       new DurableServer(dir, inner, std::move(wal).value(), options,
                         std::move(cache), min_seq));
+  auto& registry = obs::MetricsRegistry::Global();
+  DurableServer* raw = server.get();
+  server->registrations_.push_back(registry.RegisterHistogram(
+      "sse_wal_append_seconds",
+      [raw] { return raw->wal_append_hist_.Snap(); },
+      "WAL record append latency (excluding fsync)"));
+  server->registrations_.push_back(registry.RegisterHistogram(
+      "sse_wal_fsync_seconds", [raw] { return raw->wal_fsync_hist_.Snap(); },
+      "WAL fsync latency (leader syncs under group commit)"));
+  server->registrations_.push_back(registry.RegisterHistogram(
+      "sse_checkpoint_seconds", [raw] { return raw->checkpoint_hist_.Snap(); },
+      "Whole-checkpoint duration (serialize + write + compact)"));
+  server->registrations_.push_back(registry.RegisterGauge(
+      "sse_storage_degraded",
+      [raw] { return raw->degraded() ? 1.0 : 0.0; },
+      "1 once a storage fault fail-stopped this server to read-only"));
+  return server;
 }
 
 Status DurableServer::DegradedStatus() const {
@@ -242,13 +268,19 @@ Result<net::Message> DurableServer::HandleNew(const net::Message& request) {
   if (!reply.ok()) return reply;
   uint64_t my_seq = 0;
   {
+    obs::ScopedSpan append_span("wal.append", obs::ParentFor(request));
     std::lock_guard<std::mutex> lock(wal_mutex_);
+    const auto t0 = std::chrono::steady_clock::now();
     const Status appended = wal_->Append(request.Encode());
+    wal_append_hist_.Record(NanosSince(t0));
     if (!appended.ok()) return EnterDegraded(appended);
     my_seq = ++appended_seq_;
+    append_span.Annotate("wal_seq", my_seq);
     if (options_.sync_every_append && !options_.group_commit) {
       // Per-append-fsync baseline: sync inline under the WAL mutex.
+      const auto sync_t0 = std::chrono::steady_clock::now();
       const Status synced = wal_->Sync();
+      wal_fsync_hist_.Record(NanosSince(sync_t0));
       if (!synced.ok()) return EnterDegraded(synced);
       synced_seq_ = appended_seq_;
       ++syncs_performed_;
@@ -333,7 +365,9 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
       // cannot tell it from a standalone request — but defer the fsync to
       // one group sync after the loop.
       std::lock_guard<std::mutex> lock(wal_mutex_);
+      const auto t0 = std::chrono::steady_clock::now();
       Status appended = wal_->Append(sub.Encode());
+      wal_append_hist_.Record(NanosSince(t0));
       if (!appended.ok()) {
         if (dedup) reply_cache_->Abort(sub.client_id, sub.seq);
         outs[i] = net::MakeErrorMessage(EnterDegraded(appended));
@@ -385,7 +419,11 @@ Status DurableServer::SyncUpTo(uint64_t seq) {
       // including those of the followers waiting behind us.
       sync_in_progress_ = true;
       const uint64_t target = appended_seq_;
+      obs::ScopedSpan fsync_span("wal.fsync");
+      fsync_span.Annotate("covers_up_to", target);
+      const auto t0 = std::chrono::steady_clock::now();
       Status s = wal_->Sync();
+      wal_fsync_hist_.Record(NanosSince(t0));
       sync_in_progress_ = false;
       if (!s.ok()) {
         sync_cv_.notify_all();
@@ -415,6 +453,8 @@ uint64_t DurableServer::wal_records() const {
 }
 
 Status DurableServer::Checkpoint() {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedSpan checkpoint_span("wal.checkpoint");
   // Exclusive commit lock: no mutation is between apply and journal while
   // the snapshot is cut, so snapshot + compacted WAL is a consistent pair.
   std::unique_lock<std::shared_mutex> commit_lock(commit_mutex_);
@@ -443,6 +483,7 @@ Status DurableServer::Checkpoint() {
   // next checkpoint makes this one the fallback.
   SSE_RETURN_IF_ERROR(wal_->CompactBefore(previous_cut));
   last_checkpoint_seq_ = cut_seq;
+  checkpoint_hist_.Record(NanosSince(t0));
   return Status::OK();
 }
 

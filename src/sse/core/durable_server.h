@@ -9,8 +9,12 @@
 #include <shared_mutex>
 #include <string>
 
+#include <vector>
+
 #include "sse/core/persistable.h"
 #include "sse/core/reply_cache.h"
+#include "sse/obs/histogram.h"
+#include "sse/obs/metrics_registry.h"
 #include "sse/storage/env.h"
 #include "sse/storage/snapshot.h"
 #include "sse/storage/wal.h"
@@ -117,6 +121,19 @@ class DurableServer : public net::MessageHandler {
   /// Dedup table for session-stamped requests; null when disabled.
   const ReplyCache* reply_cache() const { return reply_cache_.get(); }
 
+  /// Per-stage storage latency (also scraped via the metrics registry as
+  /// sse_wal_append_seconds / sse_wal_fsync_seconds /
+  /// sse_checkpoint_seconds).
+  obs::LatencyHistogram::Snapshot wal_append_latency() const {
+    return wal_append_hist_.Snap();
+  }
+  obs::LatencyHistogram::Snapshot wal_fsync_latency() const {
+    return wal_fsync_hist_.Snap();
+  }
+  obs::LatencyHistogram::Snapshot checkpoint_latency() const {
+    return checkpoint_hist_.Snap();
+  }
+
  private:
   DurableServer(std::string dir, PersistableHandler* inner,
                 storage::WriteAheadLog wal, Options options,
@@ -174,6 +191,12 @@ class DurableServer : public net::MessageHandler {
   std::atomic<bool> degraded_{false};
   mutable std::mutex degraded_mutex_;  // guards degraded_cause_
   Status degraded_cause_;
+
+  obs::LatencyHistogram wal_append_hist_;
+  obs::LatencyHistogram wal_fsync_hist_;
+  obs::LatencyHistogram checkpoint_hist_;
+  /// Scrape hooks into the process-wide registry (released on destruction).
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 
 }  // namespace sse::core

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sse/crypto/sha256.h"
+#include "sse/obs/metrics_registry.h"
 #include "sse/util/serde.h"
 
 namespace sse::crypto {
@@ -183,6 +184,7 @@ Result<ElGamal> ElGamal::FromSecret(ElGamalGroupId group, BytesView secret) {
 }
 
 Result<Bytes> ElGamal::Encrypt(BytesView message, RandomSource& rng) const {
+  obs::ScopedCryptoTimer timer(obs::CryptoTimers::Global().elgamal_encrypt);
   if (message.size() > kMaxMessageSize) {
     return Status::InvalidArgument("ElGamal message exceeds 32 bytes");
   }
@@ -226,6 +228,7 @@ Result<Bytes> ElGamal::Encrypt(BytesView message, RandomSource& rng) const {
 }
 
 Result<Bytes> ElGamal::Decrypt(BytesView ciphertext) const {
+  obs::ScopedCryptoTimer timer(obs::CryptoTimers::Global().elgamal_decrypt);
   BufferReader r(ciphertext);
   Bytes c1_bytes;
   SSE_ASSIGN_OR_RETURN(c1_bytes, r.GetBytes(impl_->modulus_bytes + 8));

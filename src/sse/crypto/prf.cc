@@ -2,9 +2,14 @@
 
 #include <openssl/hmac.h>
 
+#include "sse/obs/metrics_registry.h"
+
 namespace sse::crypto {
 
 Result<Bytes> HmacSha256(BytesView key, BytesView data) {
+  // One relaxed load when timing is off (the default) — the gate keeps
+  // per-op instrumentation out of the search hot path's budget.
+  obs::ScopedCryptoTimer timer(obs::CryptoTimers::Global().prf);
   Bytes out(kPrfOutputSize);
   unsigned int len = 0;
   if (HMAC(EVP_sha256(), key.data(), static_cast<int>(key.size()), data.data(),

@@ -3,10 +3,12 @@
 #include <openssl/evp.h>
 
 #include "sse/crypto/sha256.h"
+#include "sse/obs/metrics_registry.h"
 
 namespace sse::crypto {
 
 Result<Bytes> PrgExpand(BytesView seed, size_t out_len) {
+  obs::ScopedCryptoTimer timer(obs::CryptoTimers::Global().prg);
   if (seed.empty()) return Status::InvalidArgument("PRG seed is empty");
   if (out_len == 0) return Bytes{};
 

@@ -4,55 +4,6 @@
 
 namespace sse::engine {
 
-namespace {
-
-size_t BucketFor(uint64_t nanos) {
-  size_t b = 0;
-  while (b + 1 < LatencyHistogram::kBuckets && (1ULL << (b + 1)) <= nanos) {
-    ++b;
-  }
-  return b;
-}
-
-}  // namespace
-
-void LatencyHistogram::Record(uint64_t nanos) {
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
-  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
-}
-
-LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
-  Snapshot s;
-  s.count = count_.load(std::memory_order_relaxed);
-  s.total_nanos = total_nanos_.load(std::memory_order_relaxed);
-  for (size_t i = 0; i < kBuckets; ++i) {
-    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
-  }
-  return s;
-}
-
-double LatencyHistogram::Snapshot::mean_micros() const {
-  if (count == 0) return 0.0;
-  return static_cast<double>(total_nanos) / static_cast<double>(count) / 1e3;
-}
-
-double LatencyHistogram::Snapshot::quantile_micros(double q) const {
-  if (count == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const uint64_t rank =
-      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= rank) {
-      return static_cast<double>(2ULL << i) / 1e3;  // bucket upper edge
-    }
-  }
-  return static_cast<double>(2ULL << (buckets.size() - 1)) / 1e3;
-}
-
 uint64_t MetricsSnapshot::total_reads() const {
   uint64_t n = 0;
   for (const ShardSnapshot& s : shards) n += s.reads;

@@ -1,40 +1,18 @@
 #ifndef SSE_ENGINE_METRICS_H_
 #define SSE_ENGINE_METRICS_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sse/obs/histogram.h"
+
 namespace sse::engine {
 
-/// Lock-free latency histogram with power-of-two nanosecond buckets.
-/// Recording is two relaxed atomic adds — cheap enough for every request on
-/// the hot path; snapshots are approximate (not a consistent cut), which is
-/// fine for reporting.
-class LatencyHistogram {
- public:
-  static constexpr size_t kBuckets = 40;  // covers ~1 ns .. ~9 min
-
-  void Record(uint64_t nanos);
-
-  struct Snapshot {
-    uint64_t count = 0;
-    uint64_t total_nanos = 0;
-    std::array<uint64_t, kBuckets> buckets{};
-
-    double mean_micros() const;
-    /// Upper edge (µs) of the bucket containing quantile `q` in [0,1].
-    double quantile_micros(double q) const;
-  };
-  Snapshot Snap() const;
-
- private:
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> total_nanos_{0};
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-};
+/// The histogram implementation moved to sse/obs so the net and storage
+/// layers can share it; the engine API is unchanged.
+using LatencyHistogram = ::sse::obs::LatencyHistogram;
 
 /// Per-shard request counters (relaxed atomics, written by worker threads).
 struct ShardCounters {

@@ -56,11 +56,37 @@ Result<std::unique_ptr<ServerEngine>> ServerEngine::Create(
   if (workers == 0) workers = options.num_shards;
   if (workers > options.num_shards) workers = options.num_shards;
   engine->pool_ = std::make_unique<WorkerPool>(workers);
+
+  // Expose this engine in the process-wide registry. Several engines in
+  // one process (common in tests) register the same names; the registry
+  // merges them at scrape time.
+  auto& registry = obs::MetricsRegistry::Global();
+  ServerEngine* raw = engine.get();
+  engine->registrations_.push_back(registry.RegisterHistogram(
+      "sse_engine_handle_seconds",
+      [raw] { return raw->metrics_.handle_latency().Snap(); },
+      "Whole-request engine handling latency"));
+  engine->registrations_.push_back(registry.RegisterHistogram(
+      "sse_engine_lock_wait_seconds",
+      [raw] { return raw->metrics_.lock_wait().Snap(); },
+      "Per-sub-request shard lock acquisition wait"));
+  engine->registrations_.push_back(registry.RegisterGauge(
+      "sse_engine_degraded",
+      [raw] { return raw->metrics_.degraded() ? 1.0 : 0.0; },
+      "1 once the storage layer fail-stopped this engine to read-only"));
+  engine->registrations_.push_back(registry.RegisterGauge(
+      "sse_engine_requests",
+      [raw] { return static_cast<double>(raw->metrics_.Snap().requests); },
+      "Requests handled by live engines"));
   return engine;
 }
 
 Result<net::Message> ServerEngine::Handle(const net::Message& request) {
   metrics_.AddRequest();
+  // Parent to the thread-local context (in-process call chains) or to the
+  // message's wire trace header (TCP dispatch threads).
+  obs::ScopedSpan handle_span("engine.handle", obs::ParentFor(request));
+  handle_span.Annotate("msg_type", request.type);
   const Clock::time_point t0 = Clock::now();
   Result<net::Message> reply = request.type == net::kMsgBatch
                                    ? HandleBatch(request)
@@ -93,11 +119,17 @@ Result<net::Message> ServerEngine::HandleBatch(const net::Message& request) {
   // apart from a client that sent it alone. Sub-ops running as pool tasks
   // must not re-enter the pool for their own scatters (allow_pool=false).
   const bool use_pool = options_.parallel_scatter && n > 1;
-  auto run_one = [this, &subs, use_pool](size_t i) -> net::Message {
+  // Captured explicitly: pool workers carry their own (empty) thread-local
+  // context, so batch sub-op spans must parent through this value.
+  const obs::TraceContext batch_ctx = obs::CurrentContext();
+  auto run_one = [this, &subs, use_pool, batch_ctx](size_t i) -> net::Message {
     if (subs[i].type == net::kMsgBatch) {
       return net::MakeErrorMessage(
           Status::InvalidArgument("batch envelopes cannot nest"));
     }
+    obs::ScopedSpan op_span("engine.batch_op", batch_ctx);
+    op_span.Annotate("batch_index", i);
+    op_span.Annotate("seq", subs[i].seq);
     Result<net::Message> r = HandleDeduped(subs[i], /*allow_pool=*/!use_pool);
     if (!r.ok()) return net::MakeErrorMessage(r.status());
     return std::move(r).value();
@@ -163,12 +195,17 @@ Result<net::Message> ServerEngine::HandleDeduped(const net::Message& request,
   const core::ReplyCache::Outcome outcome =
       reply_cache_->Begin(request.client_id, request.seq, &cached);
   switch (outcome) {
-    case core::ReplyCache::Outcome::kCached:
+    case core::ReplyCache::Outcome::kCached: {
       // A retry of an answered call: serve the recorded reply without
       // touching the shards (re-applying a Scheme 1 XOR update would
       // corrupt postings).
+      static auto* dedup_hits = obs::MetricsRegistry::Global().GetCounter(
+          "sse_engine_dedup_hits_total",
+          "Retried calls served from the reply cache");
+      dedup_hits->Add();
       cached.EchoSession(request);
       return cached;
+    }
     case core::ReplyCache::Outcome::kInFlight:
     case core::ReplyCache::Outcome::kTooOld:
       return core::ReplyCache::RefusalStatus(outcome);
@@ -205,8 +242,9 @@ Result<net::Message> ServerEngine::HandleInternal(const net::Message& request,
 
   std::vector<net::Message> replies(plan.subs.size());
   Status first_error = Status::OK();
+  const obs::TraceContext scatter_ctx = obs::CurrentContext();
   if (plan.subs.size() == 1) {
-    Result<net::Message> reply = DispatchSub(plan.subs[0]);
+    Result<net::Message> reply = DispatchSub(plan.subs[0], scatter_ctx);
     if (!reply.ok()) return reply.status();
     replies[0] = std::move(reply).value();
   } else if (!plan.subs.empty()) {
@@ -214,8 +252,8 @@ Result<net::Message> ServerEngine::HandleInternal(const net::Message& request,
     std::vector<std::function<void()>> tasks;
     tasks.reserve(plan.subs.size());
     for (size_t i = 0; i < plan.subs.size(); ++i) {
-      tasks.push_back([this, &plan, &replies, &statuses, i] {
-        Result<net::Message> reply = DispatchSub(plan.subs[i]);
+      tasks.push_back([this, &plan, &replies, &statuses, scatter_ctx, i] {
+        Result<net::Message> reply = DispatchSub(plan.subs[i], scatter_ctx);
         if (reply.ok()) {
           replies[i] = std::move(reply).value();
         } else {
@@ -278,10 +316,14 @@ Result<net::Message> ServerEngine::HandleFetchDocuments(
   return reply;
 }
 
-Result<net::Message> ServerEngine::DispatchSub(const SubRequest& sub) {
+Result<net::Message> ServerEngine::DispatchSub(
+    const SubRequest& sub, const obs::TraceContext& parent) {
   Slot& slot = *slots_[sub.shard];
   ShardCounters& counters = metrics_.shard(sub.shard);
   const LockMode mode = adapter_->LockModeFor(sub.message.type);
+  obs::ScopedSpan shard_span("engine.shard", parent);
+  shard_span.Annotate("shard", sub.shard);
+  shard_span.Annotate("exclusive", mode == LockMode::kExclusive ? 1 : 0);
   Result<net::Message> reply = [&]() -> Result<net::Message> {
     const Clock::time_point t0 = Clock::now();
     if (mode == LockMode::kExclusive) {

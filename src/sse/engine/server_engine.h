@@ -11,6 +11,8 @@
 #include "sse/engine/metrics.h"
 #include "sse/engine/scheme_shard.h"
 #include "sse/engine/worker_pool.h"
+#include "sse/obs/metrics_registry.h"
+#include "sse/obs/trace.h"
 #include "sse/storage/document_store.h"
 
 namespace sse::engine {
@@ -118,7 +120,11 @@ class ServerEngine : public core::PersistableHandler {
   Result<net::Message> HandleInternal(const net::Message& request,
                                       bool allow_pool);
   Result<net::Message> HandleFetchDocuments(const net::Message& request);
-  Result<net::Message> DispatchSub(const SubRequest& sub);
+  /// `parent` is the trace context the per-shard span attaches to; sub
+  /// dispatch may run on a pool thread, where the thread-local current
+  /// context is not this request's.
+  Result<net::Message> DispatchSub(const SubRequest& sub,
+                                   const obs::TraceContext& parent);
 
   std::unique_ptr<SchemeAdapter> adapter_;
   EngineOptions options_;
@@ -128,6 +134,9 @@ class ServerEngine : public core::PersistableHandler {
   storage::DocumentStore docs_;
   mutable EngineMetrics metrics_;
   std::unique_ptr<WorkerPool> pool_;
+  /// Scrape hooks into the process-wide registry (released on destruction
+  /// so a short-lived engine in a test stops being scraped).
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 
 /// Snapshot header guarding engine state against being restored into a

@@ -19,13 +19,23 @@ void Message::EchoSession(const Message& request) {
 
 Bytes Message::Encode() const {
   BufferWriter w;
-  w.PutU16(has_session ? static_cast<uint16_t>(type | kMsgFlagSession) : type);
-  const size_t body = payload.size() + (has_session ? kSessionHeaderSize : 0);
+  uint16_t tag = type;
+  if (has_session) tag |= kMsgFlagSession;
+  if (has_trace) tag |= kMsgFlagTrace;
+  w.PutU16(tag);
+  const size_t body = payload.size() +
+                      (has_session ? kSessionHeaderSize : 0) +
+                      (has_trace ? kTraceHeaderSize : 0);
   w.PutU32(static_cast<uint32_t>(body));
   if (has_session) {
     w.PutU64(client_id);
     w.PutU64(seq);
     w.PutU32(payload_crc);
+  }
+  if (has_trace) {
+    w.PutU64(trace_id);
+    w.PutU64(trace_parent);
+    w.PutU8(trace_flags);
   }
   w.PutRaw(payload);
   return w.TakeData();
@@ -50,6 +60,17 @@ Result<Message> Message::Decode(BytesView data) {
     SSE_ASSIGN_OR_RETURN(msg.seq, r.GetU64());
     SSE_ASSIGN_OR_RETURN(msg.payload_crc, r.GetU32());
     len -= static_cast<uint32_t>(kSessionHeaderSize);
+  }
+  if ((msg.type & kMsgFlagTrace) != 0) {
+    msg.type &= static_cast<uint16_t>(~kMsgFlagTrace);
+    msg.has_trace = true;
+    if (len < kTraceHeaderSize) {
+      return Status::ProtocolError("trace header truncated");
+    }
+    SSE_ASSIGN_OR_RETURN(msg.trace_id, r.GetU64());
+    SSE_ASSIGN_OR_RETURN(msg.trace_parent, r.GetU64());
+    SSE_ASSIGN_OR_RETURN(msg.trace_flags, r.GetU8());
+    len -= static_cast<uint32_t>(kTraceHeaderSize);
   }
   SSE_ASSIGN_OR_RETURN(msg.payload, r.GetRaw(len));
   if (msg.has_session && Crc32c(msg.payload) != msg.payload_crc) {
@@ -88,6 +109,10 @@ std::string MessageTypeName(uint16_t type) {
       return "Batch";
     case kMsgBatchReply:
       return "BatchReply";
+    case kMsgStats:
+      return "Stats";
+    case kMsgStatsReply:
+      return "StatsReply";
     default:
       break;
   }

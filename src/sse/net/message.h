@@ -15,6 +15,15 @@ namespace sse::net {
 /// the flag is stripped during Decode and `type` is always the clean tag.
 inline constexpr uint16_t kMsgFlagSession = 0x8000;
 
+/// Second-highest bit of the type tag: a trace header (trace id ‖ sender
+/// span id ‖ flags) follows the session header (if any) and precedes the
+/// payload. Untraced messages encode exactly as before, so tracing costs
+/// zero wire bytes until a request is actually sampled.
+inline constexpr uint16_t kMsgFlagTrace = 0x4000;
+
+/// Trace header flag bits.
+inline constexpr uint8_t kTraceFlagSampled = 0x01;
+
 /// Wire message: a 16-bit type tag plus an opaque payload. Each scheme
 /// defines its own type constants (see sse/core/*_messages.h); the channel
 /// layer only needs the envelope to frame, count and transcribe traffic.
@@ -37,10 +46,19 @@ struct Message {
   uint64_t seq = 0;
   uint32_t payload_crc = 0;
 
+  /// Trace header (present when has_trace): which end-to-end request this
+  /// frame belongs to and which client-side span sent it, so server-side
+  /// spans can parent across the wire (see sse/obs/trace.h).
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  uint64_t trace_parent = 0;
+  uint8_t trace_flags = 0;
+
   /// Envelope size on the wire: type(2) ‖ u32 length ‖ [session(20)] ‖
-  /// payload.
+  /// [trace(17)] ‖ payload.
   size_t WireSize() const {
-    return 2 + 4 + (has_session ? kSessionHeaderSize : 0) + payload.size();
+    return 2 + 4 + (has_session ? kSessionHeaderSize : 0) +
+           (has_trace ? kTraceHeaderSize : 0) + payload.size();
   }
 
   /// Fills the session header for this payload (computes the CRC). Use on
@@ -69,6 +87,7 @@ struct Message {
   static bool PeekSession(BytesView data, uint64_t* client_id, uint64_t* seq);
 
   static constexpr size_t kSessionHeaderSize = 8 + 8 + 4;
+  static constexpr size_t kTraceHeaderSize = 8 + 8 + 1;
 };
 
 /// Message type ranges. Keeping ranges disjoint per scheme makes
@@ -87,6 +106,10 @@ inline constexpr uint16_t kMsgFetchDocumentsResult = kMsgRangeCommon + 5;
 /// Batch envelope: N logical sub-ops in one frame (see sse/net/batch.h).
 inline constexpr uint16_t kMsgBatch = kMsgRangeCommon + 6;
 inline constexpr uint16_t kMsgBatchReply = kMsgRangeCommon + 7;
+/// Admin RPC: ask a server for its metrics (and optionally recent sampled
+/// spans); served by TcpServer, see sse/obs/stats_rpc.h for the payloads.
+inline constexpr uint16_t kMsgStats = kMsgRangeCommon + 8;
+inline constexpr uint16_t kMsgStatsReply = kMsgRangeCommon + 9;
 
 /// Human-readable name for a message type (for transcripts and benches).
 std::string MessageTypeName(uint16_t type);

@@ -7,9 +7,28 @@
 #include <utility>
 
 #include "sse/net/batch.h"
+#include "sse/obs/metrics_registry.h"
+#include "sse/obs/trace.h"
 #include "sse/util/crc32.h"
 
 namespace sse::net {
+
+namespace {
+
+obs::MetricsRegistry::Counter* RetriesCounter() {
+  static auto* c = obs::MetricsRegistry::Global().GetCounter(
+      "sse_net_retries_total", "Retry attempts beyond the first, all clients");
+  return c;
+}
+
+obs::MetricsRegistry::Counter* DeadlineCounter() {
+  static auto* c = obs::MetricsRegistry::Global().GetCounter(
+      "sse_net_deadline_exceeded_total",
+      "Calls abandoned on their deadline, all clients");
+  return c;
+}
+
+}  // namespace
 
 RetryingChannel::RetryingChannel(Channel* inner, RetryOptions options,
                                  RandomSource* rng)
@@ -65,6 +84,7 @@ bool RetryingChannel::ShouldRetry(const Status& status) const {
 
 Result<Message> RetryingChannel::Call(const Message& request) {
   retry_stats_.calls += 1;
+  obs::ScopedSpan call_span("rpc.call");
   Message stamped = request;
   if (options_.stamp_sessions) {
     stamped.StampSession(client_id_, next_seq_++);
@@ -82,16 +102,24 @@ Result<Message> RetryingChannel::Call(const Message& request) {
       backoff_ms = NextBackoff(backoff_ms);
       SleepMs(backoff_ms);
       retry_stats_.retries += 1;
+      RetriesCounter()->Add();
     }
     if (options_.call_deadline_ms > 0.0 &&
         NowMs() - start_ms >= options_.call_deadline_ms) {
       retry_stats_.deadline_exceeded += 1;
+      DeadlineCounter()->Add();
       return Status::DeadlineExceeded(
           "call deadline exceeded after " + std::to_string(attempt) +
           " attempt(s)" + (last.ok() ? "" : "; last: " + last.ToString()));
     }
 
     retry_stats_.attempts += 1;
+    obs::ScopedSpan attempt_span("rpc.attempt", call_span.context());
+    attempt_span.Annotate("attempt", static_cast<uint64_t>(attempt));
+    // The trace header is outside the session CRC, so re-stamping each
+    // attempt with its own span id is safe and keeps per-attempt frames
+    // distinguishable in the span tree.
+    obs::StampMessage(&stamped, attempt_span.context());
     Result<Message> reply = inner_->Call(stamped);
     if (reply.ok()) {
       if (stamped.has_session && reply->has_session) {
@@ -129,6 +157,8 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
   if (!options_.stamp_sessions) return Channel::MultiCall(requests);
 
   retry_stats_.calls += n;
+  obs::ScopedSpan mc_span("rpc.multicall");
+  mc_span.Annotate("ops", n);
   // One seq per logical op, fixed for its lifetime: this is the dedup key
   // the server's ReplyCache sees, no matter which envelope carries the op.
   std::vector<uint64_t> seqs(n);
@@ -251,7 +281,10 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
     for (size_t i : round) {
       attempts[i] += 1;
       retry_stats_.attempts += 1;
-      if (attempts[i] > 1) retry_stats_.retries += 1;
+      if (attempts[i] > 1) {
+        retry_stats_.retries += 1;
+        RetriesCounter()->Add();
+      }
     }
 
     const size_t group_size =
@@ -282,6 +315,7 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
         g.envelope = requests[i];
         g.envelope.StampSession(client_id_, seqs[i]);
       }
+      obs::StampMessage(&g.envelope, mc_span.context());
       groups.push_back(std::move(g));
     }
 
@@ -291,19 +325,22 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
         options_.max_inflight < 1 ? 1
                                   : static_cast<size_t>(options_.max_inflight);
     std::deque<std::pair<CallId, size_t>> pending;  // (ticket, group index)
-    for (size_t gi = 0; gi < groups.size(); ++gi) {
-      while (pending.size() >= window) {
-        auto [ticket, done_gi] = pending.front();
-        pending.pop_front();
-        absorb(groups[done_gi], inner_->Await(ticket));
-      }
-      pending.emplace_back(inner_->Submit(groups[gi].envelope), gi);
-    }
-    while (!pending.empty()) {
+    auto await_front = [&] {
       auto [ticket, done_gi] = pending.front();
       pending.pop_front();
+      obs::ScopedSpan env_span("rpc.envelope", mc_span.context());
+      env_span.Annotate("ops", groups[done_gi].ops.size());
+      env_span.Annotate("batch_seq", groups[done_gi].envelope.seq);
+      env_span.Annotate("attempt",
+                        static_cast<uint64_t>(attempts[groups[done_gi].ops[0]] -
+                                              1));
       absorb(groups[done_gi], inner_->Await(ticket));
+    };
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      while (pending.size() >= window) await_front();
+      pending.emplace_back(inner_->Submit(groups[gi].envelope), gi);
     }
+    while (!pending.empty()) await_front();
     first_round = false;
   }
   return results;

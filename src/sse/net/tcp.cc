@@ -13,11 +13,65 @@
 #include <cstring>
 #include <mutex>
 
+#include "sse/obs/metrics_registry.h"
+#include "sse/obs/stats_rpc.h"
+#include "sse/obs/trace.h"
+
 namespace sse::net {
 
 namespace {
 
 constexpr uint32_t kMaxFrameSize = 1u << 30;
+
+/// Process-wide net-layer counters, looked up once. Cheap to bump (one
+/// relaxed fetch_add) and aggregated across every channel and server in
+/// the process — per-instance numbers stay in ChannelStats.
+struct NetCounters {
+  obs::MetricsRegistry::Counter* frames_sent;
+  obs::MetricsRegistry::Counter* frames_received;
+  obs::MetricsRegistry::Counter* bytes_sent;
+  obs::MetricsRegistry::Counter* bytes_received;
+  obs::MetricsRegistry::Counter* timeouts;
+  obs::MetricsRegistry::Counter* reconnects;
+  obs::MetricsRegistry::Counter* server_frames;
+
+  static NetCounters& Get() {
+    static NetCounters c = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      NetCounters n;
+      n.frames_sent = reg.GetCounter("sse_net_client_frames_sent_total",
+                                     "Frames written by TCP clients");
+      n.frames_received = reg.GetCounter("sse_net_client_frames_received_total",
+                                         "Frames read by TCP clients");
+      n.bytes_sent = reg.GetCounter("sse_net_client_bytes_sent_total",
+                                    "Payload bytes written by TCP clients");
+      n.bytes_received = reg.GetCounter("sse_net_client_bytes_received_total",
+                                        "Payload bytes read by TCP clients");
+      n.timeouts = reg.GetCounter("sse_net_timeouts_total",
+                                  "Socket send/recv deadline expiries");
+      n.reconnects = reg.GetCounter("sse_net_reconnects_total",
+                                    "Automatic client redials");
+      n.server_frames = reg.GetCounter("sse_net_server_frames_total",
+                                       "Frames dispatched by TCP servers");
+      return n;
+    }();
+    return c;
+  }
+};
+
+/// Distribution of the client pipeline window occupancy, sampled at each
+/// Submit (value = calls already in flight, not a duration).
+obs::LatencyHistogram& InflightWindowHistogram() {
+  static auto* h = [] {
+    auto* hist = new obs::LatencyHistogram();
+    static auto reg = obs::MetricsRegistry::Global().RegisterHistogram(
+        "sse_net_inflight_window",
+        [hist] { return hist->Snap(); },
+        "In-flight calls already pending at each Submit (count, not time)");
+    return hist;
+  }();
+  return *h;
+}
 
 Status WriteAll(int fd, const uint8_t* data, size_t len) {
   size_t sent = 0;
@@ -207,8 +261,20 @@ void TcpServer::Serve() {
 
 Message TcpServer::HandleFrame(const Bytes& frame) {
   Result<Message> request = Message::Decode(frame);
+  NetCounters::Get().server_frames->Add();
+  obs::ScopedSpan dispatch_span(
+      "server.dispatch",
+      request.ok() ? obs::ContextOf(*request) : obs::TraceContext{});
+  if (request.ok()) {
+    dispatch_span.Annotate("msg_type", request->type);
+  }
   Result<Message> reply = [&]() -> Result<Message> {
     if (!request.ok()) return request.status();
+    if (options_.serve_stats && request->type == kMsgStats) {
+      // Admin scrape: answered from the process-wide registry without
+      // involving (or serializing on) the application handler.
+      return obs::HandleStatsRequest(*request);
+    }
     if (options_.serialize_handler) {
       std::lock_guard<std::mutex> lock(handler_mutex_);
       return handler_->Handle(*request);
@@ -419,6 +485,7 @@ Status TcpChannel::EnsureConnected() {
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
   reconnects_ += 1;
+  NetCounters::Get().reconnects->Add();
   return Status::OK();
 }
 
@@ -456,16 +523,24 @@ Channel::CallId TcpChannel::MatchReply(const Message& reply) const {
 
 Channel::CallId TcpChannel::Submit(const Message& request) {
   const CallId id = next_call_id_++;
+  obs::ScopedSpan send_span("net.send_frame", obs::ContextOf(request));
+  InflightWindowHistogram().Record(inflight_order_.size());
   Status status = EnsureConnected();
   if (status.ok()) {
     Bytes wire = request.Encode();
+    send_span.Annotate("bytes", wire.size());
     status = WriteFrame(fd_, wire);
     if (status.ok()) {
       stats_.rounds += 1;
       stats_.frames_sent += 1;
       stats_.bytes_sent += wire.size();
       stats_.calls_by_type[request.type] += 1;
+      NetCounters::Get().frames_sent->Add();
+      NetCounters::Get().bytes_sent->Add(wire.size());
     } else {
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        NetCounters::Get().timeouts->Add();
+      }
       MarkBroken();
       FailInflight(status);
     }
@@ -490,12 +565,17 @@ Result<Message> TcpChannel::Await(CallId id) {
       // The stream may be mid-frame (e.g. a recv timeout); nothing after
       // this point can be trusted, so every in-flight call fails and the
       // next use redials.
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        NetCounters::Get().timeouts->Add();
+      }
       MarkBroken();
       FailInflight(frame.status());
       break;
     }
     stats_.frames_received += 1;
     stats_.bytes_received += frame->size();
+    NetCounters::Get().frames_received->Add();
+    NetCounters::Get().bytes_received->Add(frame->size());
     Result<Message> reply = Message::Decode(*frame);
     if (!reply.ok()) {
       // A frame that does not parse still answers *some* call. Attribute

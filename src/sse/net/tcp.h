@@ -59,6 +59,10 @@ class TcpServer {
     /// Max decoded requests queued per connection before the reader stops
     /// pulling frames off the socket (backpressure via TCP flow control).
     size_t pipeline_queue = 64;
+    /// Answer kMsgStats admin requests in the server itself (from the
+    /// process-wide metrics registry and span collector) instead of
+    /// forwarding them to the handler.
+    bool serve_stats = true;
   };
 
   ~TcpServer();

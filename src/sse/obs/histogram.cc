@@ -1,0 +1,68 @@
+#include "sse/obs/histogram.h"
+
+namespace sse::obs {
+
+namespace {
+
+size_t BucketFor(uint64_t nanos) {
+  size_t b = 0;
+  while (b + 1 < LatencyHistogram::kBuckets && (1ULL << (b + 1)) <= nanos) {
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::mean_micros() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(total_nanos) / static_cast<double>(count) / 1e3;
+}
+
+double LatencyHistogram::Snapshot::quantile_micros(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      // Interpolate inside the bucket: samples are assumed uniform over
+      // [lo, hi), and each of the k samples sits at the center of its
+      // 1/k-slice, so the j-th sample (1-based) maps to (j - 0.5) / k.
+      const double lo = static_cast<double>(lower_edge_nanos(i));
+      const double hi = static_cast<double>(upper_edge_nanos(i));
+      const double pos = (static_cast<double>(rank - seen) - 0.5) /
+                         static_cast<double>(buckets[i]);
+      return (lo + pos * (hi - lo)) / 1e3;
+    }
+    seen += buckets[i];
+  }
+  return static_cast<double>(upper_edge_nanos(buckets.size() - 1)) / 1e3;
+}
+
+void LatencyHistogram::Snapshot::Merge(const Snapshot& other) {
+  count += other.count;
+  total_nanos += other.total_nanos;
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+}  // namespace sse::obs

@@ -1,0 +1,49 @@
+#include "sse/obs/stats_logger.h"
+
+#include <sstream>
+
+#include "sse/obs/metrics_registry.h"
+#include "sse/obs/trace.h"
+#include "sse/util/logging.h"
+
+namespace sse::obs {
+
+StatsLogger::StatsLogger(std::chrono::milliseconds period) {
+  thread_ = std::thread([this, period] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
+      lock.unlock();
+      LogOnce();
+      lock.lock();
+    }
+  });
+}
+
+StatsLogger::~StatsLogger() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void StatsLogger::LogOnce() {
+  // Digest: every plain counter/gauge sample line from the Prometheus
+  // rendering, comma-joined. Bucket lines are skipped to keep it one line.
+  const std::string text = MetricsRegistry::Global().RenderPrometheus();
+  std::istringstream in(text);
+  std::string line;
+  std::string digest;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find("_bucket{") != std::string::npos) continue;
+    if (!digest.empty()) digest += ", ";
+    digest += line;
+  }
+  SSE_LOG(Info) << "stats: " << (digest.empty() ? "(no metrics)" : digest)
+                << "; spans_recorded="
+                << SpanCollector::Global().recorded();
+}
+
+}  // namespace sse::obs

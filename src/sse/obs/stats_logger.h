@@ -1,0 +1,37 @@
+#ifndef SSE_OBS_STATS_LOGGER_H_
+#define SSE_OBS_STATS_LOGGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace sse::obs {
+
+/// Background thread that periodically logs a one-line digest of the
+/// global metrics registry via SSE_LOG(Info) — a poor man's dashboard for
+/// long-running servers when nothing is scraping kMsgStats. Starts on
+/// construction, joins on destruction.
+class StatsLogger {
+ public:
+  explicit StatsLogger(
+      std::chrono::milliseconds period = std::chrono::seconds(10));
+  ~StatsLogger();
+
+  StatsLogger(const StatsLogger&) = delete;
+  StatsLogger& operator=(const StatsLogger&) = delete;
+
+  /// Logs one digest line immediately (also what the thread runs each
+  /// period). Public so tests can exercise it without sleeping.
+  static void LogOnce();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sse::obs
+
+#endif  // SSE_OBS_STATS_LOGGER_H_

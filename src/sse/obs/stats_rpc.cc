@@ -1,0 +1,59 @@
+#include "sse/obs/stats_rpc.h"
+
+#include "sse/obs/metrics_registry.h"
+#include "sse/obs/trace.h"
+#include "sse/util/serde.h"
+
+namespace sse::obs {
+
+net::Message StatsRequest::ToMessage() const {
+  BufferWriter w;
+  w.PutU8(include_spans ? 1 : 0);
+  return net::Message{net::kMsgStats, w.TakeData()};
+}
+
+Result<StatsRequest> StatsRequest::FromMessage(const net::Message& msg) {
+  if (msg.type != net::kMsgStats) {
+    return Status::ProtocolError("not a stats request");
+  }
+  BufferReader r(msg.payload);
+  StatsRequest req;
+  uint8_t flags = 0;
+  SSE_ASSIGN_OR_RETURN(flags, r.GetU8());
+  req.include_spans = (flags & 1) != 0;
+  return req;
+}
+
+net::Message StatsReply::ToMessage() const {
+  BufferWriter w;
+  w.PutString(prometheus_text);
+  w.PutString(spans_json);
+  return net::Message{net::kMsgStatsReply, w.TakeData()};
+}
+
+Result<StatsReply> StatsReply::FromMessage(const net::Message& msg) {
+  if (msg.type != net::kMsgStatsReply) {
+    return Status::ProtocolError("not a stats reply");
+  }
+  BufferReader r(msg.payload);
+  StatsReply reply;
+  SSE_ASSIGN_OR_RETURN(reply.prometheus_text, r.GetString());
+  SSE_ASSIGN_OR_RETURN(reply.spans_json, r.GetString());
+  return reply;
+}
+
+net::Message HandleStatsRequest(const net::Message& request) {
+  auto parsed = StatsRequest::FromMessage(request);
+  if (!parsed.ok()) return net::MakeErrorMessage(parsed.status());
+  StatsReply reply;
+  reply.prometheus_text = MetricsRegistry::Global().RenderPrometheus();
+  if (parsed.value().include_spans) {
+    reply.spans_json =
+        SpanCollector::ToChromeTraceJson(SpanCollector::Global().Collect());
+  }
+  net::Message msg = reply.ToMessage();
+  msg.EchoSession(request);
+  return msg;
+}
+
+}  // namespace sse::obs

@@ -1,0 +1,38 @@
+#ifndef SSE_OBS_STATS_RPC_H_
+#define SSE_OBS_STATS_RPC_H_
+
+#include <string>
+
+#include "sse/net/message.h"
+#include "sse/util/result.h"
+
+namespace sse::obs {
+
+/// Payloads of the kMsgStats / kMsgStatsReply admin RPC. A stats request
+/// asks the serving process for its metrics in Prometheus text format and,
+/// optionally, its recently sampled spans as Chrome trace-event JSON. The
+/// RPC rides the normal framed channel, so any client that can reach the
+/// server's data port can scrape it — no separate HTTP listener needed.
+
+struct StatsRequest {
+  bool include_spans = false;
+
+  net::Message ToMessage() const;
+  static Result<StatsRequest> FromMessage(const net::Message& msg);
+};
+
+struct StatsReply {
+  std::string prometheus_text;
+  std::string spans_json;  // empty unless include_spans was set
+
+  net::Message ToMessage() const;
+  static Result<StatsReply> FromMessage(const net::Message& msg);
+};
+
+/// Serves `request` from this process's global registry and span
+/// collector. This is what TcpServer calls when a kMsgStats frame arrives.
+net::Message HandleStatsRequest(const net::Message& request);
+
+}  // namespace sse::obs
+
+#endif  // SSE_OBS_STATS_RPC_H_

@@ -1,13 +1,23 @@
 #include "sse/util/logging.h"
 
 #include <atomic>
-#include <cstdio>
+#include <chrono>
 #include <cstring>
+#include <ctime>
+#include <memory>
+#include <mutex>
 
 namespace sse {
 
 namespace {
+
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<uint64_t (*)()> g_trace_provider{nullptr};
+
+// The sink is swapped under a mutex and used via shared_ptr so a log
+// statement racing with SetLogSink never calls a destroyed callable.
+std::mutex g_sink_mu;
+std::shared_ptr<LogSink> g_sink;  // null = default stderr text sink
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,23 +37,139 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
+uint32_t ThreadNumber() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+uint64_t WallMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void FormatIsoTime(uint64_t wall_micros, char* buf, size_t buf_size) {
+  const std::time_t secs = static_cast<std::time_t>(wall_micros / 1000000);
+  const unsigned millis = static_cast<unsigned>((wall_micros / 1000) % 1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  const size_t n = std::strftime(buf, buf_size, "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(buf + n, buf_size - n, ".%03uZ", millis);
+}
+
+void DefaultSink(const LogRecord& record) {
+  char ts[40];
+  FormatIsoTime(record.wall_micros, ts, sizeof(ts));
+  if (record.trace_id != 0) {
+    std::fprintf(stderr, "[%s %s tid=%u trace=%llx] %s:%d %s\n",
+                 LevelName(record.level), ts, record.tid,
+                 static_cast<unsigned long long>(record.trace_id), record.file,
+                 record.line, record.message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s tid=%u] %s:%d %s\n", LevelName(record.level),
+                 ts, record.tid, record.file, record.line,
+                 record.message.c_str());
+  }
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink ? std::make_shared<LogSink>(std::move(sink)) : nullptr;
+}
+
+LogSink MakeJsonLinesSink(std::FILE* out) {
+  return [out](const LogRecord& record) {
+    std::string line = "{\"ts\":" + std::to_string(record.wall_micros) +
+                       ",\"level\":\"" + LevelName(record.level) +
+                       "\",\"file\":\"";
+    AppendJsonEscaped(&line, record.file);
+    line += "\",\"line\":" + std::to_string(record.line) +
+            ",\"tid\":" + std::to_string(record.tid);
+    if (record.trace_id != 0) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%llx",
+                    static_cast<unsigned long long>(record.trace_id));
+      line += ",\"trace\":\"";
+      line += buf;
+      line += "\"";
+    }
+    line += ",\"msg\":\"";
+    AppendJsonEscaped(&line, record.message);
+    line += "\"}\n";
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
+  };
+}
+
+void SetLogTraceIdProvider(uint64_t (*provider)()) {
+  g_trace_provider.store(provider, std::memory_order_relaxed);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < g_level.load()) return;
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  LogRecord record;
+  record.level = level_;
+  record.file = Basename(file_);
+  record.line = line_;
+  record.wall_micros = WallMicros();
+  record.tid = ThreadNumber();
+  auto* provider = g_trace_provider.load(std::memory_order_relaxed);
+  record.trace_id = provider != nullptr ? provider() : 0;
+  record.message = stream_.str();
+  std::shared_ptr<LogSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    sink = g_sink;
+  }
+  if (sink) {
+    (*sink)(record);
+  } else {
+    DefaultSink(record);
+  }
 }
 
 }  // namespace internal_logging
