@@ -6,9 +6,16 @@
 // (a) B+-tree comparisons and wall-clock vs u for both schemes, and
 // (b) Scheme 2's chain-walk steps vs x and vs l.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "bench_common.h"
@@ -16,7 +23,10 @@
 #include "sse/core/scheme1_server.h"
 #include "sse/core/scheme2_client.h"
 #include "sse/core/scheme2_server.h"
+#include "sse/engine/scheme2_adapter.h"
 #include "sse/engine/server_engine.h"
+#include "sse/net/retry.h"
+#include "sse/net/tcp.h"
 #include "sse/obs/histogram.h"
 #include "sse/obs/trace.h"
 
@@ -256,7 +266,8 @@ void SweepEngineThreads() {
 // acceptance budget for it is <2% vs the pre-obs baseline, which the on/off
 // delta bounds from above since "off" only skips work the baseline also
 // lacked.
-void SweepLatencyProfile(const char* json_path) {
+void SweepLatencyProfile(const char* json_path,
+                         const std::string& extra_json) {
   std::printf(
       "T1-search (e): scheme 1 search latency profile on the sharded\n"
       "engine, span recording off vs on. Written to %s.\n\n",
@@ -347,9 +358,159 @@ void SweepLatencyProfile(const char* json_path) {
                  mode.snap.quantile_micros(0.99), mode.snap.mean_micros(),
                  static_cast<unsigned long long>(mode.snap.count));
   }
+  std::fputs(extra_json.c_str(), out);
   std::fprintf(out, "  \"trace_overhead_pct\": %.3f\n}\n", overhead_pct);
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
+}
+
+// T1-search (f): the reactor network core under connection scale. A
+// scheme-2 client (one-round search, so RTT-bound) runs pipelined
+// MultiSearch over real TCP while a crowd of idle connections sits on the
+// same server. With thread-per-connection serving the crowd would cost a
+// thread each; on the reactor it costs two epoll registrations per
+// connection and the latency profile should barely move. Returns a JSON
+// fragment for BENCH_search.json.
+std::string SweepReactorConnectionScale() {
+  std::printf(
+      "T1-search (f): reactor TCP MultiSearch latency vs idle-connection\n"
+      "scale. The thread budget stays reactor_loops + pipeline_workers at\n"
+      "every point; idle connections should not shift p50/p99.\n\n");
+
+  // Idle connections need 2 fds each (client + accepted side); size the
+  // crowd to the sandbox's fd limit.
+  struct rlimit rl{};
+  size_t fd_limit = 1024;
+  if (getrlimit(RLIMIT_NOFILE, &rl) == 0) {
+    if (rl.rlim_cur < rl.rlim_max) {
+      rl.rlim_cur = rl.rlim_max;
+      setrlimit(RLIMIT_NOFILE, &rl);
+      getrlimit(RLIMIT_NOFILE, &rl);
+    }
+    fd_limit = static_cast<size_t>(rl.rlim_cur);
+  }
+  size_t crowd = 1000;
+  if (fd_limit < 2 * crowd + 256) crowd = (fd_limit - 256) / 2;
+
+  DeterministicRandom rng(9);
+  core::SchemeOptions scheme_options = BenchConfig(4096, 8192).scheme;
+  scheme_options.batch_ops = true;
+  engine::EngineOptions engine_opts;
+  engine_opts.num_shards = 4;
+  auto engine = MustValue(
+      engine::ServerEngine::Create(
+          std::make_unique<engine::Scheme2Adapter>(scheme_options),
+          engine_opts),
+      "engine");
+  net::TcpServer::Options server_opts;
+  server_opts.serialize_handler = false;  // the engine is thread-safe
+  server_opts.reactor_loops = 2;
+  server_opts.pipeline_workers = 4;
+  auto server = MustValue(net::TcpServer::Start(engine.get(), 0, server_opts),
+                          "tcp server");
+  auto channel =
+      MustValue(net::TcpChannel::Connect(server->port()), "tcp connect");
+  net::RetryOptions retry_opts;
+  retry_opts.batch_size = 16;
+  retry_opts.max_inflight = 8;
+  net::RetryingChannel retry(channel.get(), retry_opts, &rng);
+  auto client = MustValue(
+      core::Scheme2Client::Create(BenchKey(), scheme_options, &retry, &rng),
+      "client");
+
+  const size_t kVocab = 64;
+  auto corpus =
+      phr::GenerateDocuments(8, kVocab, /*keywords_per_doc=*/4, 0.8, 23);
+  MustOk(client->Store(corpus), "corpus store");
+  std::vector<std::string> keywords;
+  for (size_t i = 0; i < kVocab; ++i)
+    keywords.push_back(phr::SyntheticKeyword(i));
+
+  auto connect_idle = [&]() -> int {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+
+  struct Point {
+    size_t idle;
+    double p50_us;
+    double p99_us;
+    double frames_per_sec;
+  };
+  std::vector<Point> points;
+  std::vector<int> idle_fds;
+  TablePrinter table({"idle_conns", "active_conns", "p50_us", "p99_us",
+                      "frames/s", "threads"});
+  table.PrintHeader();
+  for (const size_t idle : {size_t{0}, crowd}) {
+    while (idle_fds.size() < idle) {
+      const int fd = connect_idle();
+      if (fd < 0) break;
+      idle_fds.push_back(fd);
+    }
+    // Wait for the acceptor to absorb the crowd before measuring.
+    while (server->connections_active() < idle_fds.size() + 1) {
+      std::this_thread::yield();
+    }
+
+    const int warmup = 8;
+    const int passes = 64;
+    for (int i = 0; i < warmup; ++i) {
+      MustValue(client->MultiSearch(keywords), "warmup multisearch");
+    }
+    obs::LatencyHistogram hist;
+    const uint64_t frames_before =
+        channel->stats().frames_sent + channel->stats().frames_received;
+    Timer window;
+    for (int i = 0; i < passes; ++i) {
+      Timer timer;
+      MustValue(client->MultiSearch(keywords), "multisearch");
+      hist.Record(static_cast<uint64_t>(timer.ElapsedMicros() * 1000.0));
+    }
+    const double window_s = window.ElapsedMicros() / 1e6;
+    const uint64_t frames =
+        channel->stats().frames_sent + channel->stats().frames_received -
+        frames_before;
+    const auto snap = hist.Snap();
+    const Point point{idle, snap.quantile_micros(0.50),
+                      snap.quantile_micros(0.99),
+                      window_s > 0 ? frames / window_s : 0.0};
+    points.push_back(point);
+    table.PrintRow({FmtU(idle), FmtU(server->connections_active()),
+                    Fmt("%.1f", point.p50_us), Fmt("%.1f", point.p99_us),
+                    Fmt("%.0f", point.frames_per_sec),
+                    FmtU(server->serving_threads())});
+  }
+  table.PrintRule();
+  std::printf("\n");
+  for (const int fd : idle_fds) ::close(fd);
+
+  std::string json = "  \"tcp_reactor\": {\n";
+  json += "    \"multisearch_keywords\": " + std::to_string(kVocab) + ",\n";
+  json += "    \"serving_threads\": " +
+          std::to_string(server->serving_threads()) + ",\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"idle_%zu\": {\"p50_us\": %.3f, \"p99_us\": %.3f, "
+                  "\"frames_per_sec\": %.1f}%s\n",
+                  points[i].idle, points[i].p50_us, points[i].p99_us,
+                  points[i].frames_per_sec,
+                  i + 1 < points.size() ? "," : "");
+    json += buf;
+  }
+  json += "  },\n";
+  return json;
 }
 
 }  // namespace
@@ -360,6 +521,8 @@ int main(int argc, char** argv) {
   sse::bench::SweepUpdateSearchRatio();
   sse::bench::SweepChainLength();
   sse::bench::SweepEngineThreads();
-  sse::bench::SweepLatencyProfile(argc > 1 ? argv[1] : "BENCH_search.json");
+  const std::string tcp_json = sse::bench::SweepReactorConnectionScale();
+  sse::bench::SweepLatencyProfile(argc > 1 ? argv[1] : "BENCH_search.json",
+                                  tcp_json);
   return 0;
 }

@@ -19,6 +19,9 @@
 //                        format), 1 pipelines unbatched per-keyword ops
 //   SSE_MAX_INFLIGHT     envelopes in flight before awaiting a reply,
 //                        default 4
+//   SSE_REACTOR_LOOPS    epoll loop threads in the serve-mode reactor,
+//                        default 2; the serving thread budget is
+//                        loops + dispatch workers at any connection count
 //
 // Usage:
 //   sse_cli <dir> put <id> <content...> --kw <k1,k2,...>
@@ -32,6 +35,7 @@
 //   ./build/examples/sse_cli /tmp/vault serve 7700 &
 //   ./build/examples/vault_admin stats 127.0.0.1:7700
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -229,6 +233,10 @@ int main(int argc, char** argv) {
         argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 0);
     net::TcpServer::Options server_options;
     server_options.serialize_handler = false;
+    if (const char* loops = std::getenv("SSE_REACTOR_LOOPS")) {
+      server_options.reactor_loops =
+          std::max(1ul, std::strtoul(loops, nullptr, 10));
+    }
     auto tcp = net::TcpServer::Start(durable->get(), port, server_options);
     if (!tcp.ok()) {
       std::fprintf(stderr, "serve failed: %s\n",
@@ -236,8 +244,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     obs::StatsLogger stats_logger;  // periodic one-line metrics digest
-    std::printf("serving %s on 127.0.0.1:%u (EOF on stdin stops)\n",
-                dir.c_str(), (*tcp)->port());
+    std::printf(
+        "serving %s on 127.0.0.1:%u (EOF on stdin stops)\n"
+        "reactor: %zu epoll loop(s) + %zu dispatch worker(s) = %zu serving "
+        "threads at any connection count\n",
+        dir.c_str(), (*tcp)->port(), server_options.reactor_loops,
+        server_options.pipeline_workers, (*tcp)->serving_threads());
     std::fflush(stdout);
     while (std::fgetc(stdin) != EOF) {
     }

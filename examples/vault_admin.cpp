@@ -103,9 +103,20 @@ int RunStats(const std::string& target, bool include_spans) {
       any_degraded = true;
     }
   }
-  std::printf("health:        %s\n\n",
+  std::printf("health:        %s\n",
               any_degraded ? "DEGRADED (see above)"
                            : "ok (no degraded gauges)");
+  // Reactor load at a glance: open connections on the scraped server
+  // (sse_net_connections_active; includes this scrape's own connection).
+  for (const std::string& line : lines) {
+    if (line.rfind("sse_net_connections_active", 0) != 0) continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    std::printf("connections:   %g active\n",
+                std::strtod(line.c_str() + space + 1, nullptr));
+    break;
+  }
+  std::printf("\n");
 
   // Metric families, blank-line separated; HELP kept, TYPE dropped.
   bool first = true;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Refreshes the committed benchmark snapshot (BENCH_search.json).
+#
+# Builds the benchmarks, runs the Table-1 search profile — including the
+# reactor connection-scale sweep (f), which raises RLIMIT_NOFILE itself
+# when the environment allows — and leaves the machine-readable result at
+# the repo root for trend tracking across PRs.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_search.json}"
+
+echo "==> build benchmarks"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_table1_search
+
+echo "==> run bench_table1_search -> ${OUT}"
+./build/bench/bench_table1_search "${OUT}"
+
+echo "==> snapshot:"
+cat "${OUT}"

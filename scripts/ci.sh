@@ -32,7 +32,7 @@ echo "    wrote BENCH_search.json"
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> skipping TSan pass (--skip-tsan)"
 else
-  echo "==> tsan: concurrency + chaos + obs tests under ThreadSanitizer"
+  echo "==> tsan: concurrency + chaos + obs + net tests under ThreadSanitizer"
   cmake -B build-tsan -S . \
     -DSSE_TSAN=ON \
     -DSSE_BUILD_BENCHMARKS=OFF \
@@ -41,9 +41,11 @@ else
   # libsse dependency) is much faster than a full TSan build.
   cmake --build build-tsan -j "$(nproc)" \
     --target engine_concurrency_test tcp_test chaos_test \
-             obs_trace_test obs_metrics_test obs_stats_rpc_test
+             obs_trace_test obs_metrics_test obs_stats_rpc_test \
+             reactor_test net_scale_test
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L "concurrency|chaos|obs" --output-on-failure
+    ctest --test-dir build-tsan -L "concurrency|chaos|obs|net" \
+    --output-on-failure
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -56,9 +58,9 @@ else
     -DSSE_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-asan -j "$(nproc)" \
     --target engine_concurrency_test tcp_test chaos_test batch_test \
-             crash_recovery_test env_test
+             crash_recovery_test env_test reactor_test net_scale_test
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-asan -L "concurrency|chaos" --output-on-failure
+    ctest --test-dir build-asan -L "concurrency|chaos|net" --output-on-failure
   # batch_test carries no ctest label; run the binary directly so the
   # envelope codecs get their sanitizer pass too.
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \

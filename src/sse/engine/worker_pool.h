@@ -35,10 +35,17 @@ class WorkerPool {
 
   size_t thread_count() const { return threads_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker; the net layer samples
+  /// this at each dispatch into the sse_net_dispatch_queue_depth series.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;

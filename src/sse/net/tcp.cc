@@ -1,27 +1,20 @@
 #include "sse/net/tcp.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
-#include <condition_variable>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <mutex>
 
-#include "sse/obs/metrics_registry.h"
+#include "sse/net/socket_util.h"
 #include "sse/obs/stats_rpc.h"
 #include "sse/obs/trace.h"
 
 namespace sse::net {
 
 namespace {
-
-constexpr uint32_t kMaxFrameSize = 1u << 30;
 
 /// Process-wide net-layer counters, looked up once. Cheap to bump (one
 /// relaxed fetch_add) and aggregated across every channel and server in
@@ -34,6 +27,7 @@ struct NetCounters {
   obs::MetricsRegistry::Counter* timeouts;
   obs::MetricsRegistry::Counter* reconnects;
   obs::MetricsRegistry::Counter* server_frames;
+  obs::MetricsRegistry::Counter* read_pauses;
 
   static NetCounters& Get() {
     static NetCounters c = [] {
@@ -53,6 +47,9 @@ struct NetCounters {
                                     "Automatic client redials");
       n.server_frames = reg.GetCounter("sse_net_server_frames_total",
                                        "Frames dispatched by TCP servers");
+      n.read_pauses = reg.GetCounter(
+          "sse_net_read_pauses_total",
+          "Connections paused by reply-window backpressure");
       return n;
     }();
     return c;
@@ -73,103 +70,62 @@ obs::LatencyHistogram& InflightWindowHistogram() {
   return *h;
 }
 
-Status WriteAll(int fd, const uint8_t* data, size_t len) {
-  size_t sent = 0;
-  while (sent < len) {
-    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        return Status::DeadlineExceeded("socket send timed out");
-      }
-      return Status::IoError("socket send failed: " +
-                             std::string(std::strerror(errno)));
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return Status::OK();
+/// Distribution of the server dispatch-pool queue depth, sampled at each
+/// frame dispatch (value = tasks already queued, not a duration).
+obs::LatencyHistogram& DispatchQueueDepthHistogram() {
+  static auto* h = [] {
+    auto* hist = new obs::LatencyHistogram();
+    static auto reg = obs::MetricsRegistry::Global().RegisterHistogram(
+        "sse_net_dispatch_queue_depth",
+        [hist] { return hist->Snap(); },
+        "Tasks queued in the server dispatch pool at each frame arrival "
+        "(count, not time)");
+    return hist;
+  }();
+  return *h;
 }
 
-/// Reads exactly `len` bytes; NOT_FOUND signals a clean EOF at a frame
-/// boundary (start of a frame), DEADLINE_EXCEEDED an expired SO_RCVTIMEO,
-/// IO_ERROR anything else.
-Status ReadAll(int fd, uint8_t* data, size_t len, bool eof_ok_at_start) {
-  size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd, data + got, len - got, 0);
-    if (n == 0) {
-      if (got == 0 && eof_ok_at_start) {
-        return Status::NotFound("peer closed the connection");
-      }
-      return Status::IoError("socket closed mid-frame");
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::DeadlineExceeded("socket recv timed out");
-      }
-      return Status::IoError("socket recv failed: " +
-                             std::string(std::strerror(errno)));
-    }
-    got += static_cast<size_t>(n);
-  }
-  return Status::OK();
+Status WriteFrameBlocking(int fd, const Bytes& payload) {
+  const Bytes framed = EncodeFrame(payload);
+  return WriteAllBlocking(fd, framed.data(), framed.size());
 }
 
-/// Applies SO_SNDTIMEO / SO_RCVTIMEO (0 = unbounded) to `fd`.
-void ApplyIoTimeouts(int fd, double send_ms, double recv_ms) {
-  auto to_timeval = [](double ms) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
-    tv.tv_usec =
-        static_cast<suseconds_t>((ms - 1000.0 * static_cast<double>(tv.tv_sec)) * 1000.0);
-    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;  // min 1ms
-    return tv;
-  };
-  if (send_ms > 0.0) {
-    timeval tv = to_timeval(send_ms);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-  if (recv_ms > 0.0) {
-    timeval tv = to_timeval(recv_ms);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  }
-}
-
-Status WriteFrame(int fd, const Bytes& payload) {
-  uint8_t header[4];
-  for (int i = 0; i < 4; ++i) {
-    header[i] = static_cast<uint8_t>(payload.size() >> (8 * i));
-  }
-  SSE_RETURN_IF_ERROR(WriteAll(fd, header, 4));
-  return WriteAll(fd, payload.data(), payload.size());
-}
-
-Result<Bytes> ReadFrame(int fd, bool eof_ok_at_start) {
-  uint8_t header[4];
-  SSE_RETURN_IF_ERROR(ReadAll(fd, header, 4, eof_ok_at_start));
-  uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
-  if (len > kMaxFrameSize) {
-    return Status::ProtocolError("frame length exceeds 1 GiB");
-  }
-  Bytes payload(len);
-  if (len > 0) {
-    SSE_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len, false));
-  }
-  return payload;
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------- server --
 
+/// Listener handler on loop 0: accepts until EAGAIN on every readiness
+/// event and hands fresh sockets to the server.
+class TcpServer::Acceptor : public EventLoop::Handler {
+ public:
+  explicit Acceptor(TcpServer* server) : server_(server) {}
+  void OnEvents(uint32_t events) override {
+    if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+      server_->AcceptReady();
+    }
+  }
+
+ private:
+  TcpServer* server_;
+};
+
 TcpServer::TcpServer(MessageHandler* handler, int listen_fd, uint16_t port,
                      Options options)
     : handler_(handler),
       listen_fd_(listen_fd),
       port_(port),
-      options_(options) {}
+      options_(options) {
+  if (options_.reactor_loops == 0) options_.reactor_loops = 1;
+  if (options_.pipeline_workers == 0) options_.pipeline_workers = 1;
+  if (options_.pipeline_queue == 0) options_.pipeline_queue = 1;
+}
 
 Result<std::unique_ptr<TcpServer>> TcpServer::Start(MessageHandler* handler,
                                                     uint16_t port) {
@@ -182,81 +138,104 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(MessageHandler* handler,
   if (handler == nullptr) {
     return Status::InvalidArgument("handler must be non-null");
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IoError("socket() failed");
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  uint16_t bound_port = 0;
+  Result<int> fd = ListenTcp(port, options.listen_backlog, &bound_port);
+  if (!fd.ok()) return fd.status();
+  if (Status s = SetNonBlocking(*fd, true); !s.ok()) {
+    ::close(*fd);
+    return s;
+  }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Status::IoError("bind failed: " + std::string(std::strerror(errno)));
-  }
-  if (::listen(fd, options.listen_backlog) != 0) {
-    ::close(fd);
-    return Status::IoError("listen failed");
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
-    ::close(fd);
-    return Status::IoError("getsockname failed");
-  }
   auto server = std::unique_ptr<TcpServer>(
-      new TcpServer(handler, fd, ntohs(addr.sin_port), options));
-  server->thread_ = std::thread([raw = server.get()] { raw->Serve(); });
+      new TcpServer(handler, *fd, bound_port, options));
+  server->reactor_ = std::make_unique<Reactor>(server->options_.reactor_loops);
+  server->pool_ =
+      std::make_unique<engine::WorkerPool>(server->options_.pipeline_workers);
+  server->acceptor_ = std::make_unique<Acceptor>(server.get());
+  server->active_gauge_ = obs::MetricsRegistry::Global().RegisterGauge(
+      "sse_net_connections_active",
+      [raw = server.get()] {
+        return static_cast<double>(raw->connections_active());
+      },
+      "Open TCP connections on reactor servers");
+  server->reactor_->Start();
+  TcpServer* raw = server.get();
+  raw->reactor_->loop(0)->Post([raw] {
+    raw->reactor_->loop(0)->Add(raw->listen_fd_, EPOLLIN,
+                                raw->acceptor_.get());
+  });
   return server;
 }
 
 TcpServer::~TcpServer() { Stop(); }
 
-void TcpServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
-  // Shut the listening socket down; accept() returns with an error. Also
-  // shut down live connections so blocked recv() calls return and their
-  // worker threads can exit.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (int fd : open_conns_) ::shutdown(fd, SHUT_RDWR);
-  }
-  if (thread_.joinable()) thread_.join();
+size_t TcpServer::connections_active() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
 }
 
-void TcpServer::Serve() {
-  while (!stopping_.load()) {
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      if (stopping_.load()) break;
+size_t TcpServer::serving_threads() const {
+  return options_.reactor_loops + pool_->thread_count();
+}
+
+void TcpServer::AcceptReady() {
+  for (;;) {
+    const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listening socket gone
+      break;  // EAGAIN (drained) or listener gone
     }
+    if (stopping_.load()) {
+      ::close(conn_fd);
+      continue;
+    }
+    if (!SetNonBlocking(conn_fd, true).ok()) {
+      ::close(conn_fd);
+      continue;
+    }
+    SetNoDelay(conn_fd);
     connections_accepted_.fetch_add(1);
+
+    Connection::Options conn_opts;
+    conn_opts.max_outstanding =
+        options_.pipelined ? options_.pipeline_queue : 1;
+    Connection::Callbacks callbacks;
+    callbacks.on_frame = [this](const std::shared_ptr<Connection>& conn,
+                                Bytes frame) {
+      DispatchFrame(conn, std::move(frame));
+    };
+    callbacks.on_close = [this](Connection* conn) {
+      OnConnectionClosed(conn);
+    };
+    auto conn = std::make_shared<Connection>(conn_fd, reactor_->NextLoop(),
+                                             conn_opts, std::move(callbacks));
     {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
-      open_conns_.insert(conn);
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.emplace(conn.get(), conn);
     }
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back([this, conn] {
-      ServeConnection(conn);
-      {
-        std::lock_guard<std::mutex> conns_lock(conns_mutex_);
-        open_conns_.erase(conn);
-      }
-      ::close(conn);
-    });
+    conn->Register();
   }
-  // Join connection threads before the accept thread exits.
-  std::lock_guard<std::mutex> lock(workers_mutex_);
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
+}
+
+void TcpServer::OnConnectionClosed(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn);
+}
+
+void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                              Bytes frame) {
+  // Loop thread: account and hand off. The pool runs the handler and
+  // posts the encoded reply back to the connection's loop.
+  inflight_requests_.fetch_add(1);
+  DispatchQueueDepthHistogram().Record(pool_->queue_depth());
+  const uint64_t enqueued_ns = SteadyNowNs();
+  pool_->Submit([this, conn, frame = std::move(frame), enqueued_ns] {
+    Message reply = HandleFrame(frame);
+    (void)enqueued_ns;
+    Bytes encoded = reply.Encode();
+    conn->SendFrame(std::move(encoded));
+    inflight_requests_.fetch_sub(1);
+  });
 }
 
 Message TcpServer::HandleFrame(const Bytes& frame) {
@@ -279,8 +258,8 @@ Message TcpServer::HandleFrame(const Bytes& frame) {
       std::lock_guard<std::mutex> lock(handler_mutex_);
       return handler_->Handle(*request);
     }
-    // Thread-safe handler (e.g. the sharded engine): let connections
-    // dispatch concurrently.
+    // Thread-safe handler (e.g. the sharded engine): pool workers reach
+    // it concurrently.
     return handler_->Handle(*request);
   }();
   requests_served_.fetch_add(1);
@@ -301,142 +280,72 @@ Message TcpServer::HandleFrame(const Bytes& frame) {
   return error;
 }
 
-void TcpServer::ServeConnection(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  if (options_.pipelined && options_.pipeline_workers > 0) {
-    ServeConnectionPipelined(fd);
-    return;
-  }
-  while (!stopping_.load()) {
-    Result<Bytes> frame = ReadFrame(fd, /*eof_ok_at_start=*/true);
-    if (!frame.ok()) return;  // clean close or broken peer: drop connection
-    Message reply = HandleFrame(*frame);
-    if (!WriteFrame(fd, reply.Encode()).ok()) return;
-  }
-}
+void TcpServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
 
-void TcpServer::ServeConnectionPipelined(int fd) {
-  // Reader (this thread) pulls frames continuously and feeds a bounded
-  // queue; a small dispatch pool handles requests and writes each reply as
-  // it completes under a shared write lock. The handler keeps working
-  // while the next frames are already being read off the socket.
-  struct ConnQueue {
+  // 1. Stop accepting: unregister and close the listener on its loop.
+  {
     std::mutex mu;
-    std::condition_variable can_push;
-    std::condition_variable can_pop;
-    std::deque<Bytes> frames;
-    bool closed = false;
-  } queue;
-  std::mutex write_mu;
-  std::atomic<bool> broken{false};
+    std::condition_variable cv;
+    bool done = false;
+    reactor_->loop(0)->Post([&] {
+      reactor_->loop(0)->Del(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
 
-  std::vector<std::thread> dispatchers;
-  dispatchers.reserve(options_.pipeline_workers);
-  for (size_t i = 0; i < options_.pipeline_workers; ++i) {
-    dispatchers.emplace_back([this, fd, &queue, &write_mu, &broken] {
-      for (;;) {
-        Bytes frame;
-        {
-          std::unique_lock<std::mutex> lock(queue.mu);
-          queue.can_pop.wait(lock, [&queue] {
-            return queue.closed || !queue.frames.empty();
-          });
-          if (queue.frames.empty()) return;  // closed and drained
-          frame = std::move(queue.frames.front());
-          queue.frames.pop_front();
-        }
-        queue.can_push.notify_one();
-        Message reply = HandleFrame(frame);
-        std::lock_guard<std::mutex> lock(write_mu);
-        if (!broken.load() && !WriteFrame(fd, reply.Encode()).ok()) {
-          broken.store(true);
+  // 2. Drain: connections stop reading new frames; requests already
+  //    dispatched keep running and their replies keep flushing.
+  auto snapshot_conns = [this] {
+    std::vector<std::shared_ptr<Connection>> out;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    out.reserve(conns_.size());
+    for (auto& [raw, shared] : conns_) out.push_back(shared);
+    return out;
+  };
+  for (auto& conn : snapshot_conns()) conn->BeginDrain();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(options_.drain_timeout_ms * 1000.0));
+  while (options_.drain_timeout_ms > 0.0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (inflight_requests_.load() == 0) {
+      bool all_flushed = true;
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [raw, shared] : conns_) {
+        if (shared->outstanding() > 0 || shared->queued_replies() > 0) {
+          all_flushed = false;
+          break;
         }
       }
-    });
+      if (all_flushed) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
-  while (!stopping_.load() && !broken.load()) {
-    Result<Bytes> frame = ReadFrame(fd, /*eof_ok_at_start=*/true);
-    if (!frame.ok()) break;  // clean close or broken peer
-    std::unique_lock<std::mutex> lock(queue.mu);
-    queue.can_push.wait(lock, [this, &queue] {
-      return queue.frames.size() < options_.pipeline_queue;
-    });
-    queue.frames.push_back(std::move(*frame));
-    lock.unlock();
-    queue.can_pop.notify_one();
-  }
+  // 3. Hard-close whatever remains (drained connections already closed
+  //    themselves), then retire the pool and the loops.
+  for (auto& conn : snapshot_conns()) conn->Close();
+  pool_.reset();  // joins workers; their reply posts drop on closed conns
+  reactor_->Stop();
   {
-    std::lock_guard<std::mutex> lock(queue.mu);
-    queue.closed = true;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
   }
-  queue.can_pop.notify_all();
-  for (std::thread& t : dispatchers) t.join();
 }
 
 // ---------------------------------------------------------------- client --
-
-Result<int> TcpChannel::Dial(const std::string& host, uint16_t port,
-                             const Options& options) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IoError("socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("invalid host address: " + host);
-  }
-
-  if (options.connect_timeout_ms > 0.0) {
-    // Bounded connect: dial non-blocking, wait for writability with poll.
-    const int flags = ::fcntl(fd, F_GETFL, 0);
-    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-    if (rc != 0 && errno == EINPROGRESS) {
-      pollfd pfd{};
-      pfd.fd = fd;
-      pfd.events = POLLOUT;
-      const int timeout_ms =
-          options.connect_timeout_ms > 1.0
-              ? static_cast<int>(options.connect_timeout_ms)
-              : 1;
-      do {
-        rc = ::poll(&pfd, 1, timeout_ms);
-      } while (rc < 0 && errno == EINTR);
-      if (rc == 0) {
-        ::close(fd);
-        return Status::DeadlineExceeded("connect timed out");
-      }
-      int so_error = 0;
-      socklen_t len = sizeof(so_error);
-      if (rc < 0 ||
-          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
-          so_error != 0) {
-        const int err = so_error != 0 ? so_error : errno;
-        ::close(fd);
-        return Status::IoError("connect failed: " +
-                               std::string(std::strerror(err)));
-      }
-    } else if (rc != 0) {
-      ::close(fd);
-      return Status::IoError("connect failed: " +
-                             std::string(std::strerror(errno)));
-    }
-    ::fcntl(fd, F_SETFL, flags);  // back to blocking
-  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-             0) {
-    ::close(fd);
-    return Status::IoError("connect failed: " +
-                           std::string(std::strerror(errno)));
-  }
-
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  ApplyIoTimeouts(fd, options.send_timeout_ms, options.recv_timeout_ms);
-  return fd;
-}
 
 Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
     uint16_t port, const std::string& host) {
@@ -446,7 +355,9 @@ Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(
 Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(uint16_t port,
                                                         const std::string& host,
                                                         Options options) {
-  Result<int> fd = Dial(host, port, options);
+  Result<int> fd =
+      DialTcp(host, port, options.connect_timeout_ms, options.send_timeout_ms,
+              options.recv_timeout_ms);
   if (!fd.ok()) return fd.status();
   return std::unique_ptr<TcpChannel>(
       new TcpChannel(*fd, host, port, options));
@@ -461,6 +372,9 @@ void TcpChannel::MarkBroken() {
     ::close(fd_);
     fd_ = -1;
   }
+  // The stream may have died mid-frame; partial reassembly state is
+  // garbage on the next connection.
+  rx_.Reset();
 }
 
 void TcpChannel::FailInflight(const Status& status) {
@@ -481,12 +395,43 @@ Status TcpChannel::EnsureConnected() {
   if (!options_.auto_reconnect) {
     return Status::Unavailable("connection closed and reconnects disabled");
   }
-  Result<int> fd = Dial(host_, port_, options_);
+  Result<int> fd = DialTcp(host_, port_, options_.connect_timeout_ms,
+                           options_.send_timeout_ms, options_.recv_timeout_ms);
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
+  rx_.Reset();
   reconnects_ += 1;
   NetCounters::Get().reconnects->Add();
   return Status::OK();
+}
+
+Result<Bytes> TcpChannel::ReceiveFrame(bool eof_ok_at_start) {
+  Bytes frame;
+  if (rx_.Next(&frame)) return frame;
+  uint8_t buf[16 * 1024];
+  for (;;) {
+    ssize_t n;
+    do {
+      n = ::recv(fd_, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n == 0) {
+      if (!rx_.mid_frame() && eof_ok_at_start) {
+        return Status::NotFound("peer closed the connection");
+      }
+      return Status::IoError(rx_.mid_frame()
+                                 ? "socket closed mid-frame"
+                                 : "socket closed with replies pending");
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket recv timed out");
+      }
+      return Status::IoError("socket recv failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    SSE_RETURN_IF_ERROR(rx_.Feed(buf, static_cast<size_t>(n)));
+    if (rx_.Next(&frame)) return frame;
+  }
 }
 
 void TcpChannel::Complete(CallId id, Result<Message> reply) {
@@ -529,7 +474,7 @@ Channel::CallId TcpChannel::Submit(const Message& request) {
   if (status.ok()) {
     Bytes wire = request.Encode();
     send_span.Annotate("bytes", wire.size());
-    status = WriteFrame(fd_, wire);
+    status = WriteFrameBlocking(fd_, wire);
     if (status.ok()) {
       stats_.rounds += 1;
       stats_.frames_sent += 1;
@@ -560,7 +505,7 @@ Result<Message> TcpChannel::Await(CallId id) {
     if (inflight_.count(id) == 0) {
       return Status::InvalidArgument("unknown or already-awaited call ticket");
     }
-    Result<Bytes> frame = ReadFrame(fd_, /*eof_ok_at_start=*/false);
+    Result<Bytes> frame = ReceiveFrame(/*eof_ok_at_start=*/false);
     if (!frame.ok()) {
       // The stream may be mid-frame (e.g. a recv timeout); nothing after
       // this point can be trusted, so every in-flight call fails and the

@@ -2,6 +2,7 @@
 #define SSE_NET_TCP_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -13,7 +14,12 @@
 #include <utility>
 #include <vector>
 
+#include "sse/engine/worker_pool.h"
 #include "sse/net/channel.h"
+#include "sse/net/connection.h"
+#include "sse/net/frame.h"
+#include "sse/net/reactor.h"
+#include "sse/obs/metrics_registry.h"
 #include "sse/util/result.h"
 
 namespace sse::net {
@@ -23,24 +29,31 @@ namespace sse::net {
 /// little-endian u32 length prefix around `Message::Encode()` bytes — the
 /// same bytes the in-process channel counts, so measurements transfer.
 ///
-/// Connections are served concurrently (thread per connection). By default
-/// the handler — a single-writer state machine for the plain scheme
-/// servers — is protected by a per-server mutex, so requests from
+/// The server is an event-driven reactor (`net/reactor.h`): a fixed set of
+/// epoll loop threads owns every accepted socket as a non-blocking
+/// `Connection` state machine (`net/connection.h`), and decoded request
+/// frames are dispatched into ONE process-wide worker pool shared by all
+/// connections. The thread budget is therefore `reactor_loops +
+/// dispatch_workers`, independent of how many clients are connected —
+/// 5k idle connections cost file descriptors and buffers, not threads.
+///
+/// By default the handler — a single-writer state machine for the plain
+/// scheme servers — is protected by a per-server mutex, so requests from
 /// different clients serialize at the dispatch point. A thread-safe
 /// handler (engine::ServerEngine) opts out via
 /// Options::serialize_handler=false, and concurrent connections then reach
 /// the handler in parallel.
 ///
 /// Each connection is served *pipelined* (Options::pipelined, default on):
-/// a reader thread decodes frames continuously and hands them to a small
-/// per-connection dispatch pool, replies are written as each completes
-/// under a per-connection write lock — so a client with many in-flight
-/// submissions keeps the wire and the handler busy at the same time,
-/// instead of the old strict request→reply lockstep. Error replies echo
-/// the request's session stamp (when one can be recovered) so a pipelined
-/// client can correlate them with the call they answer. With a concurrent
-/// handler, replies to *different* requests may be written out of
-/// submission order; session-stamped clients match by (client_id, seq),
+/// the reactor decodes frames continuously and replies are written as each
+/// completes — so a client with many in-flight submissions keeps the wire
+/// and the handler busy at the same time. Per-connection backpressure
+/// (Options::pipeline_queue) pauses reading a connection whose reply
+/// window is full, pushing back through TCP flow control. Error replies
+/// echo the request's session stamp (when one can be recovered) so a
+/// pipelined client can correlate them with the call they answer. With a
+/// concurrent handler, replies to *different* requests may be written out
+/// of submission order; session-stamped clients match by (client_id, seq),
 /// and un-stamped clients should keep at most one call in flight.
 class TcpServer {
  public:
@@ -50,19 +63,28 @@ class TcpServer {
     /// socket reads/writes with handling even when serialized.)
     bool serialize_handler = true;
     /// listen(2) backlog.
-    int listen_backlog = 64;
-    /// Serve each connection with a continuous reader + dispatch pool.
-    /// Off restores the one-request-at-a-time lockstep loop.
+    int listen_backlog = 128;
+    /// Pipelined serving: many frames per connection may be in flight at
+    /// once. Off restores the one-request-at-a-time lockstep window.
     bool pipelined = true;
-    /// Dispatch threads per connection (only with pipelined).
+    /// Threads in the server-wide dispatch pool shared by every
+    /// connection (the reactor refactor replaced the old per-connection
+    /// pools; the name is kept for compatibility).
     size_t pipeline_workers = 4;
-    /// Max decoded requests queued per connection before the reader stops
-    /// pulling frames off the socket (backpressure via TCP flow control).
+    /// Backpressure bound per connection: frames dispatched whose replies
+    /// are not yet fully written. Beyond it the reactor stops reading
+    /// that connection until replies drain.
     size_t pipeline_queue = 64;
     /// Answer kMsgStats admin requests in the server itself (from the
     /// process-wide metrics registry and span collector) instead of
     /// forwarding them to the handler.
     bool serve_stats = true;
+    /// Epoll loop threads owning the sockets.
+    size_t reactor_loops = 2;
+    /// Graceful-shutdown budget: Stop() lets dispatched requests finish
+    /// and flushes their queued replies for up to this long before
+    /// closing sockets. 0 aborts immediately (replies may be dropped).
+    double drain_timeout_ms = 5000.0;
   };
 
   ~TcpServer();
@@ -70,7 +92,7 @@ class TcpServer {
   TcpServer& operator=(const TcpServer&) = delete;
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving `handler`
-  /// on a background thread. `handler` must outlive the server.
+  /// on the reactor threads. `handler` must outlive the server.
   static Result<std::unique_ptr<TcpServer>> Start(MessageHandler* handler,
                                                   uint16_t port = 0);
   static Result<std::unique_ptr<TcpServer>> Start(MessageHandler* handler,
@@ -80,7 +102,9 @@ class TcpServer {
   /// The actually bound port.
   uint16_t port() const { return port_; }
 
-  /// Stops accepting and joins the service thread. Idempotent; also run by
+  /// Stops accepting, drains in-flight requests (bounded by
+  /// Options::drain_timeout_ms), flushes queued replies, then closes all
+  /// sockets and joins the reactor/pool threads. Idempotent; also run by
   /// the destructor.
   void Stop();
 
@@ -88,30 +112,50 @@ class TcpServer {
   uint64_t connections_accepted() const {
     return connections_accepted_.load();
   }
+  /// Currently open connections (also exported as the
+  /// sse_net_connections_active gauge).
+  size_t connections_active() const;
+  /// Fixed serving-thread budget: reactor loops + dispatch pool.
+  size_t serving_threads() const;
 
  private:
+  class Acceptor;
+
   TcpServer(MessageHandler* handler, int listen_fd, uint16_t port,
             Options options);
-  void Serve();
-  void ServeConnection(int fd);
-  void ServeConnectionPipelined(int fd);
+  /// Accept-loop body, run on loop 0 whenever the listener is readable.
+  void AcceptReady();
+  /// Frame entry from a connection: accounts, then hands to the pool.
+  void DispatchFrame(const std::shared_ptr<Connection>& conn, Bytes frame);
   /// Decode + handle one frame, producing the reply frame to write. Error
   /// replies are addressed with the request's session stamp when possible.
   Message HandleFrame(const Bytes& frame);
+  void OnConnectionClosed(Connection* conn);
 
   MessageHandler* handler_;
   int listen_fd_;
   uint16_t port_;
   Options options_;
+
+  std::unique_ptr<Reactor> reactor_;
+  std::unique_ptr<engine::WorkerPool> pool_;
+  std::unique_ptr<Acceptor> acceptor_;
+
   std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes Stop() callers
+  bool stopped_ = false;
+
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> connections_accepted_{0};
-  std::thread thread_;
+  /// Requests dispatched to the pool whose replies are not yet fully on
+  /// the wire (or accounted as dropped); Stop() drains this to zero.
+  std::atomic<uint64_t> inflight_requests_{0};
+
+  mutable std::mutex conns_mu_;
+  std::map<Connection*, std::shared_ptr<Connection>> conns_;
+
   std::mutex handler_mutex_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  std::mutex conns_mutex_;
-  std::set<int> open_conns_;
+  obs::MetricsRegistry::Registration active_gauge_;
 };
 
 /// Client channel over a TCP connection. One `Call` = one request/response
@@ -125,6 +169,11 @@ class TcpServer {
 /// sessions (net::RetryingChannel does) for real pipelining. A transport
 /// failure mid-pipeline fails every in-flight call, since frames after the
 /// failure point cannot be trusted.
+///
+/// The receive path runs on the same `FrameAssembler` state machine the
+/// server's reactor connections use, so both ends of the wire share one
+/// framing implementation (torn prefixes, oversize frames and partial
+/// reads behave identically).
 ///
 /// Every blocking step is bounded: connect uses a non-blocking dial with a
 /// poll(2) deadline, send/recv carry SO_SNDTIMEO/SO_RCVTIMEO. An expired
@@ -184,10 +233,10 @@ class TcpChannel : public Channel {
   TcpChannel(int fd, std::string host, uint16_t port, Options options)
       : fd_(fd), host_(std::move(host)), port_(port), options_(options) {}
 
-  /// Dials host_:port_ under connect_timeout_ms and applies the IO
-  /// timeouts to the new socket.
-  static Result<int> Dial(const std::string& host, uint16_t port,
-                          const Options& options);
+  /// Reads socket bytes into the shared frame machine until one complete
+  /// frame pops out. NOT_FOUND signals a clean EOF at a frame boundary
+  /// when `eof_ok_at_start`; mid-frame EOFs are IO_ERROR.
+  Result<Bytes> ReceiveFrame(bool eof_ok_at_start);
   /// Redials if the connection is broken (or fails if reconnects are off).
   Status EnsureConnected();
   /// Closes the socket and marks the channel broken.
@@ -206,6 +255,7 @@ class TcpChannel : public Channel {
   Options options_;
   uint64_t reconnects_ = 0;
   ChannelStats stats_;
+  FrameAssembler rx_;  // same framing state machine as the server side
   std::map<CallId, Inflight> inflight_;
   std::deque<CallId> inflight_order_;  // submission order, for FIFO matching
 };

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <thread>
 
 #include "sse/core/registry.h"
@@ -341,6 +342,9 @@ TEST(TcpPipelineTest, TransportFailureFailsEveryInflightCall) {
   SlowHandler handler;  // keeps both requests unanswered while we kill it
   TcpServer::Options server_opts;
   server_opts.serialize_handler = false;
+  // Hard kill: no graceful drain, so the in-flight replies are dropped
+  // rather than flushed (the drain path has its own regression test).
+  server_opts.drain_timeout_ms = 0.0;
   auto server = TcpServer::Start(&handler, 0, server_opts);
   ASSERT_TRUE(server.ok());
   auto channel = TcpChannel::Connect((*server)->port());
@@ -360,6 +364,56 @@ TEST(TcpPipelineTest, TransportFailureFailsEveryInflightCall) {
   EXPECT_FALSE((*channel)->Await(id2).ok());
   EXPECT_EQ((*channel)->pending_calls(), 0u);
   EXPECT_FALSE((*channel)->connected());
+}
+
+class DrainProbeHandler : public MessageHandler {
+ public:
+  Result<Message> Handle(const Message& request) override {
+    arrived_.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    return Message{static_cast<uint16_t>(request.type + 1), request.payload};
+  }
+  std::atomic<int> arrived_{0};
+};
+
+TEST(TcpPipelineTest, GracefulStopDrainsInflightReplies) {
+  DrainProbeHandler handler;
+  TcpServer::Options server_opts;
+  server_opts.serialize_handler = false;
+  auto server = TcpServer::Start(&handler, 0, server_opts);
+  ASSERT_TRUE(server.ok());
+  auto channel = TcpChannel::Connect((*server)->port());
+  ASSERT_TRUE(channel.ok());
+
+  std::vector<Channel::CallId> ids;
+  for (uint64_t i = 0; i < 4; ++i) {
+    Message request{7, Bytes{static_cast<uint8_t>(i)}};
+    request.StampSession(9, i + 1);
+    ids.push_back((*channel)->Submit(request));
+  }
+  // Wait until every request has genuinely reached the handler, so Stop()
+  // has real work in flight to drain (not just unread socket bytes).
+  while (handler.arrived_.load() < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (*server)->Stop();
+
+  // Graceful shutdown: the in-flight requests completed and their replies
+  // were flushed before the sockets closed, so every call still succeeds.
+  // (The handler does not echo session stamps, so with concurrent workers
+  // the FIFO match may pair replies with other calls — what matters here
+  // is that all four replies made it out before the close.)
+  std::multiset<uint8_t> got;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto reply = (*channel)->Await(ids[i]);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->type, 8);
+    ASSERT_EQ(reply->payload.size(), 1u);
+    got.insert(reply->payload[0]);
+  }
+  EXPECT_EQ(got, (std::multiset<uint8_t>{0, 1, 2, 3}));
+  EXPECT_EQ((*server)->requests_served(), 4u);
+  EXPECT_EQ((*server)->connections_active(), 0u);
 }
 
 TEST(TcpPipelineTest, ResetFailsInflightWithUnavailable) {
