@@ -22,6 +22,17 @@
 //   SSE_REACTOR_LOOPS    epoll loop threads in the serve-mode reactor,
 //                        default 2; the serving thread budget is
 //                        loops + dispatch workers at any connection count
+//   SSE_REPLY_CACHE_MAX_ENTRIES  global cap on cached replies across all
+//                        clients (LRU-evicted), default 0 = unbounded
+//
+// Replication knobs (serve mode only; see DESIGN.md "Replication"):
+//   SSE_REPL_ROLE        primary | follower — serve through a repl::ReplNode
+//                        instead of a standalone durable server; a restart
+//                        keeps the role persisted in <dir>/repl.role
+//   SSE_REPL_PEERS       comma-separated host:port follower list the node
+//                        ships WAL records to while primary
+//   SSE_REPL_ACK         async (default) | wait_one — whether a mutation
+//                        waits for one follower ack before replying
 //
 // Usage:
 //   sse_cli <dir> put <id> <content...> --kw <k1,k2,...>
@@ -50,6 +61,7 @@
 #include "sse/net/retry.h"
 #include "sse/net/tcp.h"
 #include "sse/obs/stats_logger.h"
+#include "sse/repl/node.h"
 #include "sse/util/serde.h"
 
 namespace {
@@ -133,6 +145,90 @@ int main(int argc, char** argv) {
   // The durable shell's cache (which survives restarts) does the dedup;
   // the engine's in-memory one would only duplicate it.
   engine_options.enable_reply_cache = false;
+  // Replicated serving: SSE_REPL_ROLE turns `serve` into a repl::ReplNode
+  // (primary journals + ships WAL records to SSE_REPL_PEERS; follower
+  // applies the stream and serves stale reads). The node owns its durable
+  // state, so this path must not open the directory a second time below.
+  if (const char* repl_role = std::getenv("SSE_REPL_ROLE");
+      repl_role != nullptr && command == "serve") {
+    repl::ReplNode::Options node_options;
+    if (std::strcmp(repl_role, "primary") == 0) {
+      node_options.initial_role = repl::ReplNode::Role::kPrimary;
+    } else if (std::strcmp(repl_role, "follower") == 0) {
+      node_options.initial_role = repl::ReplNode::Role::kFollower;
+    } else {
+      std::fprintf(stderr, "SSE_REPL_ROLE must be primary or follower\n");
+      return 2;
+    }
+    if (const char* peers = std::getenv("SSE_REPL_PEERS")) {
+      for (const std::string& peer : SplitCommas(peers)) {
+        repl::ReplSender::Endpoint endpoint;
+        const size_t colon = peer.rfind(':');
+        if (colon != std::string::npos) {
+          endpoint.host = peer.substr(0, colon);
+          endpoint.port = static_cast<uint16_t>(
+              std::strtoul(peer.c_str() + colon + 1, nullptr, 10));
+        } else {
+          endpoint.port =
+              static_cast<uint16_t>(std::strtoul(peer.c_str(), nullptr, 10));
+        }
+        node_options.peers.push_back(std::move(endpoint));
+      }
+    }
+    if (const char* ack = std::getenv("SSE_REPL_ACK")) {
+      if (std::strcmp(ack, "wait_one") == 0) {
+        node_options.sender.ack_mode = repl::ReplSender::AckMode::kWaitOne;
+      } else if (std::strcmp(ack, "async") != 0) {
+        std::fprintf(stderr, "SSE_REPL_ACK must be async or wait_one\n");
+        return 2;
+      }
+    }
+    node_options.durable.enable_reply_cache = reply_cache;
+    node_options.durable.reply_cache.max_total_entries =
+        EnvU64("SSE_REPLY_CACHE_MAX_ENTRIES", 0);
+    auto node = repl::ReplNode::Open(
+        dir,
+        [options, engine_options]() -> std::unique_ptr<core::PersistableHandler> {
+          auto engine = engine::ServerEngine::Create(
+              std::make_unique<engine::Scheme2Adapter>(options),
+              engine_options);
+          return engine.ok() ? std::move(*engine) : nullptr;
+        },
+        node_options);
+    if (!node.ok()) {
+      std::fprintf(stderr, "repl node open failed: %s\n",
+                   node.status().ToString().c_str());
+      return 1;
+    }
+    const uint16_t port = static_cast<uint16_t>(
+        argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 0);
+    net::TcpServer::Options server_options;
+    server_options.serialize_handler = false;
+    // The node answers kMsgStats itself (with its sse_repl_* series
+    // injected); the TCP layer's own responder would shadow it.
+    server_options.serve_stats = false;
+    if (const char* loops = std::getenv("SSE_REACTOR_LOOPS")) {
+      server_options.reactor_loops =
+          std::max(1ul, std::strtoul(loops, nullptr, 10));
+    }
+    auto tcp = net::TcpServer::Start(node->get(), port, server_options);
+    if (!tcp.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n",
+                   tcp.status().ToString().c_str());
+      return 1;
+    }
+    obs::StatsLogger stats_logger;
+    std::printf("serving %s as replication %s on 127.0.0.1:%u "
+                "(%zu peer(s); EOF on stdin stops)\n",
+                dir.c_str(), repl_role, (*tcp)->port(),
+                node_options.peers.size());
+    std::fflush(stdout);
+    while (std::fgetc(stdin) != EOF) {
+    }
+    (*tcp)->Stop();
+    return 0;
+  }
+
   auto server = engine::ServerEngine::Create(
       std::make_unique<engine::Scheme2Adapter>(options), engine_options);
   if (!server.ok()) {
@@ -142,6 +238,8 @@ int main(int argc, char** argv) {
   }
   core::DurableServer::Options durable_options;
   durable_options.enable_reply_cache = reply_cache;
+  durable_options.reply_cache.max_total_entries =
+      EnvU64("SSE_REPLY_CACHE_MAX_ENTRIES", 0);
   auto durable = core::DurableServer::Open(dir, server->get(), durable_options);
   if (!durable.ok()) {
     std::fprintf(stderr, "open failed: %s\n",

@@ -23,6 +23,7 @@
 #include "sse/core/scheme2_server.h"
 #include "sse/net/tcp.h"
 #include "sse/obs/stats_rpc.h"
+#include "sse/repl/failover_channel.h"
 #include "sse/storage/log_store.h"
 #include "sse/storage/snapshot.h"
 #include "sse/storage/wal.h"
@@ -106,6 +107,41 @@ int RunStats(const std::string& target, bool include_spans) {
   std::printf("health:        %s\n",
               any_degraded ? "DEGRADED (see above)"
                            : "ok (no degraded gauges)");
+  // Replication role summary (present only on nodes serving through
+  // repl::ReplNode, which injects the sse_repl_* series into this scrape).
+  double is_primary = 0;
+  if (repl::FindMetricValue(reply->prometheus_text, "sse_repl_is_primary",
+                            &is_primary)) {
+    double epoch = 0, promotions = 0;
+    repl::FindMetricValue(reply->prometheus_text, "sse_repl_epoch", &epoch);
+    repl::FindMetricValue(reply->prometheus_text, "sse_repl_promotions_total",
+                          &promotions);
+    if (is_primary != 0.0) {
+      std::printf("replication:   PRIMARY (epoch %g, %g promotion(s))\n",
+                  epoch, promotions);
+      double log_end = 0, acked = 0;
+      if (repl::FindMetricValue(reply->prometheus_text,
+                                "sse_repl_log_end_seq", &log_end) &&
+          repl::FindMetricValue(reply->prometheus_text,
+                                "sse_repl_max_acked_seq", &acked)) {
+        std::printf("follower lag:  %g record(s) not yet acked by any "
+                    "follower (log end %g, max acked %g)\n",
+                    log_end - acked, log_end, acked);
+      }
+    } else {
+      // A primary whose sender was fenced also reports 0: it refuses
+      // mutations until an operator intervenes, exactly like a follower.
+      double next_seq = 0, view_ok = 1;
+      repl::FindMetricValue(reply->prometheus_text, "sse_repl_node_next_seq",
+                            &next_seq);
+      repl::FindMetricValue(reply->prometheus_text, "sse_repl_view_ok",
+                            &view_ok);
+      std::printf("replication:   follower/fenced (epoch %g, durable cursor "
+                  "%g, read view %s, %g promotion(s))\n",
+                  epoch, next_seq, view_ok != 0.0 ? "ok" : "FAIL-STOPPED",
+                  promotions);
+    }
+  }
   // Reactor load at a glance: open connections on the scraped server
   // (sse_net_connections_active; includes this scrape's own connection).
   for (const std::string& line : lines) {
@@ -199,6 +235,19 @@ int main(int argc, char** argv) {
                   report.torn_bytes > 0 ? " (torn tail dropped)" : "");
     } else {
       std::printf("%-14s CORRUPT: %s\n", "wal:", replay.ToString().c_str());
+    }
+    // Replication role marker, when this directory belongs to a ReplNode.
+    const std::string marker = dir + "/repl.role";
+    std::FILE* marker_file = std::fopen(marker.c_str(), "rb");
+    if (marker_file != nullptr) {
+      char buf[256] = {0};
+      const size_t n = std::fread(buf, 1, sizeof(buf) - 1, marker_file);
+      std::fclose(marker_file);
+      std::string text(buf, n);
+      for (char& c : text) {
+        if (c == '\n') c = ' ';
+      }
+      std::printf("%-14s %s\n", "repl role:", text.c_str());
     }
     const std::string doc_log = dir + "/docs.log";
     std::FILE* probe = std::fopen(doc_log.c_str(), "rb");

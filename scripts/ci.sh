@@ -23,6 +23,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "==> cluster: replication units + kill-the-primary chaos harness"
+# The `cluster` label covers the in-process replication suite (repl_test)
+# and the multi-process chaos sweep (cluster_test spawns real node
+# processes over localhost TCP and SIGKILLs the primary mid-stream).
+ctest --test-dir build -L cluster --output-on-failure
+
 echo "==> obs: observability suite + machine-readable search bench"
 ctest --test-dir build -L obs --output-on-failure
 # Emits p50/p95/p99 and the tracing-overhead delta for trend tracking.
@@ -32,7 +38,7 @@ echo "    wrote BENCH_search.json"
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "==> skipping TSan pass (--skip-tsan)"
 else
-  echo "==> tsan: concurrency + chaos + obs + net tests under ThreadSanitizer"
+  echo "==> tsan: concurrency + chaos + obs + net + repl tests under ThreadSanitizer"
   cmake -B build-tsan -S . \
     -DSSE_TSAN=ON \
     -DSSE_BUILD_BENCHMARKS=OFF \
@@ -42,10 +48,13 @@ else
   cmake --build build-tsan -j "$(nproc)" \
     --target engine_concurrency_test tcp_test chaos_test \
              obs_trace_test obs_metrics_test obs_stats_rpc_test \
-             reactor_test net_scale_test
+             reactor_test net_scale_test repl_test
+  # repl_test (not the multi-process cluster harness — TSan doesn't see
+  # across fork/exec) exercises the sender's shipping threads, the node's
+  # role lock and the failover router under the race detector.
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L "concurrency|chaos|obs|net" \
-    --output-on-failure
+    ctest --test-dir build-tsan -L "concurrency|chaos|obs|net|cluster" \
+    --output-on-failure -E cluster_test
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

@@ -24,28 +24,32 @@ uint64_t NanosSince(std::chrono::steady_clock::time_point t0) {
 /// a snapshot generation plus the retained WAL segments always form a
 /// consistent pair, whichever generation recovery ends up restoring.
 constexpr uint32_t kDurableSnapshotMagic = 0x53445232;
+}  // namespace
 
-struct SnapshotContents {
-  uint64_t wal_seq = 1;
-  Bytes state;
-  Bytes cache;
-};
-
-Result<SnapshotContents> ParseSnapshot(BytesView blob) {
+Result<DurableServer::SnapshotBlob> DurableServer::DecodeSnapshot(
+    BytesView blob) {
   BufferReader r(blob);
   uint32_t magic = 0;
   SSE_ASSIGN_OR_RETURN(magic, r.GetU32());
   if (magic != kDurableSnapshotMagic) {
     return Status::Corruption("durable snapshot magic mismatch");
   }
-  SnapshotContents out;
+  SnapshotBlob out;
   SSE_ASSIGN_OR_RETURN(out.wal_seq, r.GetU64());
   SSE_ASSIGN_OR_RETURN(out.state, r.GetBytes());
   SSE_ASSIGN_OR_RETURN(out.cache, r.GetBytes());
   SSE_RETURN_IF_ERROR(r.ExpectEnd());
   return out;
 }
-}  // namespace
+
+Bytes DurableServer::EncodeSnapshot(const SnapshotBlob& contents) {
+  BufferWriter w;
+  w.PutU32(kDurableSnapshotMagic);
+  w.PutU64(contents.wal_seq);
+  w.PutBytes(contents.state);
+  w.PutBytes(contents.cache);
+  return w.TakeData();
+}
 
 Result<std::unique_ptr<DurableServer>> DurableServer::Open(
     const std::string& dir, PersistableHandler* inner) {
@@ -81,7 +85,7 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
       snapshot_error = blob.status();
       continue;
     }
-    Result<SnapshotContents> contents = ParseSnapshot(*blob);
+    Result<SnapshotBlob> contents = DecodeSnapshot(*blob);
     if (!contents.ok()) {
       snapshot_error = contents.status();
       continue;
@@ -167,6 +171,14 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
       "sse_storage_degraded",
       [raw] { return raw->degraded() ? 1.0 : 0.0; },
       "1 once a storage fault fail-stopped this server to read-only"));
+  if (raw->reply_cache_ != nullptr) {
+    server->registrations_.push_back(registry.RegisterGauge(
+        "sse_engine_reply_cache_entries",
+        [raw] {
+          return static_cast<double>(raw->reply_cache_->entry_count());
+        },
+        "Replies retained in the at-most-once dedup cache"));
+  }
   return server;
 }
 
@@ -267,14 +279,21 @@ Result<net::Message> DurableServer::HandleNew(const net::Message& request) {
   Result<net::Message> reply = inner_->Handle(request);
   if (!reply.ok()) return reply;
   uint64_t my_seq = 0;
+  uint64_t my_wal_seq = 0;
+  bool synced_inline = false;
   {
     obs::ScopedSpan append_span("wal.append", obs::ParentFor(request));
     std::lock_guard<std::mutex> lock(wal_mutex_);
     const auto t0 = std::chrono::steady_clock::now();
-    const Status appended = wal_->Append(request.Encode());
+    const Bytes encoded = request.Encode();
+    const Status appended = wal_->Append(encoded);
     wal_append_hist_.Record(NanosSince(t0));
     if (!appended.ok()) return EnterDegraded(appended);
     my_seq = ++appended_seq_;
+    my_wal_seq = wal_->next_seq() - 1;
+    if (options_.shipper != nullptr) {
+      options_.shipper->OnAppend(my_wal_seq, encoded);
+    }
     append_span.Annotate("wal_seq", my_seq);
     if (options_.sync_every_append && !options_.group_commit) {
       // Per-append-fsync baseline: sync inline under the WAL mutex.
@@ -284,12 +303,17 @@ Result<net::Message> DurableServer::HandleNew(const net::Message& request) {
       if (!synced.ok()) return EnterDegraded(synced);
       synced_seq_ = appended_seq_;
       ++syncs_performed_;
-      return reply;
+      synced_inline = true;
     }
   }
-  if (options_.sync_every_append) {
+  if (!synced_inline && options_.sync_every_append) {
     const Status synced = SyncUpTo(my_seq);
     if (!synced.ok()) return EnterDegraded(synced);
+  }
+  // Ack-mode gate: in wait-one mode the shipper blocks (bounded) until a
+  // follower acknowledged this sequence, so the reply implies replication.
+  if (options_.shipper != nullptr && options_.sync_every_append) {
+    options_.shipper->WaitReplicated(my_wal_seq);
   }
   return reply;
 }
@@ -311,6 +335,7 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
   std::vector<net::Message> outs(n);
   std::vector<PendingCommit> pending;
   uint64_t max_wal_seq = 0;
+  uint64_t max_ship_seq = 0;
   bool need_sync = false;
 
   for (size_t i = 0; i < n; ++i) {
@@ -366,7 +391,8 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
       // one group sync after the loop.
       std::lock_guard<std::mutex> lock(wal_mutex_);
       const auto t0 = std::chrono::steady_clock::now();
-      Status appended = wal_->Append(sub.Encode());
+      const Bytes encoded = sub.Encode();
+      Status appended = wal_->Append(encoded);
       wal_append_hist_.Record(NanosSince(t0));
       if (!appended.ok()) {
         if (dedup) reply_cache_->Abort(sub.client_id, sub.seq);
@@ -374,6 +400,10 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
         continue;
       }
       max_wal_seq = ++appended_seq_;
+      max_ship_seq = wal_->next_seq() - 1;
+      if (options_.shipper != nullptr) {
+        options_.shipper->OnAppend(max_ship_seq, encoded);
+      }
       need_sync = true;
     }
     if (sub.has_session && !reply->has_session) reply->EchoSession(sub);
@@ -394,6 +424,8 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
         outs[p.index] = net::MakeErrorMessage(refusal);
       }
       pending.clear();
+    } else if (options_.shipper != nullptr) {
+      options_.shipper->WaitReplicated(max_ship_seq);
     }
   }
   for (const PendingCommit& p : pending) {
@@ -446,6 +478,11 @@ uint64_t DurableServer::wal_syncs() const {
   return syncs_performed_;
 }
 
+uint64_t DurableServer::wal_next_seq() const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  return wal_->next_seq();
+}
+
 uint64_t DurableServer::wal_records() const {
   std::lock_guard<std::mutex> lock(wal_mutex_);
   const uint64_t next = wal_->next_seq();
@@ -468,12 +505,11 @@ Status DurableServer::Checkpoint() {
     cut_seq = wal_->next_seq();
     previous_cut = last_checkpoint_seq_;
   }
-  BufferWriter w;
-  w.PutU32(kDurableSnapshotMagic);
-  w.PutU64(cut_seq);
-  w.PutBytes(state);
-  w.PutBytes(reply_cache_ != nullptr ? reply_cache_->Serialize() : Bytes{});
-  const Status written = snapshots_.WriteNext(w.TakeData());
+  SnapshotBlob blob;
+  blob.wal_seq = cut_seq;
+  blob.state = std::move(state);
+  blob.cache = reply_cache_ != nullptr ? reply_cache_->Serialize() : Bytes{};
+  const Status written = snapshots_.WriteNext(EncodeSnapshot(blob));
   // A failed snapshot write (or its fsync) is a storage fault like any
   // other: fail-stop rather than risk pruning state we could not persist.
   if (!written.ok()) return EnterDegraded(written);

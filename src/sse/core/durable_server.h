@@ -68,6 +68,20 @@ namespace sse::core {
 /// their WAL record is durable; non-mutating requests bypass the cache
 /// entirely (re-executing a search is harmless, and not recording search
 /// results keeps the table small) but still have their session echoed.
+/// Hook for primary→follower WAL replication (implemented by
+/// repl::ReplSender). OnAppend runs with the WAL mutex held, immediately
+/// after a record lands in the local log (durability not yet guaranteed) —
+/// implementations must only enqueue, never block. WaitReplicated runs
+/// after the record is locally durable, outside the WAL mutex, and may
+/// block for a bounded time until the configured ack mode is satisfied
+/// (e.g. at least one follower acknowledged the sequence).
+class WalShipper {
+ public:
+  virtual ~WalShipper() = default;
+  virtual void OnAppend(uint64_t wal_seq, BytesView record) = 0;
+  virtual void WaitReplicated(uint64_t wal_seq) = 0;
+};
+
 class DurableServer : public net::MessageHandler {
  public:
   struct Options {
@@ -88,7 +102,24 @@ class DurableServer : public net::MessageHandler {
     /// of failing with CORRUPTION (see WalOptions::salvage). Strict by
     /// default: silent data loss must be opted into.
     bool wal_salvage = false;
+    /// Replication hook: every journaled record is offered to the shipper
+    /// right after its local append, and mutating replies additionally
+    /// wait on WaitReplicated after their local fsync (ack-mode policy
+    /// lives in the shipper). Must outlive the server. Null = standalone.
+    WalShipper* shipper = nullptr;
   };
+
+  /// One durable checkpoint blob (magic "SDR2"): the WAL sequence the
+  /// checkpoint was cut at plus the serialized inner state and reply
+  /// cache. Public so the replication layer can ship whole snapshots to a
+  /// follower that fell behind WAL compaction, and install received ones.
+  struct SnapshotBlob {
+    uint64_t wal_seq = 1;
+    Bytes state;
+    Bytes cache;
+  };
+  static Result<SnapshotBlob> DecodeSnapshot(BytesView blob);
+  static Bytes EncodeSnapshot(const SnapshotBlob& contents);
 
   /// Opens (and recovers) a durable server over `inner` in directory `dir`,
   /// which must exist. `inner` must outlive the DurableServer.
@@ -108,6 +139,9 @@ class DurableServer : public net::MessageHandler {
 
   /// Journaled records not yet subsumed by the newest checkpoint.
   uint64_t wal_records() const;
+  /// Sequence the WAL will stamp on the next append. The replication
+  /// sender seeds its notion of the log end from this at startup.
+  uint64_t wal_next_seq() const;
   /// fsyncs actually issued; under concurrent load with group commit this
   /// grows slower than wal_records().
   uint64_t wal_syncs() const;

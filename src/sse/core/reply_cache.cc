@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sse/obs/metrics_registry.h"
 #include "sse/util/serde.h"
 
 namespace sse::core {
@@ -9,6 +10,15 @@ namespace sse::core {
 namespace {
 /// Snapshot section magic, "RPLC".
 constexpr uint32_t kReplyCacheMagic = 0x52504c43;
+
+/// Process-wide eviction counter; GetCounter is idempotent per name, so
+/// every cache instance (engine- or durable-level) feeds the same series.
+obs::MetricsRegistry::Counter* EvictionCounter() {
+  static auto* counter = obs::MetricsRegistry::Global().GetCounter(
+      "sse_engine_reply_cache_evictions_total",
+      "Reply-cache entries dropped to enforce size bounds");
+  return counter;
+}
 }  // namespace
 
 ReplyCache::Outcome ReplyCache::Begin(uint64_t client, uint64_t seq,
@@ -32,6 +42,7 @@ ReplyCache::Outcome ReplyCache::Begin(uint64_t client, uint64_t seq,
         return Outcome::kCached;
       }
       state.replies.erase(it);
+      total_entries_ -= 1;
     } else {
       hits_ += 1;
       EvictClientsLocked();
@@ -64,15 +75,15 @@ void ReplyCache::Commit(uint64_t client, uint64_t seq,
   ClientState& state = clients_[client];
   state.last_used = ++tick_;
   state.in_flight.erase(seq);
-  state.replies[seq] = reply.Encode();
+  auto [entry, inserted] = state.replies.insert_or_assign(seq, reply.Encode());
+  (void)entry;
+  if (inserted) total_entries_ += 1;
   if (seq >= state.max_seen) state.max_seen = seq;
   while (state.replies.size() > options_.per_client_entries) {
-    auto oldest = state.replies.begin();
-    const uint64_t evicted = oldest->first;
-    state.replies.erase(oldest);
-    if (evicted >= state.low_water) state.low_water = evicted + 1;
+    DropEntryLocked(&state, state.replies.begin());
   }
   EvictClientsLocked();
+  EvictEntriesLocked();
 }
 
 void ReplyCache::Abort(uint64_t client, uint64_t seq) {
@@ -108,7 +119,40 @@ void ReplyCache::EvictClientsLocked() {
       }
     }
     if (victim == clients_.end()) return;  // everything in flight
+    const size_t dropped = victim->second.replies.size();
+    total_entries_ -= dropped;
+    evictions_ += dropped;
+    if (dropped > 0) EvictionCounter()->Add(dropped);
     clients_.erase(victim);
+  }
+}
+
+void ReplyCache::DropEntryLocked(ClientState* state,
+                                 std::map<uint64_t, Bytes>::iterator entry) {
+  const uint64_t evicted = entry->first;
+  state->replies.erase(entry);
+  if (evicted >= state->low_water) state->low_water = evicted + 1;
+  total_entries_ -= 1;
+  evictions_ += 1;
+  EvictionCounter()->Add();
+}
+
+void ReplyCache::EvictEntriesLocked() {
+  if (options_.max_total_entries == 0) return;
+  while (total_entries_ > options_.max_total_entries) {
+    // Global LRU at client granularity: the least-recently-active client
+    // that still retains replies gives up its oldest entry first (the one
+    // a well-behaved synchronous client is least likely to retry).
+    auto victim = clients_.end();
+    for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+      if (it->second.replies.empty()) continue;
+      if (victim == clients_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == clients_.end()) return;
+    DropEntryLocked(&victim->second, victim->second.replies.begin());
   }
 }
 
@@ -162,7 +206,12 @@ Status ReplyCache::Restore(BytesView data) {
   clients_ = std::move(restored);
   // Restored clients become equally "old"; later activity re-ranks them.
   tick_ = 0;
-  for (auto& [client, state] : clients_) state.last_used = ++tick_;
+  total_entries_ = 0;
+  for (auto& [client, state] : clients_) {
+    state.last_used = ++tick_;
+    total_entries_ += state.replies.size();
+  }
+  EvictEntriesLocked();
   return Status::OK();
 }
 
@@ -170,6 +219,7 @@ void ReplyCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   clients_.clear();
   tick_ = 0;
+  total_entries_ = 0;
 }
 
 size_t ReplyCache::client_count() const {
@@ -179,9 +229,7 @@ size_t ReplyCache::client_count() const {
 
 size_t ReplyCache::entry_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  size_t n = 0;
-  for (const auto& [client, state] : clients_) n += state.replies.size();
-  return n;
+  return total_entries_;
 }
 
 uint64_t ReplyCache::hits() const {
@@ -192,6 +240,11 @@ uint64_t ReplyCache::hits() const {
 uint64_t ReplyCache::refusals() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return refusals_;
+}
+
+uint64_t ReplyCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 }  // namespace sse::core

@@ -25,12 +25,14 @@ namespace sse::core {
 /// connection is refused with a retryable verdict, and only genuinely new
 /// seqs reach the handler.
 ///
-/// Bounded on both axes: per client the newest `per_client_entries` replies
-/// are retained (a synchronous client only ever retries its most recent
-/// call, so the window is generous), and the least-recently-active clients
-/// are evicted beyond `max_clients`. A retry older than the retained
-/// window is refused as FAILED_PRECONDITION rather than risked — executing
-/// it could be a second application.
+/// Bounded on three axes: per client the newest `per_client_entries`
+/// replies are retained (a synchronous client only ever retries its most
+/// recent call, so the window is generous), the least-recently-active
+/// clients are evicted beyond `max_clients`, and `max_total_entries` caps
+/// the whole table — when exceeded, the oldest entry of the least-recently
+/// -active client goes first (LRU at client granularity). A retry older
+/// than the retained window is refused as FAILED_PRECONDITION rather than
+/// risked — executing it could be a second application.
 ///
 /// Thread-safe; Serialize/Restore make the table part of a snapshot so
 /// dedup survives crash recovery (DurableServer additionally rebuilds the
@@ -40,6 +42,9 @@ class ReplyCache {
   struct Options {
     size_t per_client_entries = 128;
     size_t max_clients = 1024;
+    /// Cap on replies retained across ALL clients; 0 = no global bound
+    /// (the per-client and per-table client bounds still apply).
+    size_t max_total_entries = 0;
   };
 
   enum class Outcome {
@@ -73,8 +78,9 @@ class ReplyCache {
   void Clear();
   size_t client_count() const;
   size_t entry_count() const;
-  uint64_t hits() const;      // duplicates served from cache
-  uint64_t refusals() const;  // in-flight + too-old rejections
+  uint64_t hits() const;       // duplicates served from cache
+  uint64_t refusals() const;   // in-flight + too-old rejections
+  uint64_t evictions() const;  // reply entries dropped to enforce bounds
 
  private:
   struct ClientState {
@@ -86,6 +92,9 @@ class ReplyCache {
   };
 
   void EvictClientsLocked();
+  void EvictEntriesLocked();
+  void DropEntryLocked(ClientState* state,
+                       std::map<uint64_t, Bytes>::iterator entry);
 
   Options options_;
   mutable std::mutex mutex_;
@@ -93,6 +102,8 @@ class ReplyCache {
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t refusals_ = 0;
+  uint64_t evictions_ = 0;
+  size_t total_entries_ = 0;
 };
 
 }  // namespace sse::core

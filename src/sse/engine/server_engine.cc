@@ -78,6 +78,14 @@ Result<std::unique_ptr<ServerEngine>> ServerEngine::Create(
       "sse_engine_requests",
       [raw] { return static_cast<double>(raw->metrics_.Snap().requests); },
       "Requests handled by live engines"));
+  if (raw->reply_cache_ != nullptr) {
+    engine->registrations_.push_back(registry.RegisterGauge(
+        "sse_engine_reply_cache_entries",
+        [raw] {
+          return static_cast<double>(raw->reply_cache_->entry_count());
+        },
+        "Replies retained in the at-most-once dedup cache"));
+  }
   return engine;
 }
 

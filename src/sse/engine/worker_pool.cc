@@ -11,7 +11,9 @@ WorkerPool::WorkerPool(size_t threads) {
   }
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -22,12 +24,14 @@ WorkerPool::~WorkerPool() {
   }
 }
 
-void WorkerPool::Submit(std::function<void()> task) {
+bool WorkerPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
     queue_.push_back(std::move(task));
   }
   wake_.notify_one();
+  return true;
 }
 
 void WorkerPool::RunBatch(std::vector<std::function<void()>> tasks) {
@@ -44,11 +48,14 @@ void WorkerPool::RunBatch(std::vector<std::function<void()>> tasks) {
   auto barrier = std::make_shared<Barrier>();
   barrier->remaining = tasks.size();
   for (auto& task : tasks) {
-    Submit([task = std::move(task), barrier] {
+    auto wrapped = [task = std::move(task), barrier] {
       task();
       std::lock_guard<std::mutex> lock(barrier->mutex);
       if (--barrier->remaining == 0) barrier->done.notify_all();
-    });
+    };
+    // A pool racing Shutdown refuses the submit; run inline so the
+    // barrier still completes and no task is lost.
+    if (!Submit(wrapped)) wrapped();
   }
   std::unique_lock<std::mutex> lock(barrier->mutex);
   barrier->done.wait(lock, [&] { return barrier->remaining == 0; });

@@ -26,8 +26,15 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  /// Enqueues `task` for asynchronous execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues `task` for asynchronous execution. Returns false (dropping
+  /// the task) once Shutdown has begun — callers racing a shutdown are
+  /// tearing down anyway, and dropping beats dereferencing a dead pool.
+  bool Submit(std::function<void()> task);
+
+  /// Drains the queue and joins the workers, leaving the object valid:
+  /// concurrent Submit/queue_depth callers see a stopped pool instead of
+  /// freed memory. Idempotent; the destructor calls it.
+  void Shutdown();
 
   /// Runs every task (on pool threads) and blocks until all have finished.
   /// With an empty pool (threads == 0) the tasks run inline on the caller.

@@ -3,6 +3,7 @@
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <utility>
 
 #include "sse/net/socket_util.h"
@@ -31,6 +32,13 @@ Connection::Connection(int fd, EventLoop* loop, Options options,
       callbacks_(std::move(callbacks)),
       assembler_(options.max_frame) {
   if (options_.max_outstanding == 0) options_.max_outstanding = 1;
+  last_activity_ms_.store(NowMs(), std::memory_order_relaxed);
+}
+
+int64_t Connection::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 Connection::~Connection() {
@@ -112,6 +120,7 @@ void Connection::HandleReadable() {
     const IoResult r = ReadSomeNonBlocking(fd_, buf, sizeof(buf), &n);
     if (r == IoResult::kOk) {
       total += n;
+      last_activity_ms_.store(NowMs(), std::memory_order_relaxed);
       if (!assembler_.Feed(buf, n).ok()) {
         // Oversize/poisoned frame stream: unrecoverable protocol breach.
         CloseNow();
@@ -184,6 +193,7 @@ void Connection::FlushWrites() {
         fd_, front.data() + write_offset_, front.size() - write_offset_, &n);
     if (r == IoResult::kOk) {
       write_offset_ += n;
+      last_activity_ms_.store(NowMs(), std::memory_order_relaxed);
       if (write_offset_ == front.size()) {
         write_queue_.pop_front();
         write_offset_ = 0;

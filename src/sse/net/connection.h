@@ -89,6 +89,15 @@ class Connection : public EventLoop::Handler,
   int fd() const { return fd_; }
   EventLoop* loop() const { return loop_; }
 
+  /// Steady-clock milliseconds of the last byte read or written (set at
+  /// construction, then on socket activity). Cross-thread readable; the
+  /// idle sweeper compares it against NowMs().
+  int64_t last_activity_ms() const {
+    return last_activity_ms_.load(std::memory_order_relaxed);
+  }
+  /// The activity clock's notion of "now".
+  static int64_t NowMs();
+
  private:
   void OnEvents(uint32_t events) override;
   void HandleReadable();
@@ -125,6 +134,7 @@ class Connection : public EventLoop::Handler,
   std::atomic<size_t> outstanding_{0};
   std::atomic<size_t> queued_replies_{0};
   std::atomic<bool> closed_flag_{false};
+  std::atomic<int64_t> last_activity_ms_{0};
 };
 
 }  // namespace sse::net

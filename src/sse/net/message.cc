@@ -113,6 +113,14 @@ std::string MessageTypeName(uint16_t type) {
       return "Stats";
     case kMsgStatsReply:
       return "StatsReply";
+    case kMsgReplAppend:
+      return "ReplAppend";
+    case kMsgReplAck:
+      return "ReplAck";
+    case kMsgReplSnapshot:
+      return "ReplSnapshot";
+    case kMsgReplPromote:
+      return "ReplPromote";
     default:
       break;
   }

@@ -110,6 +110,18 @@ inline constexpr uint16_t kMsgBatchReply = kMsgRangeCommon + 7;
 /// spans); served by TcpServer, see sse/obs/stats_rpc.h for the payloads.
 inline constexpr uint16_t kMsgStats = kMsgRangeCommon + 8;
 inline constexpr uint16_t kMsgStatsReply = kMsgRangeCommon + 9;
+/// Replication: primary → follower WAL record shipping plus control plane
+/// (see sse/repl/messages.h for the payloads and docs/PROTOCOL.md §7).
+/// An empty ReplAppend doubles as a health probe; the ReplAck reply always
+/// carries the follower's durable next sequence and its fencing epoch.
+inline constexpr uint16_t kMsgReplAppend = kMsgRangeCommon + 10;
+inline constexpr uint16_t kMsgReplAck = kMsgRangeCommon + 11;
+/// Full-state catch-up for a follower that fell behind WAL compaction: the
+/// primary ships its newest snapshot blob with the WAL cut it covers.
+inline constexpr uint16_t kMsgReplSnapshot = kMsgRangeCommon + 12;
+/// Operator RPC: promote a follower to primary (replays its shipped
+/// segments through the normal recovery path, bumps the fencing epoch).
+inline constexpr uint16_t kMsgReplPromote = kMsgRangeCommon + 13;
 
 /// Human-readable name for a message type (for transcripts and benches).
 std::string MessageTypeName(uint16_t type);

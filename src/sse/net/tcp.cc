@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -158,6 +159,15 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(MessageHandler* handler,
         return static_cast<double>(raw->connections_active());
       },
       "Open TCP connections on reactor servers");
+  TcpServer* raw_for_sweep = server.get();
+  if (options.idle_timeout_ms > 0) {
+    // Sweep at a fraction of the timeout so a connection is closed at
+    // most ~1.25x after it went idle. Must be scheduled before Start().
+    const uint64_t period =
+        std::max<uint64_t>(options.idle_timeout_ms / 4, 10);
+    server->reactor_->loop(0)->SchedulePeriodic(
+        period, [raw_for_sweep] { raw_for_sweep->SweepIdleConnections(); });
+  }
   server->reactor_->Start();
   TcpServer* raw = server.get();
   raw->reactor_->loop(0)->Post([raw] {
@@ -172,6 +182,32 @@ TcpServer::~TcpServer() { Stop(); }
 size_t TcpServer::connections_active() const {
   std::lock_guard<std::mutex> lock(conns_mu_);
   return conns_.size();
+}
+
+void TcpServer::SweepIdleConnections() {
+  static obs::MetricsRegistry::Counter* swept =
+      obs::MetricsRegistry::Global().GetCounter(
+          "sse_net_idle_closed_total",
+          "Connections closed by the idle sweeper");
+  const int64_t now_ms = Connection::NowMs();
+  const int64_t cutoff = now_ms - static_cast<int64_t>(options_.idle_timeout_ms);
+  std::vector<std::shared_ptr<Connection>> victims;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [raw, shared] : conns_) {
+      // Only fully quiescent connections are eligible: nothing dispatched
+      // and nothing waiting to flush. A slow in-flight request is load,
+      // not idleness.
+      if (!raw->closed() && raw->outstanding() == 0 &&
+          raw->queued_replies() == 0 && raw->last_activity_ms() <= cutoff) {
+        victims.push_back(shared);
+      }
+    }
+  }
+  for (auto& conn : victims) {
+    conn->Close();
+    swept->Add();
+  }
 }
 
 size_t TcpServer::serving_threads() const {
@@ -229,13 +265,17 @@ void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   inflight_requests_.fetch_add(1);
   DispatchQueueDepthHistogram().Record(pool_->queue_depth());
   const uint64_t enqueued_ns = SteadyNowNs();
-  pool_->Submit([this, conn, frame = std::move(frame), enqueued_ns] {
-    Message reply = HandleFrame(frame);
-    (void)enqueued_ns;
-    Bytes encoded = reply.Encode();
-    conn->SendFrame(std::move(encoded));
-    inflight_requests_.fetch_sub(1);
-  });
+  const bool accepted =
+      pool_->Submit([this, conn, frame = std::move(frame), enqueued_ns] {
+        Message reply = HandleFrame(frame);
+        (void)enqueued_ns;
+        Bytes encoded = reply.Encode();
+        conn->SendFrame(std::move(encoded));
+        inflight_requests_.fetch_sub(1);
+      });
+  // A pool that refused is shutting down mid-Stop; the connection is
+  // being closed and the frame goes unanswered by design.
+  if (!accepted) inflight_requests_.fetch_sub(1);
 }
 
 Message TcpServer::HandleFrame(const Bytes& frame) {
@@ -337,7 +377,10 @@ void TcpServer::Stop() {
   // 3. Hard-close whatever remains (drained connections already closed
   //    themselves), then retire the pool and the loops.
   for (auto& conn : snapshot_conns()) conn->Close();
-  pool_.reset();  // joins workers; their reply posts drop on closed conns
+  // Shutdown (not destruction): loop threads may still be delivering
+  // already-read frames into DispatchFrame until the reactor stops below,
+  // and they must find a stopped pool, not freed memory.
+  pool_->Shutdown();  // joins workers; their reply posts drop on closed conns
   reactor_->Stop();
   {
     std::lock_guard<std::mutex> lock(conns_mu_);

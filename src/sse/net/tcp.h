@@ -85,6 +85,11 @@ class TcpServer {
     /// and flushes their queued replies for up to this long before
     /// closing sockets. 0 aborts immediately (replies may be dropped).
     double drain_timeout_ms = 5000.0;
+    /// Close connections with no socket activity for this long and no
+    /// requests in flight (counted by sse_net_idle_closed_total). 0
+    /// disables sweeping — the default, since abandoned-socket reclaim
+    /// is an operator policy, not a protocol behavior.
+    uint64_t idle_timeout_ms = 0;
   };
 
   ~TcpServer();
@@ -125,6 +130,9 @@ class TcpServer {
             Options options);
   /// Accept-loop body, run on loop 0 whenever the listener is readable.
   void AcceptReady();
+  /// Closes connections idle past Options::idle_timeout_ms (periodic on
+  /// loop 0; only fully quiescent connections are eligible).
+  void SweepIdleConnections();
   /// Frame entry from a connection: accounts, then hands to the pool.
   void DispatchFrame(const std::shared_ptr<Connection>& conn, Bytes frame);
   /// Decode + handle one frame, producing the reply frame to write. Error

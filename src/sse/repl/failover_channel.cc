@@ -1,0 +1,248 @@
+#include "sse/repl/failover_channel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sse/obs/metrics_registry.h"
+#include "sse/obs/stats_rpc.h"
+
+namespace sse::repl {
+
+namespace {
+
+obs::MetricsRegistry::Counter* FailoverCounter() {
+  static obs::MetricsRegistry::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "sse_client_failovers_total",
+          "times the client demoted its cached primary and re-probed");
+  return counter;
+}
+
+}  // namespace
+
+bool FindMetricValue(const std::string& prometheus_text,
+                     const std::string& name, double* value) {
+  size_t pos = 0;
+  while ((pos = prometheus_text.find(name, pos)) != std::string::npos) {
+    const size_t after = pos + name.size();
+    const bool line_start = pos == 0 || prometheus_text[pos - 1] == '\n';
+    if (line_start && after < prometheus_text.size() &&
+        (prometheus_text[after] == ' ' || prometheus_text[after] == '\t')) {
+      *value = std::strtod(prometheus_text.c_str() + after + 1, nullptr);
+      return true;
+    }
+    pos = after;
+  }
+  return false;
+}
+
+FailoverChannel::FailoverChannel(std::vector<ReplSender::Endpoint> endpoints)
+    : FailoverChannel(std::move(endpoints), Options()) {}
+
+FailoverChannel::FailoverChannel(std::vector<ReplSender::Endpoint> endpoints,
+                                 Options options)
+    : options_(std::move(options)) {
+  nodes_.reserve(endpoints.size());
+  for (ReplSender::Endpoint& endpoint : endpoints) {
+    Node node;
+    node.endpoint = std::move(endpoint);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+FailoverChannel::~FailoverChannel() = default;
+
+net::TcpChannel* FailoverChannel::Ensure(Node* node) {
+  if (node->channel != nullptr) return node->channel.get();
+  if (node->backoff_ms != 0 &&
+      std::chrono::steady_clock::now() < node->next_dial) {
+    return nullptr;
+  }
+  Result<std::unique_ptr<net::TcpChannel>> connected = net::TcpChannel::Connect(
+      node->endpoint.port, node->endpoint.host, options_.channel);
+  if (!connected.ok()) {
+    MarkDialFailure(node);
+    return nullptr;
+  }
+  node->channel = std::move(connected).value();
+  node->backoff_ms = 0;
+  return node->channel.get();
+}
+
+void FailoverChannel::MarkDialFailure(Node* node) {
+  node->backoff_ms = node->backoff_ms == 0
+                         ? options_.backoff_initial_ms
+                         : std::min(node->backoff_ms * 2, options_.backoff_max_ms);
+  node->next_dial = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(node->backoff_ms);
+}
+
+int FailoverChannel::FindPrimary() {
+  const net::Message probe = obs::StatsRequest{}.ToMessage();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    net::TcpChannel* channel = Ensure(&nodes_[i]);
+    if (channel == nullptr) continue;
+    Result<net::Message> reply = channel->Call(probe);
+    if (!reply.ok()) {
+      nodes_[i].channel.reset();
+      MarkDialFailure(&nodes_[i]);
+      continue;
+    }
+    Result<obs::StatsReply> stats = obs::StatsReply::FromMessage(*reply);
+    if (!stats.ok()) continue;
+    double is_primary = 0;
+    if (FindMetricValue(stats->prometheus_text, "sse_repl_is_primary",
+                        &is_primary) &&
+        is_primary != 0) {
+      primary_ = static_cast<int>(i);
+      return primary_;
+    }
+  }
+  return -1;
+}
+
+void FailoverChannel::DemotePrimary() {
+  if (primary_ < 0) return;
+  primary_ = -1;
+  ++failovers_;
+  FailoverCounter()->Add();
+}
+
+net::TcpChannel* FailoverChannel::Route(const net::Message& request,
+                                        Status* why) {
+  const bool mutating =
+      options_.is_mutating ? options_.is_mutating(request) : true;
+  if (!mutating && options_.read_from_followers && !nodes_.empty()) {
+    // Stale-tolerant read: any reachable endpoint will do; spread them.
+    for (size_t step = 0; step < nodes_.size(); ++step) {
+      Node* node = &nodes_[(read_rr_ + step) % nodes_.size()];
+      net::TcpChannel* channel = Ensure(node);
+      if (channel != nullptr) {
+        read_rr_ = (read_rr_ + step + 1) % nodes_.size();
+        return channel;
+      }
+    }
+    *why = Status::Unavailable("no endpoint reachable for read");
+    return nullptr;
+  }
+  int index = primary_;
+  if (index < 0) index = FindPrimary();
+  if (index < 0) {
+    *why = Status::Unavailable("no primary found among endpoints");
+    return nullptr;
+  }
+  net::TcpChannel* channel = Ensure(&nodes_[index]);
+  if (channel == nullptr) {
+    DemotePrimary();
+    *why = Status::Unavailable("cached primary unreachable");
+    return nullptr;
+  }
+  return channel;
+}
+
+Result<net::Message> FailoverChannel::Call(const net::Message& request) {
+  Status why = Status::OK();
+  net::TcpChannel* channel = Route(request, &why);
+  if (channel == nullptr) return why;
+  const bool was_primary =
+      primary_ >= 0 && channel == nodes_[primary_].channel.get();
+  Result<net::Message> reply = channel->Call(request);
+  if (!reply.ok() && was_primary) {
+    // A dead transport or an explicit "not primary" both mean the role
+    // cache is stale; anything non-retryable is the application's answer.
+    if (reply.status().IsRetryable()) DemotePrimary();
+  }
+  return reply;
+}
+
+net::Channel::CallId FailoverChannel::Submit(const net::Message& request) {
+  const CallId id = next_call_id_++;
+  Status why = Status::OK();
+  net::TcpChannel* channel = Route(request, &why);
+  if (channel == nullptr) {
+    // Routing failed now; Await() hands the failure back.
+    buffered_.emplace(id, Result<net::Message>(why));
+    return id;
+  }
+  size_t index = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].channel.get() == channel) index = i;
+  }
+  pending_.emplace(id, std::make_pair(index, channel->Submit(request)));
+  return id;
+}
+
+Result<net::Message> FailoverChannel::Await(CallId id) {
+  auto buffered = buffered_.find(id);
+  if (buffered != buffered_.end()) {
+    Result<net::Message> out = std::move(buffered->second);
+    buffered_.erase(buffered);
+    return out;
+  }
+  auto pending = pending_.find(id);
+  if (pending == pending_.end()) {
+    return Status::InvalidArgument("unknown call id");
+  }
+  const auto [index, inner_id] = pending->second;
+  pending_.erase(pending);
+  Node* node = &nodes_[index];
+  if (node->channel == nullptr) {
+    return Status::Unavailable("endpoint channel dropped while pending");
+  }
+  Result<net::Message> reply = node->channel->Await(inner_id);
+  if (!reply.ok() && static_cast<int>(index) == primary_ &&
+      reply.status().IsRetryable()) {
+    DemotePrimary();
+  }
+  return reply;
+}
+
+size_t FailoverChannel::pending_calls() const {
+  return pending_.size() + buffered_.size();
+}
+
+void FailoverChannel::Reset() {
+  for (Node& node : nodes_) {
+    if (node.channel != nullptr) node.channel->Reset();
+    // Let the next dial try immediately: a Reset means the caller is
+    // about to retry and stale backoff gates would starve it.
+    node.backoff_ms = 0;
+  }
+  if (primary_ >= 0) DemotePrimary();
+}
+
+const net::ChannelStats& FailoverChannel::stats() const {
+  merged_stats_.Clear();
+  for (const Node& node : nodes_) {
+    if (node.channel == nullptr) continue;
+    const net::ChannelStats& s = node.channel->stats();
+    merged_stats_.rounds += s.rounds;
+    merged_stats_.bytes_sent += s.bytes_sent;
+    merged_stats_.bytes_received += s.bytes_received;
+    merged_stats_.frames_sent += s.frames_sent;
+    merged_stats_.frames_received += s.frames_received;
+    merged_stats_.injected_faults += s.injected_faults;
+    for (const auto& [type, count] : s.calls_by_type) {
+      merged_stats_.calls_by_type[type] += count;
+    }
+  }
+  return merged_stats_;
+}
+
+void FailoverChannel::ResetStats() {
+  for (Node& node : nodes_) {
+    if (node.channel != nullptr) node.channel->ResetStats();
+  }
+}
+
+std::vector<std::string> FailoverChannel::endpoints() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    out.push_back(node.endpoint.host + ":" +
+                  std::to_string(node.endpoint.port));
+  }
+  return out;
+}
+
+}  // namespace sse::repl

@@ -1,0 +1,113 @@
+#ifndef SSE_REPL_FAILOVER_CHANNEL_H_
+#define SSE_REPL_FAILOVER_CHANNEL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sse/net/channel.h"
+#include "sse/net/tcp.h"
+#include "sse/repl/sender.h"
+#include "sse/util/result.h"
+
+namespace sse::repl {
+
+/// Scans Prometheus text for a `name value` sample at line start; returns
+/// false when the series is absent. This is how the client side reads
+/// replication role out of the kMsgStats scrape.
+bool FindMetricValue(const std::string& prometheus_text,
+                     const std::string& name, double* value);
+
+/// Client-side endpoint router: one Channel facade over a replicated
+/// node set. Mutations go to the current primary — discovered by probing
+/// endpoints with the stats RPC and reading the node-injected
+/// `sse_repl_is_primary` gauge — and the learned role is cached until it
+/// stops working. Non-mutating calls can optionally fan out to followers
+/// (explicitly stale reads).
+///
+/// This layer performs exactly ONE routing attempt per call: failures
+/// surface as retryable statuses and a demoted role cache. Stack a
+/// RetryingChannel on top for retries — its inner Reset() between
+/// attempts lands here and forces a fresh primary probe, and its session
+/// stamping keeps re-routed mutations exactly-once at the server's
+/// ReplyCache even when an attempt switches endpoints mid-flight.
+///
+/// Like every Channel, a FailoverChannel is a single-caller object.
+class FailoverChannel : public net::Channel {
+ public:
+  struct Options {
+    /// Transport knobs for every per-endpoint TcpChannel.
+    net::TcpChannel::Options channel;
+    /// Serve non-mutating requests from any reachable endpoint (follower
+    /// read views are stale by up to the replication lag). Off = every
+    /// call routes to the primary.
+    bool read_from_followers = false;
+    /// Classifies requests for routing. Unset = treat everything as
+    /// mutating (safe: all traffic goes to the primary).
+    std::function<bool(const net::Message&)> is_mutating;
+    /// Redial gate per endpoint after a failed dial.
+    uint64_t backoff_initial_ms = 100;
+    uint64_t backoff_max_ms = 2000;
+  };
+
+  explicit FailoverChannel(std::vector<ReplSender::Endpoint> endpoints);
+  FailoverChannel(std::vector<ReplSender::Endpoint> endpoints,
+                  Options options);
+  ~FailoverChannel() override;
+
+  Result<net::Message> Call(const net::Message& request) override;
+  CallId Submit(const net::Message& request) override;
+  Result<net::Message> Await(CallId id) override;
+  size_t pending_calls() const override;
+
+  /// Drops the cached primary and resets every endpoint transport; the
+  /// next call re-probes. RetryingChannel calls this between attempts.
+  void Reset() override;
+
+  const net::ChannelStats& stats() const override;
+  void ResetStats() override;
+
+  /// Index into the endpoint list of the cached primary, -1 if unknown.
+  int primary_index() const { return primary_; }
+  /// Times the cached primary was demoted (a failover as the client saw it).
+  uint64_t failovers() const { return failovers_; }
+  std::vector<std::string> endpoints() const;
+
+ private:
+  struct Node {
+    ReplSender::Endpoint endpoint;
+    std::unique_ptr<net::TcpChannel> channel;
+    std::chrono::steady_clock::time_point next_dial{};
+    uint64_t backoff_ms = 0;
+  };
+
+  /// Connects the node's channel if needed; respects the dial backoff.
+  net::TcpChannel* Ensure(Node* node);
+  void MarkDialFailure(Node* node);
+  /// Probes endpoints with the stats RPC until one reports itself
+  /// primary; caches and returns its index, or -1.
+  int FindPrimary();
+  void DemotePrimary();
+  /// Routes `request` to the channel the policy picks (primary for
+  /// mutations, round-robin otherwise). Null = nothing reachable,
+  /// `*why` says so.
+  net::TcpChannel* Route(const net::Message& request, Status* why);
+
+  const Options options_;
+  std::vector<Node> nodes_;
+  int primary_ = -1;
+  size_t read_rr_ = 0;  // round-robin cursor for follower reads
+  uint64_t failovers_ = 0;
+  // Own CallId → (node index, inner channel's CallId).
+  std::map<CallId, std::pair<size_t, CallId>> pending_;
+  mutable net::ChannelStats merged_stats_;
+};
+
+}  // namespace sse::repl
+
+#endif  // SSE_REPL_FAILOVER_CHANNEL_H_

@@ -1,0 +1,97 @@
+#include "sse/repl/messages.h"
+
+#include <utility>
+
+#include "sse/util/serde.h"
+
+namespace sse::repl {
+
+net::Message ReplAppend::ToMessage() const {
+  BufferWriter w;
+  w.PutU64(epoch);
+  w.PutU64(first_seq);
+  w.PutVarint(records.size());
+  for (const Bytes& record : records) w.PutBytes(record);
+  return net::Message{net::kMsgReplAppend, w.TakeData()};
+}
+
+Result<ReplAppend> ReplAppend::FromMessage(const net::Message& msg) {
+  if (msg.type != net::kMsgReplAppend) {
+    return Status::InvalidArgument("not a ReplAppend message");
+  }
+  BufferReader r(msg.payload);
+  ReplAppend out;
+  SSE_ASSIGN_OR_RETURN(out.epoch, r.GetU64());
+  SSE_ASSIGN_OR_RETURN(out.first_seq, r.GetU64());
+  uint64_t n = 0;
+  SSE_ASSIGN_OR_RETURN(n, r.GetVarint());
+  out.records.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Bytes record;
+    SSE_ASSIGN_OR_RETURN(record, r.GetBytes());
+    out.records.push_back(std::move(record));
+  }
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message ReplAck::ToMessage() const {
+  BufferWriter w;
+  w.PutU64(epoch);
+  w.PutU64(next_seq);
+  w.PutBool(accepted);
+  return net::Message{net::kMsgReplAck, w.TakeData()};
+}
+
+Result<ReplAck> ReplAck::FromMessage(const net::Message& msg) {
+  if (msg.type != net::kMsgReplAck) {
+    return Status::InvalidArgument("not a ReplAck message");
+  }
+  BufferReader r(msg.payload);
+  ReplAck out;
+  SSE_ASSIGN_OR_RETURN(out.epoch, r.GetU64());
+  SSE_ASSIGN_OR_RETURN(out.next_seq, r.GetU64());
+  SSE_ASSIGN_OR_RETURN(out.accepted, r.GetBool());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message ReplSnapshot::ToMessage() const {
+  BufferWriter w;
+  w.PutU64(epoch);
+  w.PutU64(cut_seq);
+  w.PutBytes(blob);
+  return net::Message{net::kMsgReplSnapshot, w.TakeData()};
+}
+
+Result<ReplSnapshot> ReplSnapshot::FromMessage(const net::Message& msg) {
+  if (msg.type != net::kMsgReplSnapshot) {
+    return Status::InvalidArgument("not a ReplSnapshot message");
+  }
+  BufferReader r(msg.payload);
+  ReplSnapshot out;
+  SSE_ASSIGN_OR_RETURN(out.epoch, r.GetU64());
+  SSE_ASSIGN_OR_RETURN(out.cut_seq, r.GetU64());
+  SSE_ASSIGN_OR_RETURN(out.blob, r.GetBytes());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+net::Message ReplPromote::ToMessage() const {
+  BufferWriter w;
+  w.PutU64(min_epoch);
+  return net::Message{net::kMsgReplPromote, w.TakeData()};
+}
+
+Result<ReplPromote> ReplPromote::FromMessage(const net::Message& msg) {
+  if (msg.type != net::kMsgReplPromote) {
+    return Status::InvalidArgument("not a ReplPromote message");
+  }
+  BufferReader r(msg.payload);
+  ReplPromote out;
+  SSE_ASSIGN_OR_RETURN(out.min_epoch, r.GetU64());
+  SSE_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+}  // namespace sse::repl

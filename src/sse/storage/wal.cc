@@ -350,6 +350,12 @@ Status WriteAheadLog::Reset() {
   return Status::OK();
 }
 
+Status WriteAheadLog::ResetAt(uint64_t next_seq) {
+  if (poisoned()) return poison_;
+  if (next_seq > next_seq_) next_seq_ = next_seq;
+  return Reset();
+}
+
 Status WriteAheadLog::Replay(const std::string& dir, const WalOptions& options,
                              uint64_t min_seq,
                              const std::function<Status(uint64_t, BytesView)>& fn,

@@ -96,6 +96,15 @@ class WriteAheadLog {
   /// reset — they stay unique across the log's whole lifetime.
   Status Reset();
 
+  /// Reset(), but first advances the sequence counter to at least
+  /// `next_seq` so the fresh segment's header pins that sequence. Used by a
+  /// replication follower installing a shipped snapshot whose WAL cut is
+  /// ahead of everything it has locally: its log resumes exactly at the
+  /// cut, with no discontinuity for recovery to reject. Sequences never
+  /// move backwards — a `next_seq` at or below the current counter is a
+  /// plain Reset().
+  Status ResetAt(uint64_t next_seq);
+
   /// Replays every intact record with seq >= `min_seq`, oldest first, as
   /// fn(seq, payload). Strict mode fails with CORRUPTION on any damage to
   /// non-tail bytes; salvage mode quarantines the damaged range and

@@ -1,0 +1,500 @@
+// Kill-the-primary chaos harness: a real 3-process replication cluster
+// over localhost TCP. Each node is a forked copy of this binary running
+// `--node` (ReplNode over a Scheme1Server behind a TcpServer); the parent
+// drives a seeded sweep of SIGKILL / SIGSTOP events against it while a
+// client thread keeps storing documents through the failover router.
+//
+// The oracle leans on Scheme 1's XOR posting updates: a record applied
+// twice toggles its posting back OFF, so "every acked document is found
+// by search after failover" checks durability AND exactly-once at once.
+//
+// This file has its own main (the `--node` re-exec entry), so CMake links
+// it without gtest_main and labels it `cluster`.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sse/core/scheme1_client.h"
+#include "sse/core/scheme1_server.h"
+#include "sse/net/retry.h"
+#include "sse/net/tcp.h"
+#include "sse/obs/stats_rpc.h"
+#include "sse/repl/failover_channel.h"
+#include "sse/repl/messages.h"
+#include "sse/repl/node.h"
+#include "sse/util/random.h"
+#include "test_util.h"
+
+namespace sse::repl {
+namespace {
+
+using net::TcpChannel;
+using net::TcpServer;
+using sse::testing::FastTestConfig;
+using sse::testing::TempDir;
+using sse::testing::TestMasterKey;
+
+// ---------------------------------------------------------------------------
+// Child side: one cluster node process.
+
+int RunNode(int argc, char** argv) {
+  std::string dir;
+  std::string role = "follower";
+  uint16_t port = 0;
+  std::string ack = "async";
+  std::vector<ReplSender::Endpoint> peers;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::stoi(next()));
+    } else if (arg == "--role") {
+      role = next();
+    } else if (arg == "--ack") {
+      ack = next();
+    } else if (arg == "--peer") {
+      const std::string hp = next();
+      const size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) return 2;
+      peers.push_back({hp.substr(0, colon),
+                       static_cast<uint16_t>(std::stoi(hp.substr(colon + 1)))});
+    }
+  }
+  if (dir.empty() || port == 0) {
+    std::fprintf(stderr, "node: --dir and --port are required\n");
+    return 2;
+  }
+
+  const core::SchemeOptions options = FastTestConfig().scheme;
+  ReplNode::Options nopts;
+  nopts.initial_role =
+      role == "primary" ? ReplNode::Role::kPrimary : ReplNode::Role::kFollower;
+  nopts.peers = std::move(peers);
+  nopts.sender.ack_mode = ack == "wait_one" ? ReplSender::AckMode::kWaitOne
+                                            : ReplSender::AckMode::kAsync;
+  // Generous ack deadline: the sweep partitions one follower at a time, so
+  // a healthy peer always acks quickly and a timeout would mean the write
+  // was acked WITHOUT follower durability — exactly what the oracle must
+  // not tolerate while a kill is scheduled.
+  nopts.sender.ack_timeout_ms = 5000;
+  nopts.sender.probe_interval_ms = 20;
+  nopts.sender.connect_timeout_ms = 300;
+  nopts.sender.io_timeout_ms = 1000;
+  nopts.sender.initial_backoff_ms = 10;
+  nopts.sender.max_backoff_ms = 200;
+  // Small segments so the sweep crosses rotation boundaries and a SIGKILL
+  // can land mid-segment on either end of the ship.
+  nopts.durable.wal_segment_bytes = 4096;
+  nopts.sender.wal_segment_bytes = 4096;
+  nopts.follower_checkpoint_every_records = 16;
+
+  auto node = ReplNode::Open(
+      dir, [options] { return std::make_unique<core::Scheme1Server>(options); },
+      std::move(nopts));
+  if (!node.ok()) {
+    std::fprintf(stderr, "node: open failed: %s\n",
+                 node.status().ToString().c_str());
+    return 1;
+  }
+  TcpServer::Options sopts;
+  sopts.serve_stats = false;  // the node injects its own sse_repl_* lines
+  auto server = TcpServer::Start(node->get(), port, sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "node: listen on %u failed: %s\n", port,
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  // Serve until the parent kills us (SIGKILL is the point of the harness).
+  for (;;) pause();
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side process and cluster plumbing.
+
+uint16_t ReservePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+bool WaitFor(const std::function<bool()>& cond, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+/// One spawned node process.
+struct NodeProc {
+  TempDir dir;
+  uint16_t port = 0;
+  pid_t pid = -1;
+
+  void Spawn(const std::string& role, const std::string& ack,
+             const std::vector<uint16_t>& peer_ports) {
+    std::vector<std::string> args = {"/proc/self/exe", "--node",
+                                     "--dir",          dir.path(),
+                                     "--port",         std::to_string(port),
+                                     "--role",         role,
+                                     "--ack",          ack};
+    for (const uint16_t peer : peer_ports) {
+      args.push_back("--peer");
+      args.push_back("127.0.0.1:" + std::to_string(peer));
+    }
+    pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork: " << std::strerror(errno);
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (const std::string& a : args) argv.push_back(::strdup(a.c_str()));
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "execv: %s\n", std::strerror(errno));
+      ::_exit(127);
+    }
+  }
+
+  void Kill() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    pid = -1;
+  }
+  void Pause() const { ::kill(pid, SIGSTOP); }
+  void Resume() const { ::kill(pid, SIGCONT); }
+
+  ~NodeProc() { Kill(); }
+};
+
+/// Scrapes one node's stats RPC and extracts `metric`; false when the
+/// node is unreachable or the series is absent.
+bool ScrapeMetric(uint16_t port, const std::string& metric, double* value) {
+  TcpChannel::Options copts;
+  copts.connect_timeout_ms = 300.0;
+  copts.send_timeout_ms = 1000.0;
+  copts.recv_timeout_ms = 1000.0;
+  auto channel = TcpChannel::Connect(port, "127.0.0.1", copts);
+  if (!channel.ok()) return false;
+  auto reply = (*channel)->Call(obs::StatsRequest{}.ToMessage());
+  if (!reply.ok()) return false;
+  auto stats = obs::StatsReply::FromMessage(*reply);
+  if (!stats.ok()) return false;
+  return FindMetricValue(stats->prometheus_text, metric, value);
+}
+
+bool NodeServing(uint16_t port) {
+  double unused = 0;
+  return ScrapeMetric(port, "sse_repl_epoch", &unused);
+}
+
+/// Orders a follower to take over; true when it acked the promotion.
+bool Promote(uint16_t port) {
+  auto channel = TcpChannel::Connect(port);
+  if (!channel.ok()) return false;
+  auto reply = (*channel)->Call(ReplPromote{}.ToMessage());
+  if (!reply.ok()) return false;
+  auto ack = ReplAck::FromMessage(*reply);
+  return ack.ok() && ack->accepted;
+}
+
+/// The failover controller's choice: the reachable follower with the
+/// highest durable cursor holds every wait_one-acked write (cursors are
+/// contiguous), so it is always safe to promote.
+int PickFollowerToPromote(const std::vector<uint16_t>& follower_ports) {
+  int best = -1;
+  double best_seq = -1;
+  for (size_t i = 0; i < follower_ports.size(); ++i) {
+    double seq = 0;
+    if (!ScrapeMetric(follower_ports[i], "sse_repl_node_next_seq", &seq)) {
+      continue;
+    }
+    if (seq > best_seq) {
+      best_seq = seq;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+/// Client stack: Scheme1Client → RetryingChannel → FailoverChannel.
+struct ClusterClient {
+  std::unique_ptr<FailoverChannel> failover;
+  std::unique_ptr<net::RetryingChannel> retry;
+  std::unique_ptr<core::Scheme1Client> scheme;
+  DeterministicRandom rng{1234};
+
+  void Connect(const std::vector<uint16_t>& ports) {
+    std::vector<ReplSender::Endpoint> endpoints;
+    for (const uint16_t port : ports) endpoints.push_back({"127.0.0.1", port});
+    FailoverChannel::Options fopts;
+    fopts.channel.connect_timeout_ms = 300.0;
+    fopts.channel.send_timeout_ms = 2000.0;
+    fopts.channel.recv_timeout_ms = 2000.0;
+    fopts.backoff_initial_ms = 10;
+    fopts.backoff_max_ms = 200;
+    failover = std::make_unique<FailoverChannel>(std::move(endpoints), fopts);
+    net::RetryOptions ropts;
+    ropts.max_attempts = 15;
+    ropts.initial_backoff_ms = 20.0;
+    ropts.max_backoff_ms = 400.0;
+    retry = std::make_unique<net::RetryingChannel>(failover.get(), ropts);
+    auto client = core::Scheme1Client::Create(
+        TestMasterKey(), FastTestConfig().scheme, retry.get(), &rng);
+    SSE_ASSERT_OK_RESULT(client);
+    scheme = std::move(client).value();
+  }
+};
+
+/// The seeded sweep: stores `total_docs` documents one at a time from a
+/// writer thread while chaos events fire at acked-count thresholds. Each
+/// document carries its own keyword and a shared "all" keyword.
+struct SweepResult {
+  std::vector<uint64_t> acked_ids;
+  bool all_stores_ok = true;
+};
+
+/// Synchronizes the writer with the chaos schedule: the writer blocks
+/// before storing document `i` until the parent has released past `i`.
+/// Without this the toy-sized stores finish in milliseconds and every
+/// "mid-stream" kill would actually land after the stream ended.
+struct ChaosGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int released = 0;
+
+  void ReleaseUpTo(int n) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      released = std::max(released, n);
+    }
+    cv.notify_all();
+  }
+  void AwaitRelease(int i) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return released > i; });
+  }
+};
+
+SweepResult RunWriter(ClusterClient* client, int total_docs,
+                      std::atomic<int>* acked_count, ChaosGate* gate) {
+  SweepResult result;
+  for (int i = 0; i < total_docs; ++i) {
+    gate->AwaitRelease(i);
+    const std::string name = "doc" + std::to_string(i);
+    const std::string kw = "kw" + std::to_string(i);
+    const Status status = client->scheme->Store(
+        {core::Document::Make(static_cast<uint64_t>(i), name, {kw, "all"})});
+    if (!status.ok()) {
+      ADD_FAILURE() << "store " << i << " failed: " << status.ToString();
+      result.all_stores_ok = false;
+      continue;
+    }
+    result.acked_ids.push_back(static_cast<uint64_t>(i));
+    acked_count->store(static_cast<int>(result.acked_ids.size()),
+                      std::memory_order_release);
+  }
+  return result;
+}
+
+TEST(ClusterTest, KillPrimaryMidStreamPromotesWithoutLosingAckedWrites) {
+  // Layout: node 0 primary, nodes 1-2 followers, wait_one acks.
+  std::vector<NodeProc> nodes(3);
+  for (NodeProc& node : nodes) node.port = ReservePort();
+  const std::vector<uint16_t> all_ports = {nodes[0].port, nodes[1].port,
+                                           nodes[2].port};
+  // Every node knows the OTHER two as peers: a promoted follower starts
+  // shipping to the rest of the cluster immediately.
+  nodes[1].Spawn("follower", "wait_one", {nodes[0].port, nodes[2].port});
+  nodes[2].Spawn("follower", "wait_one", {nodes[0].port, nodes[1].port});
+  nodes[0].Spawn("primary", "wait_one", {nodes[1].port, nodes[2].port});
+  for (const NodeProc& node : nodes) {
+    ASSERT_TRUE(WaitFor([&] { return NodeServing(node.port); }, 15000))
+        << "node on port " << node.port << " never served";
+  }
+
+  ClusterClient client;
+  client.Connect(all_ports);
+
+  constexpr int kTotalDocs = 30;
+  constexpr int kPartitionAt = 5;   // SIGSTOP follower 2
+  constexpr int kResumeAt = 12;     // SIGCONT follower 2
+  constexpr int kKillAt = 18;       // SIGKILL the primary, promote
+  std::atomic<int> acked{0};
+  ChaosGate gate;
+  SweepResult sweep;
+  std::thread writer(
+      [&] { sweep = RunWriter(&client, kTotalDocs, &acked, &gate); });
+
+  auto reached = [&](int n) {
+    return WaitFor([&] { return acked.load(std::memory_order_acquire) >= n; },
+                   60000);
+  };
+  gate.ReleaseUpTo(kPartitionAt);
+  ASSERT_TRUE(reached(kPartitionAt));
+  nodes[2].Pause();  // partitioned follower: wait_one now rides on node 1
+  gate.ReleaseUpTo(kResumeAt);
+  ASSERT_TRUE(reached(kResumeAt));
+  nodes[2].Resume();
+  gate.ReleaseUpTo(kKillAt);
+  ASSERT_TRUE(reached(kKillAt));
+  // Kill the primary while the writer is parked at the gate, then release
+  // it BEFORE promoting: store #18 is genuinely in flight against a dead
+  // endpoint and must ride its retries through the promotion.
+  nodes[0].Kill();
+  gate.ReleaseUpTo(kTotalDocs);
+  const int promote_idx =
+      PickFollowerToPromote({nodes[1].port, nodes[2].port});
+  ASSERT_GE(promote_idx, 0) << "no follower reachable to promote";
+  const uint16_t new_primary_port = nodes[1 + promote_idx].port;
+  ASSERT_TRUE(Promote(new_primary_port));
+
+  writer.join();
+  EXPECT_TRUE(sweep.all_stores_ok);
+  ASSERT_EQ(sweep.acked_ids.size(), static_cast<size_t>(kTotalDocs));
+  // The router actually had to fail over (the kill was mid-stream).
+  EXPECT_GE(client.failover->failovers(), 1u);
+
+  // Oracle: every acked document is found by search after the failover.
+  // Scheme 1's XOR updates make this exactly-once-sensitive — a record
+  // applied twice on any surviving node would erase its posting.
+  auto outcome = client.scheme->Search("all");
+  SSE_ASSERT_OK_RESULT(outcome);
+  const std::set<uint64_t> found(outcome->ids.begin(), outcome->ids.end());
+  for (const uint64_t id : sweep.acked_ids) {
+    EXPECT_TRUE(found.count(id)) << "acked doc " << id
+                                 << " lost across failover";
+  }
+  EXPECT_EQ(found.size(), sweep.acked_ids.size())
+      << "search returned documents nobody acked (double-apply or ghost)";
+  for (const uint64_t id : {uint64_t{0}, uint64_t{17}, uint64_t{29}}) {
+    auto one = client.scheme->Search("kw" + std::to_string(id));
+    SSE_ASSERT_OK_RESULT(one);
+    EXPECT_EQ(one->ids, std::vector<uint64_t>{id});
+  }
+
+  // The surviving follower (including the once-partitioned one) converges
+  // on the new primary's log end.
+  double log_end = 0;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return ScrapeMetric(new_primary_port, "sse_repl_log_end_seq",
+                            &log_end);
+      },
+      5000));
+  const uint16_t other_port = nodes[1 + (1 - promote_idx)].port;
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        double seq = 0;
+        return ScrapeMetric(other_port, "sse_repl_node_next_seq", &seq) &&
+               seq >= log_end + 1;
+      },
+      15000))
+      << "surviving follower never caught up to seq " << log_end + 1;
+}
+
+TEST(ClusterTest, KilledFollowerRestartsFromItsTornLogAndCatchesUp) {
+  // Async acks: the primary must shrug off a follower dying mid-ship.
+  std::vector<NodeProc> nodes(2);
+  for (NodeProc& node : nodes) node.port = ReservePort();
+  nodes[1].Spawn("follower", "async", {nodes[0].port});
+  nodes[0].Spawn("primary", "async", {nodes[1].port});
+  for (const NodeProc& node : nodes) {
+    ASSERT_TRUE(WaitFor([&] { return NodeServing(node.port); }, 15000));
+  }
+
+  ClusterClient client;
+  client.Connect({nodes[0].port, nodes[1].port});
+
+  constexpr int kTotalDocs = 20;
+  constexpr int kKillFollowerAt = 6;
+  constexpr int kRestartFollowerAt = 10;
+  std::atomic<int> acked{0};
+  ChaosGate gate;
+  SweepResult sweep;
+  std::thread writer(
+      [&] { sweep = RunWriter(&client, kTotalDocs, &acked, &gate); });
+
+  auto reached = [&](int n) {
+    return WaitFor([&] { return acked.load(std::memory_order_acquire) >= n; },
+                   60000);
+  };
+  // SIGKILL the follower mid-ship: its local WAL may end in a torn
+  // record, which recovery must truncate before resuming the stream.
+  gate.ReleaseUpTo(kKillFollowerAt);
+  ASSERT_TRUE(reached(kKillFollowerAt));
+  nodes[1].Kill();
+  gate.ReleaseUpTo(kRestartFollowerAt);
+  ASSERT_TRUE(reached(kRestartFollowerAt));
+  nodes[1].Spawn("follower", "async", {nodes[0].port});  // same dir + port
+  ASSERT_TRUE(WaitFor([&] { return NodeServing(nodes[1].port); }, 15000));
+  gate.ReleaseUpTo(kTotalDocs);
+
+  writer.join();
+  EXPECT_TRUE(sweep.all_stores_ok);
+
+  // The restarted follower converges on the primary's full log.
+  double log_end = 0;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return ScrapeMetric(nodes[0].port, "sse_repl_log_end_seq", &log_end) &&
+               log_end > 0;
+      },
+      5000));
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        double seq = 0;
+        return ScrapeMetric(nodes[1].port, "sse_repl_node_next_seq", &seq) &&
+               seq >= log_end + 1;
+      },
+      20000));
+
+  // And the primary still answers for every acked document.
+  auto outcome = client.scheme->Search("all");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids.size(), sweep.acked_ids.size());
+}
+
+}  // namespace
+}  // namespace sse::repl
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--node") {
+    return sse::repl::RunNode(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -100,6 +100,44 @@ TEST(ReplyCacheTest, LruClientEvictionKeepsActiveClients) {
   EXPECT_EQ(cache.Begin(1, 0, &cached), Outcome::kNew);
 }
 
+TEST(ReplyCacheTest, GlobalBoundEvictsLeastRecentlyActiveClientFirst) {
+  ReplyCache::Options opts;
+  opts.max_total_entries = 6;
+  ReplyCache cache(opts);
+  net::Message cached;
+  // Three clients, four entries each: 12 commits against a bound of 6.
+  for (uint64_t client = 1; client <= 3; ++client) {
+    for (uint64_t seq = 0; seq < 4; ++seq) {
+      ASSERT_EQ(cache.Begin(client, seq, &cached), Outcome::kNew);
+      cache.Commit(client, seq, MakeReply(2, 1));
+    }
+  }
+  EXPECT_LE(cache.entry_count(), 6u);
+  EXPECT_GE(cache.evictions(), 6u);
+  // The most recently active client keeps its newest entries...
+  EXPECT_EQ(cache.Begin(3, 3, &cached), Outcome::kCached);
+  // ...while the least recently active client's oldest were dropped, and
+  // a retry of one reads as too-old (refused), never re-executed.
+  EXPECT_EQ(cache.Begin(1, 0, &cached), Outcome::kTooOld);
+}
+
+TEST(ReplyCacheTest, GlobalBoundAppliesOnRestoreToo) {
+  ReplyCache unbounded;
+  net::Message cached;
+  for (uint64_t seq = 0; seq < 10; ++seq) {
+    ASSERT_EQ(unbounded.Begin(1, seq, &cached), Outcome::kNew);
+    unbounded.Commit(1, seq, MakeReply(2, 1));
+  }
+  ReplyCache::Options opts;
+  opts.max_total_entries = 3;
+  ReplyCache bounded(opts);
+  SSE_ASSERT_OK(bounded.Restore(unbounded.Serialize()));
+  // A snapshot taken under a looser (or absent) bound must not let a
+  // restarted server exceed its configured budget.
+  EXPECT_LE(bounded.entry_count(), 3u);
+  EXPECT_EQ(bounded.Begin(1, 9, &cached), Outcome::kCached);
+}
+
 TEST(ReplyCacheTest, SerializeRestoreRoundTripsEntries) {
   ReplyCache cache;
   net::Message cached;

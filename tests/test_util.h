@@ -10,19 +10,23 @@
 #include "sse/core/registry.h"
 #include "sse/crypto/keys.h"
 #include "sse/util/random.h"
+#include "sse/util/status.h"
 
 namespace sse::testing {
 
 /// Asserts a Status/Result is OK with a useful failure message.
+/// Copies by value: `expr` is often `temporary_result.status()`, whose
+/// referent dies with the temporary at the end of the initializer — a
+/// reference here would dangle before the ok() check runs.
 #define SSE_ASSERT_OK(expr)                                 \
   do {                                                      \
-    const auto& _st = (expr);                               \
+    const ::sse::Status _st = (expr);                       \
     ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();  \
   } while (0)
 
 #define SSE_EXPECT_OK(expr)                                 \
   do {                                                      \
-    const auto& _st = (expr);                               \
+    const ::sse::Status _st = (expr);                       \
     EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();  \
   } while (0)
 
