@@ -23,6 +23,8 @@
 #include "sse/core/scheme1_server.h"
 #include "sse/core/scheme2_client.h"
 #include "sse/core/scheme2_server.h"
+#include "sse/core/scheme3_client.h"
+#include "sse/core/scheme3_server.h"
 #include "sse/engine/scheme2_adapter.h"
 #include "sse/engine/server_engine.h"
 #include "sse/net/retry.h"
@@ -513,6 +515,89 @@ std::string SweepReactorConnectionScale() {
   return json;
 }
 
+// T1-search (g): forward-private Scheme 3 under an update-heavy workload.
+// Every update burns one chain element and adds one encrypted index entry;
+// a search with counter c walks the hash chain c-1 steps and decrypts c
+// entries, so search cost grows linearly with the updates a keyword has
+// absorbed — the price of forward privacy relative to Scheme 2's
+// search-anchored counters. Returns a JSON fragment for BENCH_search.json.
+std::string SweepScheme3UpdateHeavy() {
+  std::printf(
+      "T1-search (g): Scheme 3 (forward-private) update-heavy sweep. Walk\n"
+      "steps per search should equal updates-1 and entries decrypted should\n"
+      "equal updates: linear search cost is the forward-privacy tradeoff.\n\n");
+  TablePrinter table({"updates", "update_us", "walk_steps/search",
+                      "entries/search", "search_us", "index_bytes"});
+  table.PrintHeader();
+
+  struct Point {
+    size_t updates;
+    double update_us;
+    double walk_steps;
+    double entries;
+    double search_us;
+    uint64_t index_bytes;
+  };
+  std::vector<Point> points;
+  for (size_t updates : {16u, 64u, 256u, 1024u}) {
+    DeterministicRandom rng(10);
+    core::SystemConfig config = BenchConfig(/*max_documents=*/1 << 12,
+                                            /*chain_length=*/4096);
+    core::SseSystem sys = MustCreate(core::SystemKind::kScheme3, config, &rng);
+    auto* server = static_cast<core::Scheme3Server*>(sys.server.get());
+
+    // Update-heavy phase: each update carries the hot keyword plus a unique
+    // churn keyword, so both the hot chain and the index grow per round.
+    Timer update_timer;
+    for (size_t i = 0; i < updates; ++i) {
+      MustOk(sys.client->Store({core::Document::Make(
+                 i, "d", {"hot", "churn" + std::to_string(i)})}),
+             "store");
+    }
+    const double update_us = update_timer.ElapsedMicros() / updates;
+
+    const int probes = 8;
+    const uint64_t steps_before = server->total_chain_steps();
+    const uint64_t entries_before = server->total_entries_decrypted();
+    Timer search_timer;
+    for (int i = 0; i < probes; ++i) {
+      MustValue(sys.client->Search("hot"), "search");
+    }
+    const Point point{
+        updates,
+        update_us,
+        static_cast<double>(server->total_chain_steps() - steps_before) /
+            probes,
+        static_cast<double>(server->total_entries_decrypted() -
+                            entries_before) /
+            probes,
+        search_timer.ElapsedMicros() / probes,
+        server->stored_index_bytes()};
+    points.push_back(point);
+    table.PrintRow({FmtU(point.updates), Fmt("%.1f", point.update_us),
+                    Fmt("%.1f", point.walk_steps), Fmt("%.1f", point.entries),
+                    Fmt("%.1f", point.search_us), FmtU(point.index_bytes)});
+  }
+  table.PrintRule();
+  std::printf("\n");
+
+  std::string json = "  \"scheme3_update_heavy\": {\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"updates_%zu\": {\"update_us\": %.3f, "
+                  "\"walk_steps\": %.1f, \"entries_decrypted\": %.1f, "
+                  "\"search_us\": %.3f, \"index_bytes\": %llu}%s\n",
+                  points[i].updates, points[i].update_us, points[i].walk_steps,
+                  points[i].entries, points[i].search_us,
+                  static_cast<unsigned long long>(points[i].index_bytes),
+                  i + 1 < points.size() ? "," : "");
+    json += buf;
+  }
+  json += "  },\n";
+  return json;
+}
+
 }  // namespace
 }  // namespace sse::bench
 
@@ -522,7 +607,8 @@ int main(int argc, char** argv) {
   sse::bench::SweepChainLength();
   sse::bench::SweepEngineThreads();
   const std::string tcp_json = sse::bench::SweepReactorConnectionScale();
+  const std::string s3_json = sse::bench::SweepScheme3UpdateHeavy();
   sse::bench::SweepLatencyProfile(argc > 1 ? argv[1] : "BENCH_search.json",
-                                  tcp_json);
+                                  tcp_json + s3_json);
   return 0;
 }

@@ -1,11 +1,13 @@
 // sse_cli — a small command-line encrypted document store.
 //
-// The "server" is a durable, sharded Scheme 2 engine living in a
-// directory; the "client" runs in the same process with a key derived from
+// The "server" is a durable, sharded engine living in a directory; the
+// "client" runs in the same process with a key derived from
 // SSE_PASSPHRASE (or a default demo passphrase). Everything written to
-// disk is ciphertext and searchable tokens. SSE_ENGINE_SHARDS (default 4)
-// picks the shard count; it must stay the same across sessions of one
-// vault because snapshots are partition-dependent.
+// disk is ciphertext and searchable tokens. SSE_SCHEME picks the scheme
+// from the descriptor table — any engine-capable entry works (scheme1,
+// scheme2 [default], or the forward-private scheme3); it must stay the
+// same across sessions of one vault, as must SSE_ENGINE_SHARDS (default
+// 4), because snapshots are scheme- and partition-dependent.
 //
 // Delivery-semantics knobs (see DESIGN.md "Delivery semantics"):
 //   SSE_RETRY_ATTEMPTS   total tries per call, default 5; 1 disables retries
@@ -55,8 +57,7 @@
 #include <vector>
 
 #include "sse/core/durable_server.h"
-#include "sse/core/scheme2_client.h"
-#include "sse/engine/scheme2_adapter.h"
+#include "sse/core/registry.h"
 #include "sse/engine/server_engine.h"
 #include "sse/net/retry.h"
 #include "sse/net/tcp.h"
@@ -132,11 +133,32 @@ int main(int argc, char** argv) {
   const std::string passphrase =
       pass_env != nullptr ? pass_env : "sse-cli-demo-passphrase";
 
-  core::SchemeOptions options;
-  options.max_documents = 1 << 16;
-  options.chain_length = 1 << 14;
+  // The active scheme comes from the descriptor table; the vault only
+  // works with engine-capable schemes (the engine provides sharding and
+  // the durable shell's WAL framing).
+  const char* scheme_env = std::getenv("SSE_SCHEME");
+  const std::string scheme_name =
+      scheme_env != nullptr ? scheme_env : "scheme2";
+  const core::SchemeDescriptor* scheme = core::FindScheme(scheme_name);
+  if (scheme == nullptr || !scheme->traits.engine_capable) {
+    std::fprintf(stderr, "SSE_SCHEME=%s is not an engine-capable scheme; "
+                 "pick one of:",
+                 scheme_name.c_str());
+    for (const core::SchemeDescriptor& d : core::AllSchemes()) {
+      if (d.traits.engine_capable) {
+        std::fprintf(stderr, " %.*s", static_cast<int>(d.name.size()),
+                     d.name.data());
+      }
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  core::SystemConfig config;
+  config.scheme.max_documents = 1 << 16;
+  config.scheme.chain_length = 1 << 14;
   const uint64_t batch_size = EnvU64("SSE_BATCH_SIZE", 64);
-  options.batch_ops = batch_size > 0;
+  config.scheme.batch_ops = batch_size > 0;
 
   const bool reply_cache = EnvU64("SSE_REPLY_CACHE", 1) != 0;
 
@@ -188,10 +210,10 @@ int main(int argc, char** argv) {
         EnvU64("SSE_REPLY_CACHE_MAX_ENTRIES", 0);
     auto node = repl::ReplNode::Open(
         dir,
-        [options, engine_options]() -> std::unique_ptr<core::PersistableHandler> {
+        [scheme, config,
+         engine_options]() -> std::unique_ptr<core::PersistableHandler> {
           auto engine = engine::ServerEngine::Create(
-              std::make_unique<engine::Scheme2Adapter>(options),
-              engine_options);
+              scheme->make_adapter(config), engine_options);
           return engine.ok() ? std::move(*engine) : nullptr;
         },
         node_options);
@@ -218,9 +240,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     obs::StatsLogger stats_logger;
-    std::printf("serving %s as replication %s on 127.0.0.1:%u "
+    std::printf("serving %s (scheme %s) as replication %s on 127.0.0.1:%u "
                 "(%zu peer(s); EOF on stdin stops)\n",
-                dir.c_str(), repl_role, (*tcp)->port(),
+                dir.c_str(), std::string(scheme->name).c_str(), repl_role, (*tcp)->port(),
                 node_options.peers.size());
     std::fflush(stdout);
     while (std::fgetc(stdin) != EOF) {
@@ -229,8 +251,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto server = engine::ServerEngine::Create(
-      std::make_unique<engine::Scheme2Adapter>(options), engine_options);
+  auto server = engine::ServerEngine::Create(scheme->make_adapter(config),
+                                             engine_options);
   if (!server.ok()) {
     std::fprintf(stderr, "engine failed: %s\n",
                  server.status().ToString().c_str());
@@ -263,8 +285,7 @@ int main(int argc, char** argv) {
 
   auto key = crypto::MasterKey::FromPassphrase(passphrase);
   if (!key.ok()) return 1;
-  auto client =
-      core::Scheme2Client::Create(*key, options, &retry, &rng);
+  auto client = scheme->make_client(*key, config, &retry, &rng);
   if (!client.ok()) {
     std::fprintf(stderr, "client failed: %s\n",
                  client.status().ToString().c_str());
@@ -314,12 +335,13 @@ int main(int argc, char** argv) {
                   BytesToString(content).c_str());
     }
   } else if (command == "stats") {
+    std::printf("scheme: %s (%s)\n", std::string(scheme->name).c_str(),
+                std::string(scheme->summary).c_str());
     std::printf("documents: %zu\nunique keywords: %zu\nindex bytes: %llu\n"
-                "client counter: %u / %u\nshards: %zu\n",
+                "shards: %zu\n",
                 (*server)->document_count(), (*server)->unique_keywords(),
                 static_cast<unsigned long long>(
                     (*server)->stored_index_bytes()),
-                (*client)->counter(), options.chain_length,
                 (*server)->num_shards());
     std::printf("%s", (*server)->Metrics().ToString().c_str());
   } else if (command == "serve") {
@@ -343,11 +365,12 @@ int main(int argc, char** argv) {
     }
     obs::StatsLogger stats_logger;  // periodic one-line metrics digest
     std::printf(
-        "serving %s on 127.0.0.1:%u (EOF on stdin stops)\n"
+        "serving %s (scheme %s) on 127.0.0.1:%u (EOF on stdin stops)\n"
         "reactor: %zu epoll loop(s) + %zu dispatch worker(s) = %zu serving "
         "threads at any connection count\n",
-        dir.c_str(), (*tcp)->port(), server_options.reactor_loops,
-        server_options.pipeline_workers, (*tcp)->serving_threads());
+        dir.c_str(), std::string(scheme->name).c_str(), (*tcp)->port(),
+        server_options.reactor_loops, server_options.pipeline_workers,
+        (*tcp)->serving_threads());
     std::fflush(stdout);
     while (std::fgetc(stdin) != EOF) {
     }

@@ -3,9 +3,12 @@
 // and framing only).
 //
 // Usage:
-//   vault_admin <dir> status            # snapshot/WAL/doc-log overview
-//   vault_admin <dir> checkpoint s1|s2  # load, checkpoint, compact WAL
-//   vault_admin <dir> compact           # compact the document log, if any
+//   vault_admin <dir> status              # snapshot/WAL/doc-log overview
+//   vault_admin <dir> checkpoint <scheme> # load, checkpoint, compact WAL
+//                                         # (any descriptor-table name, e.g.
+//                                         # scheme1/scheme2/scheme3; s1/s2
+//                                         # stay as aliases)
+//   vault_admin <dir> compact             # compact the document log, if any
 //   vault_admin stats <host:port> [--spans]   # scrape a running server
 //
 // Example (after using sse_cli):
@@ -19,8 +22,7 @@
 #include <vector>
 
 #include "sse/core/durable_server.h"
-#include "sse/core/scheme1_server.h"
-#include "sse/core/scheme2_server.h"
+#include "sse/core/registry.h"
 #include "sse/net/tcp.h"
 #include "sse/obs/stats_rpc.h"
 #include "sse/repl/failover_channel.h"
@@ -35,9 +37,15 @@ using namespace sse;
 int Usage() {
   std::fprintf(stderr,
                "usage: vault_admin <dir> status\n"
-               "       vault_admin <dir> checkpoint s1|s2\n"
+               "       vault_admin <dir> checkpoint <scheme>\n"
                "       vault_admin <dir> compact\n"
-               "       vault_admin stats <host:port> [--spans]\n");
+               "       vault_admin stats <host:port> [--spans]\n"
+               "scheme names:");
+  for (const core::SchemeDescriptor& d : core::AllSchemes()) {
+    std::fprintf(stderr, " %.*s", static_cast<int>(d.name.size()),
+                 d.name.data());
+  }
+  std::fprintf(stderr, " (s1/s2 are aliases)\n");
   return 2;
 }
 
@@ -271,17 +279,23 @@ int main(int argc, char** argv) {
 
   if (command == "checkpoint") {
     if (argc < 4) return Usage();
-    core::SchemeOptions options;  // public parameters; defaults match sse_cli
-    options.max_documents = 1 << 16;
-    options.chain_length = 1 << 14;
-    std::unique_ptr<core::PersistableHandler> inner;
-    if (std::strcmp(argv[3], "s1") == 0) {
-      inner = std::make_unique<core::Scheme1Server>(options);
-    } else if (std::strcmp(argv[3], "s2") == 0) {
-      inner = std::make_unique<core::Scheme2Server>(options);
-    } else {
-      return Usage();
+    // Public parameters only; defaults match sse_cli. Any descriptor-table
+    // scheme works — the admin needs the right state shape, never a key.
+    core::SystemConfig config;
+    config.scheme.max_documents = 1 << 16;
+    config.scheme.chain_length = 1 << 14;
+    std::string name = argv[3];
+    if (name == "s1") name = "scheme1";
+    if (name == "s2") name = "scheme2";
+    const core::SchemeDescriptor* scheme = core::FindScheme(name);
+    if (scheme == nullptr) return Usage();
+    auto built = scheme->make_server(config);
+    if (!built.ok()) {
+      std::fprintf(stderr, "scheme init failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
     }
+    std::unique_ptr<core::PersistableHandler> inner = std::move(*built);
     auto durable = core::DurableServer::Open(dir, inner.get());
     if (!durable.ok()) {
       std::fprintf(stderr, "recovery failed: %s\n",

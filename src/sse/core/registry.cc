@@ -1,30 +1,25 @@
 #include "sse/core/registry.h"
 
-#include "sse/baselines/cgko_sse1.h"
-#include "sse/baselines/swp.h"
-#include "sse/core/scheme1_client.h"
-#include "sse/core/scheme1_server.h"
-#include "sse/core/scheme2_client.h"
-#include "sse/core/scheme2_server.h"
-#include "sse/engine/scheme1_adapter.h"
-#include "sse/engine/scheme2_adapter.h"
+#include <string>
+
+#include "sse/engine/scheme_shard.h"
 #include "sse/engine/server_engine.h"
 
 namespace sse::core {
 
 namespace {
 
+// Scheme-agnostic: the descriptor supplies the adapter, the engine wraps
+// it. Any scheme whose descriptor registers an adapter inherits sharding,
+// the worker pool, the reply cache and the shared document store.
 Result<std::unique_ptr<PersistableHandler>> CreateEngineServer(
-    SystemKind kind, const SystemConfig& config) {
-  std::unique_ptr<engine::SchemeAdapter> adapter;
-  if (kind == SystemKind::kScheme1) {
-    adapter = std::make_unique<engine::Scheme1Adapter>(config.scheme);
-  } else if (kind == SystemKind::kScheme2) {
-    adapter = std::make_unique<engine::Scheme2Adapter>(config.scheme);
-  } else {
+    const SchemeDescriptor& desc, const SystemConfig& config) {
+  if (!desc.traits.engine_capable || desc.make_adapter == nullptr) {
     return Status::InvalidArgument(
-        "engine mode (engine_shards > 0) supports scheme1 and scheme2 only");
+        "engine mode (engine_shards > 0) is not supported by " +
+        std::string(desc.name));
   }
+  std::unique_ptr<engine::SchemeAdapter> adapter = desc.make_adapter(config);
   engine::EngineOptions opts;
   opts.num_shards = config.engine_shards;
   opts.worker_threads = config.engine_workers;
@@ -38,75 +33,20 @@ Result<std::unique_ptr<PersistableHandler>> CreateEngineServer(
 
 }  // namespace
 
-std::string_view SystemKindName(SystemKind kind) {
-  switch (kind) {
-    case SystemKind::kScheme1:
-      return "scheme1";
-    case SystemKind::kScheme2:
-      return "scheme2";
-    case SystemKind::kSwp:
-      return "swp";
-    case SystemKind::kGohZidx:
-      return "goh-zidx";
-    case SystemKind::kCgkoSse1:
-      return "cgko-sse1";
-  }
-  return "unknown";
-}
-
-Result<SystemKind> SystemKindFromName(std::string_view name) {
-  for (SystemKind kind : AllSystemKinds()) {
-    if (SystemKindName(kind) == name) return kind;
-  }
-  return Status::InvalidArgument("unknown system name: " + std::string(name));
-}
-
-std::vector<SystemKind> AllSystemKinds() {
-  return {SystemKind::kScheme1, SystemKind::kScheme2, SystemKind::kSwp,
-          SystemKind::kGohZidx, SystemKind::kCgkoSse1};
-}
-
 Result<SseSystem> CreateSystem(SystemKind kind, const crypto::MasterKey& key,
                                const SystemConfig& config, RandomSource* rng) {
-  SseSystem sys;
-  if (config.engine_shards > 0) {
-    SSE_ASSIGN_OR_RETURN(sys.server, CreateEngineServer(kind, config));
-  }
-  switch (kind) {
-    case SystemKind::kScheme1: {
-      if (sys.server != nullptr) break;  // engine-backed
-      auto server = std::make_unique<Scheme1Server>(config.scheme);
-      if (!config.scheme.document_log_path.empty()) {
-        SSE_RETURN_IF_ERROR(
-            server->UseLogBackedDocuments(config.scheme.document_log_path));
-      }
-      sys.server = std::move(server);
-      break;
-    }
-    case SystemKind::kScheme2: {
-      if (sys.server != nullptr) break;  // engine-backed
-      auto server = std::make_unique<Scheme2Server>(config.scheme);
-      if (!config.scheme.document_log_path.empty()) {
-        SSE_RETURN_IF_ERROR(
-            server->UseLogBackedDocuments(config.scheme.document_log_path));
-      }
-      sys.server = std::move(server);
-      break;
-    }
-    case SystemKind::kSwp:
-      sys.server = std::make_unique<baselines::SwpServer>();
-      break;
-    case SystemKind::kGohZidx:
-      sys.server = std::make_unique<baselines::GohServer>(config.goh);
-      break;
-    case SystemKind::kCgkoSse1:
-      sys.server = std::make_unique<baselines::CgkoServer>(
-          config.scheme.use_hash_index, config.scheme.btree_order);
-      break;
-  }
-  if (sys.server == nullptr) {
+  const SchemeDescriptor* desc = FindScheme(kind);
+  if (desc == nullptr) {
     return Status::InvalidArgument("unknown system kind");
   }
+
+  SseSystem sys;
+  if (config.engine_shards > 0) {
+    SSE_ASSIGN_OR_RETURN(sys.server, CreateEngineServer(*desc, config));
+  } else {
+    SSE_ASSIGN_OR_RETURN(sys.server, desc->make_server(config));
+  }
+
   sys.channel = std::make_unique<net::InProcessChannel>(sys.server.get(),
                                                         config.channel);
   net::Channel* client_channel = sys.channel.get();
@@ -117,43 +57,8 @@ Result<SseSystem> CreateSystem(SystemKind kind, const crypto::MasterKey& key,
     client_channel = sys.retry.get();
   }
 
-  switch (kind) {
-    case SystemKind::kScheme1: {
-      Result<std::unique_ptr<Scheme1Client>> client =
-          Scheme1Client::Create(key, config.scheme, client_channel, rng);
-      if (!client.ok()) return client.status();
-      sys.client = std::move(client).value();
-      break;
-    }
-    case SystemKind::kScheme2: {
-      Result<std::unique_ptr<Scheme2Client>> client =
-          Scheme2Client::Create(key, config.scheme, client_channel, rng);
-      if (!client.ok()) return client.status();
-      sys.client = std::move(client).value();
-      break;
-    }
-    case SystemKind::kSwp: {
-      Result<std::unique_ptr<baselines::SwpClient>> client =
-          baselines::SwpClient::Create(key, client_channel, rng);
-      if (!client.ok()) return client.status();
-      sys.client = std::move(client).value();
-      break;
-    }
-    case SystemKind::kGohZidx: {
-      Result<std::unique_ptr<baselines::GohClient>> client =
-          baselines::GohClient::Create(key, config.goh, client_channel, rng);
-      if (!client.ok()) return client.status();
-      sys.client = std::move(client).value();
-      break;
-    }
-    case SystemKind::kCgkoSse1: {
-      Result<std::unique_ptr<baselines::CgkoClient>> client =
-          baselines::CgkoClient::Create(key, client_channel, rng);
-      if (!client.ok()) return client.status();
-      sys.client = std::move(client).value();
-      break;
-    }
-  }
+  SSE_ASSIGN_OR_RETURN(sys.client,
+                       desc->make_client(key, config, client_channel, rng));
   return sys;
 }
 

@@ -2,13 +2,9 @@
 #define SSE_CORE_REGISTRY_H_
 
 #include <memory>
-#include <string>
-#include <string_view>
-#include <vector>
 
-#include "sse/baselines/goh_zidx.h"
-#include "sse/core/options.h"
 #include "sse/core/persistable.h"
+#include "sse/core/scheme_descriptor.h"
 #include "sse/core/types.h"
 #include "sse/crypto/keys.h"
 #include "sse/net/channel.h"
@@ -16,19 +12,6 @@
 #include "sse/util/random.h"
 
 namespace sse::core {
-
-/// Every searchable-encryption system this library implements.
-enum class SystemKind : int {
-  kScheme1 = 0,   // the paper's computationally efficient scheme (§5.2)
-  kScheme2 = 1,   // the paper's communication efficient scheme (§5.5)
-  kSwp = 2,       // Song-Wagner-Perrig linear scan baseline
-  kGohZidx = 3,   // Goh Z-IDX per-document Bloom filter baseline
-  kCgkoSse1 = 4,  // Curtmola et al. SSE-1 inverted index baseline
-};
-
-std::string_view SystemKindName(SystemKind kind);
-Result<SystemKind> SystemKindFromName(std::string_view name);
-std::vector<SystemKind> AllSystemKinds();
 
 /// A fully wired client/channel/server triple for one system. The channel
 /// is the instrumented in-process link; benches read its stats for the
@@ -41,35 +24,12 @@ struct SseSystem {
   std::unique_ptr<net::RetryingChannel> retry;  // null unless with_retry
   std::unique_ptr<SseClientInterface> client;
 
-  net::ChannelStats& stats() { return const_cast<net::ChannelStats&>(channel->stats()); }
+  net::ChannelStats& stats() { return channel->mutable_stats(); }
 };
 
-struct SystemConfig {
-  SchemeOptions scheme;
-  baselines::GohOptions goh;
-  net::InProcessChannel::Options channel;
-
-  /// When > 0, scheme1/scheme2 servers are built as a sharded
-  /// engine::ServerEngine with this many shards (thread-safe Handle,
-  /// concurrent searches). 0 keeps the classic single-threaded server.
-  /// Baselines do not support engine mode.
-  size_t engine_shards = 0;
-  /// Worker threads for the engine's scatter pool (0 = one per shard).
-  size_t engine_workers = 0;
-
-  /// Wrap the client side in a net::RetryingChannel: every call is
-  /// session-stamped and transparently retried with backoff under a
-  /// deadline. Pair with a server-side reply cache for exactly-once.
-  bool with_retry = false;
-  net::RetryOptions retry;
-
-  /// At-most-once dedup on engine-backed servers (ignored for the classic
-  /// single-threaded servers, which have no reply cache).
-  bool engine_reply_cache = true;
-};
-
-/// Builds a ready-to-use system of the given kind. `rng` must outlive the
-/// returned system.
+/// Builds a ready-to-use system of the given kind by dispatching through
+/// its SchemeDescriptor (see scheme_descriptor.h; the table lives in
+/// scheme_registry.cc). `rng` must outlive the returned system.
 Result<SseSystem> CreateSystem(SystemKind kind, const crypto::MasterKey& key,
                                const SystemConfig& config, RandomSource* rng);
 

@@ -59,8 +59,8 @@ class Scheme1Client : public SseClientInterface {
   /// Serializes the client's only local state: the set of used document
   /// ids (guarding the XOR toggle against double-adds). Persist between
   /// sessions.
-  Bytes SerializeState() const;
-  Status RestoreState(BytesView data);
+  Bytes SerializeState() const override;
+  Status RestoreState(BytesView data) override;
 
  private:
   Scheme1Client(crypto::Prf prf, crypto::ElGamal elgamal, crypto::Aead aead,

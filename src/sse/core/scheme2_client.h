@@ -81,8 +81,8 @@ class Scheme2Client : public SseClientInterface {
   /// searched-since-update flag and the used document ids. A client MUST
   /// persist this between sessions: restoring an older counter would reuse
   /// chain elements the server has already seen.
-  Bytes SerializeState() const;
-  Status RestoreState(BytesView data);
+  Bytes SerializeState() const override;
+  Status RestoreState(BytesView data) override;
 
  private:
   Scheme2Client(crypto::Prf prf, crypto::Aead aead,

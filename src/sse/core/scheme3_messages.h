@@ -1,0 +1,80 @@
+#ifndef SSE_CORE_SCHEME3_MESSAGES_H_
+#define SSE_CORE_SCHEME3_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sse/core/wire_common.h"
+#include "sse/net/message.h"
+#include "sse/util/bytes.h"
+#include "sse/util/result.h"
+
+namespace sse::core {
+
+/// Wire messages for Scheme 3, the forward-private dynamic scheme (after
+/// Etemad–Küpçü; see DESIGN.md §13 and docs/PROTOCOL.md §8).
+///
+/// The defining property shows in what is ABSENT from the update wire
+/// format: there is no keyword token. Update j of keyword w is stored
+/// under the address f'(k_j) of a fresh per-keyword chain key
+/// k_j = f^{l-j}(seed_w), so consecutive updates of the same keyword are
+/// unlinkable to each other and — because f only walks toward *older*
+/// keys — unlinkable to every previously released search trapdoor.
+///
+/// The 0x04xx range extends the net/message.h range table (which stays
+/// scheme-agnostic; the constant lives here with the scheme that owns it).
+inline constexpr uint16_t kMsgRangeScheme3 = 0x0400;
+
+inline constexpr uint16_t kMsgS3UpdateRequest = kMsgRangeScheme3 + 1;
+inline constexpr uint16_t kMsgS3UpdateAck = kMsgRangeScheme3 + 2;
+inline constexpr uint16_t kMsgS3SearchRequest = kMsgRangeScheme3 + 3;
+inline constexpr uint16_t kMsgS3SearchResult = kMsgRangeScheme3 + 4;
+
+/// One forward-private index entry: the posting delta E_{k_j}(I_j(w))
+/// filed under the unlinkable address f'(k_j).
+struct S3UpdateEntry {
+  Bytes address;     // f'(k_j)
+  Bytes ciphertext;  // E_{k_j}(delta id list)
+};
+
+struct S3UpdateRequest {
+  std::vector<S3UpdateEntry> entries;
+  std::vector<WireDocument> documents;
+
+  net::Message ToMessage() const;
+  static Result<S3UpdateRequest> FromMessage(const net::Message& msg);
+};
+
+struct S3UpdateAck {
+  uint64_t entries_added = 0;
+
+  net::Message ToMessage() const;
+  static Result<S3UpdateAck> FromMessage(const net::Message& msg);
+};
+
+/// Trapdoor(w) = (k_c, c): the newest chain key and the update counter.
+/// The server derives every older address f'(f^i(k_c)) but no newer one.
+struct S3SearchRequest {
+  Bytes chain_element;
+  uint32_t counter = 0;
+
+  net::Message ToMessage() const;
+  static Result<S3SearchRequest> FromMessage(const net::Message& msg);
+};
+
+struct S3SearchResult {
+  bool found = false;
+  std::vector<uint64_t> ids;
+  std::vector<WireDocument> documents;
+  /// Server-side work counters for the update-heavy benches: chain steps
+  /// walked and entries decrypted for this search.
+  uint64_t chain_steps = 0;
+  uint64_t entries_decrypted = 0;
+
+  net::Message ToMessage() const;
+  static Result<S3SearchResult> FromMessage(const net::Message& msg);
+};
+
+}  // namespace sse::core
+
+#endif  // SSE_CORE_SCHEME3_MESSAGES_H_

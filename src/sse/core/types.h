@@ -64,6 +64,24 @@ class SseClientInterface {
 
   /// Human-readable system name, e.g. "scheme1".
   virtual std::string name() const = 0;
+
+  /// Serializes the client's protocol state (counters, epochs, used ids —
+  /// whatever the scheme must persist across sessions). Stateless clients
+  /// return an empty blob. Deployments MUST persist this with the same
+  /// care as server state: for the paper schemes, restoring a stale copy
+  /// reuses chain elements or identifiers the server has already seen.
+  virtual Bytes SerializeState() const { return {}; }
+
+  /// Restores state produced by SerializeState. The default accepts only
+  /// an empty blob, so a stateless client loudly rejects a stateful
+  /// scheme's snapshot instead of silently dropping it.
+  virtual Status RestoreState(BytesView data) {
+    if (!data.empty()) {
+      return Status::InvalidArgument(
+          "this scheme's client keeps no protocol state");
+    }
+    return Status::OK();
+  }
 };
 
 /// 8-byte little-endian encoding of a document id, used as AEAD associated

@@ -138,6 +138,9 @@ class InProcessChannel : public Channel {
   Result<Message> Call(const Message& request) override;
 
   const ChannelStats& stats() const override { return stats_; }
+  /// Mutable access for owners that reset or adjust counters between bench
+  /// phases (e.g. core::SseSystem::stats()).
+  ChannelStats& mutable_stats() { return stats_; }
   void ResetStats() override {
     stats_.Clear();
     virtual_time_ms_ = 0.0;

@@ -7,6 +7,7 @@
 #include "sse/core/registry.h"
 #include "sse/core/scheme1_messages.h"
 #include "sse/core/scheme2_messages.h"
+#include "sse/core/scheme3_messages.h"
 #include "test_util.h"
 
 namespace sse {
@@ -33,7 +34,8 @@ TEST_P(AdversarialTest, RandomBytesOnAllTypesNeverCrash) {
   int rejected = 0;
   int accepted = 0;
   for (uint16_t base : {net::kMsgRangeCommon, net::kMsgRangeScheme1,
-                        net::kMsgRangeScheme2, net::kMsgRangeBaseline}) {
+                        net::kMsgRangeScheme2, net::kMsgRangeBaseline,
+                        core::kMsgRangeScheme3}) {
     for (uint16_t sub = 0; sub < 30; ++sub) {
       for (size_t len : {0u, 1u, 5u, 64u, 300u}) {
         Bytes payload(len);

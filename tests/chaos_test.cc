@@ -28,6 +28,7 @@
 #include "sse/core/scheme1_client.h"
 #include "sse/core/scheme1_messages.h"
 #include "sse/core/scheme2_client.h"
+#include "sse/core/scheme3_client.h"
 #include "sse/net/batch.h"
 #include "sse/net/retry.h"
 #include "sse/net/tcp.h"
@@ -223,6 +224,25 @@ TEST(ChaosTest, Scheme2SurvivesHeavyChaosWithZeroDivergence) {
   EXPECT_GT(rig.chaos.chaos_stats().total_injected(), 100u);
 }
 
+TEST(ChaosTest, Scheme3SurvivesHeavyChaosWithZeroDivergence) {
+  // Scheme 3's hazard is the duplicated update: a chain key addresses
+  // exactly one entry, so a re-delivered update must overwrite in place
+  // (same bytes) rather than shadow or double-count a posting.
+  const core::SystemConfig config = ChaosConfig();
+  ChaosRig<core::Scheme3Client> rig(SystemKind::kScheme3, config,
+                                    SymmetricChaos(/*seed=*/31, 0.20),
+                                    /*seed=*/31);
+  Oracle oracle;
+  uint64_t next_id = 0;
+  DeterministicRandom workload(44);
+  const size_t divergences =
+      RunMixedOps(rig.client.get(), &workload, &oracle, &next_id,
+                  /*ops=*/1000, config.scheme.max_documents);
+  EXPECT_EQ(divergences, 0u);
+  EXPECT_GT(rig.chaos.chaos_stats().total_injected(), 100u);
+  EXPECT_GT(rig.retry.retry_stats().retries, 50u);
+}
+
 TEST(ChaosTest, Scheme1BatchedPipelineSurvivesHeavyChaos) {
   // Same 20% fault pressure, but with batch_ops on: multi-keyword rounds
   // travel as kMsgBatch envelopes through MultiCall's pipelined window, so
@@ -264,6 +284,23 @@ TEST(ChaosTest, Scheme2BatchedPipelineSurvivesHeavyChaos) {
   Oracle oracle;
   uint64_t next_id = 0;
   DeterministicRandom workload(47);
+  const size_t divergences =
+      RunMixedOps(rig.client.get(), &workload, &oracle, &next_id,
+                  /*ops=*/600, config.scheme.max_documents);
+  EXPECT_EQ(divergences, 0u);
+  EXPECT_GT(rig.retry.retry_stats().batches, 0u);
+  EXPECT_GT(rig.chaos.chaos_stats().total_injected(), 100u);
+}
+
+TEST(ChaosTest, Scheme3BatchedPipelineSurvivesHeavyChaos) {
+  core::SystemConfig config = ChaosConfig();
+  config.scheme.batch_ops = true;
+  ChaosRig<core::Scheme3Client> rig(SystemKind::kScheme3, config,
+                                    SymmetricChaos(/*seed=*/37, 0.20),
+                                    /*seed=*/37, BatchedChaosRetryOptions());
+  Oracle oracle;
+  uint64_t next_id = 0;
+  DeterministicRandom workload(48);
   const size_t divergences =
       RunMixedOps(rig.client.get(), &workload, &oracle, &next_id,
                   /*ops=*/600, config.scheme.max_documents);

@@ -1,6 +1,9 @@
-// Configuration matrix: both paper schemes must behave identically across
-// every server-side backend combination — B+-tree vs hash token index,
-// in-memory vs log-backed document store.
+// Configuration matrix: every full-featured scheme (engine-capable in the
+// descriptor table — the paper schemes plus forward-private Scheme 3) must
+// behave identically across every server-side backend combination —
+// B+-tree vs hash token index, in-memory vs log-backed document store.
+// The kinds under test come from the descriptor table, so a newly
+// registered engine-capable scheme enrolls here with no test changes.
 
 #include <gtest/gtest.h>
 
@@ -63,10 +66,17 @@ TEST_P(ConfigMatrixTest, FakeUpdateAndMiss) {
   EXPECT_TRUE(sys_.client->Search("never")->ids.empty());
 }
 
+std::vector<SystemKind> EngineCapableKinds() {
+  std::vector<SystemKind> kinds;
+  for (const SchemeDescriptor& desc : AllSchemes()) {
+    if (desc.traits.engine_capable) kinds.push_back(desc.kind);
+  }
+  return kinds;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, ConfigMatrixTest,
-    ::testing::Combine(::testing::Values(SystemKind::kScheme1,
-                                         SystemKind::kScheme2),
+    ::testing::Combine(::testing::ValuesIn(EngineCapableKinds()),
                        ::testing::Bool(), ::testing::Bool()),
     [](const ::testing::TestParamInfo<MatrixParam>& info) {
       std::string name(SystemKindName(std::get<0>(info.param)));

@@ -30,6 +30,8 @@
 #include "sse/core/scheme1_server.h"
 #include "sse/core/scheme2_client.h"
 #include "sse/core/scheme2_server.h"
+#include "sse/core/scheme3_client.h"
+#include "sse/core/scheme3_server.h"
 #include "sse/engine/scheme1_adapter.h"
 #include "sse/engine/server_engine.h"
 #include "sse/net/batch.h"
@@ -317,6 +319,51 @@ RecordedWorkload RecordScheme2Workload() {
   return w;
 }
 
+/// Scheme 3 workload, stores only. The forward-private update is the
+/// interesting recovery case: each update's address is single-use, so a
+/// retry after recovery must dedup against the reply cache (or overwrite
+/// the identical entry) without the client burning a second counter.
+RecordedWorkload RecordScheme3Workload() {
+  RecordedWorkload w;
+  storage::FaultyEnv env(CrashSeed());
+  const core::SchemeOptions options = FastTestConfig().scheme;
+  core::Scheme3Server inner(options);
+  auto durable =
+      core::DurableServer::Open("/vault", &inner, DurableOpts(&env));
+  EXPECT_TRUE(durable.ok());
+  net::InProcessChannel::Options record;
+  record.record_transcript = true;
+  net::InProcessChannel channel(durable->get(), record);
+
+  DeterministicRandom rng(CrashSeed() ^ 0x404);
+  net::RetryOptions retry_opts;
+  retry_opts.client_id = 4;
+  net::RetryingChannel retry(&channel, retry_opts, &rng);
+  auto client =
+      core::Scheme3Client::Create(TestMasterKey(), options, &retry, &rng);
+  EXPECT_TRUE(client.ok());
+  for (int i = 0; i < 16; ++i) {
+    SSE_EXPECT_OK((*client)->Store(
+        {core::Document::Make(static_cast<uint64_t>(i),
+                              "s3 doc " + std::to_string(i),
+                              {"s3kw" + std::to_string(i % 5)})}));
+    if (i % 5 == 4) {
+      SSE_EXPECT_OK((*durable)->Checkpoint());
+      w.checkpoint_after.insert(channel.transcript().size());
+    }
+  }
+
+  core::Scheme3Server classifier(options);
+  for (const net::Exchange& ex : channel.transcript()) {
+    bool mutating = false, dedupable = false;
+    Classify(classifier, ex.request, &mutating, &dedupable);
+    w.messages.push_back(ex.request);
+    w.mutating.push_back(mutating);
+    w.dedupable.push_back(dedupable);
+  }
+  return w;
+}
+
 TEST(CrashRecoveryTest, Scheme1SurvivesACrashAtEveryStorageOperation) {
   const RecordedWorkload w = RecordScheme1Workload();
   ASSERT_FALSE(w.messages.empty());
@@ -332,6 +379,15 @@ TEST(CrashRecoveryTest, Scheme2SurvivesACrashAtEveryStorageOperation) {
   const core::SchemeOptions options = FastTestConfig().scheme;
   CrashSweep(
       w, [&] { return std::make_unique<core::Scheme2Server>(options); },
+      /*min_crash_points=*/50);
+}
+
+TEST(CrashRecoveryTest, Scheme3SurvivesACrashAtEveryStorageOperation) {
+  const RecordedWorkload w = RecordScheme3Workload();
+  ASSERT_FALSE(w.messages.empty());
+  const core::SchemeOptions options = FastTestConfig().scheme;
+  CrashSweep(
+      w, [&] { return std::make_unique<core::Scheme3Server>(options); },
       /*min_crash_points=*/50);
 }
 

@@ -22,7 +22,23 @@ TEST(RegistryTest, NamesRoundTrip) {
 }
 
 TEST(RegistryTest, AllKindsEnumerated) {
-  EXPECT_EQ(AllSystemKinds().size(), 5u);
+  EXPECT_EQ(AllSystemKinds().size(), 6u);
+  EXPECT_EQ(AllSchemes().size(), AllSystemKinds().size());
+}
+
+TEST(RegistryTest, DescriptorTableConsistent) {
+  for (const SchemeDescriptor& desc : AllSchemes()) {
+    EXPECT_EQ(FindScheme(desc.kind), &desc);
+    EXPECT_EQ(FindScheme(desc.name), &desc);
+    EXPECT_EQ(SystemKindName(desc.kind), desc.name);
+    EXPECT_FALSE(desc.summary.empty()) << desc.name;
+    EXPECT_NE(desc.make_server, nullptr) << desc.name;
+    EXPECT_NE(desc.make_client, nullptr) << desc.name;
+    // Engine capability and the adapter factory must agree.
+    EXPECT_EQ(desc.traits.engine_capable, desc.make_adapter != nullptr)
+        << desc.name;
+  }
+  EXPECT_EQ(FindScheme("no-such-scheme"), nullptr);
 }
 
 TEST(RegistryTest, CreateEverySystem) {

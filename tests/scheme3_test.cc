@@ -1,0 +1,216 @@
+// Scheme 3 (forward-private dynamic SSE) specifics that the shared
+// conformance suite cannot express: the forward-privacy guarantee itself,
+// per-keyword counter state round-trips, chain exhaustion, idempotent
+// update replay, and the sharded-engine broadcast search.
+
+#include <gtest/gtest.h>
+
+#include "sse/core/registry.h"
+#include "sse/core/scheme3_client.h"
+#include "sse/core/scheme3_messages.h"
+#include "test_util.h"
+
+namespace sse::core {
+namespace {
+
+using sse::testing::FastTestConfig;
+using sse::testing::MakeTestSystem;
+using sse::testing::TestMasterKey;
+
+Scheme3Client* ClientOf(SseSystem& sys) {
+  return static_cast<Scheme3Client*>(sys.client.get());
+}
+
+TEST(Scheme3Test, ForwardPrivacy) {
+  // THE property this scheme exists for: a trapdoor released at counter c
+  // must not match updates made after it — the server walks the chain only
+  // toward older keys.
+  DeterministicRandom rng(41);
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng);
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(0, "old", {"kw"})}));
+
+  auto trapdoor = ClientOf(sys)->MakeTrapdoor("kw");
+  SSE_ASSERT_OK_RESULT(trapdoor);
+  EXPECT_EQ(trapdoor->counter, 1u);
+
+  // The update AFTER the trapdoor was released.
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(1, "new", {"kw"})}));
+
+  // Replay the stale trapdoor straight at the server: it opens exactly the
+  // pre-update state, nothing newer.
+  S3SearchRequest req;
+  req.chain_element = trapdoor->chain_element;
+  req.counter = trapdoor->counter;
+  auto reply = sys.channel->Call(req.ToMessage());
+  SSE_ASSERT_OK_RESULT(reply);
+  auto stale = S3SearchResult::FromMessage(*reply);
+  SSE_ASSERT_OK_RESULT(stale);
+  EXPECT_EQ(stale->ids, std::vector<uint64_t>{0});
+  EXPECT_EQ(stale->entries_decrypted, 1u);
+
+  // A fresh trapdoor sees everything.
+  auto outcome = sys.client->Search("kw");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(Scheme3Test, VirginKeywordResolvesLocally) {
+  // A keyword with no updates has nothing searchable and releases no
+  // trapdoor — the search must not even touch the wire.
+  DeterministicRandom rng(42);
+  SystemConfig config = FastTestConfig();
+  config.channel.record_transcript = true;
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng, config);
+
+  auto outcome = sys.client->Search("never-stored");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_TRUE(outcome->ids.empty());
+  EXPECT_TRUE(sys.channel->transcript().empty());
+
+  auto trapdoor = ClientOf(sys)->MakeTrapdoor("never-stored");
+  EXPECT_EQ(trapdoor.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Scheme3Test, CountersAdvancePerKeyword) {
+  DeterministicRandom rng(43);
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng);
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(0, "a", {"x", "y"})}));
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(1, "b", {"x"})}));
+  Scheme3Client* client = ClientOf(sys);
+  EXPECT_EQ(client->counter("x").value(), 2u);
+  EXPECT_EQ(client->counter("y").value(), 1u);
+  EXPECT_EQ(client->counter("z").value(), 0u);
+}
+
+TEST(Scheme3Test, ClientStateRoundTrip) {
+  // A second client restored from serialized state continues the counter
+  // sequence instead of shadowing earlier updates.
+  DeterministicRandom rng(44);
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng);
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(0, "a", {"kw"})}));
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(1, "b", {"kw"})}));
+  const Bytes state = sys.client->SerializeState();
+
+  DeterministicRandom rng2(45);
+  auto restored = Scheme3Client::Create(TestMasterKey(), FastTestConfig().scheme,
+                                        sys.channel.get(), &rng2);
+  SSE_ASSERT_OK_RESULT(restored);
+  SSE_ASSERT_OK((*restored)->RestoreState(state));
+  EXPECT_EQ((*restored)->counter("kw").value(), 2u);
+
+  // Continues where the first client stopped: the old postings survive.
+  SSE_ASSERT_OK((*restored)->Store({Document::Make(2, "c", {"kw"})}));
+  auto outcome = (*restored)->Search("kw");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1, 2}));
+
+  // The used-id set restores too.
+  Status dup = (*restored)->Store({Document::Make(0, "dup", {"kw"})});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Scheme3Test, CorruptStateRejected) {
+  DeterministicRandom rng(46);
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng);
+  EXPECT_FALSE(sys.client->RestoreState(Bytes{0xff, 0xff, 0xff}).ok());
+}
+
+TEST(Scheme3Test, ChainExhaustion) {
+  DeterministicRandom rng(47);
+  SystemConfig config = FastTestConfig();
+  config.scheme.chain_length = 3;
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng, config);
+  for (uint64_t i = 0; i < 3; ++i) {
+    SSE_ASSERT_OK(sys.client->Store(
+        {Document::Make(i, "doc" + std::to_string(i), {"kw"})}));
+  }
+  Status s = sys.client->Store({Document::Make(3, "one too many", {"kw"})});
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Existing postings still searchable after the refusal.
+  auto outcome = sys.client->Search("kw");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(Scheme3Test, ReplayedUpdateIsIdempotent) {
+  // A chain key is burned per logical update, so a re-delivered update
+  // message carries the same address and delta; applying it twice must
+  // not change what a search sees.
+  DeterministicRandom rng(48);
+  SystemConfig config = FastTestConfig();
+  config.channel.record_transcript = true;
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng, config);
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(0, "a", {"kw"})}));
+  const net::Message update = sys.channel->transcript().back().request;
+  ASSERT_EQ(update.type, kMsgS3UpdateRequest);
+  ASSERT_TRUE(sys.channel->Call(update).ok());
+  auto outcome = sys.client->Search("kw");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, std::vector<uint64_t>{0});
+}
+
+TEST(Scheme3Test, BatchedUpdatesAndMultiSearch) {
+  DeterministicRandom rng(49);
+  SystemConfig config = FastTestConfig();
+  config.scheme.batch_ops = true;
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng, config);
+  SSE_ASSERT_OK(sys.client->Store({
+      Document::Make(0, "d0", {"x", "shared"}),
+      Document::Make(1, "d1", {"y", "shared"}),
+  }));
+  auto outcomes = sys.client->MultiSearch({"x", "virgin", "shared", "y"});
+  SSE_ASSERT_OK_RESULT(outcomes);
+  ASSERT_EQ(outcomes->size(), 4u);
+  EXPECT_EQ((*outcomes)[0].ids, std::vector<uint64_t>{0});
+  EXPECT_TRUE((*outcomes)[1].ids.empty());
+  EXPECT_EQ((*outcomes)[2].ids, (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ((*outcomes)[3].ids, std::vector<uint64_t>{1});
+}
+
+TEST(Scheme3Test, ShardedEngineBroadcastSearch) {
+  // With engine shards the per-update addresses scatter across shards and
+  // a search must union every shard's walk.
+  DeterministicRandom rng(50);
+  SystemConfig config = FastTestConfig();
+  config.engine_shards = 4;
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng, config);
+  std::vector<uint64_t> expected;
+  for (uint64_t i = 0; i < 16; ++i) {
+    SSE_ASSERT_OK(sys.client->Store({Document::Make(
+        i, "doc" + std::to_string(i),
+        {"all", "mod" + std::to_string(i % 3)})}));
+    expected.push_back(i);
+  }
+  auto outcome = sys.client->Search("all");
+  SSE_ASSERT_OK_RESULT(outcome);
+  EXPECT_EQ(outcome->ids, expected);
+  ASSERT_EQ(outcome->documents.size(), 16u);
+  auto mod1 = sys.client->Search("mod1");
+  SSE_ASSERT_OK_RESULT(mod1);
+  EXPECT_EQ(mod1->ids, (std::vector<uint64_t>{1, 4, 7, 10, 13}));
+}
+
+TEST(Scheme3Test, StaleTrapdoorIsForwardPrivateUnderEngine) {
+  // Forward privacy holds through the sharded engine too: the broadcast
+  // search merges per-shard walks that each stop at the trapdoor counter.
+  DeterministicRandom rng(51);
+  SystemConfig config = FastTestConfig();
+  config.engine_shards = 2;
+  SseSystem sys = MakeTestSystem(SystemKind::kScheme3, &rng, config);
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(0, "old", {"kw"})}));
+  auto trapdoor = ClientOf(sys)->MakeTrapdoor("kw");
+  SSE_ASSERT_OK_RESULT(trapdoor);
+  SSE_ASSERT_OK(sys.client->Store({Document::Make(1, "new", {"kw"})}));
+
+  S3SearchRequest req;
+  req.chain_element = trapdoor->chain_element;
+  req.counter = trapdoor->counter;
+  auto reply = sys.channel->Call(req.ToMessage());
+  SSE_ASSERT_OK_RESULT(reply);
+  auto stale = S3SearchResult::FromMessage(*reply);
+  SSE_ASSERT_OK_RESULT(stale);
+  EXPECT_EQ(stale->ids, std::vector<uint64_t>{0});
+}
+
+}  // namespace
+}  // namespace sse::core
