@@ -27,6 +27,7 @@
 #include "sse/core/scheme3_server.h"
 #include "sse/engine/scheme2_adapter.h"
 #include "sse/engine/server_engine.h"
+#include "sse/net/admission.h"
 #include "sse/net/retry.h"
 #include "sse/net/tcp.h"
 #include "sse/obs/histogram.h"
@@ -598,6 +599,155 @@ std::string SweepScheme3UpdateHeavy() {
   return json;
 }
 
+// T1-search (h): brownout behavior at ~2x sustained saturation. A
+// throttled scheme-2 engine (known capacity: pipeline_workers / 1ms) sits
+// behind the admission controller and a bounded dispatch queue; two
+// open-loop burst threads offer mixed traffic well past capacity while a
+// closed-loop prober measures what admitted requests actually cost. The
+// numbers that matter: mutations shed harder than searches (the brownout
+// gradient), and the accepted-op p99 stays near queue-bound x handler
+// cost instead of growing with the offered load. Returns a JSON fragment
+// for BENCH_search.json.
+std::string SweepOverloadBrownout() {
+  std::printf(
+      "T1-search (h): overload brownout — shed rate and accepted-op\n"
+      "latency at ~2x saturation (admission: mutations shed at queue 12,\n"
+      "searches at 24, dispatch hard cap 32, 1ms/op handler).\n\n");
+
+  struct ThrottledHandler : public net::MessageHandler {
+    explicit ThrottledHandler(net::MessageHandler* inner) : inner(inner) {}
+    Result<net::Message> Handle(const net::Message& request) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return inner->Handle(request);
+    }
+    net::MessageHandler* inner;
+  };
+
+  DeterministicRandom rng(11);
+  core::SystemConfig config = BenchConfig(/*max_documents=*/1 << 10,
+                                          /*chain_length=*/64);
+  config.engine_shards = 2;
+  core::SseSystem sys = MustCreate(core::SystemKind::kScheme2, config, &rng);
+  ThrottledHandler throttled(sys.server.get());
+
+  net::QueueAdmissionController::Options admission_options;
+  admission_options.max_queue_depth = 24;
+  admission_options.mutation_queue_depth = 12;
+  admission_options.retry_after_ms = 5;
+  auto controller =
+      std::make_shared<net::QueueAdmissionController>(admission_options);
+
+  net::TcpServer::Options server_opts;
+  server_opts.serialize_handler = false;
+  server_opts.pipeline_workers = 2;
+  server_opts.max_dispatch_queue = 32;
+  server_opts.admission = controller;
+  auto server = MustValue(net::TcpServer::Start(&throttled, 0, server_opts),
+                          "tcp server");
+
+  // Open-loop bursters: windows of 48 frames, 3:1 mutations to searches,
+  // submitted without pacing. 2 threads x ~1 window/50ms is ~2000 frames/s
+  // offered against ~2000/s capacity shared with the prober — sustained
+  // past saturation once the prober and reply handling are added.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sent[2] = {{0}, {0}};  // [0]=search, [1]=mutation
+  std::atomic<uint64_t> shed[2] = {{0}, {0}};
+  std::vector<std::thread> bursters;
+  for (int b = 0; b < 2; ++b) {
+    bursters.emplace_back([&, b] {
+      auto tcp = MustValue(net::TcpChannel::Connect(server->port()),
+                           "burst connect");
+      uint64_t seq = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<std::pair<net::Channel::CallId, int>> window;
+        for (int i = 0; i < 48; ++i) {
+          const int mutation = i % 4 != 0 ? 1 : 0;
+          net::Message msg{mutation != 0 ? core::kMsgS2UpdateRequest
+                                         : core::kMsgS2SearchRequest,
+                           Bytes{static_cast<uint8_t>(i)}};
+          msg.StampSession(2000 + static_cast<uint64_t>(b), seq++);
+          window.emplace_back(tcp->Submit(msg), mutation);
+          sent[mutation].fetch_add(1, std::memory_order_relaxed);
+        }
+        for (const auto& [id, mutation] : window) {
+          auto reply = tcp->Await(id);
+          if (!reply.ok() &&
+              (reply.status().code() == StatusCode::kResourceExhausted ||
+               reply.status().code() == StatusCode::kDeadlineExceeded)) {
+            shed[mutation].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // Closed-loop prober: blocking search calls, latency of each *admitted*
+  // reply recorded (a shed answer is not an accepted op).
+  obs::LatencyHistogram accepted;
+  uint64_t probe_calls = 0, probe_shed = 0;
+  {
+    auto tcp =
+        MustValue(net::TcpChannel::Connect(server->port()), "probe connect");
+    uint64_t seq = 1;
+    Timer window;
+    while (window.ElapsedMicros() < 1.5e6) {
+      net::Message msg{core::kMsgS2SearchRequest, Bytes{0x01}};
+      msg.StampSession(3000, seq++);
+      Timer timer;
+      auto reply = tcp->Call(msg);
+      ++probe_calls;
+      if (!reply.ok() &&
+          reply.status().code() == StatusCode::kResourceExhausted) {
+        ++probe_shed;
+        continue;
+      }
+      accepted.Record(static_cast<uint64_t>(timer.ElapsedMicros() * 1000.0));
+    }
+  }
+  stop.store(true);
+  for (auto& t : bursters) t.join();
+  server->Stop();
+
+  const auto rate = [](uint64_t shed_n, uint64_t sent_n) {
+    return sent_n > 0 ? static_cast<double>(shed_n) /
+                            static_cast<double>(sent_n)
+                      : 0.0;
+  };
+  const double mutation_shed_rate = rate(shed[1].load(), sent[1].load());
+  const double search_shed_rate = rate(shed[0].load(), sent[0].load());
+  const obs::LatencyHistogram::Snapshot snap = accepted.Snap();
+
+  TablePrinter table({"class", "offered", "shed", "shed_rate"});
+  table.PrintHeader();
+  table.PrintRow({"mutation", FmtU(sent[1].load()), FmtU(shed[1].load()),
+                  Fmt("%.3f", mutation_shed_rate)});
+  table.PrintRow({"search", FmtU(sent[0].load()), FmtU(shed[0].load()),
+                  Fmt("%.3f", search_shed_rate)});
+  table.PrintRule();
+  std::printf(
+      "\naccepted probe ops: %llu of %llu (p50 %.0fus, p99 %.0fus); "
+      "controller shed %llu total\n\n",
+      static_cast<unsigned long long>(snap.count),
+      static_cast<unsigned long long>(probe_calls),
+      snap.quantile_micros(0.50), snap.quantile_micros(0.99),
+      static_cast<unsigned long long>(controller->shed_total()));
+
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"overload_brownout\": {\"mutations_offered\": %llu, "
+      "\"mutation_shed_rate\": %.4f, \"searches_offered\": %llu, "
+      "\"search_shed_rate\": %.4f, \"accepted_p50_us\": %.3f, "
+      "\"accepted_p99_us\": %.3f, \"probe_calls\": %llu, "
+      "\"probe_shed\": %llu},\n",
+      static_cast<unsigned long long>(sent[1].load()), mutation_shed_rate,
+      static_cast<unsigned long long>(sent[0].load()), search_shed_rate,
+      snap.quantile_micros(0.50), snap.quantile_micros(0.99),
+      static_cast<unsigned long long>(probe_calls),
+      static_cast<unsigned long long>(probe_shed));
+  return std::string(buf);
+}
+
 }  // namespace
 }  // namespace sse::bench
 
@@ -608,7 +758,8 @@ int main(int argc, char** argv) {
   sse::bench::SweepEngineThreads();
   const std::string tcp_json = sse::bench::SweepReactorConnectionScale();
   const std::string s3_json = sse::bench::SweepScheme3UpdateHeavy();
+  const std::string overload_json = sse::bench::SweepOverloadBrownout();
   sse::bench::SweepLatencyProfile(argc > 1 ? argv[1] : "BENCH_search.json",
-                                  tcp_json + s3_json);
+                                  tcp_json + s3_json + overload_json);
   return 0;
 }

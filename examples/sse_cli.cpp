@@ -52,6 +52,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <sys/stat.h>
 #include <vector>
@@ -102,6 +103,24 @@ std::string StatePath(const std::string& dir) { return dir + "/client.state"; }
 uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+// Overload-protection knobs shared by both serve paths (plain vault and
+// replication node): a bounded dispatch queue plus an optional admission
+// controller shedding by queue depth / queue wait.
+void ApplyAdmissionEnv(net::TcpServer::Options* server_options) {
+  server_options->max_dispatch_queue = EnvU64("SSE_MAX_DISPATCH_QUEUE", 0);
+  const uint64_t max_queue = EnvU64("SSE_ADMISSION_MAX_QUEUE", 0);
+  const uint64_t max_wait_ms = EnvU64("SSE_ADMISSION_MAX_WAIT_MS", 0);
+  if (max_queue == 0 && max_wait_ms == 0) return;
+  net::QueueAdmissionController::Options admission;
+  admission.max_queue_depth = max_queue;
+  admission.mutation_queue_depth = EnvU64("SSE_ADMISSION_MUTATION_QUEUE", 0);
+  admission.max_queue_wait_ms = static_cast<double>(max_wait_ms);
+  admission.retry_after_ms =
+      static_cast<uint32_t>(EnvU64("SSE_ADMISSION_RETRY_AFTER_MS", 25));
+  server_options->admission =
+      std::make_shared<net::QueueAdmissionController>(admission);
 }
 
 Bytes LoadStateBytes(const std::string& dir) {
@@ -159,6 +178,9 @@ int main(int argc, char** argv) {
   config.scheme.chain_length = 1 << 14;
   const uint64_t batch_size = EnvU64("SSE_BATCH_SIZE", 64);
   config.scheme.batch_ops = batch_size > 0;
+  // Scheme 2 Optimization-1 cache bound (0 = unbounded, paper behavior).
+  config.scheme.plaintext_cache_max_entries =
+      EnvU64("SSE_S2_CACHE_MAX_ENTRIES", 0);
 
   const bool reply_cache = EnvU64("SSE_REPLY_CACHE", 1) != 0;
 
@@ -233,6 +255,7 @@ int main(int argc, char** argv) {
       server_options.reactor_loops =
           std::max(1ul, std::strtoul(loops, nullptr, 10));
     }
+    ApplyAdmissionEnv(&server_options);
     auto tcp = net::TcpServer::Start(node->get(), port, server_options);
     if (!tcp.ok()) {
       std::fprintf(stderr, "serve failed: %s\n",
@@ -276,8 +299,12 @@ int main(int argc, char** argv) {
   net::RetryOptions retry_options;
   retry_options.max_attempts =
       static_cast<int>(EnvU64("SSE_RETRY_ATTEMPTS", 5));
-  retry_options.call_deadline_ms =
-      static_cast<double>(EnvU64("SSE_RETRY_DEADLINE_MS", 0));
+  // SSE_DEADLINE_MS is the overall per-call budget (propagated on the wire
+  // to the server); SSE_RETRY_DEADLINE_MS is its older spelling.
+  retry_options.call_deadline_ms = static_cast<double>(
+      EnvU64("SSE_DEADLINE_MS", EnvU64("SSE_RETRY_DEADLINE_MS", 0)));
+  retry_options.retry_budget =
+      static_cast<double>(EnvU64("SSE_RETRY_BUDGET", 0));
   retry_options.batch_size = static_cast<int>(batch_size);
   retry_options.max_inflight = static_cast<int>(EnvU64("SSE_MAX_INFLIGHT", 4));
   SystemRandom& rng = SystemRandom::Instance();
@@ -357,6 +384,7 @@ int main(int argc, char** argv) {
       server_options.reactor_loops =
           std::max(1ul, std::strtoul(loops, nullptr, 10));
     }
+    ApplyAdmissionEnv(&server_options);
     auto tcp = net::TcpServer::Start(durable->get(), port, server_options);
     if (!tcp.ok()) {
       std::fprintf(stderr, "serve failed: %s\n",

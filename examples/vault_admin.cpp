@@ -160,6 +160,32 @@ int RunStats(const std::string& target, bool include_spans) {
                 std::strtod(line.c_str() + space + 1, nullptr));
     break;
   }
+  // Overload summary: what the admission layer has shed and dropped. The
+  // breaker-open count appears only on nodes that run client-side failover
+  // channels (e.g. a primary forwarding through one).
+  {
+    double shed = 0, shed_mutations = 0, queue_full = 0, deadline_dropped = 0;
+    repl::FindMetricValue(reply->prometheus_text, "sse_admission_shed_total",
+                          &shed);
+    repl::FindMetricValue(reply->prometheus_text,
+                          "sse_admission_shed_mutations_total",
+                          &shed_mutations);
+    repl::FindMetricValue(reply->prometheus_text,
+                          "sse_admission_queue_full_total", &queue_full);
+    repl::FindMetricValue(reply->prometheus_text,
+                          "sse_admission_deadline_dropped_total",
+                          &deadline_dropped);
+    std::printf("overload:      %g shed (%g mutations, %g queue-full), "
+                "%g expired at dequeue",
+                shed, shed_mutations, queue_full, deadline_dropped);
+    double breaker_opens = 0;
+    if (repl::FindMetricValue(reply->prometheus_text,
+                              "sse_client_breaker_opens_total",
+                              &breaker_opens)) {
+      std::printf(", %g breaker open(s)", breaker_opens);
+    }
+    std::printf("\n");
+  }
   std::printf("\n");
 
   // Metric families, blank-line separated; HELP kept, TYPE dropped.

@@ -35,6 +35,12 @@ ctest --test-dir build -L obs --output-on-failure
 ./build/bench/bench_table1_search BENCH_search.json >/dev/null
 echo "    wrote BENCH_search.json"
 
+echo "==> overload: deadline propagation, admission control, retry budgets"
+# Deadline wire/scope units, the admission policy, the bounded dispatch
+# queue, the breaker, and the brownout chaos test (open-loop saturation
+# against the reactor stack with an exactly-once oracle).
+ctest --test-dir build -L overload --output-on-failure
+
 echo "==> scheme3: forward-private dynamic scheme suite"
 # Covers the hash-chain client/server pair, the descriptor-driven engine
 # integration, and the forward-privacy property test (stale trapdoors must
@@ -54,14 +60,18 @@ else
   cmake --build build-tsan -j "$(nproc)" \
     --target engine_concurrency_test tcp_test chaos_test \
              obs_trace_test obs_metrics_test obs_stats_rpc_test \
-             reactor_test net_scale_test repl_test scheme3_test
+             reactor_test net_scale_test repl_test scheme3_test \
+             overload_test
   # repl_test (not the multi-process cluster harness — TSan doesn't see
   # across fork/exec) exercises the sender's shipping threads, the node's
   # role lock and the failover router under the race detector. scheme3_test
   # rides along for its sharded-engine broadcast searches, which hit the
   # server's relaxed stat counters from multiple shards.
+  # overload_test rides in the TSan pass too: the shed path races the
+  # reactor loops against the dispatch pool and the admission EWMA.
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L "concurrency|chaos|obs|net|cluster|scheme3" \
+    ctest --test-dir build-tsan \
+    -L "concurrency|chaos|obs|net|cluster|scheme3|overload" \
     --output-on-failure -E cluster_test
 fi
 
@@ -76,9 +86,9 @@ else
   cmake --build build-asan -j "$(nproc)" \
     --target engine_concurrency_test tcp_test chaos_test batch_test \
              crash_recovery_test env_test reactor_test net_scale_test \
-             scheme3_test
+             scheme3_test overload_test
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-asan -L "concurrency|chaos|net|scheme3" \
+    ctest --test-dir build-asan -L "concurrency|chaos|net|scheme3|overload" \
     --output-on-failure
   # batch_test carries no ctest label; run the binary directly so the
   # envelope codecs get their sanitizer pass too.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sse/net/batch.h"
+#include "sse/net/deadline.h"
 #include "sse/obs/trace.h"
 #include "sse/util/serde.h"
 
@@ -214,6 +215,14 @@ Result<net::Message> DurableServer::Handle(const net::Message& request) {
   // diverge from what recovery reconstructs). UNAVAILABLE is retryable —
   // a client can fail over or wait for the operator to restart us.
   if (mutating && degraded()) return DegradedStatus();
+  // The caller's propagated deadline, checked before apply+journal: an
+  // expired mutation must not cost an fsync (let alone a WAL record) for
+  // a reply nobody is waiting on. Checked before the dedup Begin so no
+  // in-flight cache entry needs unwinding. The retried call re-sends the
+  // same seq and dedups normally.
+  if (mutating && net::CurrentDeadline().Expired()) {
+    return net::DeadlineExceededStatus("before durable apply");
+  }
   // Only mutations go through the dedup table: re-executing a read-only
   // retry is harmless, and not recording search results keeps the cache
   // small and the fault-free overhead low.
@@ -327,6 +336,11 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
   // never slice between a sub-op's apply and its journal record.
   std::shared_lock<std::shared_mutex> commit_lock(commit_mutex_);
 
+  // Envelope deadline, re-checked at every sub-op: once it expires the
+  // rest of the batch is refused per-op — completed neighbors keep their
+  // committed outcomes, refused ones never reach the WAL.
+  const net::Deadline batch_deadline = net::CurrentDeadline();
+
   // Sub-ops whose cache commit is deferred until the group sync lands.
   struct PendingCommit {
     size_t index;
@@ -351,6 +365,11 @@ Result<net::Message> DurableServer::HandleBatch(const net::Message& request) {
     if (sub.type == net::kMsgBatch) {
       outs[i] = net::MakeErrorMessage(
           Status::InvalidArgument("batch envelopes cannot nest"));
+      continue;
+    }
+    if (batch_deadline.Expired()) {
+      outs[i] = net::MakeErrorMessage(
+          net::DeadlineExceededStatus("mid-batch, before durable apply"));
       continue;
     }
 

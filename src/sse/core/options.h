@@ -25,6 +25,13 @@ struct SchemeOptions {
   /// decrypted, so repeat searches only decrypt newly added segments.
   bool server_plaintext_cache = true;
 
+  /// Bound on Optimization 1's memory: at most this many keywords keep
+  /// their decrypted posting list cached; beyond it the least-recently-
+  /// searched keyword's cache is dropped (soft state — its next search
+  /// simply re-decrypts every segment). 0 = unbounded, the paper's
+  /// original behavior.
+  size_t plaintext_cache_max_entries = 0;
+
   /// Scheme 2, Optimization 2: bump the global counter only when a search
   /// happened since the last update; consecutive updates then share a chain
   /// element, slowing exhaustion by the factor x of Table 1.

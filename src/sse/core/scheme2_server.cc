@@ -8,9 +8,60 @@
 
 namespace sse::core {
 
+namespace {
+
+obs::MetricsRegistry::Counter* CacheEvictionsCounter() {
+  static auto* c = obs::MetricsRegistry::Global().GetCounter(
+      "sse_s2_plaintext_cache_evictions_total",
+      "Scheme 2 plaintext-cache entries dropped by the LRU bound");
+  return c;
+}
+
+}  // namespace
+
 Scheme2Server::Scheme2Server(const SchemeOptions& options)
     : options_(options),
-      index_(options.use_hash_index, options.btree_order) {}
+      index_(options.use_hash_index, options.btree_order) {
+  registrations_.push_back(obs::MetricsRegistry::Global().RegisterGauge(
+      "sse_s2_plaintext_cache_entries",
+      [this] {
+        return static_cast<double>(
+            cache_entries_.load(std::memory_order_relaxed));
+      },
+      "Scheme 2 keywords currently holding a decrypted posting-list cache"));
+}
+
+void Scheme2Server::TouchPlaintextCache(const Bytes& token) {
+  if (options_.plaintext_cache_max_entries == 0) return;
+  auto pos = cache_pos_.find(token);
+  if (pos != cache_pos_.end()) {
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, pos->second);
+  } else {
+    cache_lru_.push_front(token);
+    cache_pos_[token] = cache_lru_.begin();
+  }
+  while (cache_pos_.size() > options_.plaintext_cache_max_entries) {
+    const Bytes victim = cache_lru_.back();
+    if (Entry* evicted = index_.GetMutable(victim)) {
+      // Soft state only: the segments stay; the next search of this
+      // keyword decrypts them all again instead of the cached suffix.
+      evicted->cached_ids.clear();
+      evicted->cached_ids.shrink_to_fit();
+      evicted->cached_segments = 0;
+    }
+    cache_pos_.erase(victim);
+    cache_lru_.pop_back();
+    cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheEvictionsCounter()->Add();
+  }
+  cache_entries_.store(cache_pos_.size(), std::memory_order_relaxed);
+}
+
+void Scheme2Server::ResetPlaintextCacheLru() {
+  cache_lru_.clear();
+  cache_pos_.clear();
+  cache_entries_.store(0, std::memory_order_relaxed);
+}
 
 Result<net::Message> Scheme2Server::Handle(const net::Message& request) {
   switch (request.type) {
@@ -111,6 +162,7 @@ Result<net::Message> Scheme2Server::HandleSearch(const net::Message& msg) {
   if (options_.server_plaintext_cache) {
     entry->cached_ids = ids;
     entry->cached_segments = entry->segments.size();
+    TouchPlaintextCache(req.token);
   }
 
   result.ids = std::move(ids);
@@ -141,6 +193,7 @@ Result<net::Message> Scheme2Server::HandleReinit(const net::Message& msg) {
   S2ReinitRequest req;
   SSE_ASSIGN_OR_RETURN(req, S2ReinitRequest::FromMessage(msg));
   index_.Clear();
+  ResetPlaintextCacheLru();
   index_bytes_ = 0;
   for (S2UpdateEntry& e : req.entries) {
     Entry fresh;
@@ -217,6 +270,9 @@ Status Scheme2Server::RestoreState(BytesView data) {
   index_ = std::move(index);
   docs_ = std::move(docs);
   index_bytes_ = index_bytes;
+  // The restored entries carry no plaintext caches (they are soft state,
+  // never serialized), so the LRU starts over with them.
+  ResetPlaintextCacheLru();
   return Status::OK();
 }
 

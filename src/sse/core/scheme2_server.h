@@ -1,7 +1,10 @@
 #ifndef SSE_CORE_SCHEME2_SERVER_H_
 #define SSE_CORE_SCHEME2_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <list>
+#include <map>
 #include <vector>
 
 #include "sse/core/options.h"
@@ -9,6 +12,7 @@
 #include "sse/core/scheme2_messages.h"
 #include "sse/core/token_map.h"
 #include "sse/index/posting.h"
+#include "sse/obs/metrics_registry.h"
 #include "sse/storage/document_store.h"
 
 namespace sse::core {
@@ -50,6 +54,16 @@ class Scheme2Server : public PersistableHandler {
     return total_segments_decrypted_;
   }
 
+  /// Keywords currently holding a decrypted posting-list cache, and how
+  /// many such caches the LRU bound has dropped (see
+  /// SchemeOptions::plaintext_cache_max_entries).
+  size_t plaintext_cache_entries() const {
+    return cache_entries_.load(std::memory_order_relaxed);
+  }
+  uint64_t plaintext_cache_evictions() const {
+    return cache_evictions_.load(std::memory_order_relaxed);
+  }
+
   /// Switches document ciphertexts to an on-disk LogStore (see
   /// SchemeOptions::document_log_path).
   Status UseLogBackedDocuments(const std::string& path);
@@ -68,12 +82,28 @@ class Scheme2Server : public PersistableHandler {
   Result<net::Message> HandleFetchAll(const net::Message& msg);
   Result<net::Message> HandleReinit(const net::Message& msg);
 
+  /// Marks `token` most-recently-searched in the plaintext-cache LRU and
+  /// evicts over-bound victims (clearing their Entry cache fields). No-op
+  /// when the bound is off.
+  void TouchPlaintextCache(const Bytes& token);
+  /// Forgets all LRU bookkeeping (index rebuilt: reinit/restore).
+  void ResetPlaintextCacheLru();
+
   SchemeOptions options_;
   TokenMap<Entry> index_;
   storage::DocumentStore docs_;
   uint64_t index_bytes_ = 0;
   uint64_t total_chain_steps_ = 0;
   uint64_t total_segments_decrypted_ = 0;
+
+  // LRU over tokens with a live plaintext cache, MRU at the front. The
+  // atomics mirror sizes for the metrics scrape thread; all structural
+  // mutation happens under the owner's handler serialization.
+  std::list<Bytes> cache_lru_;
+  std::map<Bytes, std::list<Bytes>::iterator> cache_pos_;
+  std::atomic<size_t> cache_entries_{0};
+  std::atomic<uint64_t> cache_evictions_{0};
+  std::vector<obs::MetricsRegistry::Registration> registrations_;
 };
 
 }  // namespace sse::core

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sse/net/batch.h"
+#include "sse/net/deadline.h"
 #include "sse/util/serde.h"
 
 namespace sse::engine {
@@ -130,11 +131,24 @@ Result<net::Message> ServerEngine::HandleBatch(const net::Message& request) {
   // Captured explicitly: pool workers carry their own (empty) thread-local
   // context, so batch sub-op spans must parent through this value.
   const obs::TraceContext batch_ctx = obs::CurrentContext();
-  auto run_one = [this, &subs, use_pool, batch_ctx](size_t i) -> net::Message {
+  // Same capture trick for the caller's deadline: checked at every sub-op
+  // boundary so a batch that outlives its budget stops burning workers —
+  // already-finished neighbors keep their real replies, the rest get
+  // per-op DEADLINE_EXCEEDED entries (retryable, and their stable sub-op
+  // seqs make the re-send dedup cleanly).
+  const net::Deadline batch_deadline = net::CurrentDeadline();
+  auto run_one = [this, &subs, use_pool, batch_ctx,
+                  batch_deadline](size_t i) -> net::Message {
     if (subs[i].type == net::kMsgBatch) {
       return net::MakeErrorMessage(
           Status::InvalidArgument("batch envelopes cannot nest"));
     }
+    if (batch_deadline.Expired()) {
+      return net::MakeErrorMessage(net::DeadlineExceededStatus("mid-batch"));
+    }
+    // Pool workers carry an empty thread-local deadline; re-publish the
+    // envelope's for anything below (e.g. the durable pre-append check).
+    net::ScopedDeadline op_deadline(batch_deadline);
     obs::ScopedSpan op_span("engine.batch_op", batch_ctx);
     op_span.Annotate("batch_index", i);
     op_span.Annotate("seq", subs[i].seq);

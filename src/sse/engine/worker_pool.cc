@@ -34,6 +34,20 @@ bool WorkerPool::Submit(std::function<void()> task) {
   return true;
 }
 
+WorkerPool::SubmitResult WorkerPool::TrySubmit(std::function<void()> task,
+                                               size_t max_queue) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return SubmitResult::kShutdown;
+    if (max_queue > 0 && queue_.size() >= max_queue) {
+      return SubmitResult::kQueueFull;
+    }
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+  return SubmitResult::kAccepted;
+}
+
 void WorkerPool::RunBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   if (threads_.empty()) {

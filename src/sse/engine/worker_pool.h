@@ -31,6 +31,18 @@ class WorkerPool {
   /// tearing down anyway, and dropping beats dereferencing a dead pool.
   bool Submit(std::function<void()> task);
 
+  /// Outcome of a bounded TrySubmit: accepted, refused because the queue
+  /// already holds `max_queue` tasks (shed — the caller owes the client a
+  /// retryable verdict), or refused because the pool is shutting down
+  /// (drop silently, the server is going away).
+  enum class SubmitResult { kAccepted, kQueueFull, kShutdown };
+
+  /// Like Submit but bounded: refuses with kQueueFull when `max_queue`
+  /// (> 0) tasks are already queued, keeping dispatch latency — not just
+  /// dispatch memory — bounded under overload. max_queue == 0 means
+  /// unbounded (identical to Submit).
+  SubmitResult TrySubmit(std::function<void()> task, size_t max_queue);
+
   /// Drains the queue and joins the workers, leaving the object valid:
   /// concurrent Submit/queue_depth callers see a stopped pool instead of
   /// freed memory. Idempotent; the destructor calls it.

@@ -106,6 +106,13 @@ class Channel {
   /// any still-pending submissions.
   virtual void Reset() {}
 
+  /// Caps how long one exchange may block at the transport (ms); 0 lifts
+  /// the cap. Retry layers set this to the caller's *remaining* overall
+  /// deadline before each attempt, so the last attempt cannot overshoot
+  /// the budget the way a fixed per-attempt timeout can. No-op by default
+  /// (in-process calls do not block on IO); decorators forward it inward.
+  virtual void SetIoDeadlineMs(double /*ms*/) {}
+
   virtual const ChannelStats& stats() const = 0;
   virtual void ResetStats() = 0;
 

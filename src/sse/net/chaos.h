@@ -81,6 +81,8 @@ class ChaosChannel : public Channel {
   /// resets the inner transport.
   void Reset() override;
 
+  void SetIoDeadlineMs(double ms) override { inner_->SetIoDeadlineMs(ms); }
+
   const ChannelStats& stats() const override { return stats_; }
   void ResetStats() override {
     stats_.Clear();

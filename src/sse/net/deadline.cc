@@ -1,0 +1,66 @@
+#include "sse/net/deadline.h"
+
+#include <chrono>
+#include <string>
+
+namespace sse::net {
+
+namespace {
+
+thread_local Deadline g_current_deadline;
+
+}  // namespace
+
+Deadline Deadline::FromRemainingMs(uint32_t remaining_ms, uint64_t anchor_ns) {
+  // Clamp so a huge budget cannot wrap the anchor; 0 remaining is still a
+  // real (already expired) deadline, encoded as anchor itself... except
+  // expires_ns_ == 0 means "none", so floor the expiry at 1.
+  uint64_t expires = anchor_ns + static_cast<uint64_t>(remaining_ms) * 1000000ull;
+  if (expires == 0) expires = 1;
+  return Deadline(expires);
+}
+
+Deadline Deadline::FromMessage(const Message& msg, uint64_t anchor_ns) {
+  if (!msg.has_deadline) return Deadline();
+  return FromRemainingMs(msg.deadline_ms, anchor_ns);
+}
+
+uint64_t Deadline::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t Deadline::RemainingMs(uint64_t now_ns) const {
+  if (expires_ns_ == 0) return UINT32_MAX;
+  if (now_ns >= expires_ns_) return 0;
+  const uint64_t remaining_ms = (expires_ns_ - now_ns) / 1000000ull;
+  return remaining_ms > UINT32_MAX ? UINT32_MAX
+                                   : static_cast<uint32_t>(remaining_ms);
+}
+
+void Deadline::StampMessage(Message* msg) const {
+  if (expires_ns_ == 0) {
+    msg->has_deadline = false;
+    msg->deadline_ms = 0;
+    return;
+  }
+  msg->has_deadline = true;
+  msg->deadline_ms = RemainingMs();
+}
+
+Deadline CurrentDeadline() { return g_current_deadline; }
+
+ScopedDeadline::ScopedDeadline(const Deadline& deadline)
+    : saved_(g_current_deadline) {
+  g_current_deadline = deadline;
+}
+
+ScopedDeadline::~ScopedDeadline() { g_current_deadline = saved_; }
+
+Status DeadlineExceededStatus(const char* where) {
+  return Status::DeadlineExceeded(std::string("deadline expired ") + where);
+}
+
+}  // namespace sse::net

@@ -81,6 +81,8 @@ class FaultInjectionChannel : public Channel {
     inner_->Reset();
   }
 
+  void SetIoDeadlineMs(double ms) override { inner_->SetIoDeadlineMs(ms); }
+
   const ChannelStats& stats() const override { return stats_; }
   void ResetStats() override {
     stats_.Clear();

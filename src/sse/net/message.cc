@@ -22,10 +22,12 @@ Bytes Message::Encode() const {
   uint16_t tag = type;
   if (has_session) tag |= kMsgFlagSession;
   if (has_trace) tag |= kMsgFlagTrace;
+  if (has_deadline) tag |= kMsgFlagDeadline;
   w.PutU16(tag);
   const size_t body = payload.size() +
                       (has_session ? kSessionHeaderSize : 0) +
-                      (has_trace ? kTraceHeaderSize : 0);
+                      (has_trace ? kTraceHeaderSize : 0) +
+                      (has_deadline ? kDeadlineHeaderSize : 0);
   w.PutU32(static_cast<uint32_t>(body));
   if (has_session) {
     w.PutU64(client_id);
@@ -37,6 +39,7 @@ Bytes Message::Encode() const {
     w.PutU64(trace_parent);
     w.PutU8(trace_flags);
   }
+  if (has_deadline) w.PutU32(deadline_ms);
   w.PutRaw(payload);
   return w.TakeData();
 }
@@ -71,6 +74,15 @@ Result<Message> Message::Decode(BytesView data) {
     SSE_ASSIGN_OR_RETURN(msg.trace_parent, r.GetU64());
     SSE_ASSIGN_OR_RETURN(msg.trace_flags, r.GetU8());
     len -= static_cast<uint32_t>(kTraceHeaderSize);
+  }
+  if ((msg.type & kMsgFlagDeadline) != 0) {
+    msg.type &= static_cast<uint16_t>(~kMsgFlagDeadline);
+    msg.has_deadline = true;
+    if (len < kDeadlineHeaderSize) {
+      return Status::ProtocolError("deadline header truncated");
+    }
+    SSE_ASSIGN_OR_RETURN(msg.deadline_ms, r.GetU32());
+    len -= static_cast<uint32_t>(kDeadlineHeaderSize);
   }
   SSE_ASSIGN_OR_RETURN(msg.payload, r.GetRaw(len));
   if (msg.has_session && Crc32c(msg.payload) != msg.payload_crc) {

@@ -21,6 +21,16 @@ inline constexpr uint16_t kMsgFlagSession = 0x8000;
 /// zero wire bytes until a request is actually sampled.
 inline constexpr uint16_t kMsgFlagTrace = 0x4000;
 
+/// Third-highest bit of the type tag: a deadline header (remaining budget
+/// in milliseconds, u32) follows the trace header (if any) and precedes
+/// the payload. The deadline is *relative* — the sender's remaining call
+/// budget at send time — so clock skew between endpoints does not matter;
+/// the receiver anchors it to its own arrival clock. Like the trace
+/// header it sits outside the session CRC, so a retrying client can
+/// re-stamp a fresh (smaller) budget on each attempt without invalidating
+/// the stamped payload.
+inline constexpr uint16_t kMsgFlagDeadline = 0x2000;
+
 /// Trace header flag bits.
 inline constexpr uint8_t kTraceFlagSampled = 0x01;
 
@@ -54,11 +64,20 @@ struct Message {
   uint64_t trace_parent = 0;
   uint8_t trace_flags = 0;
 
+  /// Deadline header (present when has_deadline): the sender's remaining
+  /// per-call budget in milliseconds at the moment the frame was encoded.
+  /// Servers anchor it to arrival time and drop the work (retryable
+  /// DEADLINE_EXCEEDED) once the budget is spent — at dequeue, between
+  /// batch sub-ops, and before the WAL fsync (see sse/net/deadline.h).
+  bool has_deadline = false;
+  uint32_t deadline_ms = 0;
+
   /// Envelope size on the wire: type(2) ‖ u32 length ‖ [session(20)] ‖
-  /// [trace(17)] ‖ payload.
+  /// [trace(17)] ‖ [deadline(4)] ‖ payload.
   size_t WireSize() const {
     return 2 + 4 + (has_session ? kSessionHeaderSize : 0) +
-           (has_trace ? kTraceHeaderSize : 0) + payload.size();
+           (has_trace ? kTraceHeaderSize : 0) +
+           (has_deadline ? kDeadlineHeaderSize : 0) + payload.size();
   }
 
   /// Fills the session header for this payload (computes the CRC). Use on
@@ -88,6 +107,7 @@ struct Message {
 
   static constexpr size_t kSessionHeaderSize = 8 + 8 + 4;
   static constexpr size_t kTraceHeaderSize = 8 + 8 + 1;
+  static constexpr size_t kDeadlineHeaderSize = 4;
 };
 
 /// Message type ranges. Keeping ranges disjoint per scheme makes

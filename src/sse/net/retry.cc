@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "sse/net/admission.h"
 #include "sse/net/batch.h"
 #include "sse/obs/metrics_registry.h"
 #include "sse/obs/trace.h"
@@ -28,6 +29,20 @@ obs::MetricsRegistry::Counter* DeadlineCounter() {
   return c;
 }
 
+obs::MetricsRegistry::Counter* BudgetSpentCounter() {
+  static auto* c = obs::MetricsRegistry::Global().GetCounter(
+      "sse_retry_budget_spent_total",
+      "Retry-budget tokens spent on retries, all clients");
+  return c;
+}
+
+obs::MetricsRegistry::Counter* BudgetExhaustedCounter() {
+  static auto* c = obs::MetricsRegistry::Global().GetCounter(
+      "sse_retry_budget_exhausted_total",
+      "Retries refused because the retry budget was empty, all clients");
+  return c;
+}
+
 }  // namespace
 
 RetryingChannel::RetryingChannel(Channel* inner, RetryOptions options,
@@ -41,6 +56,35 @@ RetryingChannel::RetryingChannel(Channel* inner, RetryOptions options,
     }
     if (client_id_ == 0) client_id_ = 0x5353452d636c6974;  // arbitrary nonzero
   }
+  retry_tokens_ = options_.retry_budget;  // bucket starts full
+}
+
+bool RetryingChannel::SpendRetryToken() {
+  if (options_.retry_budget <= 0.0) return true;
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  BudgetSpentCounter()->Add();
+  return true;
+}
+
+void RetryingChannel::RefillRetryToken() {
+  if (options_.retry_budget <= 0.0) return;
+  retry_tokens_ = std::min(options_.retry_budget,
+                           retry_tokens_ + options_.retry_budget_refill);
+}
+
+void RetryingChannel::StampRemainingDeadline(Message* msg, double start_ms) {
+  if (!options_.propagate_deadline || options_.call_deadline_ms <= 0.0) return;
+  // The remainder is clamped to >= 1ms: the deadline check above already
+  // rejected an expired call, so what is left is a real (if tiny) budget.
+  const double remaining =
+      std::max(1.0, options_.call_deadline_ms - (NowMs() - start_ms));
+  msg->has_deadline = true;
+  msg->deadline_ms = static_cast<uint32_t>(remaining);
+  // The transport must not block past the budget either: a fixed
+  // per-attempt recv timeout larger than the remainder would let the last
+  // attempt overshoot the overall deadline.
+  inner_->SetIoDeadlineMs(remaining);
 }
 
 double RetryingChannel::NowMs() const {
@@ -78,6 +122,12 @@ double RetryingChannel::NextBackoff(double prev_ms) {
 
 bool RetryingChannel::ShouldRetry(const Status& status) const {
   if (status.IsRetryable()) return true;
+  // RESOURCE_EXHAUSTED from the *server* means "shed under overload, retry
+  // later" (net/admission.h) — retryable here, where backoff honors the
+  // server's retry-after hint. Status::IsRetryable itself excludes the
+  // code because client-side exhaustion (a consumed hash chain) is
+  // permanent; those statuses never pass through this layer.
+  if (status.code() == StatusCode::kResourceExhausted) return true;
   return options_.retry_corrupt_replies &&
          status.code() == StatusCode::kCorruption;
 }
@@ -95,11 +145,25 @@ Result<Message> RetryingChannel::Call(const Message& request) {
   Status last = Status::OK();
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
+      if (!SpendRetryToken()) {
+        // Empty bucket: another attempt would amplify whatever is failing.
+        // Surface the failure now; successes elsewhere will refill us.
+        retry_stats_.budget_exhausted += 1;
+        BudgetExhaustedCounter()->Add();
+        return Status(last.code(),
+                      "retry budget exhausted; last: " + last.ToString());
+      }
       // An ambiguous failure may have left a half-written request or a
       // buffered stale reply in the transport; flush before re-sending.
       inner_->Reset();
       retry_stats_.resets += 1;
       backoff_ms = NextBackoff(backoff_ms);
+      uint32_t hint_ms = 0;
+      if (RetryAfterHintMs(last, &hint_ms)) {
+        // A shedding server told us when it wants us back; never return
+        // earlier than that, whatever the jitter drew.
+        backoff_ms = std::max(backoff_ms, static_cast<double>(hint_ms));
+      }
       SleepMs(backoff_ms);
       retry_stats_.retries += 1;
       RetriesCounter()->Add();
@@ -118,8 +182,10 @@ Result<Message> RetryingChannel::Call(const Message& request) {
     attempt_span.Annotate("attempt", static_cast<uint64_t>(attempt));
     // The trace header is outside the session CRC, so re-stamping each
     // attempt with its own span id is safe and keeps per-attempt frames
-    // distinguishable in the span tree.
+    // distinguishable in the span tree. Same for the deadline header:
+    // each attempt carries the budget *remaining now*, not the original.
     obs::StampMessage(&stamped, attempt_span.context());
+    StampRemainingDeadline(&stamped, start_ms);
     Result<Message> reply = inner_->Call(stamped);
     if (reply.ok()) {
       if (stamped.has_session && reply->has_session) {
@@ -137,6 +203,7 @@ Result<Message> RetryingChannel::Call(const Message& request) {
           continue;
         }
       }
+      RefillRetryToken();
       return reply;
     }
     last = reply.status();
@@ -217,6 +284,7 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
     }
     if (!g.is_batch) {
       settle(g.ops[0], std::move(*reply));
+      RefillRetryToken();
       return;
     }
     Result<BatchReply> decoded = BatchReply::FromMessage(*reply);
@@ -239,6 +307,7 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
         if (!ShouldRetry(app_error)) settle(i, app_error);
       } else {
         settle(i, std::move(op_reply));
+        RefillRetryToken();
       }
     }
   };
@@ -249,6 +318,10 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
       inner_->Reset();
       retry_stats_.resets += 1;
       backoff_ms = NextBackoff(backoff_ms);
+      uint32_t hint_ms = 0;
+      if (RetryAfterHintMs(last, &hint_ms)) {
+        backoff_ms = std::max(backoff_ms, static_cast<double>(hint_ms));
+      }
       SleepMs(backoff_ms);
     }
     if (options_.call_deadline_ms > 0.0 &&
@@ -273,6 +346,15 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
                          "retries exhausted after " +
                              std::to_string(max_attempts) +
                              " attempts; last: " + last.ToString()));
+        continue;
+      }
+      // A re-attempt of op i is a retry: it must buy a token. First
+      // attempts are free — the budget throttles amplification, not load.
+      if (attempts[i] > 0 && !SpendRetryToken()) {
+        retry_stats_.budget_exhausted += 1;
+        BudgetExhaustedCounter()->Add();
+        settle(i, Status(last.ok() ? StatusCode::kUnavailable : last.code(),
+                         "retry budget exhausted; last: " + last.ToString()));
         continue;
       }
       round.push_back(i);
@@ -316,6 +398,7 @@ std::vector<Result<Message>> RetryingChannel::MultiCall(
         g.envelope.StampSession(client_id_, seqs[i]);
       }
       obs::StampMessage(&g.envelope, mc_span.context());
+      StampRemainingDeadline(&g.envelope, start_ms);
       groups.push_back(std::move(g));
     }
 

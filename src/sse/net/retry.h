@@ -39,6 +39,24 @@ struct RetryOptions {
   /// CORRUPTION because storage-level corruption is not transient.)
   bool retry_corrupt_replies = true;
 
+  /// Retry *budget*: a token bucket that caps how many retries this channel
+  /// may spend relative to the successes it observes. Every retry spends
+  /// one token; every successful call refills `retry_budget_refill` tokens
+  /// (capped at `retry_budget`). When the bucket is empty the last failure
+  /// surfaces immediately instead of amplifying an overloaded server with
+  /// another attempt — the retry-storm circuit breaker. 0 = unlimited.
+  double retry_budget = 0.0;
+  /// Tokens refilled per successful call. 0.1 means sustained retries are
+  /// capped near 10% of throughput once the initial bucket drains.
+  double retry_budget_refill = 0.1;
+
+  /// Stamp each attempt with the *remaining* overall deadline (a wire
+  /// deadline header, net/message.h) so the server can drop the work once
+  /// the client has given up, and cap the transport's IO timeout to the
+  /// same remainder so the final attempt cannot overshoot the budget.
+  /// Requires call_deadline_ms > 0 to have any effect.
+  bool propagate_deadline = true;
+
   /// Session identity; 0 draws a random id at construction.
   uint64_t client_id = 0;
 
@@ -62,6 +80,7 @@ struct RetryStats {
   uint64_t deadline_exceeded = 0; // calls abandoned on the deadline
   uint64_t exhausted = 0;         // calls abandoned after max_attempts
   uint64_t batches = 0;           // kMsgBatch envelopes sent by MultiCall
+  uint64_t budget_exhausted = 0;  // retries refused by an empty token bucket
 };
 
 /// Decorator that turns any Channel into a reliable, exactly-once call
@@ -102,6 +121,10 @@ class RetryingChannel : public Channel {
   const RetryStats& retry_stats() const { return retry_stats_; }
   uint64_t client_id() const { return client_id_; }
   uint64_t next_seq() const { return next_seq_; }
+  /// Tokens left in the retry budget (only meaningful with retry_budget>0).
+  double retry_tokens() const { return retry_tokens_; }
+
+  void SetIoDeadlineMs(double ms) override { inner_->SetIoDeadlineMs(ms); }
 
   /// Test hooks: replace wall-clock sleeping and time reading. The clock
   /// returns milliseconds on any monotonic scale; the sleeper receives the
@@ -118,12 +141,21 @@ class RetryingChannel : public Channel {
   void SleepMs(double ms);
   /// Next decorrelated-jitter sleep given the previous one.
   double NextBackoff(double prev_ms);
+  /// Takes one token from the retry budget; false means the bucket is
+  /// empty and the retry must be refused. Always true with no budget.
+  bool SpendRetryToken();
+  /// Credits a success back to the bucket.
+  void RefillRetryToken();
+  /// Stamps the remaining overall deadline onto `msg` and caps the inner
+  /// transport's IO timeout to it (see RetryOptions::propagate_deadline).
+  void StampRemainingDeadline(Message* msg, double start_ms);
 
   Channel* inner_;
   RetryOptions options_;
   RandomSource* rng_;
   uint64_t client_id_ = 0;
   uint64_t next_seq_ = 0;
+  double retry_tokens_ = 0.0;
   RetryStats retry_stats_;
   std::function<void(double)> sleep_fn_;
   std::function<double()> clock_fn_;

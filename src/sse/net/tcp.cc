@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "sse/net/deadline.h"
 #include "sse/net/socket_util.h"
 #include "sse/obs/stats_rpc.h"
 #include "sse/obs/trace.h"
@@ -85,6 +86,49 @@ obs::LatencyHistogram& DispatchQueueDepthHistogram() {
   }();
   return *h;
 }
+
+/// Queue-wait distribution: microseconds between a frame's arrival on the
+/// loop thread and a pool worker picking it up. The admission layer's
+/// wait-EWMA sees the same samples.
+obs::LatencyHistogram& DispatchQueueWaitHistogram() {
+  static auto* h = [] {
+    auto* hist = new obs::LatencyHistogram();
+    static auto reg = obs::MetricsRegistry::Global().RegisterHistogram(
+        "sse_net_dispatch_queue_wait_us",
+        [hist] { return hist->Snap(); },
+        "Dispatch-queue wait per served frame, microseconds");
+    return hist;
+  }();
+  return *h;
+}
+
+/// Overload-protection counters (the sse_admission_* series).
+struct AdmissionCounters {
+  obs::MetricsRegistry::Counter* shed;
+  obs::MetricsRegistry::Counter* shed_mutations;
+  obs::MetricsRegistry::Counter* queue_full;
+  obs::MetricsRegistry::Counter* deadline_dropped;
+
+  static AdmissionCounters& Get() {
+    static AdmissionCounters c = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      AdmissionCounters a;
+      a.shed = reg.GetCounter("sse_admission_shed_total",
+                              "Frames shed by admission control");
+      a.shed_mutations =
+          reg.GetCounter("sse_admission_shed_mutations_total",
+                         "Mutation frames shed by admission control");
+      a.queue_full =
+          reg.GetCounter("sse_admission_queue_full_total",
+                         "Frames shed because the dispatch queue was full");
+      a.deadline_dropped = reg.GetCounter(
+          "sse_admission_deadline_dropped_total",
+          "Requests dropped at dequeue with their wire deadline expired");
+      return a;
+    }();
+    return c;
+  }
+};
 
 Status WriteFrameBlocking(int fd, const Bytes& payload) {
   const Bytes framed = EncodeFrame(payload);
@@ -258,27 +302,83 @@ void TcpServer::OnConnectionClosed(Connection* conn) {
   conns_.erase(conn);
 }
 
+void TcpServer::ShedFrame(const std::shared_ptr<Connection>& conn,
+                          bool has_session, uint64_t client_id, uint64_t seq,
+                          const Status& status) {
+  Message error = MakeErrorMessage(status);
+  if (has_session) error.StampSession(client_id, seq);
+  conn->SendFrame(error.Encode());
+}
+
 void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
                               Bytes frame) {
-  // Loop thread: account and hand off. The pool runs the handler and
-  // posts the encoded reply back to the connection's loop.
+  // Loop thread: admission, accounting, hand-off. The pool runs the
+  // handler and posts the encoded reply back to the connection's loop.
+  const size_t queue_depth = pool_->queue_depth();
+  DispatchQueueDepthHistogram().Record(queue_depth);
+  // The session stamp is salvaged up front: a shed reply must be
+  // addressable even though the frame never reaches a worker (and the
+  // frame's bytes are gone once moved into a refused pool task).
+  uint64_t client_id = 0;
+  uint64_t seq = 0;
+  const bool has_session = Message::PeekSession(frame, &client_id, &seq);
+  OpClass op = OpClass::kControl;
+  if (options_.admission != nullptr || options_.max_dispatch_queue > 0) {
+    op = ClassifyFrame(frame);
+  }
+  if (options_.admission != nullptr && op != OpClass::kControl) {
+    const AdmissionDecision verdict = options_.admission->Admit(op, queue_depth);
+    if (!verdict.admit) {
+      AdmissionCounters::Get().shed->Add();
+      if (op == OpClass::kMutation) {
+        AdmissionCounters::Get().shed_mutations->Add();
+      }
+      ShedFrame(conn, has_session, client_id, seq,
+                WithRetryAfter(
+                    Status::ResourceExhausted(
+                        std::string("server overloaded (") + verdict.reason +
+                        "); retry later"),
+                    verdict.retry_after_ms));
+      return;
+    }
+  }
   inflight_requests_.fetch_add(1);
-  DispatchQueueDepthHistogram().Record(pool_->queue_depth());
   const uint64_t enqueued_ns = SteadyNowNs();
-  const bool accepted =
-      pool_->Submit([this, conn, frame = std::move(frame), enqueued_ns] {
-        Message reply = HandleFrame(frame);
-        (void)enqueued_ns;
+  const auto submitted = pool_->TrySubmit(
+      [this, conn, frame = std::move(frame), enqueued_ns] {
+        const uint64_t wait_ns = SteadyNowNs() - enqueued_ns;
+        DispatchQueueWaitHistogram().Record(
+            static_cast<double>(wait_ns) / 1000.0);
+        if (options_.admission != nullptr) {
+          options_.admission->OnQueueWait(wait_ns);
+        }
+        Message reply = HandleFrame(frame, enqueued_ns);
         Bytes encoded = reply.Encode();
         conn->SendFrame(std::move(encoded));
         inflight_requests_.fetch_sub(1);
-      });
-  // A pool that refused is shutting down mid-Stop; the connection is
-  // being closed and the frame goes unanswered by design.
-  if (!accepted) inflight_requests_.fetch_sub(1);
+      },
+      options_.max_dispatch_queue);
+  if (submitted == engine::WorkerPool::SubmitResult::kAccepted) return;
+  inflight_requests_.fetch_sub(1);
+  if (submitted == engine::WorkerPool::SubmitResult::kQueueFull) {
+    // Never silently drop an over-quota frame: bounce it with a
+    // retryable verdict so the client backs off instead of timing out.
+    AdmissionCounters::Get().shed->Add();
+    AdmissionCounters::Get().queue_full->Add();
+    if (op == OpClass::kMutation) {
+      AdmissionCounters::Get().shed_mutations->Add();
+    }
+    ShedFrame(conn, has_session, client_id, seq,
+              WithRetryAfter(
+                  Status::ResourceExhausted("server dispatch queue full"),
+                  /*retry_after_ms=*/25));
+    return;
+  }
+  // kShutdown: the server is mid-Stop; the connection is being closed
+  // and the frame goes unanswered by design.
 }
 
-Message TcpServer::HandleFrame(const Bytes& frame) {
+Message TcpServer::HandleFrame(const Bytes& frame, uint64_t enqueued_ns) {
   Result<Message> request = Message::Decode(frame);
   NetCounters::Get().server_frames->Add();
   obs::ScopedSpan dispatch_span(
@@ -287,6 +387,11 @@ Message TcpServer::HandleFrame(const Bytes& frame) {
   if (request.ok()) {
     dispatch_span.Annotate("msg_type", request->type);
   }
+  // The caller's deadline is anchored at frame *arrival*, so time spent
+  // waiting in the dispatch queue counts against the budget — exactly the
+  // time a queue-blind server would waste executing already-abandoned work.
+  const Deadline deadline =
+      request.ok() ? Deadline::FromMessage(*request, enqueued_ns) : Deadline();
   Result<Message> reply = [&]() -> Result<Message> {
     if (!request.ok()) return request.status();
     if (options_.serve_stats && request->type == kMsgStats) {
@@ -294,6 +399,16 @@ Message TcpServer::HandleFrame(const Bytes& frame) {
       // involving (or serializing on) the application handler.
       return obs::HandleStatsRequest(*request);
     }
+    if (deadline.Expired()) {
+      // The client has already given up on this call; executing it would
+      // burn a worker on a reply nobody reads. Drop before the handler.
+      AdmissionCounters::Get().deadline_dropped->Add();
+      dispatch_span.Annotate("deadline_expired_at_dequeue", 1);
+      return DeadlineExceededStatus("at dequeue");
+    }
+    // Publish the remaining budget for downstream layers (engine batch
+    // boundaries, the durable server's pre-fsync check) on this thread.
+    ScopedDeadline scope(deadline);
     if (options_.serialize_handler) {
       std::lock_guard<std::mutex> lock(handler_mutex_);
       return handler_->Handle(*request);
@@ -433,6 +548,25 @@ void TcpChannel::Reset() {
   FailInflight(Status::Unavailable("connection reset with calls in flight"));
 }
 
+double TcpChannel::EffectiveSendTimeoutMs() const {
+  if (io_deadline_cap_ms_ <= 0.0) return options_.send_timeout_ms;
+  if (options_.send_timeout_ms <= 0.0) return io_deadline_cap_ms_;
+  return std::min(options_.send_timeout_ms, io_deadline_cap_ms_);
+}
+
+double TcpChannel::EffectiveRecvTimeoutMs() const {
+  if (io_deadline_cap_ms_ <= 0.0) return options_.recv_timeout_ms;
+  if (options_.recv_timeout_ms <= 0.0) return io_deadline_cap_ms_;
+  return std::min(options_.recv_timeout_ms, io_deadline_cap_ms_);
+}
+
+void TcpChannel::SetIoDeadlineMs(double ms) {
+  io_deadline_cap_ms_ = ms > 0.0 ? ms : 0.0;
+  if (fd_ >= 0) {
+    ApplyIoTimeouts(fd_, EffectiveSendTimeoutMs(), EffectiveRecvTimeoutMs());
+  }
+}
+
 Status TcpChannel::EnsureConnected() {
   if (fd_ >= 0) return Status::OK();
   if (!options_.auto_reconnect) {
@@ -442,6 +576,11 @@ Status TcpChannel::EnsureConnected() {
                            options_.send_timeout_ms, options_.recv_timeout_ms);
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
+  // DialTcp applied the configured timeouts; re-apply if a retry layer has
+  // capped this attempt tighter than the static configuration.
+  if (io_deadline_cap_ms_ > 0.0) {
+    ApplyIoTimeouts(fd_, EffectiveSendTimeoutMs(), EffectiveRecvTimeoutMs());
+  }
   rx_.Reset();
   reconnects_ += 1;
   NetCounters::Get().reconnects->Add();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sse/engine/worker_pool.h"
+#include "sse/net/admission.h"
 #include "sse/net/channel.h"
 #include "sse/net/connection.h"
 #include "sse/net/frame.h"
@@ -90,6 +91,17 @@ class TcpServer {
     /// disables sweeping — the default, since abandoned-socket reclaim
     /// is an operator policy, not a protocol behavior.
     uint64_t idle_timeout_ms = 0;
+    /// Admission control: consulted on the loop thread for every data
+    /// frame before it is queued for dispatch; a refusal sheds the frame
+    /// with a retryable RESOURCE_EXHAUSTED carrying the controller's
+    /// retry-after hint. Null (the default) admits everything.
+    std::shared_ptr<AdmissionController> admission;
+    /// Hard bound on the dispatch queue: frames arriving while this many
+    /// tasks already wait for a worker are shed exactly like an admission
+    /// refusal. Bounds dispatch *latency*, not just memory — a request
+    /// admitted under this bound waits at most max_dispatch_queue
+    /// handler-times for its worker. 0 = unbounded (the default).
+    size_t max_dispatch_queue = 0;
   };
 
   ~TcpServer();
@@ -133,11 +145,19 @@ class TcpServer {
   /// Closes connections idle past Options::idle_timeout_ms (periodic on
   /// loop 0; only fully quiescent connections are eligible).
   void SweepIdleConnections();
-  /// Frame entry from a connection: accounts, then hands to the pool.
+  /// Frame entry from a connection: admission check, accounting, then
+  /// hand-off to the pool (or an immediate shed reply).
   void DispatchFrame(const std::shared_ptr<Connection>& conn, Bytes frame);
+  /// Answers a frame refused before dispatch (admission shed or a full
+  /// dispatch queue) with a session-addressed error reply, on the loop
+  /// thread — shedding must be cheaper than serving.
+  void ShedFrame(const std::shared_ptr<Connection>& conn, bool has_session,
+                 uint64_t client_id, uint64_t seq, const Status& status);
   /// Decode + handle one frame, producing the reply frame to write. Error
   /// replies are addressed with the request's session stamp when possible.
-  Message HandleFrame(const Bytes& frame);
+  /// `enqueued_ns` anchors the request's wire deadline: queue wait counts
+  /// against the caller's budget, and expired work is dropped undone.
+  Message HandleFrame(const Bytes& frame, uint64_t enqueued_ns);
   void OnConnectionClosed(Connection* conn);
 
   MessageHandler* handler_;
@@ -227,6 +247,12 @@ class TcpChannel : public Channel {
   const ChannelStats& stats() const override { return stats_; }
   void ResetStats() override { stats_.Clear(); }
 
+  /// Caps SO_SNDTIMEO/SO_RCVTIMEO below the configured per-step timeouts
+  /// so one socket exchange cannot outlive the caller's remaining call
+  /// budget (see Channel::SetIoDeadlineMs). Applied to the live socket
+  /// immediately and re-applied after every redial.
+  void SetIoDeadlineMs(double ms) override;
+
   bool connected() const { return fd_ >= 0; }
   uint64_t reconnects() const { return reconnects_; }
 
@@ -257,10 +283,15 @@ class TcpChannel : public Channel {
   /// The in-flight call a decoded (or undecodable) frame answers, or 0.
   CallId MatchReply(const Message& reply) const;
 
+  /// The configured timeouts with the SetIoDeadlineMs cap applied.
+  double EffectiveSendTimeoutMs() const;
+  double EffectiveRecvTimeoutMs() const;
+
   int fd_;
   std::string host_;
   uint16_t port_;
   Options options_;
+  double io_deadline_cap_ms_ = 0.0;  // 0 = no cap
   uint64_t reconnects_ = 0;
   ChannelStats stats_;
   FrameAssembler rx_;  // same framing state machine as the server side

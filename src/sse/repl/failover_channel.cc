@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sse/net/admission.h"
 #include "sse/obs/metrics_registry.h"
 #include "sse/obs/stats_rpc.h"
 
@@ -15,6 +16,14 @@ obs::MetricsRegistry::Counter* FailoverCounter() {
       obs::MetricsRegistry::Global().GetCounter(
           "sse_client_failovers_total",
           "times the client demoted its cached primary and re-probed");
+  return counter;
+}
+
+obs::MetricsRegistry::Counter* BreakerOpenCounter() {
+  static obs::MetricsRegistry::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "sse_client_breaker_opens_total",
+          "times a client endpoint circuit breaker opened");
   return counter;
 }
 
@@ -66,7 +75,15 @@ net::TcpChannel* FailoverChannel::Ensure(Node* node) {
   }
   node->channel = std::move(connected).value();
   node->backoff_ms = 0;
+  if (io_deadline_ms_ > 0.0) node->channel->SetIoDeadlineMs(io_deadline_ms_);
   return node->channel.get();
+}
+
+void FailoverChannel::SetIoDeadlineMs(double ms) {
+  io_deadline_ms_ = ms;
+  for (Node& node : nodes_) {
+    if (node.channel != nullptr) node.channel->SetIoDeadlineMs(ms);
+  }
 }
 
 void FailoverChannel::MarkDialFailure(Node* node) {
@@ -108,18 +125,71 @@ void FailoverChannel::DemotePrimary() {
   FailoverCounter()->Add();
 }
 
-net::TcpChannel* FailoverChannel::Route(const net::Message& request,
-                                        Status* why) {
+bool FailoverChannel::BreakerAllows(Node* node) {
+  if (options_.breaker_failure_threshold <= 0) return true;
+  switch (node->breaker) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kHalfOpen:
+      // Channels are single-caller, so at most one half-open probe can be
+      // in flight; RecordOutcome settles the state either way.
+      return true;
+    case BreakerState::kOpen:
+      if (std::chrono::steady_clock::now() < node->breaker_until) {
+        return false;
+      }
+      node->breaker = BreakerState::kHalfOpen;
+      return true;
+  }
+  return true;
+}
+
+void FailoverChannel::OpenBreaker(Node* node, uint64_t open_ms) {
+  node->breaker = BreakerState::kOpen;
+  node->breaker_until = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(open_ms);
+  ++breaker_opens_;
+  BreakerOpenCounter()->Add();
+}
+
+void FailoverChannel::RecordOutcome(Node* node, const Status& status) {
+  if (options_.breaker_failure_threshold <= 0) return;
+  if (status.ok()) {
+    node->breaker = BreakerState::kClosed;
+    node->consecutive_failures = 0;
+    return;
+  }
+  if (status.code() == StatusCode::kResourceExhausted) {
+    // The server shed us: it is alive but wants the traffic paced. Open
+    // immediately for exactly as long as it asked (its retry-after hint).
+    uint32_t hint_ms = 0;
+    const uint64_t open_ms = net::RetryAfterHintMs(status, &hint_ms)
+                                 ? hint_ms
+                                 : options_.breaker_open_ms;
+    OpenBreaker(node, std::max<uint64_t>(1, open_ms));
+    return;
+  }
+  if (!status.IsRetryable()) return;  // application answer, not node health
+  node->consecutive_failures += 1;
+  if (node->breaker == BreakerState::kHalfOpen ||
+      node->consecutive_failures >= options_.breaker_failure_threshold) {
+    OpenBreaker(node, options_.breaker_open_ms);
+    node->consecutive_failures = 0;
+  }
+}
+
+FailoverChannel::Node* FailoverChannel::Route(const net::Message& request,
+                                              Status* why) {
   const bool mutating =
       options_.is_mutating ? options_.is_mutating(request) : true;
   if (!mutating && options_.read_from_followers && !nodes_.empty()) {
     // Stale-tolerant read: any reachable endpoint will do; spread them.
     for (size_t step = 0; step < nodes_.size(); ++step) {
       Node* node = &nodes_[(read_rr_ + step) % nodes_.size()];
-      net::TcpChannel* channel = Ensure(node);
-      if (channel != nullptr) {
+      if (!BreakerAllows(node)) continue;
+      if (Ensure(node) != nullptr) {
         read_rr_ = (read_rr_ + step + 1) % nodes_.size();
-        return channel;
+        return node;
       }
     }
     *why = Status::Unavailable("no endpoint reachable for read");
@@ -131,25 +201,38 @@ net::TcpChannel* FailoverChannel::Route(const net::Message& request,
     *why = Status::Unavailable("no primary found among endpoints");
     return nullptr;
   }
-  net::TcpChannel* channel = Ensure(&nodes_[index]);
-  if (channel == nullptr) {
+  Node* node = &nodes_[index];
+  if (!BreakerAllows(node)) {
+    // An open breaker is NOT a failover: the primary is alive and shedding.
+    // Refuse locally with the time left so the retry layer sleeps it off.
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        node->breaker_until - std::chrono::steady_clock::now());
+    *why = net::WithRetryAfter(
+        Status::ResourceExhausted("endpoint circuit breaker open"),
+        static_cast<uint32_t>(std::max<int64_t>(1, left.count())));
+    return nullptr;
+  }
+  if (Ensure(node) == nullptr) {
     DemotePrimary();
     *why = Status::Unavailable("cached primary unreachable");
     return nullptr;
   }
-  return channel;
+  return node;
 }
 
 Result<net::Message> FailoverChannel::Call(const net::Message& request) {
   Status why = Status::OK();
-  net::TcpChannel* channel = Route(request, &why);
-  if (channel == nullptr) return why;
-  const bool was_primary =
-      primary_ >= 0 && channel == nodes_[primary_].channel.get();
-  Result<net::Message> reply = channel->Call(request);
+  Node* node = Route(request, &why);
+  if (node == nullptr) return why;
+  const bool was_primary = primary_ >= 0 && node == &nodes_[primary_];
+  Result<net::Message> reply = node->channel->Call(request);
+  RecordOutcome(node, reply.ok() ? Status::OK() : reply.status());
   if (!reply.ok() && was_primary) {
     // A dead transport or an explicit "not primary" both mean the role
     // cache is stale; anything non-retryable is the application's answer.
+    // A shed (RESOURCE_EXHAUSTED) is neither: the primary is healthy,
+    // demoting it would only add probe traffic to an overloaded node —
+    // the breaker above paces us instead.
     if (reply.status().IsRetryable()) DemotePrimary();
   }
   return reply;
@@ -158,17 +241,14 @@ Result<net::Message> FailoverChannel::Call(const net::Message& request) {
 net::Channel::CallId FailoverChannel::Submit(const net::Message& request) {
   const CallId id = next_call_id_++;
   Status why = Status::OK();
-  net::TcpChannel* channel = Route(request, &why);
-  if (channel == nullptr) {
+  Node* node = Route(request, &why);
+  if (node == nullptr) {
     // Routing failed now; Await() hands the failure back.
     buffered_.emplace(id, Result<net::Message>(why));
     return id;
   }
-  size_t index = 0;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].channel.get() == channel) index = i;
-  }
-  pending_.emplace(id, std::make_pair(index, channel->Submit(request)));
+  const size_t index = static_cast<size_t>(node - nodes_.data());
+  pending_.emplace(id, std::make_pair(index, node->channel->Submit(request)));
   return id;
 }
 
@@ -190,6 +270,7 @@ Result<net::Message> FailoverChannel::Await(CallId id) {
     return Status::Unavailable("endpoint channel dropped while pending");
   }
   Result<net::Message> reply = node->channel->Await(inner_id);
+  RecordOutcome(node, reply.ok() ? Status::OK() : reply.status());
   if (!reply.ok() && static_cast<int>(index) == primary_ &&
       reply.status().IsRetryable()) {
     DemotePrimary();
@@ -233,6 +314,14 @@ void FailoverChannel::ResetStats() {
   for (Node& node : nodes_) {
     if (node.channel != nullptr) node.channel->ResetStats();
   }
+}
+
+std::vector<FailoverChannel::BreakerState> FailoverChannel::breaker_states()
+    const {
+  std::vector<BreakerState> out;
+  out.reserve(nodes_.size());
+  for (const Node& node : nodes_) out.push_back(node.breaker);
+  return out;
 }
 
 std::vector<std::string> FailoverChannel::endpoints() const {

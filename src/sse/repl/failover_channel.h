@@ -53,7 +53,20 @@ class FailoverChannel : public net::Channel {
     /// Redial gate per endpoint after a failed dial.
     uint64_t backoff_initial_ms = 100;
     uint64_t backoff_max_ms = 2000;
+    /// Per-endpoint circuit breaker: after this many *consecutive*
+    /// retryable failures the endpoint is held open (refused without a
+    /// wire attempt) for `breaker_open_ms`, then given one half-open
+    /// trial. A server-side shed (RESOURCE_EXHAUSTED) opens the breaker
+    /// immediately for the server's retry-after hint — the node is alive,
+    /// it asked to be left alone. 0 disables the breaker.
+    int breaker_failure_threshold = 5;
+    uint64_t breaker_open_ms = 1000;
   };
+
+  /// Circuit state of one endpoint, oldest pattern in the book: closed =
+  /// traffic flows, open = refuse until a deadline, half-open = one probe
+  /// in flight decides which way to settle.
+  enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
 
   explicit FailoverChannel(std::vector<ReplSender::Endpoint> endpoints);
   FailoverChannel(std::vector<ReplSender::Endpoint> endpoints,
@@ -69,6 +82,10 @@ class FailoverChannel : public net::Channel {
   /// next call re-probes. RetryingChannel calls this between attempts.
   void Reset() override;
 
+  /// Forwards the IO-deadline cap to every endpoint transport (current
+  /// and future — late-dialed nodes inherit it on connect).
+  void SetIoDeadlineMs(double ms) override;
+
   const net::ChannelStats& stats() const override;
   void ResetStats() override;
 
@@ -76,6 +93,10 @@ class FailoverChannel : public net::Channel {
   int primary_index() const { return primary_; }
   /// Times the cached primary was demoted (a failover as the client saw it).
   uint64_t failovers() const { return failovers_; }
+  /// Times any endpoint's breaker transitioned closed/half-open -> open.
+  uint64_t breaker_opens() const { return breaker_opens_; }
+  /// Current breaker state per endpoint, aligned with endpoints().
+  std::vector<BreakerState> breaker_states() const;
   std::vector<std::string> endpoints() const;
 
  private:
@@ -84,6 +105,9 @@ class FailoverChannel : public net::Channel {
     std::unique_ptr<net::TcpChannel> channel;
     std::chrono::steady_clock::time_point next_dial{};
     uint64_t backoff_ms = 0;
+    BreakerState breaker = BreakerState::kClosed;
+    std::chrono::steady_clock::time_point breaker_until{};
+    int consecutive_failures = 0;
   };
 
   /// Connects the node's channel if needed; respects the dial backoff.
@@ -93,16 +117,25 @@ class FailoverChannel : public net::Channel {
   /// primary; caches and returns its index, or -1.
   int FindPrimary();
   void DemotePrimary();
-  /// Routes `request` to the channel the policy picks (primary for
-  /// mutations, round-robin otherwise). Null = nothing reachable,
-  /// `*why` says so.
-  net::TcpChannel* Route(const net::Message& request, Status* why);
+  /// True if the breaker lets a call through right now (an expired open
+  /// breaker transitions to half-open and admits the probe).
+  bool BreakerAllows(Node* node);
+  /// Opens the node's breaker for `open_ms`.
+  void OpenBreaker(Node* node, uint64_t open_ms);
+  /// Feeds one call outcome into the node's breaker state machine.
+  void RecordOutcome(Node* node, const Status& status);
+  /// Routes `request` to the node the policy picks (primary for
+  /// mutations, round-robin otherwise); its channel is connected. Null =
+  /// nothing reachable or circuit open, `*why` says so.
+  Node* Route(const net::Message& request, Status* why);
 
   const Options options_;
   std::vector<Node> nodes_;
   int primary_ = -1;
   size_t read_rr_ = 0;  // round-robin cursor for follower reads
   uint64_t failovers_ = 0;
+  uint64_t breaker_opens_ = 0;
+  double io_deadline_ms_ = 0.0;
   // Own CallId → (node index, inner channel's CallId).
   std::map<CallId, std::pair<size_t, CallId>> pending_;
   mutable net::ChannelStats merged_stats_;
