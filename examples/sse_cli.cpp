@@ -62,6 +62,7 @@
 #include "sse/engine/server_engine.h"
 #include "sse/net/retry.h"
 #include "sse/net/tcp.h"
+#include "sse/obs/slo.h"
 #include "sse/obs/stats_logger.h"
 #include "sse/repl/node.h"
 #include "sse/util/serde.h"
@@ -121,6 +122,27 @@ void ApplyAdmissionEnv(net::TcpServer::Options* server_options) {
       static_cast<uint32_t>(EnvU64("SSE_ADMISSION_RETRY_AFTER_MS", 25));
   server_options->admission =
       std::make_shared<net::QueueAdmissionController>(admission);
+}
+
+// SLO knobs shared by both serve paths: per-request recording on/off, the
+// brownout-exit quiet period, and the per-class latency thresholds of the
+// process-wide tracker. Thresholds must land before the tracker's first
+// use, which is why this runs at serve startup.
+void ApplySloEnv(net::TcpServer::Options* server_options) {
+  server_options->slo_tracking = EnvU64("SSE_SLO_TRACKING", 1) != 0;
+  server_options->brownout_exit_ms = EnvU64("SSE_BROWNOUT_EXIT_MS", 1000);
+  const uint64_t search_ms = EnvU64("SSE_SLO_SEARCH_MS", 0);
+  const uint64_t mutation_ms = EnvU64("SSE_SLO_MUTATION_MS", 0);
+  const uint64_t control_ms = EnvU64("SSE_SLO_CONTROL_MS", 0);
+  if (search_ms == 0 && mutation_ms == 0 && control_ms == 0) return;
+  obs::SloOptions slo;
+  if (search_ms > 0) slo.latency_threshold_us[0] = search_ms * 1000;
+  if (mutation_ms > 0) slo.latency_threshold_us[1] = mutation_ms * 1000;
+  if (control_ms > 0) slo.latency_threshold_us[2] = control_ms * 1000;
+  if (!obs::SloTracker::ConfigureGlobal(slo)) {
+    std::fprintf(stderr,
+                 "warning: SSE_SLO_*_MS ignored (tracker already live)\n");
+  }
 }
 
 Bytes LoadStateBytes(const std::string& dir) {
@@ -256,6 +278,7 @@ int main(int argc, char** argv) {
           std::max(1ul, std::strtoul(loops, nullptr, 10));
     }
     ApplyAdmissionEnv(&server_options);
+    ApplySloEnv(&server_options);
     auto tcp = net::TcpServer::Start(node->get(), port, server_options);
     if (!tcp.ok()) {
       std::fprintf(stderr, "serve failed: %s\n",
@@ -385,6 +408,7 @@ int main(int argc, char** argv) {
           std::max(1ul, std::strtoul(loops, nullptr, 10));
     }
     ApplyAdmissionEnv(&server_options);
+    ApplySloEnv(&server_options);
     auto tcp = net::TcpServer::Start(durable->get(), port, server_options);
     if (!tcp.ok()) {
       std::fprintf(stderr, "serve failed: %s\n",

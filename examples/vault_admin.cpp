@@ -10,6 +10,9 @@
 //                                         # stay as aliases)
 //   vault_admin <dir> compact             # compact the document log, if any
 //   vault_admin stats <host:port> [--spans]   # scrape a running server
+//   vault_admin events <host:port> [N]    # last N journal events (default
+//                                         # the whole ring) from a live
+//                                         # server, oldest first
 //
 // Example (after using sse_cli):
 //   ./build/examples/vault_admin /tmp/vault status
@@ -40,6 +43,7 @@ int Usage() {
                "       vault_admin <dir> checkpoint <scheme>\n"
                "       vault_admin <dir> compact\n"
                "       vault_admin stats <host:port> [--spans]\n"
+               "       vault_admin events <host:port> [N]\n"
                "scheme names:");
   for (const core::SchemeDescriptor& d : core::AllSchemes()) {
     std::fprintf(stderr, " %.*s", static_cast<int>(d.name.size()),
@@ -49,11 +53,8 @@ int Usage() {
   return 2;
 }
 
-/// Scrapes a live server over the kMsgStats admin RPC and pretty-prints
-/// the Prometheus payload: metric families grouped with their HELP text,
-/// and the degraded-mode gauges called out up front so an operator sees
-/// storage faults before scrolling.
-int RunStats(const std::string& target, bool include_spans) {
+/// Dials host:port out of a "host:port" (or bare-port) target string.
+Result<std::unique_ptr<net::TcpChannel>> DialTarget(const std::string& target) {
   std::string host = "127.0.0.1";
   std::string port_str = target;
   if (size_t colon = target.rfind(':'); colon != std::string::npos) {
@@ -62,11 +63,64 @@ int RunStats(const std::string& target, bool include_spans) {
   }
   const long port = std::strtol(port_str.c_str(), nullptr, 10);
   if (port <= 0 || port > 65535) {
-    std::fprintf(stderr, "bad port in %s\n", target.c_str());
-    return 2;
+    return Status::InvalidArgument("bad port in " + target);
   }
+  return net::TcpChannel::Connect(static_cast<uint16_t>(port), host);
+}
 
-  auto channel = net::TcpChannel::Connect(static_cast<uint16_t>(port), host);
+/// Fetches the last `tail` journal events (0 = the server's whole ring)
+/// over the stats RPC and prints them one per line, oldest first.
+int RunEvents(const std::string& target, uint32_t tail) {
+  auto channel = DialTarget(target);
+  if (!channel.ok()) {
+    std::fprintf(stderr, "connect %s failed: %s\n", target.c_str(),
+                 channel.status().ToString().c_str());
+    return 1;
+  }
+  obs::StatsRequest req;
+  req.include_events = true;
+  req.events_tail = tail;
+  auto reply_msg = (*channel)->Call(req.ToMessage());
+  if (!reply_msg.ok()) {
+    std::fprintf(stderr, "stats RPC failed: %s\n",
+                 reply_msg.status().ToString().c_str());
+    return 1;
+  }
+  auto reply = obs::StatsReply::FromMessage(*reply_msg);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "bad stats reply: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  if (reply->events_json.empty() || reply->events_json == "[]") {
+    std::printf("(no events recorded; server may predate the journal)\n");
+    return 0;
+  }
+  // The payload is our own fixed-schema JSON array; reflow it one event
+  // per line so the narrative reads top to bottom.
+  const std::string& json = reply->events_json;
+  std::string line;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '[' && i == 0) continue;
+    if (c == ']' && i + 1 == json.size()) break;
+    if (c == ',' && i + 1 < json.size() && json[i + 1] == '{') {
+      std::printf("%s\n", line.c_str());
+      line.clear();
+      continue;
+    }
+    line.push_back(c);
+  }
+  if (!line.empty()) std::printf("%s\n", line.c_str());
+  return 0;
+}
+
+/// Scrapes a live server over the kMsgStats admin RPC and pretty-prints
+/// the Prometheus payload: metric families grouped with their HELP text,
+/// and the degraded-mode gauges called out up front so an operator sees
+/// storage faults before scrolling.
+int RunStats(const std::string& target, bool include_spans) {
+  auto channel = DialTarget(target);
   if (!channel.ok()) {
     std::fprintf(stderr, "connect %s failed: %s\n", target.c_str(),
                  channel.status().ToString().c_str());
@@ -160,6 +214,33 @@ int RunStats(const std::string& target, bool include_spans) {
                 std::strtod(line.c_str() + space + 1, nullptr));
     break;
   }
+  // SLO attainment per op class, from the sse_slo_* gauges the server's
+  // tracker publishes (fast window attainment vs objective-relative burn).
+  for (const char* cls : {"search", "mutation", "control"}) {
+    const std::string base = std::string("sse_slo_") + cls;
+    double attainment = 0;
+    if (!repl::FindMetricValue(reply->prometheus_text, base + "_attainment",
+                               &attainment)) {
+      continue;  // server predates the SLO tracker
+    }
+    double burn_fast = 0, burn_slow = 0, total = 0;
+    repl::FindMetricValue(reply->prometheus_text, base + "_burn_fast",
+                          &burn_fast);
+    repl::FindMetricValue(reply->prometheus_text, base + "_burn_slow",
+                          &burn_slow);
+    repl::FindMetricValue(reply->prometheus_text, base + "_window_total",
+                          &total);
+    if (total == 0) {
+      std::printf("slo %-9s (no traffic in window)\n",
+                  (std::string(cls) + ":").c_str());
+      continue;
+    }
+    std::printf("slo %-9s attainment %.4f, burn %.2f fast / %.2f slow "
+                "(%g op(s) in window)%s\n",
+                (std::string(cls) + ":").c_str(), attainment, burn_fast,
+                burn_slow, total,
+                burn_fast > 1.0 ? "  <-- BURNING BUDGET" : "");
+  }
   // Overload summary: what the admission layer has shed and dropped. The
   // breaker-open count appears only on nodes that run client-side failover
   // channels (e.g. a primary forwarding through one).
@@ -223,6 +304,10 @@ int main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "stats") == 0) {
     const bool spans = argc >= 4 && std::strcmp(argv[3], "--spans") == 0;
     return RunStats(argv[2], spans);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "events") == 0) {
+    const long tail = argc >= 4 ? std::strtol(argv[3], nullptr, 10) : 0;
+    return RunEvents(argv[2], tail > 0 ? static_cast<uint32_t>(tail) : 0);
   }
   if (argc < 3) return Usage();
   const std::string dir = argv[1];

@@ -1,23 +1,31 @@
 #!/usr/bin/env bash
-# Refreshes the committed benchmark snapshot (BENCH_search.json).
+# Refreshes the committed benchmark snapshots (BENCH_search.json and
+# BENCH_load.json).
 #
 # Builds the benchmarks, runs the Table-1 search profile — including the
 # reactor connection-scale sweep (f), which raises RLIMIT_NOFILE itself
-# when the environment allows — and leaves the machine-readable result at
-# the repo root for trend tracking across PRs.
+# when the environment allows, and the interleaved tracing/SLO overhead
+# A/B — then the open-loop load harness (calibration plus the nominal /
+# near-saturation / past-watermark points), and leaves both
+# machine-readable results at the repo root for trend tracking across PRs.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]
+# Usage: scripts/bench_snapshot.sh [search_output.json [load_output.json]]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_search.json}"
+SEARCH_OUT="${1:-BENCH_search.json}"
+LOAD_OUT="${2:-BENCH_load.json}"
 
 echo "==> build benchmarks"
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_table1_search
+cmake --build build -j "$(nproc)" --target bench_table1_search bench_load
 
-echo "==> run bench_table1_search -> ${OUT}"
-./build/bench/bench_table1_search "${OUT}"
+echo "==> run bench_table1_search -> ${SEARCH_OUT}"
+./build/bench/bench_table1_search "${SEARCH_OUT}"
 
-echo "==> snapshot:"
-cat "${OUT}"
+echo "==> run bench_load (full open-loop profile) -> ${LOAD_OUT}"
+./build/bench/bench_load "${LOAD_OUT}"
+
+echo "==> snapshots:"
+cat "${SEARCH_OUT}"
+cat "${LOAD_OUT}"

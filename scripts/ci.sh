@@ -41,6 +41,13 @@ echo "==> overload: deadline propagation, admission control, retry budgets"
 # against the reactor stack with an exactly-once oracle).
 ctest --test-dir build -L overload --output-on-failure
 
+echo "==> load: open-loop load-harness smoke (deterministic, throttled)"
+# bench_load --smoke pins per-op cost with a throttled handler and asserts
+# the regime shape itself: the nominal point must be error-free, the
+# past-watermark point must shed, and the event journal must have fired.
+# The label is anchored because plain "load" also matches "overload".
+ctest --test-dir build -L '^load$' --output-on-failure
+
 echo "==> scheme3: forward-private dynamic scheme suite"
 # Covers the hash-chain client/server pair, the descriptor-driven engine
 # integration, and the forward-privacy property test (stale trapdoors must
@@ -60,6 +67,7 @@ else
   cmake --build build-tsan -j "$(nproc)" \
     --target engine_concurrency_test tcp_test chaos_test \
              obs_trace_test obs_metrics_test obs_stats_rpc_test \
+             obs_slo_test obs_events_test \
              reactor_test net_scale_test repl_test scheme3_test \
              overload_test
   # repl_test (not the multi-process cluster harness — TSan doesn't see

@@ -6,6 +6,7 @@
 
 #include "sse/net/batch.h"
 #include "sse/net/deadline.h"
+#include "sse/obs/events.h"
 #include "sse/obs/trace.h"
 #include "sse/util/serde.h"
 
@@ -130,6 +131,15 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
       },
       &report);
   SSE_RETURN_IF_ERROR(replay);
+  if (report.quarantined_records > 0 || report.torn_bytes > 0) {
+    obs::EventJournal::Global().Emit(
+        obs::EventKind::kWalSalvage,
+        "recovery salvaged WAL: " +
+            std::to_string(report.quarantined_records) +
+            " record(s) quarantined (" +
+            std::to_string(report.quarantined_bytes) + " bytes), " +
+            std::to_string(report.torn_bytes) + " torn byte(s) dropped");
+  }
   if (report.lowest_seq != 0 && report.lowest_seq > min_seq) {
     // Records in [min_seq, lowest_seq) are gone; acknowledged updates
     // would be silently lost.
@@ -197,6 +207,9 @@ Status DurableServer::EnterDegraded(const Status& cause) {
       std::lock_guard<std::mutex> lock(degraded_mutex_);
       degraded_cause_ = cause;
     }
+    obs::EventJournal::Global().Emit(
+        obs::EventKind::kStorageDegraded,
+        "fail-stop to read-only: " + cause.ToString());
     inner_->OnStorageDegraded(cause);
   }
   return DegradedStatus();
@@ -538,6 +551,10 @@ Status DurableServer::Checkpoint() {
   // next checkpoint makes this one the fallback.
   SSE_RETURN_IF_ERROR(wal_->CompactBefore(previous_cut));
   last_checkpoint_seq_ = cut_seq;
+  obs::EventJournal::Global().Emit(
+      obs::EventKind::kWalCompaction,
+      "checkpoint cut at seq " + std::to_string(cut_seq) +
+          "; segments below seq " + std::to_string(previous_cut) + " deleted");
   checkpoint_hist_.Record(NanosSince(t0));
   return Status::OK();
 }

@@ -11,12 +11,29 @@
 
 #include "sse/net/deadline.h"
 #include "sse/net/socket_util.h"
+#include "sse/obs/events.h"
+#include "sse/obs/slo.h"
 #include "sse/obs/stats_rpc.h"
 #include "sse/obs/trace.h"
 
 namespace sse::net {
 
 namespace {
+
+/// Maps the admission-layer op class onto the SLO taxonomy. The two enums
+/// are deliberately distinct (obs/ is a leaf library; net/ depends on it,
+/// not the other way around) but line up one-to-one.
+obs::SloClass SloClassOf(OpClass op) {
+  switch (op) {
+    case OpClass::kSearch:
+      return obs::SloClass::kSearch;
+    case OpClass::kMutation:
+      return obs::SloClass::kMutation;
+    case OpClass::kControl:
+      return obs::SloClass::kControl;
+  }
+  return obs::SloClass::kControl;
+}
 
 /// Process-wide net-layer counters, looked up once. Cheap to bump (one
 /// relaxed fetch_add) and aggregated across every channel and server in
@@ -310,6 +327,31 @@ void TcpServer::ShedFrame(const std::shared_ptr<Connection>& conn,
   conn->SendFrame(error.Encode());
 }
 
+void TcpServer::NoteShed(const char* reason) {
+  last_shed_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  // Edge-triggered: only the transition into shedding is an event. The
+  // per-frame shed volume lives in the sse_admission_* counters.
+  if (!brownout_.exchange(true, std::memory_order_relaxed)) {
+    obs::EventJournal::Global().Emit(
+        obs::EventKind::kBrownoutEnter,
+        std::string("admission began shedding (") + reason + ")");
+  }
+}
+
+void TcpServer::MaybeExitBrownout() {
+  if (!brownout_.load(std::memory_order_relaxed)) return;
+  const uint64_t last = last_shed_ns_.load(std::memory_order_relaxed);
+  const uint64_t quiet_ns =
+      static_cast<uint64_t>(options_.brownout_exit_ms) * 1'000'000ULL;
+  if (SteadyNowNs() - last < quiet_ns) return;
+  if (brownout_.exchange(false, std::memory_order_relaxed)) {
+    obs::EventJournal::Global().Emit(
+        obs::EventKind::kBrownoutExit,
+        "no sheds for " + std::to_string(options_.brownout_exit_ms) +
+            " ms; admitting normally");
+  }
+}
+
 void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
                               Bytes frame) {
   // Loop thread: admission, accounting, hand-off. The pool runs the
@@ -322,8 +364,10 @@ void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   uint64_t client_id = 0;
   uint64_t seq = 0;
   const bool has_session = Message::PeekSession(frame, &client_id, &seq);
+  const bool slo_on = options_.slo_tracking && obs::SloRecordingEnabled();
   OpClass op = OpClass::kControl;
-  if (options_.admission != nullptr || options_.max_dispatch_queue > 0) {
+  if (options_.admission != nullptr || options_.max_dispatch_queue > 0 ||
+      slo_on) {
     op = ClassifyFrame(frame);
   }
   if (options_.admission != nullptr && op != OpClass::kControl) {
@@ -333,6 +377,8 @@ void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
       if (op == OpClass::kMutation) {
         AdmissionCounters::Get().shed_mutations->Add();
       }
+      if (slo_on) obs::SloTracker::Global().Record(SloClassOf(op), 0, false);
+      NoteShed(verdict.reason);
       ShedFrame(conn, has_session, client_id, seq,
                 WithRetryAfter(
                     Status::ResourceExhausted(
@@ -342,10 +388,11 @@ void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
       return;
     }
   }
+  MaybeExitBrownout();
   inflight_requests_.fetch_add(1);
   const uint64_t enqueued_ns = SteadyNowNs();
   const auto submitted = pool_->TrySubmit(
-      [this, conn, frame = std::move(frame), enqueued_ns] {
+      [this, conn, frame = std::move(frame), enqueued_ns, op, slo_on] {
         const uint64_t wait_ns = SteadyNowNs() - enqueued_ns;
         DispatchQueueWaitHistogram().Record(
             static_cast<double>(wait_ns) / 1000.0);
@@ -353,6 +400,13 @@ void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
           options_.admission->OnQueueWait(wait_ns);
         }
         Message reply = HandleFrame(frame, enqueued_ns);
+        if (slo_on) {
+          // Latency is measured from frame *arrival* (queue wait included):
+          // that is what the caller experiences, and what the SLO promises.
+          obs::SloTracker::Global().Record(SloClassOf(op),
+                                           SteadyNowNs() - enqueued_ns,
+                                           reply.type != kMsgError);
+        }
         Bytes encoded = reply.Encode();
         conn->SendFrame(std::move(encoded));
         inflight_requests_.fetch_sub(1);
@@ -368,6 +422,8 @@ void TcpServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
     if (op == OpClass::kMutation) {
       AdmissionCounters::Get().shed_mutations->Add();
     }
+    if (slo_on) obs::SloTracker::Global().Record(SloClassOf(op), 0, false);
+    NoteShed("dispatch queue full");
     ShedFrame(conn, has_session, client_id, seq,
               WithRetryAfter(
                   Status::ResourceExhausted("server dispatch queue full"),

@@ -102,6 +102,15 @@ class TcpServer {
     /// admitted under this bound waits at most max_dispatch_queue
     /// handler-times for its worker. 0 = unbounded (the default).
     size_t max_dispatch_queue = 0;
+    /// Record every served/shed frame into obs::SloTracker::Global()
+    /// (availability + latency attainment per op class, scraped as the
+    /// sse_slo_* gauges). Also gated process-wide by
+    /// obs::SetSloRecordingEnabled for benches that price the layer.
+    bool slo_tracking = true;
+    /// Quiet time after the last shed before the server journals a
+    /// brownout_exit event (obs/events.h). Entering brownout is edge
+    /// triggered on the first shed.
+    uint64_t brownout_exit_ms = 1000;
   };
 
   ~TcpServer();
@@ -153,6 +162,12 @@ class TcpServer {
   /// thread — shedding must be cheaper than serving.
   void ShedFrame(const std::shared_ptr<Connection>& conn, bool has_session,
                  uint64_t client_id, uint64_t seq, const Status& status);
+  /// Records a shed for brownout edge detection, emitting a
+  /// brownout_enter event on the not-shedding → shedding transition.
+  void NoteShed(const char* reason);
+  /// Emits brownout_exit once no shed has happened for
+  /// Options::brownout_exit_ms; called on each admitted frame.
+  void MaybeExitBrownout();
   /// Decode + handle one frame, producing the reply frame to write. Error
   /// replies are addressed with the request's session stamp when possible.
   /// `enqueued_ns` anchors the request's wire deadline: queue wait counts
@@ -184,6 +199,12 @@ class TcpServer {
 
   std::mutex handler_mutex_;
   obs::MetricsRegistry::Registration active_gauge_;
+
+  /// Brownout edge detection for the event journal: set on the first shed,
+  /// cleared (with a brownout_exit event) by the first admitted frame that
+  /// arrives Options::brownout_exit_ms after the last shed.
+  std::atomic<bool> brownout_{false};
+  std::atomic<uint64_t> last_shed_ns_{0};
 };
 
 /// Client channel over a TCP connection. One `Call` = one request/response

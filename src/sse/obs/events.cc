@@ -1,0 +1,147 @@
+#include "sse/obs/events.h"
+
+#include <chrono>
+
+#include "sse/util/logging.h"
+
+namespace sse::obs {
+
+namespace {
+
+int64_t WallMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal JSON string escaping for event details (ASCII control chars,
+/// quotes and backslashes; details are produced by our own hooks).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStorageDegraded:
+      return "storage_degraded";
+    case EventKind::kWalSalvage:
+      return "wal_salvage";
+    case EventKind::kWalCompaction:
+      return "wal_compaction";
+    case EventKind::kBrownoutEnter:
+      return "brownout_enter";
+    case EventKind::kBrownoutExit:
+      return "brownout_exit";
+    case EventKind::kBreakerOpen:
+      return "breaker_open";
+    case EventKind::kBreakerClose:
+      return "breaker_close";
+    case EventKind::kFailover:
+      return "failover";
+    case EventKind::kPromotion:
+      return "promotion";
+    case EventKind::kFenced:
+      return "fenced";
+  }
+  return "unknown";
+}
+
+EventJournal::EventJournal(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+EventJournal& EventJournal::Global() {
+  static EventJournal* journal = new EventJournal();
+  return *journal;
+}
+
+uint64_t EventJournal::Emit(EventKind kind, std::string detail) {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+    Event& slot = ring_[seq % capacity_];
+    slot.seq = seq;
+    slot.wall_ms = WallMillis();
+    slot.kind = kind;
+    slot.detail = detail;
+  }
+  // Log outside the lock: the sink may be slow, and the narrative should
+  // reach the log stream even if nobody ever scrapes the journal.
+  SSE_LOG(Info) << "event[" << seq << "] " << EventKindName(kind) << ": "
+                << detail;
+  return seq;
+}
+
+std::vector<Event> EventJournal::Tail(size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t newest = next_seq_ - 1;
+  const uint64_t live = std::min<uint64_t>(newest, capacity_);
+  const uint64_t take = std::min<uint64_t>(live, max_events);
+  std::vector<Event> out;
+  out.reserve(take);
+  for (uint64_t seq = newest - take + 1; seq <= newest && take > 0; ++seq) {
+    const Event& e = ring_[seq % capacity_];
+    if (e.seq != seq) continue;  // cleared or never filled
+    out.push_back(e);
+  }
+  return out;
+}
+
+uint64_t EventJournal::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+void EventJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Event& e : ring_) e = Event{};
+}
+
+std::string EventJournal::ToJson(const std::vector<Event>& events) {
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i > 0) out += ",";
+    out += "{\"seq\":" + std::to_string(e.seq) +
+           ",\"wall_ms\":" + std::to_string(e.wall_ms) + ",\"kind\":\"" +
+           EventKindName(e.kind) + "\",\"detail\":";
+    AppendJsonString(&out, e.detail);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace sse::obs

@@ -1,0 +1,88 @@
+#ifndef SSE_OBS_EVENTS_H_
+#define SSE_OBS_EVENTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sse::obs {
+
+/// Kinds of operator-significant state transitions. These are *events*,
+/// not metrics: rare, discrete, and most useful as an ordered narrative
+/// ("brownout entered, then the breaker opened, then the failover") when
+/// reconstructing an incident after the fact.
+enum class EventKind : uint8_t {
+  kStorageDegraded = 0,  // fail-stop: mutations now refused (durable_server)
+  kWalSalvage = 1,       // recovery quarantined corrupt WAL ranges
+  kWalCompaction = 2,    // checkpoint cut + old segments deleted
+  kBrownoutEnter = 3,    // admission began shedding (tcp server)
+  kBrownoutExit = 4,     // shedding stopped; admitting normally again
+  kBreakerOpen = 5,      // client-side circuit breaker opened an endpoint
+  kBreakerClose = 6,     // breaker settled closed after a half-open probe
+  kFailover = 7,         // client demoted its cached primary
+  kPromotion = 8,        // follower promoted to primary (repl node)
+  kFenced = 9,           // deposed primary fenced by a newer epoch
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One journal entry. `seq` is a process-lifetime monotonic stamp (dense:
+/// no gaps), so a reader holding the last seen seq can tell exactly how
+/// many events it missed even after the ring evicted them.
+struct Event {
+  uint64_t seq = 0;
+  int64_t wall_ms = 0;  // wall-clock ms since the Unix epoch
+  EventKind kind = EventKind::kStorageDegraded;
+  std::string detail;
+};
+
+/// Bounded, seq-stamped, thread-safe journal of state transitions.
+///
+/// A fixed-capacity ring under one mutex: emission is rare (state
+/// *transitions*, not per-request traffic), so a lock is the right tool —
+/// it buys dense sequence numbers and a consistent ordered view, which
+/// the lock-free span rings deliberately gave up. Every Emit also writes
+/// one SSE_LOG(Info) line, so the journal narrative survives in logs even
+/// when the process dies before anyone scrapes it.
+class EventJournal {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit EventJournal(size_t capacity = kDefaultCapacity);
+
+  /// The process-wide journal every subsystem hook emits into and the
+  /// stats RPC serves.
+  static EventJournal& Global();
+
+  /// Appends one event; returns its sequence number.
+  uint64_t Emit(EventKind kind, std::string detail);
+
+  /// The newest `max_events` events, oldest first. Events older than the
+  /// ring capacity are gone (their seqs show the gap).
+  std::vector<Event> Tail(size_t max_events = kDefaultCapacity) const;
+
+  /// Total events ever emitted (>= Tail().size()).
+  uint64_t emitted() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Drops all entries but keeps the sequence counter monotonic (tests
+  /// isolate themselves without renumbering history).
+  void Clear();
+
+  /// JSON array of events (stable schema: seq, wall_ms, kind, detail).
+  static std::string ToJson(const std::vector<Event>& events);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;  // ring_[seq % capacity_]
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace sse::obs
+
+#endif  // SSE_OBS_EVENTS_H_

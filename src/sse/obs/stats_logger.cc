@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "sse/obs/metrics_registry.h"
+#include "sse/obs/slo.h"
 #include "sse/obs/trace.h"
 #include "sse/util/logging.h"
 
@@ -44,6 +45,9 @@ void StatsLogger::LogOnce() {
   SSE_LOG(Info) << "stats: " << (digest.empty() ? "(no metrics)" : digest)
                 << "; spans_recorded="
                 << SpanCollector::Global().recorded();
+  // One SLO line per period: per-class attainment and burn rate, the
+  // operator's quickest "is the error budget on fire" glance.
+  SSE_LOG(Info) << "slo: " << SloTracker::Global().Summary();
 }
 
 }  // namespace sse::obs

@@ -1,5 +1,6 @@
 #include "sse/obs/stats_rpc.h"
 
+#include "sse/obs/events.h"
 #include "sse/obs/metrics_registry.h"
 #include "sse/obs/trace.h"
 #include "sse/util/serde.h"
@@ -8,7 +9,11 @@ namespace sse::obs {
 
 net::Message StatsRequest::ToMessage() const {
   BufferWriter w;
-  w.PutU8(include_spans ? 1 : 0);
+  w.PutU8(static_cast<uint8_t>((include_spans ? 1 : 0) |
+                               (include_events ? 2 : 0)));
+  // The tail count was added with the event journal; readers that predate
+  // it stop after the flags byte, so the extension is wire-compatible.
+  w.PutU32(events_tail);
   return net::Message{net::kMsgStats, w.TakeData()};
 }
 
@@ -21,6 +26,10 @@ Result<StatsRequest> StatsRequest::FromMessage(const net::Message& msg) {
   uint8_t flags = 0;
   SSE_ASSIGN_OR_RETURN(flags, r.GetU8());
   req.include_spans = (flags & 1) != 0;
+  req.include_events = (flags & 2) != 0;
+  if (r.remaining() >= 4) {
+    SSE_ASSIGN_OR_RETURN(req.events_tail, r.GetU32());
+  }
   return req;
 }
 
@@ -28,6 +37,7 @@ net::Message StatsReply::ToMessage() const {
   BufferWriter w;
   w.PutString(prometheus_text);
   w.PutString(spans_json);
+  w.PutString(events_json);
   return net::Message{net::kMsgStatsReply, w.TakeData()};
 }
 
@@ -39,6 +49,10 @@ Result<StatsReply> StatsReply::FromMessage(const net::Message& msg) {
   StatsReply reply;
   SSE_ASSIGN_OR_RETURN(reply.prometheus_text, r.GetString());
   SSE_ASSIGN_OR_RETURN(reply.spans_json, r.GetString());
+  // Replies from servers that predate the event journal end here.
+  if (r.remaining() > 0) {
+    SSE_ASSIGN_OR_RETURN(reply.events_json, r.GetString());
+  }
   return reply;
 }
 
@@ -50,6 +64,11 @@ net::Message HandleStatsRequest(const net::Message& request) {
   if (parsed.value().include_spans) {
     reply.spans_json =
         SpanCollector::ToChromeTraceJson(SpanCollector::Global().Collect());
+  }
+  if (parsed.value().include_events) {
+    const uint32_t tail = parsed.value().events_tail;
+    reply.events_json = EventJournal::ToJson(EventJournal::Global().Tail(
+        tail == 0 ? EventJournal::Global().capacity() : tail));
   }
   net::Message msg = reply.ToMessage();
   msg.EchoSession(request);

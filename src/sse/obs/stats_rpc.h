@@ -16,6 +16,11 @@ namespace sse::obs {
 
 struct StatsRequest {
   bool include_spans = false;
+  /// Ask for the structured event journal (obs/events.h) as JSON.
+  bool include_events = false;
+  /// Newest events to return when include_events is set (0 = server
+  /// default of the whole ring).
+  uint32_t events_tail = 0;
 
   net::Message ToMessage() const;
   static Result<StatsRequest> FromMessage(const net::Message& msg);
@@ -23,7 +28,8 @@ struct StatsRequest {
 
 struct StatsReply {
   std::string prometheus_text;
-  std::string spans_json;  // empty unless include_spans was set
+  std::string spans_json;    // empty unless include_spans was set
+  std::string events_json;   // empty unless include_events was set
 
   net::Message ToMessage() const;
   static Result<StatsReply> FromMessage(const net::Message& msg);

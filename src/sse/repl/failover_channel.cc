@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "sse/net/admission.h"
+#include "sse/obs/events.h"
 #include "sse/obs/metrics_registry.h"
 #include "sse/obs/stats_rpc.h"
 
@@ -120,6 +121,11 @@ int FailoverChannel::FindPrimary() {
 
 void FailoverChannel::DemotePrimary() {
   if (primary_ < 0) return;
+  const Node& old = nodes_[static_cast<size_t>(primary_)];
+  obs::EventJournal::Global().Emit(
+      obs::EventKind::kFailover,
+      "client demoted cached primary " + old.endpoint.host + ":" +
+          std::to_string(old.endpoint.port) + "; re-probing the cluster");
   primary_ = -1;
   ++failovers_;
   FailoverCounter()->Add();
@@ -150,11 +156,23 @@ void FailoverChannel::OpenBreaker(Node* node, uint64_t open_ms) {
                         std::chrono::milliseconds(open_ms);
   ++breaker_opens_;
   BreakerOpenCounter()->Add();
+  obs::EventJournal::Global().Emit(
+      obs::EventKind::kBreakerOpen,
+      "breaker open for " + node->endpoint.host + ":" +
+          std::to_string(node->endpoint.port) + " (" +
+          std::to_string(open_ms) + " ms)");
 }
 
 void FailoverChannel::RecordOutcome(Node* node, const Status& status) {
   if (options_.breaker_failure_threshold <= 0) return;
   if (status.ok()) {
+    if (node->breaker == BreakerState::kHalfOpen) {
+      obs::EventJournal::Global().Emit(
+          obs::EventKind::kBreakerClose,
+          "breaker closed for " + node->endpoint.host + ":" +
+              std::to_string(node->endpoint.port) +
+              " after a successful half-open probe");
+    }
     node->breaker = BreakerState::kClosed;
     node->consecutive_failures = 0;
     return;

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "sse/obs/events.h"
 #include "sse/obs/stats_rpc.h"
 #include "sse/util/bytes.h"
 #include "sse/util/logging.h"
@@ -169,6 +170,12 @@ Result<net::Message> ReplNode::Handle(const net::Message& request) {
   if (role_ == Role::kPrimary) {
     if (sender_ != nullptr && sender_->fenced() &&
         handler_->IsMutating(request.type)) {
+      if (!fenced_event_emitted_.exchange(true, std::memory_order_relaxed)) {
+        obs::EventJournal::Global().Emit(
+            obs::EventKind::kFenced,
+            "deposed primary at epoch " + std::to_string(epoch_) +
+                " refusing mutations (fenced by a newer epoch)");
+      }
       return Status::Unavailable(
           "not primary: fenced by a newer replication epoch");
     }
@@ -211,6 +218,11 @@ Result<net::Message> ReplNode::HandlePromote(const net::Message& request) {
   }
   SSE_LOG(Info) << "repl: promoted to primary at epoch " << epoch_
                 << " (log resumes at " << durable_->wal_next_seq() << ")";
+  fenced_event_emitted_.store(false, std::memory_order_relaxed);
+  obs::EventJournal::Global().Emit(
+      obs::EventKind::kPromotion,
+      "follower promoted to primary at epoch " + std::to_string(epoch_) +
+          "; log resumes at seq " + std::to_string(durable_->wal_next_seq()));
   ReplAck ack;
   ack.epoch = epoch_;
   ack.next_seq = durable_->wal_next_seq();

@@ -1,6 +1,7 @@
 #ifndef SSE_REPL_NODE_H_
 #define SSE_REPL_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -104,6 +105,9 @@ class ReplNode : public net::MessageHandler {
   Role role_ = Role::kFollower;
   uint64_t epoch_ = 0;
   uint64_t promotions_ = 0;
+  // Edge trigger for the journal: a deposed primary refuses every
+  // mutation, but only the first refusal is a state transition.
+  std::atomic<bool> fenced_event_emitted_{false};
   // Primary side. `handler_` is the live inner state machine; it must
   // outlive `durable_`, and `sender_` must outlive `durable_` too (the
   // server calls into its shipper).
